@@ -1,0 +1,272 @@
+package repro_test
+
+// Figure/experiment benchmarks. One bench per paper artifact (DESIGN.md
+// §3) plus scaling and ablation benches. They measure the system the
+// same way cmd/experiments does, but under testing.B so regressions are
+// visible in -bench output:
+//
+//	BenchmarkFigure4WindowQuery      — F4: the 30-min window query (Intel)
+//	BenchmarkFigure4ZoomLineage      — F4z: lineage fetch of suspect windows
+//	BenchmarkFigure6RankedPredicates — F6: the full Debug pipeline (Intel)
+//	BenchmarkFigure7FECDaily         — F7: daily donation totals (FEC)
+//	BenchmarkWalkthroughFEC          — W1: Debug + clean on FEC
+//	BenchmarkPipelineVsBaselines     — E1: ours vs top-k influence
+//	BenchmarkDebugScaling/*          — E2: Debug vs |D|
+//	BenchmarkSplitCriteria/*         — E3: per-criterion Debug
+//	BenchmarkInfluenceLOO            — E5: leave-one-out pass alone
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+	"repro/internal/influence"
+)
+
+// intelEnv caches one synthetic trace + executed query per size so the
+// benches measure the operation, not the generator.
+type intelEnv struct {
+	db      *engine.DB
+	res     *exec.Result
+	suspect []int
+	dprime  []int
+}
+
+var intelCache = map[int]*intelEnv{}
+
+func intelBench(b *testing.B, rows int) *intelEnv {
+	b.Helper()
+	if e, ok := intelCache[rows]; ok {
+		return e
+	}
+	db, _ := datasets.IntelDB(datasets.IntelConfig{Rows: rows, Seed: 7})
+	res, err := exec.RunSQL(db, datasets.IntelWindowSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	suspect, err := core.SuspectWhere(res, "std_temp", func(v engine.Value) bool {
+		return !v.IsNull() && v.Float() > 10
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dprime, err := core.ExamplesWhere(res, suspect, "temperature > 100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &intelEnv{db: db, res: res, suspect: suspect, dprime: dprime}
+	intelCache[rows] = e
+	return e
+}
+
+type fecEnv struct {
+	db      *engine.DB
+	res     *exec.Result
+	suspect []int
+	dprime  []int
+}
+
+var fecCache = map[int]*fecEnv{}
+
+func fecBench(b *testing.B, rows int) *fecEnv {
+	b.Helper()
+	if e, ok := fecCache[rows]; ok {
+		return e
+	}
+	db, _ := datasets.FECDB(datasets.FECConfig{Rows: rows, Seed: 7})
+	res, err := exec.RunSQL(db, datasets.FECDailySQL("McCain"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	suspect, err := core.SuspectWhere(res, "total", func(v engine.Value) bool {
+		return !v.IsNull() && v.Float() < 0
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dprime, err := core.ExamplesWhere(res, suspect, "amount < 0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &fecEnv{db: db, res: res, suspect: suspect, dprime: dprime}
+	fecCache[rows] = e
+	return e
+}
+
+// BenchmarkFigure4WindowQuery measures the Figure 4 aggregate query
+// (avg + stddev per 30-minute window) over the 100k-row Intel trace.
+func BenchmarkFigure4WindowQuery(b *testing.B) {
+	e := intelBench(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunSQL(e.db, datasets.IntelWindowSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4ZoomLineage measures fetching the raw tuples of the
+// highlighted windows (the zoom interaction).
+func BenchmarkFigure4ZoomLineage(b *testing.B) {
+	e := intelBench(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := e.res.Lineage(e.suspect); len(got) == 0 {
+			b.Fatal("empty lineage")
+		}
+	}
+}
+
+// BenchmarkFigure6RankedPredicates measures the full Debug pipeline on
+// the Intel sensor query — the paper's headline interaction.
+func BenchmarkFigure6RankedPredicates(b *testing.B) {
+	e := intelBench(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dr, err := core.Debug(core.DebugRequest{
+			Result: e.res, AggItem: -1, Suspect: e.suspect,
+			Examples: e.dprime, Metric: errmetric.TooHigh{C: 70},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dr.Explanations) == 0 {
+			b.Fatal("no explanations")
+		}
+	}
+}
+
+// BenchmarkFigure7FECDaily measures the Figure 7 query (sum per day).
+func BenchmarkFigure7FECDaily(b *testing.B) {
+	e := fecBench(b, 150_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunSQL(e.db, datasets.FECDailySQL("McCain")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalkthroughFEC measures the §3.2 walkthrough: Debug the
+// negative spike and clean with the top predicate.
+func BenchmarkWalkthroughFEC(b *testing.B) {
+	e := fecBench(b, 150_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dr, err := core.Debug(core.DebugRequest{
+			Result: e.res, AggItem: -1, Suspect: e.suspect,
+			Examples: e.dprime, Metric: errmetric.TooLow{C: 0},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.CleanAndRequery(e.res, dr.Explanations[0].Pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineVsBaselines compares one Debug call against the
+// top-k influence baseline (E1's latency dimension).
+func BenchmarkPipelineVsBaselines(b *testing.B) {
+	e := fecBench(b, 150_000)
+	b.Run("ranked-provenance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Debug(core.DebugRequest{
+				Result: e.res, AggItem: -1, Suspect: e.suspect,
+				Examples: e.dprime, Metric: errmetric.TooLow{C: 0},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("topk-influence", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.TopKInfluence(e.res, e.suspect, 0, errmetric.TooLow{C: 0}, 400); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-provenance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := baseline.FullProvenance(e.res, e.suspect); len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}
+
+// BenchmarkDebugScaling measures Debug wall time against dataset size
+// (E2). The paper's claim: ~linear in |F| thanks to removable
+// aggregates.
+func BenchmarkDebugScaling(b *testing.B) {
+	for _, rows := range []int{25_000, 50_000, 100_000, 200_000} {
+		rows := rows
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			e := intelBench(b, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Debug(core.DebugRequest{
+					Result: e.res, AggItem: -1, Suspect: e.suspect,
+					Examples: e.dprime, Metric: errmetric.TooHigh{C: 70},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSplitCriteria measures Debug under each splitting strategy
+// alone (E3).
+func BenchmarkSplitCriteria(b *testing.B) {
+	e := intelBench(b, 100_000)
+	for _, crit := range []dtree.Criterion{dtree.Gini, dtree.Entropy, dtree.GainRatio} {
+		crit := crit
+		b.Run(crit.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Debug(core.DebugRequest{
+					Result: e.res, AggItem: -1, Suspect: e.suspect,
+					Examples: e.dprime, Metric: errmetric.TooHigh{C: 70},
+					Opt: core.Options{Criteria: []dtree.Criterion{crit}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInfluenceLOO isolates the preprocessor's leave-one-out pass
+// (E5): O(|F|) with removable aggregates.
+func BenchmarkInfluenceLOO(b *testing.B) {
+	e := intelBench(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := influence.Rank(e.res, e.suspect, 0, errmetric.TooHigh{C: 70}, influence.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullScaleIntel runs the Figure 4 query at the real trace's
+// scale (2.3M readings), demonstrating the substitution documented in
+// DESIGN.md covers the paper's full data volume.
+func BenchmarkFullScaleIntel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-scale trace generation is slow; skipped in -short")
+	}
+	e := intelBench(b, 2_300_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunSQL(e.db, datasets.IntelWindowSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command datagen writes the synthetic demo datasets to CSV, together
+// with their ground-truth anomaly labels (one label file row per data
+// row: "rowid,anomalous").
+//
+// Usage:
+//
+//	datagen -dataset intel -rows 100000 -out readings.csv [-truth truth.csv] [-seed 1]
+//	datagen -dataset fec   -rows 150000 -out donations.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/datasets"
+	"repro/internal/engine"
+)
+
+func main() {
+	dataset := flag.String("dataset", "intel", "intel or fec")
+	rows := flag.Int("rows", 100_000, "row count")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output CSV path (required)")
+	truthPath := flag.String("truth", "", "optional ground-truth CSV path")
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var t *engine.Table
+	var truth []bool
+	switch *dataset {
+	case "intel":
+		t, truth = datasets.Intel(datasets.IntelConfig{Rows: *rows, Seed: *seed})
+	case "fec":
+		t, truth = datasets.FEC(datasets.FECConfig{Rows: *rows, Seed: *seed})
+	default:
+		log.Fatalf("unknown dataset %q (want intel or fec)", *dataset)
+	}
+
+	if err := engine.SaveCSVFile(*out, t); err != nil {
+		log.Fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, t.NumRows())
+
+	if *truthPath != "" {
+		f, err := os.Create(*truthPath)
+		if err != nil {
+			log.Fatalf("create %s: %v", *truthPath, err)
+		}
+		w := csv.NewWriter(f)
+		_ = w.Write([]string{"rowid", "anomalous"})
+		n := 0
+		for i, l := range truth {
+			_ = w.Write([]string{strconv.Itoa(i), strconv.FormatBool(l)})
+			if l {
+				n++
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			log.Fatalf("write %s: %v", *truthPath, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d anomalous rows)\n", *truthPath, n)
+	}
+}

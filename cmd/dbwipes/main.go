@@ -1,0 +1,70 @@
+// Command dbwipes serves the DBWipes dashboard over the demo datasets
+// (synthetic Intel Lab sensor readings and FEC campaign donations), or
+// over any CSV the user supplies.
+//
+// Usage:
+//
+//	dbwipes [-addr :8080] [-intel-rows 100000] [-fec-rows 150000]
+//	        [-csv table=path.csv ...] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/datasets"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+type csvFlags []string
+
+func (c *csvFlags) String() string { return strings.Join(*c, ",") }
+func (c *csvFlags) Set(s string) error {
+	*c = append(*c, s)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	intelRows := flag.Int("intel-rows", 100_000, "synthetic Intel sensor rows (0 to skip)")
+	fecRows := flag.Int("fec-rows", 150_000, "synthetic FEC donation rows (0 to skip)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	var csvs csvFlags
+	flag.Var(&csvs, "csv", "extra table as name=path.csv (repeatable)")
+	flag.Parse()
+
+	db := engine.NewDB()
+	if *intelRows > 0 {
+		t, _ := datasets.Intel(datasets.IntelConfig{Rows: *intelRows, Seed: *seed})
+		db.Register(t)
+		log.Printf("loaded %s", t)
+	}
+	if *fecRows > 0 {
+		t, _ := datasets.FEC(datasets.FECConfig{Rows: *fecRows, Seed: *seed})
+		db.Register(t)
+		log.Printf("loaded %s", t)
+	}
+	for _, spec := range csvs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("bad -csv %q, want name=path.csv", spec)
+		}
+		t, err := engine.LoadCSVFile(path, name)
+		if err != nil {
+			log.Fatalf("load %s: %v", path, err)
+		}
+		db.Register(t)
+		log.Printf("loaded %s", t)
+	}
+	if len(db.Names()) == 0 {
+		log.Fatal("no tables loaded")
+	}
+
+	srv := server.New(db)
+	fmt.Printf("DBWipes listening on %s (tables: %s)\n", *addr, strings.Join(db.Names(), ", "))
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

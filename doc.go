@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "A Demonstration of
+// DBWipes: Clean as You Query" (Wu, Madden, Stonebraker — VLDB 2012): an
+// end-to-end ranked provenance system for interactively detecting,
+// understanding, and cleaning errors in aggregate query results.
+//
+// The system lives in internal/ (see DESIGN.md for the full inventory):
+//
+//   - internal/core — the ranked provenance pipeline (the paper's
+//     contribution): Debug(query, S, D', ε) → ranked predicates,
+//     plus the clean-and-requery loop.
+//   - internal/engine, expr, sqlparse, agg, exec — the SQL substrate
+//     with fine-grained provenance capture.
+//   - internal/influence, cleaner, subgroup, dtree, predicate, ranker —
+//     the pipeline stages.
+//   - internal/datasets — synthetic FEC and Intel Lab generators with
+//     ground-truth anomaly labels.
+//   - internal/baseline — full provenance / top-k influence / exhaustive
+//     search comparison points.
+//   - internal/server, viz — the web dashboard and plotting.
+//
+// Executables: cmd/dbwipes (web demo), cmd/dbwipes-cli, cmd/datagen,
+// cmd/experiments (regenerates every figure + the quantitative
+// evaluation). Runnable walkthroughs live in examples/.
+//
+// The benchmarks in bench_test.go regenerate the data behaviour behind
+// each figure of the paper; run them with
+//
+//	go test -bench=. -benchmem
+package repro

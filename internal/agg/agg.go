@@ -1,0 +1,643 @@
+// Package agg implements the aggregate functions DBWipes supports
+// (avg, sum, count, min, max, stddev, var, median — the paper lists the
+// "common PostgreSQL aggregates").
+//
+// Every aggregate additionally implements a *removable* form: given the
+// accumulated state over a group, ResultWithout(v) returns the aggregate
+// value the group would have had if one occurrence of v had never been
+// added, without mutating the state. This is the primitive that makes
+// the Preprocessor's leave-one-out influence analysis O(1) per tuple for
+// the algebraic aggregates (sum/count/avg/stddev/var) and cheap for the
+// holistic ones (min/max/median keep a multiset).
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Func accumulates values of one group and produces a result.
+// Implementations ignore NULL inputs, per SQL semantics, and yield NULL
+// on empty input (except count, which yields 0).
+type Func interface {
+	// Name returns the aggregate's lowercase SQL name.
+	Name() string
+	// Add folds one value into the state.
+	Add(v engine.Value)
+	// Result returns the aggregate of everything added so far.
+	Result() engine.Value
+	// Count returns the number of non-NULL values added.
+	Count() int
+	// Clone returns a fresh, empty aggregate of the same kind.
+	Clone() Func
+}
+
+// Removable extends Func with non-mutating leave-one-out evaluation.
+type Removable interface {
+	Func
+	// ResultWithout returns the aggregate over the added multiset minus
+	// one occurrence of v. v must have been added (for the algebraic
+	// aggregates this is not checked — callers pass lineage values).
+	ResultWithout(v engine.Value) engine.Value
+	// ResultWithoutSet returns the aggregate excluding every value in vs
+	// (each removed once). Used to score predicate deletions without
+	// re-running the query.
+	ResultWithoutSet(vs []engine.Value) engine.Value
+	// Remove permanently deletes one occurrence of v from the state.
+	Remove(v engine.Value)
+}
+
+// New returns a fresh aggregate by name, or an error for unknown names.
+func New(name string) (Func, error) {
+	switch strings.ToLower(name) {
+	case "count":
+		return &Count{}, nil
+	case "sum":
+		return &Sum{}, nil
+	case "avg", "mean":
+		return &Avg{}, nil
+	case "min":
+		return newExtremum("min", true), nil
+	case "max":
+		return newExtremum("max", false), nil
+	case "stddev", "stdev", "std":
+		return &Stddev{Variance: Variance{sample: true}}, nil
+	case "stddev_pop":
+		return &Stddev{}, nil
+	case "var", "variance":
+		return &Variance{sample: true}, nil
+	case "var_pop":
+		return &Variance{}, nil
+	case "median":
+		return &Median{}, nil
+	default:
+		return nil, fmt.Errorf("agg: unknown aggregate %q", name)
+	}
+}
+
+// IsAggregate reports whether name names a supported aggregate.
+func IsAggregate(name string) bool {
+	_, err := New(name)
+	return err == nil
+}
+
+// Names returns the canonical aggregate names.
+func Names() []string {
+	return []string{"count", "sum", "avg", "min", "max", "stddev", "var", "median"}
+}
+
+// ---------------------------------------------------------------------
+// count
+
+// Count counts non-NULL values.
+type Count struct{ n int }
+
+// Name implements Func.
+func (*Count) Name() string { return "count" }
+
+// Add implements Func.
+func (c *Count) Add(v engine.Value) {
+	if !v.IsNull() {
+		c.n++
+	}
+}
+
+// Result implements Func.
+func (c *Count) Result() engine.Value { return engine.NewInt(int64(c.n)) }
+
+// Count implements Func.
+func (c *Count) Count() int { return c.n }
+
+// Clone implements Func.
+func (*Count) Clone() Func { return &Count{} }
+
+// ResultWithout implements Removable.
+func (c *Count) ResultWithout(v engine.Value) engine.Value {
+	if v.IsNull() {
+		return c.Result()
+	}
+	return engine.NewInt(int64(c.n - 1))
+}
+
+// ResultWithoutSet implements Removable.
+func (c *Count) ResultWithoutSet(vs []engine.Value) engine.Value {
+	n := c.n
+	for _, v := range vs {
+		if !v.IsNull() {
+			n--
+		}
+	}
+	return engine.NewInt(int64(n))
+}
+
+// Remove implements Removable.
+func (c *Count) Remove(v engine.Value) {
+	if !v.IsNull() {
+		c.n--
+	}
+}
+
+// ---------------------------------------------------------------------
+// sum
+
+// Sum sums numeric values.
+type Sum struct {
+	sum float64
+	n   int
+}
+
+// Name implements Func.
+func (*Sum) Name() string { return "sum" }
+
+// Add implements Func.
+func (s *Sum) Add(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.sum += v.Float()
+	s.n++
+}
+
+// Result implements Func.
+func (s *Sum) Result() engine.Value {
+	if s.n == 0 {
+		return engine.Null
+	}
+	return engine.NewFloat(s.sum)
+}
+
+// Count implements Func.
+func (s *Sum) Count() int { return s.n }
+
+// Clone implements Func.
+func (*Sum) Clone() Func { return &Sum{} }
+
+// ResultWithout implements Removable.
+func (s *Sum) ResultWithout(v engine.Value) engine.Value {
+	if v.IsNull() {
+		return s.Result()
+	}
+	if s.n <= 1 {
+		return engine.Null
+	}
+	return engine.NewFloat(s.sum - v.Float())
+}
+
+// ResultWithoutSet implements Removable.
+func (s *Sum) ResultWithoutSet(vs []engine.Value) engine.Value {
+	sum, n := s.sum, s.n
+	for _, v := range vs {
+		if v.IsNull() {
+			continue
+		}
+		sum -= v.Float()
+		n--
+	}
+	if n <= 0 {
+		return engine.Null
+	}
+	return engine.NewFloat(sum)
+}
+
+// Remove implements Removable.
+func (s *Sum) Remove(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.sum -= v.Float()
+	s.n--
+}
+
+// ---------------------------------------------------------------------
+// avg
+
+// Avg averages numeric values.
+type Avg struct {
+	sum float64
+	n   int
+}
+
+// Name implements Func.
+func (*Avg) Name() string { return "avg" }
+
+// Add implements Func.
+func (a *Avg) Add(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.sum += v.Float()
+	a.n++
+}
+
+// Result implements Func.
+func (a *Avg) Result() engine.Value {
+	if a.n == 0 {
+		return engine.Null
+	}
+	return engine.NewFloat(a.sum / float64(a.n))
+}
+
+// Count implements Func.
+func (a *Avg) Count() int { return a.n }
+
+// Clone implements Func.
+func (*Avg) Clone() Func { return &Avg{} }
+
+// ResultWithout implements Removable.
+func (a *Avg) ResultWithout(v engine.Value) engine.Value {
+	if v.IsNull() {
+		return a.Result()
+	}
+	if a.n <= 1 {
+		return engine.Null
+	}
+	return engine.NewFloat((a.sum - v.Float()) / float64(a.n-1))
+}
+
+// ResultWithoutSet implements Removable.
+func (a *Avg) ResultWithoutSet(vs []engine.Value) engine.Value {
+	sum, n := a.sum, a.n
+	for _, v := range vs {
+		if v.IsNull() {
+			continue
+		}
+		sum -= v.Float()
+		n--
+	}
+	if n <= 0 {
+		return engine.Null
+	}
+	return engine.NewFloat(sum / float64(n))
+}
+
+// Remove implements Removable.
+func (a *Avg) Remove(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.sum -= v.Float()
+	a.n--
+}
+
+// ---------------------------------------------------------------------
+// variance / stddev (Welford-free: sum and sum-of-squares; fine for the
+// magnitudes in this system and exactly removable)
+
+// Variance computes population or sample variance.
+type Variance struct {
+	sum, sumsq float64
+	n          int
+	sample     bool
+}
+
+// Name implements Func.
+func (v *Variance) Name() string {
+	if v.sample {
+		return "var"
+	}
+	return "var_pop"
+}
+
+// Add implements Func.
+func (v *Variance) Add(x engine.Value) {
+	if x.IsNull() {
+		return
+	}
+	f := x.Float()
+	v.sum += f
+	v.sumsq += f * f
+	v.n++
+}
+
+func varianceOf(sum, sumsq float64, n int, sample bool) engine.Value {
+	minN := 1
+	if sample {
+		minN = 2
+	}
+	if n < minN {
+		return engine.Null
+	}
+	mean := sum / float64(n)
+	ss := sumsq - float64(n)*mean*mean
+	if ss < 0 {
+		ss = 0 // numeric guard
+	}
+	den := float64(n)
+	if sample {
+		den = float64(n - 1)
+	}
+	return engine.NewFloat(ss / den)
+}
+
+// Result implements Func.
+func (v *Variance) Result() engine.Value { return varianceOf(v.sum, v.sumsq, v.n, v.sample) }
+
+// Count implements Func.
+func (v *Variance) Count() int { return v.n }
+
+// Clone implements Func.
+func (v *Variance) Clone() Func { return &Variance{sample: v.sample} }
+
+// ResultWithout implements Removable.
+func (v *Variance) ResultWithout(x engine.Value) engine.Value {
+	if x.IsNull() {
+		return v.Result()
+	}
+	f := x.Float()
+	return varianceOf(v.sum-f, v.sumsq-f*f, v.n-1, v.sample)
+}
+
+// ResultWithoutSet implements Removable.
+func (v *Variance) ResultWithoutSet(vs []engine.Value) engine.Value {
+	sum, sumsq, n := v.sum, v.sumsq, v.n
+	for _, x := range vs {
+		if x.IsNull() {
+			continue
+		}
+		f := x.Float()
+		sum -= f
+		sumsq -= f * f
+		n--
+	}
+	return varianceOf(sum, sumsq, n, v.sample)
+}
+
+// Remove implements Removable.
+func (v *Variance) Remove(x engine.Value) {
+	if x.IsNull() {
+		return
+	}
+	f := x.Float()
+	v.sum -= f
+	v.sumsq -= f * f
+	v.n--
+}
+
+// Stddev is the square root of Variance.
+type Stddev struct {
+	Variance
+}
+
+// Name implements Func.
+func (s *Stddev) Name() string {
+	if s.sample {
+		return "stddev"
+	}
+	return "stddev_pop"
+}
+
+func sqrtValue(v engine.Value) engine.Value {
+	if v.IsNull() {
+		return engine.Null
+	}
+	return engine.NewFloat(math.Sqrt(v.Float()))
+}
+
+// Result implements Func.
+func (s *Stddev) Result() engine.Value {
+	return sqrtValue(varianceOf(s.sum, s.sumsq, s.n, s.sample))
+}
+
+// Clone implements Func.
+func (s *Stddev) Clone() Func { return &Stddev{Variance: Variance{sample: s.sample}} }
+
+// ResultWithout implements Removable.
+func (s *Stddev) ResultWithout(x engine.Value) engine.Value {
+	if x.IsNull() {
+		return s.Result()
+	}
+	f := x.Float()
+	return sqrtValue(varianceOf(s.sum-f, s.sumsq-f*f, s.n-1, s.sample))
+}
+
+// ResultWithoutSet implements Removable.
+func (s *Stddev) ResultWithoutSet(vs []engine.Value) engine.Value {
+	return sqrtValue(s.Variance.ResultWithoutSet(vs))
+}
+
+// ---------------------------------------------------------------------
+// min / max — holistic; keep a float multiset so removal is exact.
+
+type extremum struct {
+	name    string
+	min     bool
+	counts  map[float64]int
+	best    float64
+	haveAny bool
+	n       int
+}
+
+func newExtremum(name string, min bool) *extremum {
+	return &extremum{name: name, min: min, counts: make(map[float64]int)}
+}
+
+// Name implements Func.
+func (e *extremum) Name() string { return e.name }
+
+func (e *extremum) better(a, b float64) bool {
+	if e.min {
+		return a < b
+	}
+	return a > b
+}
+
+// Add implements Func.
+func (e *extremum) Add(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	f := v.Float()
+	e.counts[f]++
+	if !e.haveAny || e.better(f, e.best) {
+		e.best = f
+		e.haveAny = true
+	}
+	e.n++
+}
+
+// Result implements Func.
+func (e *extremum) Result() engine.Value {
+	if !e.haveAny {
+		return engine.Null
+	}
+	return engine.NewFloat(e.best)
+}
+
+// Count implements Func.
+func (e *extremum) Count() int { return e.n }
+
+// Clone implements Func.
+func (e *extremum) Clone() Func { return newExtremum(e.name, e.min) }
+
+// rescan recomputes the extremum over the multiset, optionally with a
+// temporary decrement applied (delta maps value→count to subtract).
+func (e *extremum) rescan(delta map[float64]int) (float64, bool) {
+	var best float64
+	have := false
+	for f, c := range e.counts {
+		if delta != nil {
+			c -= delta[f]
+		}
+		if c <= 0 {
+			continue
+		}
+		if !have || e.better(f, best) {
+			best = f
+			have = true
+		}
+	}
+	return best, have
+}
+
+// ResultWithout implements Removable.
+func (e *extremum) ResultWithout(v engine.Value) engine.Value {
+	if v.IsNull() || !e.haveAny {
+		return e.Result()
+	}
+	f := v.Float()
+	if f != e.best || e.counts[f] > 1 {
+		// Removing a non-extremal (or duplicated extremal) value cannot
+		// change the extremum.
+		return engine.NewFloat(e.best)
+	}
+	best, have := e.rescan(map[float64]int{f: 1})
+	if !have {
+		return engine.Null
+	}
+	return engine.NewFloat(best)
+}
+
+// ResultWithoutSet implements Removable.
+func (e *extremum) ResultWithoutSet(vs []engine.Value) engine.Value {
+	delta := make(map[float64]int, len(vs))
+	for _, v := range vs {
+		if !v.IsNull() {
+			delta[v.Float()]++
+		}
+	}
+	best, have := e.rescan(delta)
+	if !have {
+		return engine.Null
+	}
+	return engine.NewFloat(best)
+}
+
+// Remove implements Removable.
+func (e *extremum) Remove(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	f := v.Float()
+	if e.counts[f] <= 1 {
+		delete(e.counts, f)
+	} else {
+		e.counts[f]--
+	}
+	e.n--
+	if f == e.best {
+		e.best, e.haveAny = e.rescan(nil)
+	}
+}
+
+// ---------------------------------------------------------------------
+// median — holistic; keeps all values, sorts lazily.
+
+// Median computes the median (mean of the two middle elements for even
+// counts).
+type Median struct {
+	vals   []float64
+	sorted bool
+}
+
+// Name implements Func.
+func (*Median) Name() string { return "median" }
+
+// Add implements Func.
+func (m *Median) Add(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	m.vals = append(m.vals, v.Float())
+	m.sorted = false
+}
+
+func (m *Median) ensureSorted() {
+	if !m.sorted {
+		sort.Float64s(m.vals)
+		m.sorted = true
+	}
+}
+
+func medianOfSorted(vals []float64) engine.Value {
+	n := len(vals)
+	if n == 0 {
+		return engine.Null
+	}
+	if n%2 == 1 {
+		return engine.NewFloat(vals[n/2])
+	}
+	return engine.NewFloat((vals[n/2-1] + vals[n/2]) / 2)
+}
+
+// Result implements Func.
+func (m *Median) Result() engine.Value {
+	m.ensureSorted()
+	return medianOfSorted(m.vals)
+}
+
+// Count implements Func.
+func (m *Median) Count() int { return len(m.vals) }
+
+// Clone implements Func.
+func (*Median) Clone() Func { return &Median{} }
+
+// ResultWithout implements Removable.
+func (m *Median) ResultWithout(v engine.Value) engine.Value {
+	if v.IsNull() {
+		return m.Result()
+	}
+	return m.ResultWithoutSet([]engine.Value{v})
+}
+
+// ResultWithoutSet implements Removable.
+func (m *Median) ResultWithoutSet(vs []engine.Value) engine.Value {
+	m.ensureSorted()
+	drop := make(map[float64]int, len(vs))
+	nd := 0
+	for _, v := range vs {
+		if !v.IsNull() {
+			drop[v.Float()]++
+			nd++
+		}
+	}
+	if nd == 0 {
+		return medianOfSorted(m.vals)
+	}
+	kept := make([]float64, 0, len(m.vals)-nd)
+	for _, f := range m.vals {
+		if drop[f] > 0 {
+			drop[f]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return medianOfSorted(kept)
+}
+
+// Remove implements Removable.
+func (m *Median) Remove(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	f := v.Float()
+	for i, x := range m.vals {
+		if x == f {
+			m.vals = append(m.vals[:i], m.vals[i+1:]...)
+			return
+		}
+	}
+}

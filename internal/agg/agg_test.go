@@ -1,0 +1,292 @@
+package agg
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+func feed(f Func, vals ...float64) {
+	for _, v := range vals {
+		f.Add(engine.NewFloat(v))
+	}
+}
+
+func res(f Func) float64 { return f.Result().Float() }
+
+func TestAggregateBasics(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 10}
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"count", 5},
+		{"sum", 20},
+		{"avg", 4},
+		{"min", 1},
+		{"max", 10},
+		{"median", 3},
+		{"var", 12.5},                 // sample variance
+		{"stddev", math.Sqrt(12.5)},   // sample stddev
+		{"var_pop", 10},               // population
+		{"stddev_pop", math.Sqrt(10)}, //
+	}
+	for _, c := range cases {
+		f, err := New(c.name)
+		if err != nil {
+			t.Fatalf("New(%s): %v", c.name, err)
+		}
+		feed(f, vals...)
+		if got := res(f); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+		if f.Count() != 5 {
+			t.Errorf("%s Count = %d", c.name, f.Count())
+		}
+	}
+}
+
+func TestEmptyAggregates(t *testing.T) {
+	for _, name := range Names() {
+		f, _ := New(name)
+		r := f.Result()
+		if name == "count" {
+			if r.Int() != 0 {
+				t.Errorf("empty count = %v", r)
+			}
+		} else if !r.IsNull() {
+			t.Errorf("empty %s = %v, want NULL", name, r)
+		}
+	}
+}
+
+func TestNullsIgnored(t *testing.T) {
+	for _, name := range Names() {
+		f, _ := New(name)
+		f.Add(engine.Null)
+		f.Add(engine.NewFloat(5))
+		f.Add(engine.Null)
+		if f.Count() != 1 {
+			t.Errorf("%s counted NULLs: %d", name, f.Count())
+		}
+	}
+}
+
+func TestUnknownAggregate(t *testing.T) {
+	if _, err := New("bogus"); err == nil {
+		t.Error("bogus aggregate accepted")
+	}
+	if IsAggregate("bogus") || !IsAggregate("AVG") {
+		t.Error("IsAggregate wrong")
+	}
+}
+
+// brute recomputes an aggregate from scratch over vals.
+func brute(t *testing.T, name string, vals []float64) engine.Value {
+	t.Helper()
+	f, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(f, vals...)
+	return f.Result()
+}
+
+// Property: ResultWithout(v) == recompute without one occurrence of v,
+// for every aggregate, under random inputs.
+func TestResultWithoutMatchesRecompute(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(raw []int8, removeIdx uint8) bool {
+				if len(raw) < 2 {
+					return true
+				}
+				vals := make([]float64, len(raw))
+				for i, r := range raw {
+					vals[i] = float64(r) / 4
+				}
+				idx := int(removeIdx) % len(vals)
+
+				acc, _ := New(name)
+				feed(acc, vals...)
+				rm := acc.(Removable)
+				got := rm.ResultWithout(engine.NewFloat(vals[idx]))
+
+				rest := append(append([]float64(nil), vals[:idx]...), vals[idx+1:]...)
+				want := brute(t, name, rest)
+				return valueClose(got, want)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: ResultWithoutSet(S) == recompute without S.
+func TestResultWithoutSetMatchesRecompute(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(raw []int8, mask uint16) bool {
+				if len(raw) < 3 {
+					return true
+				}
+				vals := make([]float64, len(raw))
+				for i, r := range raw {
+					vals[i] = float64(r)
+				}
+				var removed []engine.Value
+				var rest []float64
+				for i, v := range vals {
+					if mask&(1<<(i%16)) != 0 && len(removed) < len(vals)-1 {
+						removed = append(removed, engine.NewFloat(v))
+					} else {
+						rest = append(rest, v)
+					}
+				}
+				acc, _ := New(name)
+				feed(acc, vals...)
+				got := acc.(Removable).ResultWithoutSet(removed)
+				want := brute(t, name, rest)
+				return valueClose(got, want)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: Remove(v) then Result == recompute without v.
+func TestRemoveMatchesRecompute(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(raw []int8, removeIdx uint8) bool {
+				if len(raw) < 2 {
+					return true
+				}
+				vals := make([]float64, len(raw))
+				for i, r := range raw {
+					vals[i] = float64(r)
+				}
+				idx := int(removeIdx) % len(vals)
+				acc, _ := New(name)
+				feed(acc, vals...)
+				acc.(Removable).Remove(engine.NewFloat(vals[idx]))
+				rest := append(append([]float64(nil), vals[:idx]...), vals[idx+1:]...)
+				want := brute(t, name, rest)
+				return valueClose(acc.Result(), want)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func valueClose(a, b engine.Value) bool {
+	if a.IsNull() != b.IsNull() {
+		return false
+	}
+	if a.IsNull() {
+		return true
+	}
+	af, bf := a.Float(), b.Float()
+	if math.IsNaN(af) && math.IsNaN(bf) {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(af), math.Abs(bf)))
+	return math.Abs(af-bf) <= 1e-6*scale
+}
+
+func TestExtremumRemoveRescan(t *testing.T) {
+	f, _ := New("max")
+	feed(f, 5, 5, 3)
+	rm := f.(Removable)
+	// Removing one of two 5s keeps max at 5.
+	if got := rm.ResultWithout(engine.NewFloat(5)); got.Float() != 5 {
+		t.Errorf("max without one 5: %v", got)
+	}
+	rm.Remove(engine.NewFloat(5))
+	rm.Remove(engine.NewFloat(5))
+	if got := f.Result(); got.Float() != 3 {
+		t.Errorf("max after removing both 5s: %v", got)
+	}
+	rm.Remove(engine.NewFloat(3))
+	if !f.Result().IsNull() {
+		t.Error("empty max should be NULL")
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	f, _ := New("median")
+	feed(f, 4, 1, 3)
+	if res(f) != 3 {
+		t.Errorf("odd median: %v", res(f))
+	}
+	f.Add(engine.NewFloat(2))
+	if res(f) != 2.5 {
+		t.Errorf("even median: %v", res(f))
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	for _, name := range Names() {
+		orig, _ := New(name)
+		feed(orig, 1, 2, 3)
+		c := orig.Clone()
+		if c.Count() != 0 {
+			t.Errorf("%s clone not empty: %d", name, c.Count())
+		}
+		feed(c, 10)
+		if orig.Count() != 3 {
+			t.Errorf("%s clone shares state", name)
+		}
+	}
+}
+
+func TestSumOfAllRemovedIsNull(t *testing.T) {
+	f, _ := New("sum")
+	feed(f, 5)
+	rm := f.(Removable)
+	if got := rm.ResultWithout(engine.NewFloat(5)); !got.IsNull() {
+		t.Errorf("sum of nothing: %v", got)
+	}
+}
+
+func TestStddevSampleName(t *testing.T) {
+	s, _ := New("stddev")
+	if s.Name() != "stddev" {
+		t.Errorf("name: %s", s.Name())
+	}
+	sp, _ := New("stddev_pop")
+	if sp.Name() != "stddev_pop" {
+		t.Errorf("name: %s", sp.Name())
+	}
+	// Clone preserves sampleness.
+	if s.Clone().Name() != "stddev" {
+		t.Error("clone lost sample flag")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for _, n := range names {
+		if !IsAggregate(n) {
+			t.Errorf("Names contains non-aggregate %q", n)
+		}
+	}
+	if sort.StringsAreSorted(names) {
+		// Names are in a curated order, not sorted — just assert count.
+		_ = names
+	}
+	if len(names) != 8 {
+		t.Errorf("expected 8 canonical names, got %d", len(names))
+	}
+}

@@ -1,0 +1,119 @@
+package agg
+
+import "repro/internal/engine"
+
+// Distinct wraps an aggregate so each distinct value contributes once,
+// implementing COUNT(DISTINCT x) / SUM(DISTINCT x) / AVG(DISTINCT x).
+// It keeps a multiset of the values seen so removal stays exact: a
+// value only leaves the inner aggregate when its last occurrence is
+// removed.
+type Distinct struct {
+	inner  Func
+	counts map[string]int
+	reprs  map[string]engine.Value
+}
+
+// NewDistinct wraps inner with distinct semantics.
+func NewDistinct(inner Func) *Distinct {
+	return &Distinct{
+		inner:  inner,
+		counts: make(map[string]int),
+		reprs:  make(map[string]engine.Value),
+	}
+}
+
+// Name implements Func.
+func (d *Distinct) Name() string { return d.inner.Name() + " distinct" }
+
+// Add implements Func.
+func (d *Distinct) Add(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	k := v.Key()
+	d.counts[k]++
+	if d.counts[k] == 1 {
+		d.reprs[k] = v
+		d.inner.Add(v)
+	}
+}
+
+// Result implements Func.
+func (d *Distinct) Result() engine.Value { return d.inner.Result() }
+
+// Count implements Func (number of distinct non-NULL values).
+func (d *Distinct) Count() int { return len(d.counts) }
+
+// Clone implements Func.
+func (d *Distinct) Clone() Func { return NewDistinct(d.inner.Clone()) }
+
+// removedOnce reports whether removing one occurrence of v eliminates
+// its last copy (so the inner aggregate must forget it).
+func (d *Distinct) removedOnce(v engine.Value, delta map[string]int) bool {
+	k := v.Key()
+	return d.counts[k]-delta[k]-1 <= 0 && d.counts[k] > 0
+}
+
+// ResultWithout implements Removable.
+func (d *Distinct) ResultWithout(v engine.Value) engine.Value {
+	if v.IsNull() {
+		return d.Result()
+	}
+	k := v.Key()
+	if d.counts[k] != 1 {
+		// Other occurrences remain; the distinct set is unchanged.
+		return d.Result()
+	}
+	rm, ok := d.inner.(Removable)
+	if !ok {
+		return d.Result()
+	}
+	return rm.ResultWithout(v)
+}
+
+// ResultWithoutSet implements Removable.
+func (d *Distinct) ResultWithoutSet(vs []engine.Value) engine.Value {
+	delta := make(map[string]int, len(vs))
+	var gone []engine.Value
+	for _, v := range vs {
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		if d.counts[k]-delta[k] <= 0 {
+			continue // removing more copies than exist; ignore extras
+		}
+		delta[k]++
+		if d.counts[k]-delta[k] == 0 {
+			gone = append(gone, d.reprs[k])
+		}
+	}
+	if len(gone) == 0 {
+		return d.Result()
+	}
+	rm, ok := d.inner.(Removable)
+	if !ok {
+		return d.Result()
+	}
+	return rm.ResultWithoutSet(gone)
+}
+
+// Remove implements Removable.
+func (d *Distinct) Remove(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	k := v.Key()
+	if d.counts[k] == 0 {
+		return
+	}
+	d.counts[k]--
+	if d.counts[k] == 0 {
+		delete(d.counts, k)
+		repr := d.reprs[k]
+		delete(d.reprs, k)
+		if rm, ok := d.inner.(Removable); ok {
+			rm.Remove(repr)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package agg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+func TestDistinctCount(t *testing.T) {
+	d := NewDistinct(&Count{})
+	feed(d, 1, 2, 2, 3, 3, 3)
+	if got := d.Result().Int(); got != 3 {
+		t.Errorf("count distinct = %d", got)
+	}
+	if d.Count() != 3 {
+		t.Errorf("Count() = %d", d.Count())
+	}
+	d.Add(engine.Null)
+	if got := d.Result().Int(); got != 3 {
+		t.Errorf("NULL counted: %d", got)
+	}
+}
+
+func TestDistinctSum(t *testing.T) {
+	d := NewDistinct(&Sum{})
+	feed(d, 5, 5, 7)
+	if got := d.Result().Float(); got != 12 {
+		t.Errorf("sum distinct = %v", got)
+	}
+}
+
+func TestDistinctRemoveLastOccurrence(t *testing.T) {
+	d := NewDistinct(&Sum{})
+	feed(d, 5, 5, 7)
+	// Removing one 5 keeps the distinct set {5, 7}.
+	d.Remove(engine.NewFloat(5))
+	if got := d.Result().Float(); got != 12 {
+		t.Errorf("after removing one of two 5s: %v", got)
+	}
+	// Removing the second 5 drops it from the distinct set.
+	d.Remove(engine.NewFloat(5))
+	if got := d.Result().Float(); got != 7 {
+		t.Errorf("after removing both 5s: %v", got)
+	}
+	// Removing a value not present is a no-op.
+	d.Remove(engine.NewFloat(99))
+	if got := d.Result().Float(); got != 7 {
+		t.Errorf("after bogus remove: %v", got)
+	}
+}
+
+func TestDistinctResultWithout(t *testing.T) {
+	d := NewDistinct(&Count{})
+	feed(d, 1, 1, 2)
+	// One of two 1s: distinct set unchanged.
+	if got := d.ResultWithout(engine.NewFloat(1)).Int(); got != 2 {
+		t.Errorf("without one 1: %d", got)
+	}
+	// The only 2: distinct count drops.
+	if got := d.ResultWithout(engine.NewFloat(2)).Int(); got != 1 {
+		t.Errorf("without the 2: %d", got)
+	}
+}
+
+// Property: Distinct(inner).ResultWithoutSet ≡ recompute over the
+// multiset minus the removed values.
+func TestDistinctWithoutSetMatchesRecompute(t *testing.T) {
+	for _, name := range []string{"count", "sum", "avg", "min", "max"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(raw []int8, mask uint16) bool {
+				if len(raw) < 3 {
+					return true
+				}
+				vals := make([]float64, len(raw))
+				for i, r := range raw {
+					vals[i] = float64(r % 8) // force duplicates
+				}
+				var removed []engine.Value
+				var rest []float64
+				for i, v := range vals {
+					if mask&(1<<(i%16)) != 0 && len(removed) < len(vals)-1 {
+						removed = append(removed, engine.NewFloat(v))
+					} else {
+						rest = append(rest, v)
+					}
+				}
+				inner, _ := New(name)
+				d := NewDistinct(inner)
+				for _, v := range vals {
+					d.Add(engine.NewFloat(v))
+				}
+				got := d.ResultWithoutSet(removed)
+
+				inner2, _ := New(name)
+				want := NewDistinct(inner2)
+				for _, v := range rest {
+					want.Add(engine.NewFloat(v))
+				}
+				return valueClose(got, want.Result())
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: Remove ≡ recompute, including duplicate handling.
+func TestDistinctRemoveMatchesRecompute(t *testing.T) {
+	f := func(raw []int8, removeIdx uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r % 5)
+		}
+		idx := int(removeIdx) % len(vals)
+		d := NewDistinct(&Sum{})
+		for _, v := range vals {
+			d.Add(engine.NewFloat(v))
+		}
+		d.Remove(engine.NewFloat(vals[idx]))
+
+		rest := append(append([]float64(nil), vals[:idx]...), vals[idx+1:]...)
+		want := NewDistinct(&Sum{})
+		for _, v := range rest {
+			want.Add(engine.NewFloat(v))
+		}
+		return valueClose(d.Result(), want.Result())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctClone(t *testing.T) {
+	d := NewDistinct(&Count{})
+	feed(d, 1, 2)
+	c := d.Clone()
+	if c.Count() != 0 {
+		t.Error("clone not empty")
+	}
+	if c.Name() != "count distinct" {
+		t.Errorf("clone name: %s", c.Name())
+	}
+}

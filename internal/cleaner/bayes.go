@@ -1,0 +1,260 @@
+package cleaner
+
+import (
+	"math"
+
+	"repro/internal/feature"
+)
+
+// NaiveBayes is a two-class naive Bayes classifier over a feature.Space:
+// Gaussian likelihoods for numeric attributes, Laplace-smoothed
+// frequency tables for categorical attributes. It is used two ways:
+// (a) to clean D' (train on D' vs a background sample, drop D' members
+// the model itself rejects), and (b) as a quick consistency check in
+// tests.
+type NaiveBayes struct {
+	space *feature.Space
+	prior [2]float64 // log priors
+	// numeric[attr][class] = (mean, std)
+	numMean, numStd map[int][2]float64
+	// categorical[attr][class][valueKey] = log P(value | class)
+	catLog map[int][2]map[string]float64
+	catDef [2]float64 // default log-prob for unseen categories
+	// attrs actually used (index into space.Attrs)
+	attrs []int
+}
+
+// TrainNaiveBayes fits the classifier. pos and neg are row ids into the
+// space's table; both must be non-empty.
+func TrainNaiveBayes(sp *feature.Space, pos, neg []int) *NaiveBayes {
+	nb := &NaiveBayes{
+		space:   sp,
+		numMean: make(map[int][2]float64),
+		numStd:  make(map[int][2]float64),
+		catLog:  make(map[int][2]map[string]float64),
+	}
+	total := float64(len(pos) + len(neg))
+	nb.prior[0] = math.Log(float64(len(neg)) / total)
+	nb.prior[1] = math.Log(float64(len(pos)) / total)
+
+	classRows := [2][]int{neg, pos}
+	for ai := range sp.Attrs {
+		attr := &sp.Attrs[ai]
+		nb.attrs = append(nb.attrs, ai)
+		switch attr.Kind {
+		case feature.Numeric:
+			var mean, std [2]float64
+			for cls := 0; cls < 2; cls++ {
+				var sum, sumsq float64
+				var n int
+				for _, r := range classRows[cls] {
+					v := sp.Table.Value(r, attr.Col)
+					if v.IsNull() {
+						continue
+					}
+					f := v.Float()
+					if math.IsNaN(f) {
+						continue
+					}
+					sum += f
+					sumsq += f * f
+					n++
+				}
+				if n == 0 {
+					mean[cls], std[cls] = 0, 1
+					continue
+				}
+				m := sum / float64(n)
+				variance := sumsq/float64(n) - m*m
+				if variance < 1e-9 {
+					variance = 1e-9
+				}
+				mean[cls], std[cls] = m, math.Sqrt(variance)
+			}
+			nb.numMean[ai] = mean
+			nb.numStd[ai] = std
+		case feature.Categorical:
+			var tables [2]map[string]float64
+			for cls := 0; cls < 2; cls++ {
+				counts := make(map[string]int)
+				var n int
+				for _, r := range classRows[cls] {
+					v := sp.Table.Value(r, attr.Col)
+					if v.IsNull() {
+						continue
+					}
+					counts[v.Key()]++
+					n++
+				}
+				// Laplace smoothing over the attribute's known values.
+				vocab := len(attr.Values) + 1
+				table := make(map[string]float64, len(counts))
+				den := float64(n + vocab)
+				for k, c := range counts {
+					table[k] = math.Log(float64(c+1) / den)
+				}
+				tables[cls] = table
+			}
+			nb.catLog[ai] = tables
+		}
+	}
+	// Unseen categorical values get a small smoothed probability.
+	nb.catDef[0] = math.Log(1e-3)
+	nb.catDef[1] = math.Log(1e-3)
+	return nb
+}
+
+// LogOdds returns log P(pos|row) − log P(neg|row) up to a constant.
+func (nb *NaiveBayes) LogOdds(row int) float64 {
+	ll := [2]float64{nb.prior[0], nb.prior[1]}
+	for _, ai := range nb.attrs {
+		attr := &nb.space.Attrs[ai]
+		v := nb.space.Table.Value(row, attr.Col)
+		if v.IsNull() {
+			continue
+		}
+		switch attr.Kind {
+		case feature.Numeric:
+			f := v.Float()
+			if math.IsNaN(f) {
+				continue
+			}
+			mean, std := nb.numMean[ai], nb.numStd[ai]
+			for cls := 0; cls < 2; cls++ {
+				z := (f - mean[cls]) / std[cls]
+				ll[cls] += -0.5*z*z - math.Log(std[cls])
+			}
+		case feature.Categorical:
+			k := v.Key()
+			tables := nb.catLog[ai]
+			for cls := 0; cls < 2; cls++ {
+				if lp, ok := tables[cls][k]; ok {
+					ll[cls] += lp
+				} else {
+					ll[cls] += nb.catDef[cls]
+				}
+			}
+		}
+	}
+	return ll[1] - ll[0]
+}
+
+// Predict reports whether the row is classified positive.
+func (nb *NaiveBayes) Predict(row int) bool { return nb.LogOdds(row) > 0 }
+
+// ---------------------------------------------------------------------
+
+// Options tunes Clean.
+type Options struct {
+	// Method selects the consistency technique: "kmeans" (default),
+	// "bayes", or "none".
+	Method string
+	// K is the cluster count for kmeans (default 2).
+	K int
+	// MaxIters bounds Lloyd iterations (default 50).
+	MaxIters int
+	// Seed makes cleaning deterministic (default 1).
+	Seed int64
+	// MinKeepFrac refuses to discard more than (1−MinKeepFrac) of D'
+	// (default 0.5): the user's selection is evidence, not noise.
+	MinKeepFrac float64
+	// Background are rows to contrast against for the bayes method
+	// (typically F − D'); required for "bayes".
+	Background []int
+}
+
+func (o *Options) defaults() {
+	if o.Method == "" {
+		o.Method = "kmeans"
+	}
+	if o.K <= 0 {
+		o.K = 2
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinKeepFrac <= 0 {
+		o.MinKeepFrac = 0.5
+	}
+}
+
+// Clean returns the self-consistent subset of dprime (row ids into the
+// space's table), per the configured method.
+//
+// kmeans: cluster D' in standardized numeric space with k clusters and
+// keep the largest cluster (with every cluster whose centroid is close
+// to it merged in). bayes: train NB on D' vs Background and keep the D'
+// rows the model accepts. Falls back to returning D' unchanged whenever
+// the technique would discard too much.
+func Clean(sp *feature.Space, dprime []int, opt Options) []int {
+	opt.defaults()
+	if len(dprime) < 4 || opt.Method == "none" {
+		return append([]int(nil), dprime...)
+	}
+	switch opt.Method {
+	case "bayes":
+		if len(opt.Background) == 0 {
+			return append([]int(nil), dprime...)
+		}
+		nb := TrainNaiveBayes(sp, dprime, opt.Background)
+		kept := make([]int, 0, len(dprime))
+		for _, r := range dprime {
+			if nb.Predict(r) {
+				kept = append(kept, r)
+			}
+		}
+		if float64(len(kept)) < opt.MinKeepFrac*float64(len(dprime)) {
+			return append([]int(nil), dprime...)
+		}
+		return kept
+	default: // kmeans
+		if sp.Dim() == 0 {
+			return append([]int(nil), dprime...)
+		}
+		points := make([][]float64, len(dprime))
+		for i, r := range dprime {
+			points[i] = sp.Vector(r, nil)
+		}
+		km := KMeans(points, opt.K, opt.MaxIters, opt.Seed)
+		if len(km.Sizes) == 0 {
+			return append([]int(nil), dprime...)
+		}
+		// Dominant cluster.
+		best := 0
+		for c, n := range km.Sizes {
+			if n > km.Sizes[best] {
+				best = c
+			}
+		}
+		// Merge clusters whose centroid is within 1.5x the dominant
+		// cluster's RMS radius — k=2 on clean data should not split it.
+		var radius float64
+		for i, p := range points {
+			if km.Assign[i] == best {
+				radius += sqDist(p, km.Centroids[best])
+			}
+		}
+		radius = math.Sqrt(radius / math.Max(1, float64(km.Sizes[best])))
+		keepCluster := make([]bool, len(km.Centroids))
+		keepCluster[best] = true
+		for c := range km.Centroids {
+			if c != best && km.Sizes[c] > 0 &&
+				math.Sqrt(sqDist(km.Centroids[c], km.Centroids[best])) <= 1.5*radius {
+				keepCluster[c] = true
+			}
+		}
+		kept := make([]int, 0, len(dprime))
+		for i, r := range dprime {
+			if keepCluster[km.Assign[i]] {
+				kept = append(kept, r)
+			}
+		}
+		if float64(len(kept)) < opt.MinKeepFrac*float64(len(dprime)) {
+			return append([]int(nil), dprime...)
+		}
+		return kept
+	}
+}

@@ -1,0 +1,144 @@
+// Package cleaner implements the Dataset Enumerator's first duty: given
+// the user's hand-selected example tuples D', identify a *self-consistent
+// subset* by discarding stragglers the user probably swept up by
+// accident. The paper says: "We are currently experimenting with
+// clustering (e.g., K-means) and classification based techniques that
+// train classifiers on D' and remove elements that are not consistent
+// with the classifier." Both techniques are implemented here.
+package cleaner
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansResult is the output of Lloyd's algorithm.
+type KMeansResult struct {
+	// Assign maps each input point to its cluster.
+	Assign []int
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Sizes counts points per cluster.
+	Sizes []int
+	// Inertia is the total squared distance to assigned centroids.
+	Inertia float64
+	// Iters is the number of Lloyd iterations run.
+	Iters int
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points into k clusters using k-means++ seeding and
+// Lloyd iterations (at most maxIters, stopping early on convergence).
+// It is deterministic for a given seed. Fewer distinct points than k
+// yields fewer effective clusters (empty clusters are dropped from
+// Sizes but keep their ids).
+func KMeans(points [][]float64, k, maxIters int, seed int64) *KMeansResult {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return &KMeansResult{}
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with a centroid.
+			break
+		}
+		target := rng.Float64() * total
+		var cum float64
+		pick := n - 1
+		for i, d := range d2 {
+			cum += d
+			if cum >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	k = len(centroids)
+
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+			for d := range sums[i] {
+				sums[i][d] = 0
+			}
+		}
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best || iter == 0
+				assign[i] = best
+			}
+			sizes[best]++
+			for d := range p {
+				sums[best][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(sizes[c])
+			}
+		}
+		res.Iters = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	res.Assign = assign
+	res.Centroids = centroids
+	res.Sizes = sizes
+	res.Inertia = inertia
+	return res
+}

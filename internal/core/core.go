@@ -1,0 +1,624 @@
+// Package core is DBWipes' primary contribution: the ranked provenance
+// pipeline. Given an executed aggregate query, a set of suspicious
+// output groups S, an error metric ε, and (optionally) user-highlighted
+// example tuples D', Debug returns a ranked list of human-readable
+// predicates describing the input tuples most responsible for the error
+// — and CleanAndRequery applies a chosen predicate and re-runs the
+// query, closing the paper's "clean as you query" interactive loop.
+//
+// The pipeline mirrors Figure 1 of the paper:
+//
+//	Preprocessor        → lineage F of S + leave-one-out influence (internal/influence)
+//	Dataset Enumerator  → clean D' (internal/cleaner), extend via subgroup
+//	                      discovery (internal/subgroup) into candidates Dᶜᵢ
+//	Predicate Enumerator→ decision trees per candidate per splitting
+//	                      criterion (internal/dtree), leaf paths → predicates
+//	Predicate Ranker    → ε-improvement + separation accuracy − complexity
+//	                      (internal/ranker)
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cleaner"
+	"repro/internal/dtree"
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/feature"
+	"repro/internal/influence"
+	"repro/internal/predicate"
+	"repro/internal/ranker"
+	"repro/internal/sqlparse"
+	"repro/internal/subgroup"
+)
+
+// Options tunes the pipeline. The zero value gives the defaults used in
+// the demo.
+type Options struct {
+	// MaxLOOTuples caps leave-one-out analysis (0 = analyze all of F).
+	MaxLOOTuples int
+	// InfluenceQuantile selects the high-influence extension set: tuples
+	// with at least this fraction of the top influence (default 0.5).
+	InfluenceQuantile float64
+	// CleanMethod is the D' consistency technique: "kmeans" (default),
+	// "bayes", or "none".
+	CleanMethod string
+	// Subgroup tunes the CN2-SD search.
+	Subgroup subgroup.Options
+	// Criteria lists the decision-tree splitting strategies (default
+	// gini, entropy, gain ratio — the paper's "m standard strategies").
+	Criteria []dtree.Criterion
+	// Tree tunes tree induction.
+	Tree dtree.Options
+	// ExcludeCols removes attributes from the explanation vocabulary.
+	ExcludeCols []string
+	// KeepAggColumn retains the aggregated column as an explanation
+	// attribute. Off by default: "temperature > 100 explains high
+	// temperatures" is circular.
+	KeepAggColumn bool
+	// MaxCandidates caps the candidate datasets from subgroup discovery
+	// (default 4, plus the cleaned-D' and high-influence candidates).
+	MaxCandidates int
+	// MaxExplanations caps the returned ranking (default 10).
+	MaxExplanations int
+	// MaxLearnRows caps the population the learners (subgroup discovery,
+	// decision trees) see; culpable tuples are always kept and the rest
+	// is an evenly spaced sample (default 16000, 0 keeps everything).
+	// Predicates are still *scored* against the full lineage, so the
+	// reported ε-improvements are exact.
+	MaxLearnRows int
+	// Weights mixes the ranker's score terms.
+	Weights ranker.Weights
+	// DisablePrune turns off the ranker's greedy clause pruning
+	// (ablation).
+	DisablePrune bool
+	// DisableMerge turns off the ranker's pairwise predicate merging
+	// (ablation).
+	DisableMerge bool
+	// FeatureOpts overrides featurization (advanced).
+	Feature feature.Options
+}
+
+func (o *Options) defaults() {
+	if o.InfluenceQuantile <= 0 || o.InfluenceQuantile > 1 {
+		o.InfluenceQuantile = 0.5
+	}
+	if o.CleanMethod == "" {
+		o.CleanMethod = "kmeans"
+	}
+	if len(o.Criteria) == 0 {
+		o.Criteria = []dtree.Criterion{dtree.Gini, dtree.Entropy, dtree.GainRatio}
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 4
+	}
+	if o.MaxExplanations <= 0 {
+		o.MaxExplanations = 10
+	}
+	if o.MaxLearnRows == 0 {
+		o.MaxLearnRows = 16000
+	}
+}
+
+// DebugRequest is one provenance query: "why do these groups look
+// wrong?".
+type DebugRequest struct {
+	// Result is the executed query (with provenance).
+	Result *exec.Result
+	// AggItem is the select-item index of the aggregate under scrutiny;
+	// -1 means the first aggregate.
+	AggItem int
+	// Suspect lists the suspicious output rows S (indexes into
+	// Result.Table).
+	Suspect []int
+	// Examples optionally lists suspicious input tuples D' (source row
+	// ids). When empty, the high-influence set stands in for D'.
+	Examples []int
+	// Metric is the user's error function ε.
+	Metric errmetric.Metric
+	// Opt tunes the pipeline.
+	Opt Options
+}
+
+// Explanation is one ranked predicate.
+type Explanation struct {
+	ranker.Scored
+	// Candidate identifies which candidate dataset the predicate was
+	// learned from (diagnostic).
+	Candidate string
+}
+
+// DebugResult is the output of one Debug call.
+type DebugResult struct {
+	// Explanations is the ranked predicate list (best first).
+	Explanations []Explanation
+	// Eps is ε over the suspect groups before cleaning.
+	Eps float64
+	// F is the suspect groups' lineage (fine-grained provenance).
+	F []int
+	// DPrime is the cleaned example set actually used.
+	DPrime []int
+	// Influence is the preprocessor's analysis (top tuples first).
+	Influence *influence.Analysis
+	// Candidates counts the candidate datasets enumerated.
+	Candidates int
+	// Timings records per-stage wall time.
+	Timings map[string]time.Duration
+}
+
+// Run parses and executes sql against db with provenance capture.
+func Run(db *engine.DB, sql string) (*exec.Result, error) {
+	return exec.RunSQL(db, sql)
+}
+
+// Debug runs the ranked provenance pipeline.
+func Debug(req DebugRequest) (*DebugResult, error) {
+	opt := req.Opt
+	opt.defaults()
+	res := req.Result
+	if res == nil {
+		return nil, fmt.Errorf("core: nil result")
+	}
+	if req.Metric == nil {
+		return nil, fmt.Errorf("core: nil error metric")
+	}
+	if len(req.Suspect) == 0 {
+		return nil, fmt.Errorf("core: no suspect groups selected")
+	}
+	aggOrds := res.AggOrdinals()
+	if len(aggOrds) == 0 {
+		return nil, fmt.Errorf("core: query has no aggregates to debug")
+	}
+	ord := 0
+	if req.AggItem >= 0 {
+		ord = res.AggOrdinalOf(req.AggItem)
+		if ord < 0 {
+			return nil, fmt.Errorf("core: select item %d is not an aggregate", req.AggItem)
+		}
+	}
+
+	out := &DebugResult{Timings: make(map[string]time.Duration)}
+
+	// --- Preprocessor: lineage + leave-one-out influence. ---
+	start := time.Now()
+	an, err := influence.Rank(res, req.Suspect, ord, req.Metric, influence.Options{MaxTuples: opt.MaxLOOTuples})
+	if err != nil {
+		return nil, err
+	}
+	out.Timings["preprocess"] = time.Since(start)
+	out.Influence = an
+	out.Eps = an.Eps
+	out.F = an.F
+	if len(an.F) == 0 {
+		return nil, fmt.Errorf("core: suspect groups have empty lineage")
+	}
+
+	// --- Dataset Enumerator step 1: restrict D' to F, clean it. ---
+	start = time.Now()
+	inF := make(map[int]bool, len(an.F))
+	for _, r := range an.F {
+		inF[r] = true
+	}
+	var dprime []int
+	for _, r := range req.Examples {
+		if inF[r] {
+			dprime = append(dprime, r)
+		}
+	}
+	highInfluence := an.TopQuantileRows(opt.InfluenceQuantile)
+	if len(dprime) == 0 {
+		// No examples: the high-influence set stands in for D'.
+		dprime = highInfluence
+	}
+	if len(dprime) == 0 {
+		return nil, fmt.Errorf("core: no influential tuples found (ε=%g); nothing to explain", an.Eps)
+	}
+
+	// The learners need a negative class. F − D' supplies part of it
+	// ("an approximate set of error-free input tuples", per the paper);
+	// we additionally sample contrast tuples from outside F — rows of
+	// non-suspect groups are error-free by construction — so that
+	// predicates can describe F itself when an entire group is bad, and
+	// so they generalize against the rest of the table.
+	pop := an.F
+	want := len(an.F)
+	if want > 20000 {
+		want = 20000
+	}
+	if want < 50 {
+		want = 50
+	}
+	extras := sampleOutside(res.Source.NumRows(), inF, want)
+	if len(extras) > 0 {
+		pop = append(append([]int(nil), an.F...), extras...)
+	}
+
+	// Learners see a capped population: all culpable tuples plus an
+	// evenly spaced sample of the rest. Scoring still runs on the full
+	// lineage, so this only trades learner variance for speed.
+	learnPop := pop
+	if opt.MaxLearnRows > 0 && len(pop) > opt.MaxLearnRows {
+		culpableSet := make(map[int]bool, len(dprime)+len(highInfluence))
+		for _, r := range dprime {
+			culpableSet[r] = true
+		}
+		for _, r := range highInfluence {
+			culpableSet[r] = true
+		}
+		learnPop = make([]int, 0, opt.MaxLearnRows)
+		capCulp := opt.MaxLearnRows * 3 / 4
+		nCulp := 0
+		for _, r := range pop {
+			if culpableSet[r] && nCulp < capCulp {
+				learnPop = append(learnPop, r)
+				nCulp++
+			}
+		}
+		rest := opt.MaxLearnRows - len(learnPop)
+		others := make([]int, 0, len(pop)-nCulp)
+		for _, r := range pop {
+			if !culpableSet[r] {
+				others = append(others, r)
+			}
+		}
+		if rest >= len(others) {
+			learnPop = append(learnPop, others...)
+		} else {
+			step := float64(len(others)) / float64(rest)
+			for i := 0; i < rest; i++ {
+				learnPop = append(learnPop, others[int(float64(i)*step)])
+			}
+		}
+		sort.Ints(learnPop)
+	}
+	out.Timings["enumerate"] = time.Since(start)
+
+	// --- Feature space over the learning population. ---
+	start = time.Now()
+	fopt := opt.Feature
+	fopt.Rows = learnPop
+	fopt.Exclude = append(append([]string(nil), fopt.Exclude...), opt.ExcludeCols...)
+	if !opt.KeepAggColumn {
+		fopt.Exclude = append(fopt.Exclude, aggColumns(res, ord)...)
+	}
+	sp := feature.NewSpace(res.Source, fopt)
+	if len(sp.Attrs) == 0 {
+		return nil, fmt.Errorf("core: no usable attributes remain after exclusions")
+	}
+	out.Timings["featurize"] = time.Since(start)
+
+	// --- Dataset Enumerator step 2: clean D', enumerate candidates. ---
+	start = time.Now()
+	if len(req.Examples) > 0 && len(dprime) > 0 {
+		background := difference(an.F, dprime)
+		dprime = cleaner.Clean(sp, dprime, cleaner.Options{
+			Method:     opt.CleanMethod,
+			Background: background,
+		})
+	}
+	out.DPrime = dprime
+
+	type cand struct {
+		name string
+		rows map[int]bool
+	}
+	var candidates []cand
+	addCandidate := func(name string, rows []int) {
+		if len(rows) == 0 || len(rows) == len(learnPop) {
+			return
+		}
+		set := make(map[int]bool, len(rows))
+		for _, r := range rows {
+			set[r] = true
+		}
+		for _, c := range candidates {
+			if sameSet(c.rows, set) {
+				return
+			}
+		}
+		candidates = append(candidates, cand{name, set})
+	}
+	addCandidate("dprime", dprime)
+	if len(highInfluence) > 0 {
+		addCandidate("dprime+influence", union(dprime, highInfluence))
+	}
+	if len(extras) > 0 {
+		// With external contrast available, the full lineage is itself a
+		// describable candidate ("everything in these groups is bad").
+		addCandidate("lineage", an.F)
+	}
+
+	// Subgroup discovery extends D' into self-consistent regions of the
+	// population.
+	labels := make([]bool, len(learnPop))
+	inDPrime := make(map[int]bool, len(dprime))
+	for _, r := range dprime {
+		inDPrime[r] = true
+	}
+	for i, r := range learnPop {
+		labels[i] = inDPrime[r]
+	}
+	sgRules := subgroup.Discover(sp, learnPop, labels, opt.Subgroup)
+	for i, rule := range sgRules {
+		if i >= opt.MaxCandidates {
+			break
+		}
+		addCandidate(fmt.Sprintf("subgroup%d", i), rule.Covered)
+	}
+	out.Candidates = len(candidates)
+	out.Timings["enumerate"] += time.Since(start)
+
+	// --- Predicate Enumerator: trees per candidate per criterion. ---
+	// Each (candidate, criterion) training run is independent, so they
+	// run concurrently; results are collected by slot index to keep the
+	// output order — and therefore the final ranking — deterministic.
+	start = time.Now()
+	type job struct {
+		cand cand
+		crit dtree.Criterion
+	}
+	var jobs []job
+	for _, c := range candidates {
+		for _, crit := range opt.Criteria {
+			jobs = append(jobs, job{cand: c, crit: crit})
+		}
+	}
+	perJob := make([][]ranker.Candidate, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ji := range jobs {
+		wg.Add(1)
+		go func(ji int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[ji]
+			candLabels := make([]bool, len(learnPop))
+			for i, r := range learnPop {
+				candLabels[i] = j.cand.rows[r]
+			}
+			topt := opt.Tree
+			topt.Criterion = j.crit
+			tree, err := dtree.Train(sp, learnPop, candLabels, nil, topt)
+			if err != nil {
+				return
+			}
+			for _, leaf := range tree.PositivePaths() {
+				if leaf.Pred.IsTrue() {
+					continue
+				}
+				perJob[ji] = append(perJob[ji], ranker.Candidate{
+					Pred:   leaf.Pred,
+					Origin: fmt.Sprintf("tree:%s:%s", j.crit, j.cand.name),
+					Target: j.cand.rows,
+				})
+			}
+		}(ji)
+	}
+	wg.Wait()
+	var rcands []ranker.Candidate
+	for _, rc := range perJob {
+		rcands = append(rcands, rc...)
+	}
+	// Subgroup rules are themselves compact predicates; rank them too.
+	for i, rule := range sgRules {
+		p := rule.Predicate(sp)
+		if p.IsTrue() {
+			continue
+		}
+		target := make(map[int]bool, len(rule.Covered))
+		for _, r := range rule.Covered {
+			target[r] = true
+		}
+		rcands = append(rcands, ranker.Candidate{
+			Pred:   p,
+			Origin: fmt.Sprintf("subgroup%d", i),
+			Target: target,
+		})
+	}
+	out.Timings["predicates"] = time.Since(start)
+
+	// --- Predicate Ranker. ---
+	start = time.Now()
+	// Culpability: tuples in the user's cleaned D' or the high-influence
+	// set. The ranker's Excess term uses it to prefer surgical
+	// predicates over "delete the whole group" ones.
+	culpable := make(map[int]bool, len(dprime)+len(highInfluence))
+	for _, r := range dprime {
+		culpable[r] = true
+	}
+	for _, r := range highInfluence {
+		culpable[r] = true
+	}
+	ctx := &ranker.Context{
+		Res: res, Suspect: req.Suspect, Ord: ord,
+		Metric: req.Metric, F: an.F, Population: learnPop, Culpable: culpable,
+		Eps: an.Eps, Weights: opt.Weights,
+		DisablePrune: opt.DisablePrune, DisableMerge: opt.DisableMerge,
+	}
+	scored := ranker.RankAll(rcands, ctx)
+	if len(scored) > opt.MaxExplanations {
+		scored = scored[:opt.MaxExplanations]
+	}
+	for _, s := range scored {
+		e := Explanation{Scored: s}
+		if i := strings.LastIndexByte(s.Origin, ':'); i >= 0 {
+			e.Candidate = s.Origin[i+1:]
+		} else {
+			e.Candidate = s.Origin
+		}
+		out.Explanations = append(out.Explanations, e)
+	}
+	out.Timings["rank"] = time.Since(start)
+	return out, nil
+}
+
+// aggColumns returns the source columns referenced by the ord'th
+// aggregate's argument.
+func aggColumns(res *exec.Result, ord int) []string {
+	items := res.Stmt.Items
+	aggSeen := 0
+	for i := range items {
+		if !items[i].IsAgg() {
+			continue
+		}
+		if aggSeen == ord {
+			if items[i].Agg.Arg == nil {
+				return nil
+			}
+			return items[i].Agg.Arg.Columns(nil)
+		}
+		aggSeen++
+	}
+	return nil
+}
+
+// CleanAndRequery re-runs the result's statement with the predicate's
+// tuples removed (WHERE ... AND NOT (pred)) — the "click a predicate"
+// action. The returned result carries fresh provenance, so the user can
+// immediately debug the cleaned view again.
+func CleanAndRequery(res *exec.Result, pred predicate.Predicate) (*exec.Result, error) {
+	stmt := res.Stmt.Clone()
+	stmt.Where = expr.And(stmt.Where, pred.NegationExpr())
+	return exec.RunOn(res.Source, stmt)
+}
+
+// CleanedSQL renders the SQL the dashboard shows after a predicate is
+// applied.
+func CleanedSQL(stmt *sqlparse.SelectStmt, pred predicate.Predicate) string {
+	s := stmt.Clone()
+	s.Where = expr.And(s.Where, pred.NegationExpr())
+	return s.String()
+}
+
+// ---------------------------------------------------------------------
+// Selection helpers (the programmatic stand-ins for the dashboard's
+// click-and-drag interactions)
+
+// SuspectWhere returns the output rows whose value in the named result
+// column satisfies keep. It is how examples select S programmatically.
+func SuspectWhere(res *exec.Result, col string, keep func(v engine.Value) bool) ([]int, error) {
+	ci := res.Table.Schema().ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("core: result has no column %q (have %s)", col, res.Table.Schema())
+	}
+	var out []int
+	for r := 0; r < res.Table.NumRows(); r++ {
+		if keep(res.Table.Value(r, ci)) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ExamplesWhere selects D' from the lineage of the suspect groups: the
+// source rows satisfying the SQL condition cond (e.g.
+// "temperature > 100"). This mirrors zooming into the raw tuples and
+// highlighting outliers.
+func ExamplesWhere(res *exec.Result, suspect []int, cond string) ([]int, error) {
+	e, err := sqlparse.ParseExpr(cond)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Resolve(res.Source.Schema()); err != nil {
+		return nil, err
+	}
+	var out []int
+	row := make([]engine.Value, res.Source.NumCols())
+	for _, r := range res.Lineage(suspect) {
+		res.Source.RowInto(r, row)
+		ok, err := expr.EvalBool(e, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// small set helpers
+
+func union(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, xs := range [][]int{a, b} {
+		for _, x := range xs {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func difference(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if !inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sampleOutside returns up to want evenly spaced row ids in [0, n) not
+// present in exclude.
+func sampleOutside(n int, exclude map[int]bool, want int) []int {
+	outside := n - len(exclude)
+	if outside <= 0 || want <= 0 {
+		return nil
+	}
+	if want > outside {
+		want = outside
+	}
+	candidates := make([]int, 0, outside)
+	for r := 0; r < n; r++ {
+		if !exclude[r] {
+			candidates = append(candidates, r)
+		}
+	}
+	if want >= len(candidates) {
+		return candidates
+	}
+	out := make([]int, 0, want)
+	step := float64(len(candidates)) / float64(want)
+	for i := 0; i < want; i++ {
+		out = append(out, candidates[int(float64(i)*step)])
+	}
+	return out
+}

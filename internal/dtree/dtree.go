@@ -1,0 +1,442 @@
+// Package dtree implements the Predicate Enumerator's decision tree
+// learner: a CART-style binary tree over mixed numeric/categorical
+// attributes with selectable splitting criteria — gini impurity,
+// information gain (entropy), and gain ratio — exactly the "m standard
+// splitting and pruning strategies" the paper uses to construct several
+// trees per candidate dataset.
+//
+// Each candidate dataset Dᶜᵢ is labeled positive against F − Dᶜᵢ; the
+// root-to-leaf paths of positive-majority leaves convert to conjunctive
+// predicates (internal/predicate) that become candidate explanations.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/feature"
+	"repro/internal/predicate"
+)
+
+// Criterion selects the split quality measure.
+type Criterion int
+
+// Split criteria.
+const (
+	Gini Criterion = iota
+	Entropy
+	GainRatio
+)
+
+// String returns the criterion name.
+func (c Criterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	case GainRatio:
+		return "gainratio"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// ParseCriterion parses a criterion name.
+func ParseCriterion(s string) (Criterion, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "gini":
+		return Gini, nil
+	case "entropy", "infogain", "information":
+		return Entropy, nil
+	case "gainratio", "gain_ratio":
+		return GainRatio, nil
+	default:
+		return Gini, fmt.Errorf("dtree: unknown criterion %q", s)
+	}
+}
+
+// Options configures training.
+type Options struct {
+	Criterion Criterion
+	// MaxDepth bounds tree depth (default 4 — explanations must stay
+	// human-readable; the paper penalizes long predicates anyway).
+	MaxDepth int
+	// MinLeaf is the minimum (weighted) examples per leaf (default 5).
+	MinLeaf float64
+	// MinGain prunes splits whose quality improvement is below this
+	// (default 1e-4).
+	MinGain float64
+	// MinPurity is the positive fraction a leaf needs to emit a
+	// predicate (default 0.6).
+	MinPurity float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 5
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1e-4
+	}
+	if o.MinPurity <= 0 {
+		o.MinPurity = 0.6
+	}
+}
+
+// Split is an internal node's test. Numeric: value <= Threshold goes
+// left. Categorical: value == Val goes left.
+type Split struct {
+	AttrIdx   int
+	Numeric   bool
+	Threshold float64
+	Val       engine.Value
+}
+
+// Node is one tree node.
+type Node struct {
+	// Leaf fields.
+	Leaf     bool
+	Positive bool    // majority class
+	Purity   float64 // positive fraction
+	Weight   float64 // weighted examples reaching the node
+	N        int     // unweighted examples
+
+	// Internal fields.
+	Split       Split
+	Left, Right *Node
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	Root  *Node
+	Space *feature.Space
+	Opt   Options
+	// TrainAccuracy is the weighted accuracy on the training set.
+	TrainAccuracy float64
+	nodes         int
+}
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// Train fits a tree on the population rows (ids into sp.Table) with
+// labels and optional weights (nil means uniform).
+func Train(sp *feature.Space, rows []int, labels []bool, weights []float64, opt Options) (*Tree, error) {
+	opt.defaults()
+	if len(rows) == 0 || len(labels) != len(rows) {
+		return nil, fmt.Errorf("dtree: %d rows with %d labels", len(rows), len(labels))
+	}
+	if weights == nil {
+		weights = make([]float64, len(rows))
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else if len(weights) != len(rows) {
+		return nil, fmt.Errorf("dtree: %d rows with %d weights", len(rows), len(weights))
+	}
+	tr := &Tree{Space: sp, Opt: opt}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	tr.Root = tr.build(rows, labels, weights, idx, 0)
+
+	// Training accuracy.
+	var correct, total float64
+	for i := range rows {
+		if tr.PredictRow(rows[i]) == labels[i] {
+			correct += weights[i]
+		}
+		total += weights[i]
+	}
+	if total > 0 {
+		tr.TrainAccuracy = correct / total
+	}
+	return tr, nil
+}
+
+// counts returns (posW, totW, n) over idx.
+func counts(labels []bool, weights []float64, idx []int) (posW, totW float64, n int) {
+	for _, i := range idx {
+		totW += weights[i]
+		if labels[i] {
+			posW += weights[i]
+		}
+		n++
+	}
+	return
+}
+
+func impurity(crit Criterion, posW, totW float64) float64 {
+	if totW == 0 {
+		return 0
+	}
+	p := posW / totW
+	switch crit {
+	case Gini:
+		return 2 * p * (1 - p)
+	default: // Entropy and GainRatio both use entropy for child impurity
+		return entropyOf(p)
+	}
+}
+
+func entropyOf(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func (t *Tree) leaf(labels []bool, weights []float64, idx []int) *Node {
+	posW, totW, n := counts(labels, weights, idx)
+	t.nodes++
+	purity := 0.0
+	if totW > 0 {
+		purity = posW / totW
+	}
+	return &Node{Leaf: true, Positive: purity >= 0.5, Purity: purity, Weight: totW, N: n}
+}
+
+func (t *Tree) build(rows []int, labels []bool, weights []float64, idx []int, depth int) *Node {
+	posW, totW, _ := counts(labels, weights, idx)
+	if depth >= t.Opt.MaxDepth || totW < 2*t.Opt.MinLeaf || posW == 0 || posW == totW {
+		return t.leaf(labels, weights, idx)
+	}
+
+	parentImp := impurity(t.Opt.Criterion, posW, totW)
+	best, ok := t.bestSplit(rows, labels, weights, idx, parentImp, totW)
+	if !ok {
+		return t.leaf(labels, weights, idx)
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if splitGoesLeft(t.Space, best, rows[i]) {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return t.leaf(labels, weights, idx)
+	}
+	t.nodes++
+	node := &Node{Split: best, Weight: totW, N: len(idx), Purity: posW / totW}
+	node.Left = t.build(rows, labels, weights, leftIdx, depth+1)
+	node.Right = t.build(rows, labels, weights, rightIdx, depth+1)
+
+	// Collapse: if both children are leaves with the same class, the
+	// split bought nothing human-readable.
+	if node.Left.Leaf && node.Right.Leaf && node.Left.Positive == node.Right.Positive {
+		return t.leaf(labels, weights, idx)
+	}
+	return node
+}
+
+// bestSplit scans the space's selector vocabulary. For each attribute it
+// makes a single pass over the node's rows, bucketing weighted counts so
+// every threshold/value of the attribute is scored from prefix sums —
+// O(rows × attrs + splits) per node instead of O(rows × splits).
+func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int, parentImp, totW float64) (Split, bool) {
+	var best Split
+	bestScore := t.Opt.MinGain
+	found := false
+	var totPos float64
+	for _, i := range idx {
+		if labels[i] {
+			totPos += weights[i]
+		}
+	}
+
+	consider := func(s Split, lPos, lTot float64) {
+		rTot := totW - lTot
+		rPos := totPos - lPos
+		if lTot < t.Opt.MinLeaf || rTot < t.Opt.MinLeaf {
+			return
+		}
+		childImp := (lTot*impurity(t.Opt.Criterion, lPos, lTot) + rTot*impurity(t.Opt.Criterion, rPos, rTot)) / totW
+		gain := parentImp - childImp
+		score := gain
+		if t.Opt.Criterion == GainRatio {
+			splitInfo := entropyOf(lTot / totW)
+			if splitInfo < 1e-9 {
+				return
+			}
+			score = gain / splitInfo
+		}
+		if score > bestScore {
+			bestScore = score
+			best = s
+			found = true
+		}
+	}
+
+	for ai := range t.Space.Attrs {
+		attr := &t.Space.Attrs[ai]
+		col := t.Space.Table.Column(attr.Col)
+		switch attr.Kind {
+		case feature.Numeric:
+			ths := attr.Thresholds
+			if len(ths) == 0 {
+				continue
+			}
+			// bucket[k] accumulates rows whose value v satisfies
+			// ths[k-1] < v <= ths[k] (bucket 0: v <= ths[0]; bucket
+			// len(ths): v > last or NULL/NaN → always right).
+			bTot := make([]float64, len(ths)+1)
+			bPos := make([]float64, len(ths)+1)
+			for _, i := range idx {
+				v := col[rows[i]]
+				k := len(ths)
+				if !v.IsNull() {
+					f := v.Float()
+					if !math.IsNaN(f) {
+						k = sort.SearchFloat64s(ths, f) // first th >= f
+					}
+				}
+				bTot[k] += weights[i]
+				if labels[i] {
+					bPos[k] += weights[i]
+				}
+			}
+			var lTot, lPos float64
+			for k, th := range ths {
+				lTot += bTot[k]
+				lPos += bPos[k]
+				consider(Split{AttrIdx: ai, Numeric: true, Threshold: th}, lPos, lTot)
+			}
+		case feature.Categorical:
+			if len(attr.Values) == 0 {
+				continue
+			}
+			cTot := make(map[string]float64, len(attr.Values))
+			cPos := make(map[string]float64, len(attr.Values))
+			for _, i := range idx {
+				v := col[rows[i]]
+				if v.IsNull() {
+					continue
+				}
+				k := v.Key()
+				cTot[k] += weights[i]
+				if labels[i] {
+					cPos[k] += weights[i]
+				}
+			}
+			for _, v := range attr.Values {
+				k := v.Key()
+				consider(Split{AttrIdx: ai, Val: v}, cPos[k], cTot[k])
+			}
+		}
+	}
+	return best, found
+}
+
+func splitGoesLeft(sp *feature.Space, s Split, row int) bool {
+	attr := &sp.Attrs[s.AttrIdx]
+	v := sp.Table.Value(row, attr.Col)
+	if v.IsNull() {
+		return false
+	}
+	if s.Numeric {
+		f := v.Float()
+		return !math.IsNaN(f) && f <= s.Threshold
+	}
+	return engine.Equal(v, s.Val)
+}
+
+// PredictRow classifies one table row.
+func (t *Tree) PredictRow(row int) bool {
+	n := t.Root
+	for !n.Leaf {
+		if splitGoesLeft(t.Space, n.Split, row) {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Positive
+}
+
+// LeafPredicate describes one positive leaf as a predicate.
+type LeafPredicate struct {
+	Pred   predicate.Predicate
+	Purity float64
+	Weight float64
+	N      int
+}
+
+// PositivePaths extracts the root-to-leaf conjunctions of every leaf
+// whose positive purity is at least the tree's MinPurity, best purity
+// first. Paths simplify (x<=5 AND x<=3 → x<=3) before returning; paths
+// that simplify to contradictions are dropped.
+func (t *Tree) PositivePaths() []LeafPredicate {
+	var out []LeafPredicate
+	var walk func(n *Node, p predicate.Predicate)
+	walk = func(n *Node, p predicate.Predicate) {
+		if n.Leaf {
+			if n.Positive && n.Purity >= t.Opt.MinPurity {
+				simplified, ok := p.Simplify()
+				if ok {
+					out = append(out, LeafPredicate{Pred: simplified, Purity: n.Purity, Weight: n.Weight, N: n.N})
+				}
+			}
+			return
+		}
+		attr := &t.Space.Attrs[n.Split.AttrIdx]
+		if n.Split.Numeric {
+			tv := thresholdValue(attr, n.Split.Threshold)
+			walk(n.Left, p.And(predicate.Clause{Col: attr.Name, Op: predicate.OpLe, Val: tv}))
+			walk(n.Right, p.And(predicate.Clause{Col: attr.Name, Op: predicate.OpGt, Val: tv}))
+		} else {
+			walk(n.Left, p.And(predicate.Clause{Col: attr.Name, Op: predicate.OpEq, Val: n.Split.Val}))
+			walk(n.Right, p.And(predicate.Clause{Col: attr.Name, Op: predicate.OpNeq, Val: n.Split.Val}))
+		}
+	}
+	walk(t.Root, predicate.Predicate{})
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Purity != out[j].Purity {
+			return out[i].Purity > out[j].Purity
+		}
+		return out[i].Weight > out[j].Weight
+	})
+	return out
+}
+
+func thresholdValue(attr *feature.Attr, th float64) engine.Value {
+	if attr.Type == engine.TInt && th == math.Trunc(th) {
+		return engine.NewInt(int64(th))
+	}
+	if attr.Type == engine.TTime {
+		return engine.NewTimeUnix(int64(th))
+	}
+	return engine.NewFloat(th)
+}
+
+// String renders the tree for debugging.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, indent string)
+	walk = func(n *Node, indent string) {
+		if n.Leaf {
+			fmt.Fprintf(&b, "%sleaf pos=%v purity=%.2f n=%d\n", indent, n.Positive, n.Purity, n.N)
+			return
+		}
+		attr := &t.Space.Attrs[n.Split.AttrIdx]
+		if n.Split.Numeric {
+			fmt.Fprintf(&b, "%s%s <= %g?\n", indent, attr.Name, n.Split.Threshold)
+		} else {
+			fmt.Fprintf(&b, "%s%s = %s?\n", indent, attr.Name, n.Split.Val.SQL())
+		}
+		walk(n.Left, indent+"  ")
+		walk(n.Right, indent+"  ")
+	}
+	walk(t.Root, "")
+	return b.String()
+}

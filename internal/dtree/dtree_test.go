@@ -1,0 +1,206 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/feature"
+)
+
+// plantedConcept builds a table whose positive class is exactly
+// (volt <= 2.4 AND city = 'LAB').
+func plantedConcept(t *testing.T, n int) (*feature.Space, []int, []bool) {
+	t.Helper()
+	tbl := engine.MustNewTable("t", engine.NewSchema(
+		"mote", engine.TInt, "volt", engine.TFloat, "city", engine.TString))
+	rng := rand.New(rand.NewSource(4))
+	rows := make([]int, 0, n)
+	labels := make([]bool, 0, n)
+	cities := []string{"LAB", "HALL", "ROOF"}
+	for i := 0; i < n; i++ {
+		city := cities[rng.Intn(3)]
+		volt := 2.2 + rng.Float64()*0.6
+		mote := rng.Int63n(60)
+		pos := volt <= 2.4 && city == "LAB"
+		id := tbl.MustAppendRow(engine.NewInt(mote), engine.NewFloat(volt), engine.NewString(city))
+		rows = append(rows, id)
+		labels = append(labels, pos)
+	}
+	return feature.NewSpace(tbl, feature.Options{NumThresholds: 20}), rows, labels
+}
+
+func TestTreeLearnsPlantedConcept(t *testing.T) {
+	for _, crit := range []Criterion{Gini, Entropy, GainRatio} {
+		crit := crit
+		t.Run(crit.String(), func(t *testing.T) {
+			sp, rows, labels := plantedConcept(t, 600)
+			tree, err := Train(sp, rows, labels, nil, Options{Criterion: crit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.TrainAccuracy < 0.95 {
+				t.Errorf("train accuracy %.2f\n%s", tree.TrainAccuracy, tree)
+			}
+			paths := tree.PositivePaths()
+			if len(paths) == 0 {
+				t.Fatalf("no positive paths\n%s", tree)
+			}
+			// The best path should reference volt and city.
+			cols := paths[0].Pred.Columns()
+			hasVolt, hasCity := false, false
+			for _, c := range cols {
+				if c == "volt" {
+					hasVolt = true
+				}
+				if c == "city" {
+					hasCity = true
+				}
+			}
+			if !hasVolt || !hasCity {
+				t.Errorf("top path %s misses concept attrs", paths[0].Pred)
+			}
+		})
+	}
+}
+
+// Property-ish: every extracted positive path matches only rows routed
+// to a positive leaf, and the path's purity equals the leaf purity over
+// its matched training rows.
+func TestPathsConsistentWithPredictions(t *testing.T) {
+	sp, rows, labels := plantedConcept(t, 400)
+	tree, err := Train(sp, rows, labels, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range tree.PositivePaths() {
+		matched := path.Pred.MatchingRows(sp.Table, rows)
+		if len(matched) == 0 {
+			t.Errorf("path %s matches nothing", path.Pred)
+			continue
+		}
+		for _, r := range matched {
+			if !tree.PredictRow(r) {
+				t.Errorf("path %s matched row %d predicted negative", path.Pred, r)
+				break
+			}
+		}
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	sp, rows, labels := plantedConcept(t, 300)
+	tree, err := Train(sp, rows, labels, nil, Options{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tree.PositivePaths() {
+		if p.Pred.Len() > 2 {
+			t.Errorf("path longer than depth: %s", p.Pred)
+		}
+	}
+}
+
+func TestMinLeaf(t *testing.T) {
+	sp, rows, labels := plantedConcept(t, 200)
+	tree, err := Train(sp, rows, labels, nil, Options{MinLeaf: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Leaf {
+			if n.Weight < 50 {
+				t.Errorf("leaf with weight %.0f < MinLeaf", n.Weight)
+			}
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+}
+
+func TestPureInputMakesLeaf(t *testing.T) {
+	sp, rows, _ := plantedConcept(t, 100)
+	all := make([]bool, len(rows))
+	for i := range all {
+		all[i] = true
+	}
+	tree, err := Train(sp, rows, all, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.Leaf || !tree.Root.Positive || tree.Root.Purity != 1 {
+		t.Errorf("pure input should be a single positive leaf: %+v", tree.Root)
+	}
+	// TRUE path (root leaf) is excluded from PositivePaths' predicates?
+	// No: a root-leaf path is the TRUE predicate; callers filter it.
+	paths := tree.PositivePaths()
+	if len(paths) != 1 || !paths[0].Pred.IsTrue() {
+		t.Errorf("paths: %+v", paths)
+	}
+}
+
+func TestWeightsBias(t *testing.T) {
+	// Upweighting the positives of a weak concept should flip leaves.
+	sp, rows, labels := plantedConcept(t, 300)
+	weights := make([]float64, len(rows))
+	for i := range weights {
+		if labels[i] {
+			weights[i] = 10
+		} else {
+			weights[i] = 0.1
+		}
+	}
+	tree, err := Train(sp, rows, labels, weights, Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.TrainAccuracy < 0.9 {
+		t.Errorf("weighted accuracy %.2f", tree.TrainAccuracy)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	sp, rows, labels := plantedConcept(t, 10)
+	if _, err := Train(sp, nil, nil, nil, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Train(sp, rows, labels[:5], nil, Options{}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	if _, err := Train(sp, rows, labels, []float64{1}, Options{}); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+}
+
+func TestParseCriterion(t *testing.T) {
+	cases := map[string]Criterion{
+		"gini": Gini, "entropy": Entropy, "infogain": Entropy,
+		"gainratio": GainRatio, "GAIN_RATIO": GainRatio,
+	}
+	for s, want := range cases {
+		got, err := ParseCriterion(s)
+		if err != nil || got != want {
+			t.Errorf("ParseCriterion(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseCriterion("bogus"); err == nil {
+		t.Error("bogus criterion accepted")
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	sp, rows, labels := plantedConcept(t, 300)
+	tree, err := Train(sp, rows, labels, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumNodes() < 3 {
+		t.Errorf("suspiciously small tree: %d nodes", tree.NumNodes())
+	}
+	if tree.String() == "" {
+		t.Error("empty rendering")
+	}
+}

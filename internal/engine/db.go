@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is a tiny catalog of named tables. It is safe for concurrent
+// readers and writers; queries executed by internal/exec only read.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Register adds or replaces a table under its own name.
+func (db *DB) Register(t *Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[strings.ToLower(t.Name())] = t
+}
+
+// Table returns the named table (case-insensitive).
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q (have: %s)", name, strings.Join(db.names(), ", "))
+	}
+	return t, nil
+}
+
+// Drop removes the named table; it is a no-op when absent.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, strings.ToLower(name))
+}
+
+// Names returns the registered table names, sorted.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.names()
+}
+
+func (db *DB) names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

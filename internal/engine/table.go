@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an append-only, in-memory columnar relation. Row identifiers
+// are stable: row i is always the i'th appended row. Stable identifiers
+// are load-bearing for the provenance machinery — lineage sets and
+// ground-truth labels are both expressed as row ids into the source
+// table.
+type Table struct {
+	name   string
+	schema Schema
+	cols   [][]Value
+	nrows  int
+}
+
+// NewTable creates an empty table with the given name and schema. The
+// schema must validate.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{name: name, schema: schema.Clone(), cols: make([][]Value, len(schema))}
+	return t, nil
+}
+
+// MustNewTable is NewTable for static declarations; it panics on error.
+func MustNewTable(name string, schema Schema) *Table {
+	t, err := NewTable(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. Callers must not mutate it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.nrows }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.schema) }
+
+// Grow pre-allocates capacity for n additional rows.
+func (t *Table) Grow(n int) {
+	for i := range t.cols {
+		if cap(t.cols[i])-len(t.cols[i]) < n {
+			grown := make([]Value, len(t.cols[i]), len(t.cols[i])+n)
+			copy(grown, t.cols[i])
+			t.cols[i] = grown
+		}
+	}
+}
+
+// typeCompatible reports whether value v may be stored in a column of
+// type ct. NULLs are storable everywhere; ints are storable in float
+// columns (widened); everything else must match exactly.
+func typeCompatible(v Value, ct Type) (Value, bool) {
+	switch {
+	case v.IsNull():
+		return v, true
+	case v.T == ct:
+		return v, true
+	case v.T == TInt && ct == TFloat:
+		return NewFloat(float64(v.I)), true
+	case v.T == TFloat && ct == TInt && v.F == float64(int64(v.F)):
+		return NewInt(int64(v.F)), true
+	default:
+		return v, false
+	}
+}
+
+// AppendRow appends a row and returns its row id. The row length must
+// match the schema and each value must be type-compatible with its
+// column.
+func (t *Table) AppendRow(row []Value) (int, error) {
+	if len(row) != len(t.schema) {
+		return 0, fmt.Errorf("engine: table %s: row has %d values, schema has %d columns", t.name, len(row), len(t.schema))
+	}
+	for i, v := range row {
+		cv, ok := typeCompatible(v, t.schema[i].Type)
+		if !ok {
+			return 0, fmt.Errorf("engine: table %s: column %s is %s, got %s", t.name, t.schema[i].Name, t.schema[i].Type, v.T)
+		}
+		t.cols[i] = append(t.cols[i], cv)
+	}
+	t.nrows++
+	return t.nrows - 1, nil
+}
+
+// MustAppendRow appends a row, panicking on type errors. Intended for
+// generators whose schemas are static.
+func (t *Table) MustAppendRow(row ...Value) int {
+	id, err := t.AppendRow(row)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Value returns the value at (row, col). It panics when out of range,
+// like a slice index.
+func (t *Table) Value(row, col int) Value { return t.cols[col][row] }
+
+// Row materializes row i into a fresh slice.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.cols))
+	for c := range t.cols {
+		out[c] = t.cols[c][i]
+	}
+	return out
+}
+
+// RowInto copies row i into dst, which must have len == NumCols. It
+// avoids per-row allocation in scan loops.
+func (t *Table) RowInto(i int, dst []Value) {
+	for c := range t.cols {
+		dst[c] = t.cols[c][i]
+	}
+}
+
+// Column returns the backing slice for column c. Callers must treat it
+// as read-only.
+func (t *Table) Column(c int) []Value { return t.cols[c] }
+
+// ColumnByName returns the backing slice for the named column, or nil.
+func (t *Table) ColumnByName(name string) []Value {
+	i := t.schema.ColIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// Select materializes a new table containing the given rows (in order),
+// preserving the schema. Useful for building candidate datasets.
+func (t *Table) Select(rows []int) *Table {
+	out := MustNewTable(t.name, t.schema)
+	out.Grow(len(rows))
+	for _, r := range rows {
+		for c := range t.cols {
+			out.cols[c] = append(out.cols[c], t.cols[c][r])
+		}
+	}
+	out.nrows = len(rows)
+	return out
+}
+
+// Without materializes a new table excluding the given row ids.
+func (t *Table) Without(rows map[int]bool) *Table {
+	keep := make([]int, 0, t.nrows-len(rows))
+	for i := 0; i < t.nrows; i++ {
+		if !rows[i] {
+			keep = append(keep, i)
+		}
+	}
+	return t.Select(keep)
+}
+
+// DistinctValues returns the distinct non-NULL values of column c,
+// ordered by descending frequency (ties broken by value order), along
+// with their counts.
+func (t *Table) DistinctValues(c int) ([]Value, []int) {
+	type entry struct {
+		v Value
+		n int
+	}
+	byKey := make(map[string]*entry)
+	var order []string
+	for _, v := range t.cols[c] {
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		e, ok := byKey[k]
+		if !ok {
+			e = &entry{v: v}
+			byKey[k] = e
+			order = append(order, k)
+		}
+		e.n++
+	}
+	entries := make([]*entry, 0, len(order))
+	for _, k := range order {
+		entries = append(entries, byKey[k])
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		c, _ := Compare(entries[i].v, entries[j].v)
+		return c < 0
+	})
+	vals := make([]Value, len(entries))
+	counts := make([]int, len(entries))
+	for i, e := range entries {
+		vals[i] = e.v
+		counts[i] = e.n
+	}
+	return vals, counts
+}
+
+// NumericStats returns min, max, mean and count of non-NULL values in a
+// numeric column. ok is false when the column has no non-NULL values.
+func (t *Table) NumericStats(c int) (min, max, mean float64, n int, ok bool) {
+	var sum float64
+	for _, v := range t.cols[c] {
+		if v.IsNull() {
+			continue
+		}
+		f := v.Float()
+		if n == 0 {
+			min, max = f, f
+		} else {
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+		sum += f
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0, 0, false
+	}
+	return min, max, sum / float64(n), n, true
+}
+
+// Rename returns the table under a new name, sharing storage.
+func (t *Table) Rename(name string) *Table {
+	out := *t
+	out.name = name
+	return &out
+}
+
+// String renders a short description, not the rows.
+func (t *Table) String() string {
+	return fmt.Sprintf("%s%s [%d rows]", t.name, t.schema, t.nrows)
+}

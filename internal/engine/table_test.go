@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := MustNewTable("t", NewSchema("id", TInt, "name", TString, "score", TFloat))
+	rows := []struct {
+		id    int64
+		name  string
+		score float64
+	}{
+		{1, "a", 1.5}, {2, "b", 2.5}, {3, "a", 3.5}, {4, "c", 4.5}, {5, "a", 5.5},
+	}
+	for _, r := range rows {
+		tbl.MustAppendRow(NewInt(r.id), NewString(r.name), NewFloat(r.score))
+	}
+	return tbl
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := NewSchema("a", TInt, "b", TString).Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	if err := (Schema{{Name: "a", Type: TInt}, {Name: "A", Type: TInt}}).Validate(); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := (Schema{{Name: "", Type: TInt}}).Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (Schema{{Name: "x", Type: TNull}}).Validate(); err == nil {
+		t.Error("null type accepted")
+	}
+}
+
+func TestSchemaColIndexCaseInsensitive(t *testing.T) {
+	s := NewSchema("MoteId", TInt)
+	if s.ColIndex("moteid") != 0 || s.ColIndex("MOTEID") != 0 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestTableAppendAndAccess(t *testing.T) {
+	tbl := testTable(t)
+	if tbl.NumRows() != 5 || tbl.NumCols() != 3 {
+		t.Fatalf("dims: %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if got := tbl.Value(2, 1).Str(); got != "a" {
+		t.Errorf("Value(2,1) = %q", got)
+	}
+	row := tbl.Row(4)
+	if row[0].Int() != 5 || row[2].Float() != 5.5 {
+		t.Errorf("Row(4) = %v", row)
+	}
+	dst := make([]Value, 3)
+	tbl.RowInto(0, dst)
+	if dst[1].Str() != "a" {
+		t.Errorf("RowInto: %v", dst)
+	}
+}
+
+func TestTableTypeChecking(t *testing.T) {
+	tbl := MustNewTable("t", NewSchema("x", TInt))
+	if _, err := tbl.AppendRow([]Value{NewString("no")}); err == nil {
+		t.Error("string into int column accepted")
+	}
+	if _, err := tbl.AppendRow([]Value{NewInt(1), NewInt(2)}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// NULL is storable everywhere.
+	if _, err := tbl.AppendRow([]Value{Null}); err != nil {
+		t.Errorf("null rejected: %v", err)
+	}
+	// Int widens into float columns.
+	ft := MustNewTable("f", NewSchema("x", TFloat))
+	if _, err := ft.AppendRow([]Value{NewInt(3)}); err != nil {
+		t.Errorf("int into float rejected: %v", err)
+	}
+	if ft.Value(0, 0).T != TFloat {
+		t.Errorf("widening type: %v", ft.Value(0, 0).T)
+	}
+}
+
+func TestTableSelectAndWithout(t *testing.T) {
+	tbl := testTable(t)
+	sel := tbl.Select([]int{4, 0})
+	if sel.NumRows() != 2 || sel.Value(0, 0).Int() != 5 || sel.Value(1, 0).Int() != 1 {
+		t.Errorf("Select: %v", sel)
+	}
+	wo := tbl.Without(map[int]bool{1: true, 3: true})
+	if wo.NumRows() != 3 {
+		t.Errorf("Without rows: %d", wo.NumRows())
+	}
+	for i := 0; i < wo.NumRows(); i++ {
+		id := wo.Value(i, 0).Int()
+		if id == 2 || id == 4 {
+			t.Errorf("Without kept excluded id %d", id)
+		}
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	tbl := testTable(t)
+	vals, counts := tbl.DistinctValues(1)
+	if len(vals) != 3 {
+		t.Fatalf("distinct: %v", vals)
+	}
+	if vals[0].Str() != "a" || counts[0] != 3 {
+		t.Errorf("most frequent: %v x%d", vals[0], counts[0])
+	}
+}
+
+func TestNumericStats(t *testing.T) {
+	tbl := testTable(t)
+	min, max, mean, n, ok := tbl.NumericStats(2)
+	if !ok || n != 5 || min != 1.5 || max != 5.5 || mean != 3.5 {
+		t.Errorf("stats: min=%v max=%v mean=%v n=%d ok=%v", min, max, mean, n, ok)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := testTable(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "t2", tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Fatalf("rows: %d vs %d", back.NumRows(), tbl.NumRows())
+	}
+	for r := 0; r < tbl.NumRows(); r++ {
+		for c := 0; c < tbl.NumCols(); c++ {
+			if !Equal(back.Value(r, c), tbl.Value(r, c)) {
+				t.Errorf("(%d,%d): %v vs %v", r, c, back.Value(r, c), tbl.Value(r, c))
+			}
+		}
+	}
+}
+
+func TestCSVInference(t *testing.T) {
+	in := "id,name,score\n1,a,1.5\n2,b,\n"
+	tbl, err := ReadCSV(strings.NewReader(in), "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Schema()
+	if s[0].Type != TInt || s[1].Type != TString || s[2].Type != TFloat {
+		t.Errorf("inferred: %s", s)
+	}
+	if !tbl.Value(1, 2).IsNull() {
+		t.Error("empty float field should be NULL")
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	db.Register(testTable(t))
+	if _, err := db.Table("T"); err != nil {
+		t.Errorf("case-insensitive lookup: %v", err)
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Error("missing table accepted")
+	}
+	if got := db.Names(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Names: %v", got)
+	}
+	db.Drop("t")
+	if _, err := db.Table("t"); err == nil {
+		t.Error("dropped table still present")
+	}
+}

@@ -1,0 +1,282 @@
+// Package errmetric implements the user-selectable error metrics ε of
+// the paper: functions over the suspect aggregate values S that are 0
+// when S is error-free and grow with the severity of the error.
+//
+// The paper's running example is
+//
+//	diff(S) = max(0, max_{sᵢ∈S}(sᵢ − c))
+//
+// ("the maximum amount an element of S exceeds a constant c"), offered
+// in the UI alongside "value is too high", "value is too low", and
+// "should be equal to". Metrics are directional: Direction reports
+// whether error increases when aggregate values increase (+1, "too
+// high"), decrease (−1, "too low"), or neither (0), which lets the
+// influence ranker orient per-tuple deltas.
+package errmetric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is a user-selected error function ε over the suspect aggregate
+// values.
+type Metric interface {
+	// Name returns a short identifier ("diff", "toohigh", ...).
+	Name() string
+	// Eval computes ε over the suspect aggregate values. NULL aggregate
+	// results are passed as NaN and should be ignored.
+	Eval(vals []float64) float64
+	// Direction reports the error orientation: +1 when larger values
+	// mean more error, −1 when smaller values mean more error, 0 when
+	// non-directional (e.g. not-equal).
+	Direction() int
+	// String renders the metric with its parameters.
+	String() string
+}
+
+func clean(vals []float64) []float64 {
+	out := vals[:0:0]
+	for _, v := range vals {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+
+// Diff is the paper's diff(S) = max(0, max(sᵢ − c)): the maximum amount
+// any suspect value exceeds the expected constant C.
+type Diff struct {
+	C float64
+}
+
+// Name implements Metric.
+func (Diff) Name() string { return "diff" }
+
+// Eval implements Metric.
+func (m Diff) Eval(vals []float64) float64 {
+	worst := 0.0
+	for _, v := range clean(vals) {
+		if d := v - m.C; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Direction implements Metric.
+func (Diff) Direction() int { return +1 }
+
+// String implements Metric.
+func (m Diff) String() string { return fmt.Sprintf("diff(c=%g)", m.C) }
+
+// TooHigh penalizes the total mass above the expected constant C:
+// ε = Σ max(0, sᵢ − c). Compared to Diff it rewards predicates that fix
+// *all* suspect groups, not just the worst one, which makes ranking
+// smoother; it is the default "value is too high" form.
+type TooHigh struct {
+	C float64
+}
+
+// Name implements Metric.
+func (TooHigh) Name() string { return "toohigh" }
+
+// Eval implements Metric.
+func (m TooHigh) Eval(vals []float64) float64 {
+	var sum float64
+	for _, v := range clean(vals) {
+		if v > m.C {
+			sum += v - m.C
+		}
+	}
+	return sum
+}
+
+// Direction implements Metric.
+func (TooHigh) Direction() int { return +1 }
+
+// String implements Metric.
+func (m TooHigh) String() string { return fmt.Sprintf("toohigh(c=%g)", m.C) }
+
+// TooLow penalizes mass below the expected constant: ε = Σ max(0, c − sᵢ).
+type TooLow struct {
+	C float64
+}
+
+// Name implements Metric.
+func (TooLow) Name() string { return "toolow" }
+
+// Eval implements Metric.
+func (m TooLow) Eval(vals []float64) float64 {
+	var sum float64
+	for _, v := range clean(vals) {
+		if v < m.C {
+			sum += m.C - v
+		}
+	}
+	return sum
+}
+
+// Direction implements Metric.
+func (TooLow) Direction() int { return -1 }
+
+// String implements Metric.
+func (m TooLow) String() string { return fmt.Sprintf("toolow(c=%g)", m.C) }
+
+// NotEqual is "should be equal to c": ε = Σ |sᵢ − c|.
+type NotEqual struct {
+	C float64
+}
+
+// Name implements Metric.
+func (NotEqual) Name() string { return "notequal" }
+
+// Eval implements Metric.
+func (m NotEqual) Eval(vals []float64) float64 {
+	var sum float64
+	for _, v := range clean(vals) {
+		sum += math.Abs(v - m.C)
+	}
+	return sum
+}
+
+// Direction implements Metric.
+func (NotEqual) Direction() int { return 0 }
+
+// String implements Metric.
+func (m NotEqual) String() string { return fmt.Sprintf("notequal(c=%g)", m.C) }
+
+// ZScore penalizes values more than K standard deviations from the
+// reference mean: ε = Σ max(0, |sᵢ−Mean|/Std − K). It captures "these
+// points are outliers relative to the rest of the series" without the
+// user naming a constant; the frontend fills Mean/Std from the
+// non-suspect groups.
+type ZScore struct {
+	Mean, Std, K float64
+}
+
+// Name implements Metric.
+func (ZScore) Name() string { return "zscore" }
+
+// Eval implements Metric.
+func (m ZScore) Eval(vals []float64) float64 {
+	if m.Std <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range clean(vals) {
+		z := math.Abs(v-m.Mean) / m.Std
+		if z > m.K {
+			sum += z - m.K
+		}
+	}
+	return sum
+}
+
+// Direction implements Metric.
+func (ZScore) Direction() int { return 0 }
+
+// String implements Metric.
+func (m ZScore) String() string {
+	return fmt.Sprintf("zscore(mean=%g, std=%g, k=%g)", m.Mean, m.Std, m.K)
+}
+
+// ---------------------------------------------------------------------
+// Registry (used by the HTTP API and CLI to construct metrics by name)
+
+// Spec describes one registrable metric for UIs: its name, the
+// human-readable label the frontend shows ("value is too high"), and its
+// parameter names.
+type Spec struct {
+	Name   string
+	Label  string
+	Params []string
+}
+
+// Specs lists the metrics the frontend offers, mirroring the paper's
+// Error Metric Form.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "diff", Label: "worst excess over expected value", Params: []string{"c"}},
+		{Name: "toohigh", Label: "value is too high", Params: []string{"c"}},
+		{Name: "toolow", Label: "value is too low", Params: []string{"c"}},
+		{Name: "notequal", Label: "should be equal to", Params: []string{"c"}},
+		{Name: "zscore", Label: "outlier vs the other groups", Params: []string{"mean", "std", "k"}},
+	}
+}
+
+// New constructs a metric by name with named parameters.
+func New(name string, params map[string]float64) (Metric, error) {
+	get := func(k string, def float64) float64 {
+		if v, ok := params[k]; ok {
+			return v
+		}
+		return def
+	}
+	switch strings.ToLower(name) {
+	case "diff":
+		return Diff{C: get("c", 0)}, nil
+	case "toohigh":
+		return TooHigh{C: get("c", 0)}, nil
+	case "toolow":
+		return TooLow{C: get("c", 0)}, nil
+	case "notequal":
+		return NotEqual{C: get("c", 0)}, nil
+	case "zscore":
+		return ZScore{Mean: get("mean", 0), Std: get("std", 1), K: get("k", 2)}, nil
+	default:
+		return nil, fmt.Errorf("errmetric: unknown metric %q", name)
+	}
+}
+
+// ParseSpec parses "name(k=v, k=v)" or bare "name" into a metric, the
+// format the CLI accepts.
+func ParseSpec(s string) (Metric, error) {
+	s = strings.TrimSpace(s)
+	name := s
+	params := map[string]float64{}
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("errmetric: malformed spec %q", s)
+		}
+		name = s[:i]
+		body := s[i+1 : len(s)-1]
+		if strings.TrimSpace(body) != "" {
+			for _, kv := range strings.Split(body, ",") {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("errmetric: malformed param %q", kv)
+				}
+				f, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("errmetric: param %q: %w", kv, err)
+				}
+				params[strings.TrimSpace(parts[0])] = f
+			}
+		}
+	}
+	return New(name, params)
+}
+
+// SuggestReference computes a robust reference constant for a series:
+// the median of vals. UIs use it to prefill the metric's expected value
+// from the non-suspect groups.
+func SuggestReference(vals []float64) float64 {
+	vs := clean(vals)
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

@@ -1,0 +1,186 @@
+package errmetric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiff(t *testing.T) {
+	m := Diff{C: 70}
+	if got := m.Eval([]float64{65, 80, 120}); got != 50 {
+		t.Errorf("diff: %v", got)
+	}
+	if got := m.Eval([]float64{60, 65}); got != 0 {
+		t.Errorf("diff error-free: %v", got)
+	}
+	if m.Direction() != 1 {
+		t.Error("diff direction")
+	}
+}
+
+func TestTooHigh(t *testing.T) {
+	m := TooHigh{C: 70}
+	if got := m.Eval([]float64{65, 80, 120}); got != 60 {
+		t.Errorf("toohigh: %v", got) // (80-70)+(120-70)
+	}
+	if got := m.Eval([]float64{70, 60}); got != 0 {
+		t.Errorf("toohigh clean: %v", got)
+	}
+}
+
+func TestTooLow(t *testing.T) {
+	m := TooLow{C: 0}
+	if got := m.Eval([]float64{-5, 3, -10}); got != 15 {
+		t.Errorf("toolow: %v", got)
+	}
+	if m.Direction() != -1 {
+		t.Error("toolow direction")
+	}
+}
+
+func TestNotEqual(t *testing.T) {
+	m := NotEqual{C: 10}
+	if got := m.Eval([]float64{8, 12}); got != 4 {
+		t.Errorf("notequal: %v", got)
+	}
+	if m.Direction() != 0 {
+		t.Error("notequal direction")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	m := ZScore{Mean: 0, Std: 1, K: 2}
+	if got := m.Eval([]float64{0, 1, 3}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("zscore: %v", got) // only 3 exceeds k=2 by 1
+	}
+	zero := ZScore{Mean: 0, Std: 0, K: 2}
+	if zero.Eval([]float64{100}) != 0 {
+		t.Error("zero-std zscore should be 0")
+	}
+}
+
+func TestNaNIgnored(t *testing.T) {
+	m := TooHigh{C: 0}
+	if got := m.Eval([]float64{math.NaN(), 5}); got != 5 {
+		t.Errorf("NaN handling: %v", got)
+	}
+}
+
+// Property: every metric is non-negative, and zero on empty input.
+func TestMetricsNonNegative(t *testing.T) {
+	metrics := []Metric{Diff{C: 3}, TooHigh{C: 3}, TooLow{C: 3}, NotEqual{C: 3}, ZScore{Mean: 0, Std: 2, K: 1}}
+	f := func(raw []int8) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		for _, m := range metrics {
+			if m.Eval(vals) < 0 {
+				return false
+			}
+			if m.Eval(nil) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing the worst value never increases TooHigh.
+func TestTooHighMonotone(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		worst := 0
+		for i, r := range raw {
+			vals[i] = float64(r)
+			if vals[i] > vals[worst] {
+				worst = i
+			}
+		}
+		m := TooHigh{C: 0}
+		before := m.Eval(vals)
+		after := m.Eval(append(append([]float64(nil), vals[:worst]...), vals[worst+1:]...))
+		return after <= before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRegistry(t *testing.T) {
+	for _, spec := range Specs() {
+		params := map[string]float64{}
+		for _, p := range spec.Params {
+			params[p] = 1
+		}
+		m, err := New(spec.Name, params)
+		if err != nil {
+			t.Errorf("New(%s): %v", spec.Name, err)
+			continue
+		}
+		if m.Name() != spec.Name {
+			t.Errorf("name mismatch: %s vs %s", m.Name(), spec.Name)
+		}
+	}
+	if _, err := New("bogus", nil); err == nil {
+		t.Error("bogus metric accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		fail bool
+	}{
+		{"toolow(c=0)", "toolow", false},
+		{"toohigh(c=70)", "toohigh", false},
+		{"diff", "diff", false},
+		{"zscore(mean=5, std=2, k=3)", "zscore", false},
+		{"toolow(c=x)", "", true},
+		{"toolow(c", "", true},
+		{"nosuch(c=1)", "", true},
+	}
+	for _, c := range cases {
+		m, err := ParseSpec(c.in)
+		if c.fail {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if m.Name() != c.name {
+			t.Errorf("ParseSpec(%q) name %q", c.in, m.Name())
+		}
+	}
+	m, _ := ParseSpec("toohigh(c=70)")
+	if m.(TooHigh).C != 70 {
+		t.Error("param not applied")
+	}
+}
+
+func TestSuggestReference(t *testing.T) {
+	if got := SuggestReference([]float64{1, 100, 2}); got != 2 {
+		t.Errorf("median odd: %v", got)
+	}
+	if got := SuggestReference([]float64{1, 2, 3, 100}); got != 2.5 {
+		t.Errorf("median even: %v", got)
+	}
+	if got := SuggestReference(nil); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := SuggestReference([]float64{math.NaN(), 5}); got != 5 {
+		t.Errorf("NaN skip: %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func benchDB(rows int) *engine.DB {
+	tbl := engine.MustNewTable("t", engine.NewSchema(
+		"k", engine.TInt, "cat", engine.TString, "v", engine.TFloat))
+	tbl.Grow(rows)
+	cats := []string{"a", "b", "c", "d"}
+	for i := 0; i < rows; i++ {
+		tbl.MustAppendRow(
+			engine.NewInt(int64(i%100)),
+			engine.NewString(cats[i%len(cats)]),
+			engine.NewFloat(float64(i%997)),
+		)
+	}
+	db := engine.NewDB()
+	db.Register(tbl)
+	return db
+}
+
+// BenchmarkGroupByScan measures the hash-aggregation scan with
+// provenance capture — the engine's core loop.
+func BenchmarkGroupByScan(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		rows := rows
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			db := benchDB(rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunSQL(db, "SELECT k, avg(v), stddev(v) FROM t GROUP BY k"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(rows))
+		})
+	}
+}
+
+func BenchmarkWhereFilter(b *testing.B) {
+	db := benchDB(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSQL(db, "SELECT cat, sum(v) FROM t WHERE v > 500 AND cat != 'd' GROUP BY cat"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLineageUnion(b *testing.B) {
+	db := benchDB(100_000)
+	res, err := RunSQL(db, "SELECT k, sum(v) FROM t GROUP BY k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	suspects := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := res.Lineage(suspects); len(got) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

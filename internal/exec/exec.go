@@ -1,0 +1,487 @@
+// Package exec plans and executes the single-block aggregate queries
+// produced by internal/sqlparse against internal/engine tables, and —
+// crucially for DBWipes — captures fine-grained provenance while doing
+// so: every output group records the exact set of source row ids
+// (its *lineage*) that flowed into its aggregates.
+//
+// The original DBWipes runs on PostgreSQL and reconstructs lineage with
+// rewritten queries; here lineage falls out of the hash-aggregation loop
+// for free. The Result type is the hand-off point to the ranked
+// provenance pipeline: it exposes lineage sets, live (removable)
+// aggregate states, and the means to re-evaluate an aggregate argument
+// on a source row.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+)
+
+// Group is one output group: its key values, the aggregate states
+// accumulated over its input, and the lineage (source row ids).
+type Group struct {
+	// Key holds the evaluated GROUP BY expressions for this group (empty
+	// for a global aggregate).
+	Key []engine.Value
+	// Lineage lists the source row ids that passed WHERE and fell into
+	// this group, in scan order.
+	Lineage []int
+	// Aggs holds one live aggregate state per aggregate select item.
+	Aggs []agg.Func
+	// FirstRow is the first source row id of the group, used to evaluate
+	// non-aggregate select items.
+	FirstRow int
+}
+
+// Result is an executed query: an ordinary result table plus the
+// provenance sidecar.
+type Result struct {
+	// Stmt is the executed statement.
+	Stmt *sqlparse.SelectStmt
+	// Source is the scanned table.
+	Source *engine.Table
+	// Table is the materialized result (post HAVING/ORDER BY/LIMIT).
+	Table *engine.Table
+	// Groups is parallel to Table's rows.
+	Groups []*Group
+	// aggArgs[i] is the resolved argument expression of the i'th
+	// aggregate select item (nil for count(*)).
+	aggArgs []expr.Expr
+	// aggItems maps aggregate ordinal -> select item index.
+	aggItems []int
+}
+
+// Run executes stmt against db, capturing provenance.
+func Run(db *engine.DB, stmt *sqlparse.SelectStmt) (*Result, error) {
+	src, err := db.Table(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(src, stmt)
+}
+
+// RunSQL parses and executes sql against db.
+func RunSQL(db *engine.DB, sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Run(db, stmt)
+}
+
+// RunOn executes stmt against an explicit source table (the FROM name
+// is ignored). This is what clean-and-requery uses to run the original
+// statement against a filtered view.
+func RunOn(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
+	if len(stmt.Items) == 0 {
+		return nil, fmt.Errorf("exec: empty select list")
+	}
+	schema := src.Schema()
+
+	// Resolve every expression against the source schema.
+	if stmt.Where != nil {
+		if err := stmt.Where.Resolve(schema); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		if err := g.Resolve(schema); err != nil {
+			return nil, err
+		}
+	}
+	var aggArgs []expr.Expr
+	var aggItems []int
+	for i := range stmt.Items {
+		item := &stmt.Items[i]
+		if item.IsAgg() {
+			if item.Agg.Arg != nil {
+				if err := item.Agg.Arg.Resolve(schema); err != nil {
+					return nil, err
+				}
+			}
+			aggArgs = append(aggArgs, item.Agg.Arg)
+			aggItems = append(aggItems, i)
+		} else {
+			if err := item.Expr.Resolve(schema); err != nil {
+				return nil, err
+			}
+		}
+	}
+	grouped := stmt.HasAggregates() || len(stmt.GroupBy) > 0
+	if !grouped {
+		return runProjection(src, stmt)
+	}
+	if err := checkPlainItemsGrouped(stmt); err != nil {
+		return nil, err
+	}
+
+	// Prototype aggregates, cloned per group.
+	protos := make([]agg.Func, len(aggItems))
+	for ai, i := range aggItems {
+		f, err := agg.New(stmt.Items[i].Agg.Name)
+		if err != nil {
+			return nil, err
+		}
+		if stmt.Items[i].Agg.Distinct {
+			f = agg.NewDistinct(f)
+		}
+		protos[ai] = f
+	}
+
+	groupsByKey := make(map[string]*Group)
+	var groups []*Group
+	row := make([]engine.Value, src.NumCols())
+	var keyBuf strings.Builder
+	keyVals := make([]engine.Value, len(stmt.GroupBy))
+
+	for r := 0; r < src.NumRows(); r++ {
+		src.RowInto(r, row)
+		if stmt.Where != nil {
+			ok, err := expr.EvalBool(stmt.Where, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		keyBuf.Reset()
+		for k, g := range stmt.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[k] = v
+			keyBuf.WriteString(v.Key())
+			keyBuf.WriteByte('\x1f')
+		}
+		key := keyBuf.String()
+		grp, ok := groupsByKey[key]
+		if !ok {
+			grp = &Group{
+				Key:      append([]engine.Value(nil), keyVals...),
+				Aggs:     make([]agg.Func, len(protos)),
+				FirstRow: r,
+			}
+			for i, p := range protos {
+				grp.Aggs[i] = p.Clone()
+			}
+			groupsByKey[key] = grp
+			groups = append(groups, grp)
+		}
+		grp.Lineage = append(grp.Lineage, r)
+		for ai := range aggArgs {
+			if aggArgs[ai] == nil { // count(*)
+				grp.Aggs[ai].Add(engine.NewInt(1))
+				continue
+			}
+			v, err := aggArgs[ai].Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			grp.Aggs[ai].Add(v)
+		}
+	}
+
+	res := &Result{Stmt: stmt, Source: src, Groups: groups, aggArgs: aggArgs, aggItems: aggItems}
+	if err := res.materialize(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// checkPlainItemsGrouped verifies every non-aggregate select item
+// appears in GROUP BY (textually). This catches the classic
+// "column must appear in the GROUP BY clause" error early.
+func checkPlainItemsGrouped(stmt *sqlparse.SelectStmt) error {
+	inGroup := make(map[string]bool, len(stmt.GroupBy))
+	for _, g := range stmt.GroupBy {
+		inGroup[strings.ToLower(g.String())] = true
+	}
+	for i := range stmt.Items {
+		item := &stmt.Items[i]
+		if item.IsAgg() {
+			continue
+		}
+		if !inGroup[strings.ToLower(item.Expr.String())] {
+			return fmt.Errorf("exec: select item %q must appear in GROUP BY", item.Expr)
+		}
+	}
+	return nil
+}
+
+// runProjection handles aggregate-free statements: each output row's
+// lineage is exactly its one source row.
+func runProjection(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
+	res := &Result{Stmt: stmt, Source: src}
+	row := make([]engine.Value, src.NumCols())
+	for r := 0; r < src.NumRows(); r++ {
+		src.RowInto(r, row)
+		if stmt.Where != nil {
+			ok, err := expr.EvalBool(stmt.Where, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		res.Groups = append(res.Groups, &Group{Lineage: []int{r}, FirstRow: r})
+	}
+	return res, res.materialize()
+}
+
+// materialize builds the result table from groups and applies HAVING,
+// ORDER BY and LIMIT (keeping Groups parallel to rows throughout).
+func (r *Result) materialize() error {
+	stmt := r.Stmt
+	labels := make([]string, len(stmt.Items))
+	for i := range stmt.Items {
+		labels[i] = stmt.Items[i].Label()
+	}
+
+	// Evaluate all output rows first, then infer column types.
+	rows := make([][]engine.Value, len(r.Groups))
+	srcRow := make([]engine.Value, r.Source.NumCols())
+	for gi, grp := range r.Groups {
+		out := make([]engine.Value, len(stmt.Items))
+		aggOrd := 0
+		var loaded bool
+		for i := range stmt.Items {
+			item := &stmt.Items[i]
+			if item.IsAgg() {
+				out[i] = grp.Aggs[aggOrd].Result()
+				aggOrd++
+				continue
+			}
+			if !loaded {
+				r.Source.RowInto(grp.FirstRow, srcRow)
+				loaded = true
+			}
+			v, err := item.Expr.Eval(srcRow)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		rows[gi] = out
+	}
+
+	schema := make(engine.Schema, len(stmt.Items))
+	for c := range stmt.Items {
+		t := engine.TFloat
+		for _, row := range rows {
+			if !row[c].IsNull() {
+				t = row[c].T
+				break
+			}
+		}
+		schema[c] = engine.Column{Name: labels[c], Type: t}
+	}
+	// Guard against duplicate labels (e.g. two identical aggregates).
+	seen := map[string]int{}
+	for c := range schema {
+		lower := strings.ToLower(schema[c].Name)
+		if n := seen[lower]; n > 0 {
+			schema[c].Name = fmt.Sprintf("%s_%d", schema[c].Name, n)
+		}
+		seen[lower]++
+	}
+
+	// HAVING over output rows.
+	if stmt.Having != nil {
+		if err := stmt.Having.Resolve(schema); err != nil {
+			return fmt.Errorf("exec: HAVING references output columns (%s): %w", schema, err)
+		}
+		var keptRows [][]engine.Value
+		var keptGroups []*Group
+		for i, row := range rows {
+			ok, err := expr.EvalBool(stmt.Having, row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				keptRows = append(keptRows, row)
+				keptGroups = append(keptGroups, r.Groups[i])
+			}
+		}
+		rows, r.Groups = keptRows, keptGroups
+	}
+
+	// ORDER BY over output rows.
+	if len(stmt.OrderBy) > 0 {
+		for i := range stmt.OrderBy {
+			if err := stmt.OrderBy[i].Expr.Resolve(schema); err != nil {
+				return fmt.Errorf("exec: ORDER BY references output columns (%s): %w", schema, err)
+			}
+		}
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		keys := make([][]engine.Value, len(rows))
+		for i, row := range rows {
+			ks := make([]engine.Value, len(stmt.OrderBy))
+			for k := range stmt.OrderBy {
+				v, err := stmt.OrderBy[k].Expr.Eval(row)
+				if err != nil {
+					return err
+				}
+				ks[k] = v
+			}
+			keys[i] = ks
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for k := range stmt.OrderBy {
+				c, err := engine.Compare(keys[idx[a]][k], keys[idx[b]][k])
+				if err != nil {
+					continue
+				}
+				if c != 0 {
+					if stmt.OrderBy[k].Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		newRows := make([][]engine.Value, len(rows))
+		newGroups := make([]*Group, len(rows))
+		for i, j := range idx {
+			newRows[i] = rows[j]
+			newGroups[i] = r.Groups[j]
+		}
+		rows, r.Groups = newRows, newGroups
+	}
+
+	if stmt.Limit >= 0 && stmt.Limit < len(rows) {
+		rows = rows[:stmt.Limit]
+		r.Groups = r.Groups[:stmt.Limit]
+	}
+
+	out, err := engine.NewTable("result", schema)
+	if err != nil {
+		return err
+	}
+	out.Grow(len(rows))
+	for _, row := range rows {
+		if _, err := out.AppendRow(row); err != nil {
+			return err
+		}
+	}
+	r.Table = out
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Provenance accessors
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return r.Table.NumRows() }
+
+// AggOrdinals returns the select-item indexes of aggregates, in order.
+func (r *Result) AggOrdinals() []int { return r.aggItems }
+
+// AggOrdinalOf maps a select-item index to the aggregate ordinal, or -1.
+func (r *Result) AggOrdinalOf(itemIdx int) int {
+	for ord, i := range r.aggItems {
+		if i == itemIdx {
+			return ord
+		}
+	}
+	return -1
+}
+
+// AggState returns the live aggregate state for output row rowIdx and
+// aggregate ordinal ord. The second result is false when the state does
+// not support removal (all shipped aggregates do).
+func (r *Result) AggState(rowIdx, ord int) (agg.Removable, bool) {
+	rm, ok := r.Groups[rowIdx].Aggs[ord].(agg.Removable)
+	return rm, ok
+}
+
+// AggFloat returns the aggregate value at (output row, aggregate
+// ordinal) as float64; NaN-free NULLs come back as (0, false).
+func (r *Result) AggFloat(rowIdx, ord int) (float64, bool) {
+	v := r.Groups[rowIdx].Aggs[ord].Result()
+	if v.IsNull() {
+		return 0, false
+	}
+	return v.Float(), true
+}
+
+// AggArgValue evaluates the ord'th aggregate's argument on source row
+// src (count(*) yields 1). This is the value leave-one-out analysis
+// feeds to ResultWithout.
+func (r *Result) AggArgValue(ord, src int) (engine.Value, error) {
+	if r.aggArgs[ord] == nil {
+		return engine.NewInt(1), nil
+	}
+	return r.aggArgs[ord].Eval(r.Source.Row(src))
+}
+
+// Lineage returns the union of the lineage of the given output rows,
+// sorted ascending and deduplicated. This is F in the paper: the
+// fine-grained provenance of the suspect groups S.
+func (r *Result) Lineage(rowIdxs []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, ri := range rowIdxs {
+		if ri < 0 || ri >= len(r.Groups) {
+			continue
+		}
+		for _, src := range r.Groups[ri].Lineage {
+			if !seen[src] {
+				seen[src] = true
+				out = append(out, src)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GroupOf returns, for each listed output row, a map from source row id
+// to that output row index. Rows in multiple groups keep the first.
+func (r *Result) GroupOf(rowIdxs []int) map[int]int {
+	m := make(map[int]int)
+	for _, ri := range rowIdxs {
+		if ri < 0 || ri >= len(r.Groups) {
+			continue
+		}
+		for _, src := range r.Groups[ri].Lineage {
+			if _, ok := m[src]; !ok {
+				m[src] = ri
+			}
+		}
+	}
+	return m
+}
+
+// AllRows returns 0..NumRows-1, convenient for "every group is suspect".
+func (r *Result) AllRows() []int {
+	out := make([]int, r.NumRows())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// SelectRows returns the output row indexes for which keep returns true,
+// where keep receives the output row values.
+func (r *Result) SelectRows(keep func(row []engine.Value) bool) []int {
+	var out []int
+	for i := 0; i < r.Table.NumRows(); i++ {
+		if keep(r.Table.Row(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+var timeSchema = engine.NewSchema("ts", engine.TTime, "s", engine.TString, "f", engine.TFloat)
+
+func timeRow() []engine.Value {
+	return []engine.Value{
+		engine.NewTime(time.Date(2008, 3, 28, 14, 45, 9, 0, time.UTC)),
+		engine.NewString("  pad  "),
+		engine.NewFloat(4),
+	}
+}
+
+func evalOn(t *testing.T, e Expr, schema engine.Schema, row []engine.Value) engine.Value {
+	t.Helper()
+	if err := e.Resolve(schema); err != nil {
+		t.Fatalf("resolve %s: %v", e, err)
+	}
+	v, err := e.Eval(row)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v
+}
+
+func TestTimeFunctions(t *testing.T) {
+	row := timeRow()
+	cases := []struct {
+		fn   string
+		want int64
+	}{
+		{"year", 2008}, {"month", 3}, {"day", 28}, {"hour", 14},
+		{"minute", 45}, {"dow", 5}, // 2008-03-28 was a Friday
+	}
+	for _, c := range cases {
+		got := evalOn(t, NewFunc(c.fn, NewCol("ts")), timeSchema, row)
+		if got.Int() != c.want {
+			t.Errorf("%s = %v, want %d", c.fn, got, c.want)
+		}
+	}
+	epoch := evalOn(t, NewFunc("epoch", NewCol("ts")), timeSchema, row)
+	if epoch.Int() != row[0].I {
+		t.Errorf("epoch = %v", epoch)
+	}
+}
+
+func TestEpochOnNonTimeErrors(t *testing.T) {
+	e := NewFunc("epoch", NewCol("f"))
+	if err := e.Resolve(timeSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(timeRow()); err == nil {
+		t.Error("epoch(float) should error")
+	}
+}
+
+func TestMathFunctions(t *testing.T) {
+	row := timeRow()
+	cases := []struct {
+		fn   string
+		want float64
+	}{
+		{"sqrt", 2}, {"exp", math.Exp(4)}, {"ln", math.Log(4)}, {"log10", math.Log10(4)},
+	}
+	for _, c := range cases {
+		got := evalOn(t, NewFunc(c.fn, NewCol("f")), timeSchema, row)
+		if math.Abs(got.Float()-c.want) > 1e-12 {
+			t.Errorf("%s(4) = %v, want %v", c.fn, got, c.want)
+		}
+	}
+	trimmed := evalOn(t, NewFunc("trim", NewCol("s")), timeSchema, row)
+	if trimmed.Str() != "pad" {
+		t.Errorf("trim: %q", trimmed.Str())
+	}
+}
+
+func TestStrictFunctionsPropagateNull(t *testing.T) {
+	row := []engine.Value{engine.Null, engine.Null, engine.Null}
+	for _, fn := range []string{"abs", "sqrt", "lower", "year", "bucket"} {
+		var e Expr
+		if fn == "bucket" {
+			e = NewFunc(fn, NewCol("f"), Int(10))
+		} else {
+			e = NewFunc(fn, NewCol("f"))
+		}
+		if err := e.Resolve(timeSchema); err != nil {
+			t.Fatal(err)
+		}
+		v, err := e.Eval(row)
+		if err != nil || !v.IsNull() {
+			t.Errorf("%s(NULL) = %v, %v", fn, v, err)
+		}
+	}
+}
+
+func TestBucketZeroWidthIsNull(t *testing.T) {
+	v := evalOn(t, NewFunc("bucket", NewCol("f"), Int(0)), timeSchema, timeRow())
+	if !v.IsNull() {
+		t.Errorf("bucket width 0: %v", v)
+	}
+}
+
+func TestArithmeticTypeErrors(t *testing.T) {
+	e := NewBin(OpMul, NewCol("s"), Int(2))
+	if err := e.Resolve(timeSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(timeRow()); err == nil {
+		t.Error("string * int should error")
+	}
+	neg := NewNeg(NewCol("s"))
+	if err := neg.Resolve(timeSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := neg.Eval(timeRow()); err == nil {
+		t.Error("-string should error")
+	}
+}
+
+func TestComparisonTypeErrorSurfaces(t *testing.T) {
+	e := NewBin(OpLt, NewCol("s"), Int(3))
+	if err := e.Resolve(timeSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(timeRow()); err == nil {
+		t.Error("string < int should error")
+	}
+}
+
+func TestModSemantics(t *testing.T) {
+	v := evalOn(t, NewBin(OpMod, Float(7.5), Int(2)), timeSchema, timeRow())
+	if v.Float() != 1 { // int64(7.5) % 2
+		t.Errorf("7.5 %% 2 = %v", v)
+	}
+	nullMod := evalOn(t, NewBin(OpMod, Int(7), Int(0)), timeSchema, timeRow())
+	if !nullMod.IsNull() {
+		t.Errorf("7 %% 0 = %v", nullMod)
+	}
+}
+
+func TestInWithNullList(t *testing.T) {
+	// 5 IN (1, NULL) → NULL; 1 IN (1, NULL) → TRUE.
+	in1 := &In{X: Int(5), List: []Expr{Int(1), NewLit(engine.Null)}}
+	v := evalOn(t, in1, timeSchema, timeRow())
+	if !v.IsNull() {
+		t.Errorf("5 IN (1, NULL) = %v", v)
+	}
+	in2 := &In{X: Int(1), List: []Expr{Int(1), NewLit(engine.Null)}}
+	v = evalOn(t, in2, timeSchema, timeRow())
+	if v.IsNull() || !v.Bool() {
+		t.Errorf("1 IN (1, NULL) = %v", v)
+	}
+}
+
+func TestBetweenNullBound(t *testing.T) {
+	b := &Between{X: Int(5), Lo: NewLit(engine.Null), Hi: Int(10)}
+	v := evalOn(t, b, timeSchema, timeRow())
+	if !v.IsNull() {
+		t.Errorf("5 BETWEEN NULL AND 10 = %v", v)
+	}
+	inv := &Between{X: Int(5), Lo: Int(1), Hi: Int(3), Invert: true}
+	v = evalOn(t, inv, timeSchema, timeRow())
+	if !v.Bool() {
+		t.Errorf("5 NOT BETWEEN 1 AND 3 = %v", v)
+	}
+}
+
+func TestLikeNullAndStringRendering(t *testing.T) {
+	l := &Like{X: NewCol("f"), Pattern: "%"}
+	row := []engine.Value{engine.Null, engine.Null, engine.Null}
+	if err := l.Resolve(timeSchema); err != nil {
+		t.Fatal(err)
+	}
+	v, err := l.Eval(row)
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL LIKE: %v %v", v, err)
+	}
+	l2 := &Like{X: NewCol("s"), Pattern: "it's", Invert: true}
+	if got := l2.String(); got != "s NOT LIKE 'it''s'" {
+		t.Errorf("like rendering: %q", got)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{NewNeg(NewCol("f")), "-f"},
+		{NewNot(NewCol("f")), "NOT f"},
+		{&IsNull{X: NewCol("f")}, "f IS NULL"},
+		{&IsNull{X: NewCol("f"), Invert: true}, "f IS NOT NULL"},
+		{&In{X: NewCol("f"), List: []Expr{Int(1), Int(2)}}, "f IN (1, 2)"},
+		{&In{X: NewCol("f"), List: []Expr{Int(1)}, Invert: true}, "f NOT IN (1)"},
+		{&Between{X: NewCol("f"), Lo: Int(1), Hi: Int(2)}, "f BETWEEN 1 AND 2"},
+		{NewFunc("bucket", NewCol("f"), Int(10)), "bucket(f, 10)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String: %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestColumnsOnCompoundExprs(t *testing.T) {
+	e := &Between{X: NewCol("f"), Lo: NewCol("ts"), Hi: Int(10)}
+	cols := e.Columns(nil)
+	if len(cols) != 2 {
+		t.Errorf("between columns: %v", cols)
+	}
+	in := &In{X: NewCol("s"), List: []Expr{NewCol("f")}}
+	if got := in.Columns(nil); len(got) != 2 {
+		t.Errorf("in columns: %v", got)
+	}
+	fn := NewFunc("substr", NewCol("s"), Int(1), Int(2))
+	if got := fn.Columns(nil); len(got) != 1 {
+		t.Errorf("func columns: %v", got)
+	}
+}

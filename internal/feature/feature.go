@@ -1,0 +1,273 @@
+// Package feature derives a shared attribute space from an engine table
+// for the three learners DBWipes uses (k-means/naive-Bayes cleaning,
+// CN2-SD subgroup discovery, decision trees).
+//
+// Numeric columns contribute standardized coordinates and a set of
+// quantile-derived split thresholds; string columns contribute their
+// most frequent values as equality selectors. The aggregate's input
+// column and group-by columns can be excluded so that explanations are
+// phrased over the remaining descriptive attributes — though the paper's
+// examples (moteid, voltage, memo) show that keeping most columns is
+// what yields the interesting predicates.
+package feature
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Kind classifies an attribute.
+type Kind int
+
+// Attribute kinds.
+const (
+	Numeric Kind = iota
+	Categorical
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k == Numeric {
+		return "numeric"
+	}
+	return "categorical"
+}
+
+// Attr is one usable attribute of the space.
+type Attr struct {
+	Name string
+	Col  int
+	Kind Kind
+	// Type is the underlying engine column type.
+	Type engine.Type
+	// Values holds the frequent distinct values of a categorical
+	// attribute (most frequent first, capped at MaxCategories).
+	Values []engine.Value
+	// Thresholds holds candidate numeric split points (deduplicated
+	// quantile midpoints).
+	Thresholds []float64
+	// Mean and Std standardize numeric attributes for k-means; Std is 1
+	// for constant columns.
+	Mean, Std float64
+	// Min and Max are the observed numeric range.
+	Min, Max float64
+}
+
+// Space is the derived attribute space over one table.
+type Space struct {
+	Table *engine.Table
+	Attrs []Attr
+	// numericIdx lists positions in Attrs that are numeric, defining the
+	// coordinate order of Vector.
+	numericIdx []int
+}
+
+// Options configures space construction.
+type Options struct {
+	// Exclude lists column names to omit (case-insensitive) — typically
+	// the aggregated column when the user wants explanations independent
+	// of the measure, and synthetic ids.
+	Exclude []string
+	// MaxCategories caps equality selectors per categorical attribute
+	// (default 20). Rarer values are not enumerated.
+	MaxCategories int
+	// NumThresholds is the number of quantile thresholds per numeric
+	// attribute (default 12).
+	NumThresholds int
+	// Rows restricts statistics to a subset of rows (default: all).
+	Rows []int
+	// SampleCap bounds how many rows are examined for statistics
+	// (default 50000, evenly spaced).
+	SampleCap int
+}
+
+func (o *Options) defaults() {
+	if o.MaxCategories <= 0 {
+		o.MaxCategories = 20
+	}
+	if o.NumThresholds <= 0 {
+		o.NumThresholds = 12
+	}
+	if o.SampleCap <= 0 {
+		o.SampleCap = 50000
+	}
+}
+
+// NewSpace derives the attribute space of t.
+func NewSpace(t *engine.Table, opt Options) *Space {
+	opt.defaults()
+	excluded := make(map[string]bool, len(opt.Exclude))
+	for _, e := range opt.Exclude {
+		excluded[strings.ToLower(e)] = true
+	}
+
+	rows := opt.Rows
+	if rows == nil {
+		rows = make([]int, t.NumRows())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	if len(rows) > opt.SampleCap {
+		sampled := make([]int, 0, opt.SampleCap)
+		step := float64(len(rows)) / float64(opt.SampleCap)
+		for i := 0; i < opt.SampleCap; i++ {
+			sampled = append(sampled, rows[int(float64(i)*step)])
+		}
+		rows = sampled
+	}
+
+	sp := &Space{Table: t}
+	for c, col := range t.Schema() {
+		if excluded[strings.ToLower(col.Name)] {
+			continue
+		}
+		switch {
+		case col.Type.IsNumeric():
+			attr, ok := numericAttr(t, c, col.Name, rows, opt.NumThresholds)
+			if ok {
+				sp.numericIdx = append(sp.numericIdx, len(sp.Attrs))
+				sp.Attrs = append(sp.Attrs, attr)
+			}
+		case col.Type == engine.TString:
+			attr, ok := categoricalAttr(t, c, col.Name, rows, opt.MaxCategories)
+			if ok {
+				sp.Attrs = append(sp.Attrs, attr)
+			}
+		}
+	}
+	return sp
+}
+
+func numericAttr(t *engine.Table, c int, name string, rows []int, nThresh int) (Attr, bool) {
+	col := t.Column(c)
+	vals := make([]float64, 0, len(rows))
+	var sum, sumsq float64
+	for _, r := range rows {
+		v := col[r]
+		if v.IsNull() {
+			continue
+		}
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		vals = append(vals, f)
+		sum += f
+		sumsq += f * f
+	}
+	if len(vals) == 0 {
+		return Attr{}, false
+	}
+	n := float64(len(vals))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+	if std == 0 {
+		std = 1
+	}
+	sort.Float64s(vals)
+	attr := Attr{
+		Name: name, Col: c, Kind: Numeric, Type: t.Schema()[c].Type,
+		Mean: mean, Std: std,
+		Min: vals[0], Max: vals[len(vals)-1],
+	}
+	// Quantile midpoint thresholds, deduplicated. A constant column
+	// yields no thresholds but still standardizes.
+	prev := math.Inf(-1)
+	for q := 1; q <= nThresh; q++ {
+		idx := q * (len(vals) - 1) / (nThresh + 1)
+		cut := vals[idx]
+		if cut > prev {
+			attr.Thresholds = append(attr.Thresholds, cut)
+			prev = cut
+		}
+	}
+	return attr, true
+}
+
+func categoricalAttr(t *engine.Table, c int, name string, rows []int, maxCats int) (Attr, bool) {
+	counts := make(map[string]int)
+	repr := make(map[string]engine.Value)
+	col := t.Column(c)
+	for _, r := range rows {
+		v := col[r]
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		counts[k]++
+		if _, ok := repr[k]; !ok {
+			repr[k] = v
+		}
+	}
+	if len(counts) == 0 {
+		return Attr{}, false
+	}
+	type kv struct {
+		k string
+		n int
+	}
+	all := make([]kv, 0, len(counts))
+	for k, n := range counts {
+		all = append(all, kv{k, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].k < all[j].k
+	})
+	if len(all) > maxCats {
+		all = all[:maxCats]
+	}
+	attr := Attr{Name: name, Col: c, Kind: Categorical, Type: t.Schema()[c].Type}
+	for _, e := range all {
+		attr.Values = append(attr.Values, repr[e.k])
+	}
+	return attr, true
+}
+
+// Dim returns the numeric coordinate dimension of Vector.
+func (s *Space) Dim() int { return len(s.numericIdx) }
+
+// Vector writes the standardized numeric coordinates of a row into dst
+// (allocating when dst is too small) and returns it. NULLs map to 0
+// (the mean after standardization).
+func (s *Space) Vector(row int, dst []float64) []float64 {
+	if cap(dst) < len(s.numericIdx) {
+		dst = make([]float64, len(s.numericIdx))
+	}
+	dst = dst[:len(s.numericIdx)]
+	for i, ai := range s.numericIdx {
+		a := &s.Attrs[ai]
+		v := s.Table.Value(row, a.Col)
+		if v.IsNull() {
+			dst[i] = 0
+			continue
+		}
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = (f - a.Mean) / a.Std
+	}
+	return dst
+}
+
+// AttrByName returns the attribute with the given name, or nil.
+func (s *Space) AttrByName(name string) *Attr {
+	for i := range s.Attrs {
+		if strings.EqualFold(s.Attrs[i].Name, name) {
+			return &s.Attrs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func mixedTable(t *testing.T, n int) *engine.Table {
+	t.Helper()
+	tbl := engine.MustNewTable("t", engine.NewSchema(
+		"id", engine.TInt,
+		"temp", engine.TFloat,
+		"city", engine.TString,
+		"constant", engine.TFloat,
+	))
+	cities := []string{"BOSTON", "NYC", "BOSTON", "LA"}
+	for i := 0; i < n; i++ {
+		tbl.MustAppendRow(
+			engine.NewInt(int64(i)),
+			engine.NewFloat(float64(i%50)),
+			engine.NewString(cities[i%len(cities)]),
+			engine.NewFloat(7),
+		)
+	}
+	return tbl
+}
+
+func TestNewSpaceDetectsKinds(t *testing.T) {
+	sp := NewSpace(mixedTable(t, 100), Options{})
+	if len(sp.Attrs) != 4 {
+		t.Fatalf("attrs: %d", len(sp.Attrs))
+	}
+	byName := map[string]*Attr{}
+	for i := range sp.Attrs {
+		byName[sp.Attrs[i].Name] = &sp.Attrs[i]
+	}
+	if byName["id"].Kind != Numeric || byName["temp"].Kind != Numeric {
+		t.Error("numeric detection")
+	}
+	if byName["city"].Kind != Categorical {
+		t.Error("categorical detection")
+	}
+	if len(byName["city"].Values) != 3 {
+		t.Errorf("city values: %v", byName["city"].Values)
+	}
+	// Most frequent first: BOSTON appears twice per cycle.
+	if byName["city"].Values[0].Str() != "BOSTON" {
+		t.Errorf("frequency order: %v", byName["city"].Values[0])
+	}
+	if byName["constant"].Std != 1 {
+		t.Errorf("constant column std should default to 1: %v", byName["constant"].Std)
+	}
+	if len(byName["constant"].Thresholds) > 1 {
+		t.Errorf("constant thresholds: %v", byName["constant"].Thresholds)
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	sp := NewSpace(mixedTable(t, 50), Options{Exclude: []string{"TEMP", "city"}})
+	for _, a := range sp.Attrs {
+		if a.Name == "temp" || a.Name == "city" {
+			t.Errorf("excluded attr %s present", a.Name)
+		}
+	}
+}
+
+func TestThresholdsSortedUnique(t *testing.T) {
+	sp := NewSpace(mixedTable(t, 500), Options{NumThresholds: 8})
+	for _, a := range sp.Attrs {
+		if a.Kind != Numeric {
+			continue
+		}
+		for i := 1; i < len(a.Thresholds); i++ {
+			if a.Thresholds[i] <= a.Thresholds[i-1] {
+				t.Errorf("%s thresholds not strictly increasing: %v", a.Name, a.Thresholds)
+				break
+			}
+		}
+	}
+}
+
+func TestVectorStandardization(t *testing.T) {
+	tbl := mixedTable(t, 200)
+	sp := NewSpace(tbl, Options{})
+	if sp.Dim() != 3 { // id, temp, constant
+		t.Fatalf("dim: %d", sp.Dim())
+	}
+	// Mean of standardized coordinates should be ~0.
+	sums := make([]float64, sp.Dim())
+	var v []float64
+	for r := 0; r < tbl.NumRows(); r++ {
+		v = sp.Vector(r, v)
+		for i, x := range v {
+			sums[i] += x
+		}
+	}
+	for i, s := range sums {
+		if math.Abs(s/float64(tbl.NumRows())) > 1e-9 {
+			t.Errorf("dim %d mean %v", i, s/float64(tbl.NumRows()))
+		}
+	}
+}
+
+func TestRowsSubset(t *testing.T) {
+	tbl := mixedTable(t, 100)
+	sp := NewSpace(tbl, Options{Rows: []int{0, 1, 2, 3}})
+	a := sp.AttrByName("id")
+	if a == nil || a.Max != 3 {
+		t.Errorf("subset stats: %+v", a)
+	}
+}
+
+func TestSampleCap(t *testing.T) {
+	tbl := mixedTable(t, 1000)
+	sp := NewSpace(tbl, Options{SampleCap: 10})
+	if sp.AttrByName("id") == nil {
+		t.Fatal("id attr missing")
+	}
+}
+
+func TestNullColumnSkipped(t *testing.T) {
+	tbl := engine.MustNewTable("t", engine.NewSchema("x", engine.TFloat, "y", engine.TFloat))
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow(engine.Null, engine.NewFloat(float64(i)))
+	}
+	sp := NewSpace(tbl, Options{})
+	if len(sp.Attrs) != 1 || sp.Attrs[0].Name != "y" {
+		t.Errorf("all-null column should be skipped: %+v", sp.Attrs)
+	}
+}
+
+func TestAttrByName(t *testing.T) {
+	sp := NewSpace(mixedTable(t, 10), Options{})
+	if sp.AttrByName("CITY") == nil {
+		t.Error("case-insensitive AttrByName failed")
+	}
+	if sp.AttrByName("nope") != nil {
+		t.Error("missing attr found")
+	}
+}

@@ -1,0 +1,221 @@
+// Package influence implements the Preprocessor stage of the DBWipes
+// backend: given the suspect output groups S, their lineage F, and the
+// user's error metric ε, it ranks every tuple in F by how much removing
+// it alone would reduce ε — leave-one-out (LOO) influence analysis.
+//
+// Thanks to the removable aggregates in internal/agg, each tuple's
+// counterfactual aggregate is O(1) for the algebraic aggregates
+// (sum/count/avg/stddev/var), so the whole pass is O(|F|). For very
+// large F a deterministic sampling mode bounds the work.
+package influence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/agg"
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+)
+
+// TupleInfluence records one tuple's leave-one-out effect on ε.
+type TupleInfluence struct {
+	// Row is the source row id.
+	Row int
+	// GroupRow is the output row (group) the tuple belongs to.
+	GroupRow int
+	// Delta is ε(S) − ε(S without this tuple): positive means removing
+	// the tuple reduces the error, i.e. the tuple is culpable.
+	Delta float64
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxTuples caps how many lineage tuples are analyzed; when the
+	// lineage is larger, an evenly spaced deterministic sample is used
+	// and the remaining tuples get Delta 0. Zero means no cap.
+	MaxTuples int
+}
+
+// Analysis is the result of the preprocessor pass.
+type Analysis struct {
+	// Eps is ε over the suspect groups before any removal.
+	Eps float64
+	// Influences holds one entry per analyzed lineage tuple, sorted by
+	// descending Delta.
+	Influences []TupleInfluence
+	// F is the full lineage of the suspect groups (sorted row ids).
+	F []int
+}
+
+// Rank computes ε and per-tuple LOO influence for the ord'th aggregate
+// of res over the suspect output rows.
+func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt Options) (*Analysis, error) {
+	if len(suspect) == 0 {
+		return nil, fmt.Errorf("influence: no suspect groups")
+	}
+	if ord < 0 || ord >= len(res.AggOrdinals()) {
+		return nil, fmt.Errorf("influence: aggregate ordinal %d out of range (%d aggregates)", ord, len(res.AggOrdinals()))
+	}
+
+	// Current aggregate values for the suspect groups, in suspect order.
+	vals := make([]float64, len(suspect))
+	states := make([]agg.Removable, len(suspect))
+	for i, ri := range suspect {
+		if ri < 0 || ri >= res.NumRows() {
+			return nil, fmt.Errorf("influence: suspect row %d out of range", ri)
+		}
+		if v, ok := res.AggFloat(ri, ord); ok {
+			vals[i] = v
+		} else {
+			vals[i] = math.NaN()
+		}
+		st, ok := res.AggState(ri, ord)
+		if !ok {
+			return nil, fmt.Errorf("influence: aggregate %d is not removable", ord)
+		}
+		states[i] = st
+	}
+	eps := metric.Eval(vals)
+
+	an := &Analysis{Eps: eps, F: res.Lineage(suspect)}
+
+	// Map each lineage tuple to its position in the suspect slice.
+	groupPos := make(map[int]int, len(suspect))
+	for i, ri := range suspect {
+		groupPos[ri] = i
+	}
+	rowGroup := res.GroupOf(suspect)
+
+	rows := an.F
+	if opt.MaxTuples > 0 && len(rows) > opt.MaxTuples {
+		sampled := make([]int, 0, opt.MaxTuples)
+		step := float64(len(rows)) / float64(opt.MaxTuples)
+		for i := 0; i < opt.MaxTuples; i++ {
+			sampled = append(sampled, rows[int(float64(i)*step)])
+		}
+		rows = sampled
+	}
+
+	scratch := append([]float64(nil), vals...)
+	an.Influences = make([]TupleInfluence, 0, len(rows))
+	for _, src := range rows {
+		gi, ok := rowGroup[src]
+		if !ok {
+			continue
+		}
+		pos := groupPos[gi]
+		v, err := res.AggArgValue(ord, src)
+		if err != nil {
+			return nil, err
+		}
+		without := states[pos].ResultWithout(v)
+		old := scratch[pos]
+		if without.IsNull() {
+			scratch[pos] = math.NaN()
+		} else {
+			scratch[pos] = without.Float()
+		}
+		delta := eps - metric.Eval(scratch)
+		scratch[pos] = old
+		an.Influences = append(an.Influences, TupleInfluence{Row: src, GroupRow: gi, Delta: delta})
+	}
+	sort.SliceStable(an.Influences, func(i, j int) bool {
+		return an.Influences[i].Delta > an.Influences[j].Delta
+	})
+	return an, nil
+}
+
+// TopRows returns the rows of the k most influential tuples (Delta > 0
+// only). k <= 0 means all positive-influence tuples.
+func (a *Analysis) TopRows(k int) []int {
+	out := make([]int, 0, len(a.Influences))
+	for _, ti := range a.Influences {
+		if ti.Delta <= 0 {
+			break
+		}
+		out = append(out, ti.Row)
+		if k > 0 && len(out) >= k {
+			break
+		}
+	}
+	return out
+}
+
+// TopQuantileRows returns the rows whose influence is at least q times
+// the maximum positive influence (0 < q <= 1). This is the adaptive
+// high-influence set the Dataset Enumerator extends D' with.
+func (a *Analysis) TopQuantileRows(q float64) []int {
+	if len(a.Influences) == 0 || a.Influences[0].Delta <= 0 {
+		return nil
+	}
+	threshold := a.Influences[0].Delta * q
+	var out []int
+	for _, ti := range a.Influences {
+		if ti.Delta < threshold || ti.Delta <= 0 {
+			break
+		}
+		out = append(out, ti.Row)
+	}
+	return out
+}
+
+// DeltaOf returns the influence of a specific source row (0 when not
+// analyzed).
+func (a *Analysis) DeltaOf(row int) float64 {
+	for _, ti := range a.Influences {
+		if ti.Row == row {
+			return ti.Delta
+		}
+	}
+	return 0
+}
+
+// EpsWithoutRows evaluates ε with an arbitrary set of source rows
+// removed from their groups (the predicate-scoring primitive used by
+// the ranker). rows may contain rows outside the suspect lineage; they
+// are ignored.
+func EpsWithoutRows(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, rows []int) (float64, error) {
+	inRemoval := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		inRemoval[r] = true
+	}
+	vals := make([]float64, len(suspect))
+	for i, ri := range suspect {
+		st, ok := res.AggState(ri, ord)
+		if !ok {
+			return 0, fmt.Errorf("influence: aggregate %d is not removable", ord)
+		}
+		var removed []int
+		for _, src := range res.Groups[ri].Lineage {
+			if inRemoval[src] {
+				removed = append(removed, src)
+			}
+		}
+		if len(removed) == 0 {
+			if v, ok := res.AggFloat(ri, ord); ok {
+				vals[i] = v
+			} else {
+				vals[i] = math.NaN()
+			}
+			continue
+		}
+		removedVals := make([]engine.Value, len(removed))
+		for j, src := range removed {
+			v, err := res.AggArgValue(ord, src)
+			if err != nil {
+				return 0, err
+			}
+			removedVals[j] = v
+		}
+		without := st.ResultWithoutSet(removedVals)
+		if without.IsNull() {
+			vals[i] = math.NaN()
+		} else {
+			vals[i] = without.Float()
+		}
+	}
+	return metric.Eval(vals), nil
+}

@@ -1,0 +1,216 @@
+package influence
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+)
+
+// buildResult runs an avg-per-group query over the given (group, value)
+// rows.
+func buildResult(t *testing.T, agg string, rows [][2]float64) *exec.Result {
+	t.Helper()
+	tbl := engine.MustNewTable("t", engine.NewSchema("k", engine.TInt, "v", engine.TFloat))
+	for _, r := range rows {
+		tbl.MustAppendRow(engine.NewInt(int64(r[0])), engine.NewFloat(r[1]))
+	}
+	db := engine.NewDB()
+	db.Register(tbl)
+	res, err := exec.RunSQL(db, "SELECT k, "+agg+"(v) AS a FROM t GROUP BY k ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRankAvgAnalytic(t *testing.T) {
+	// Group 0: values 10, 10, 100 → avg 40. Metric TooHigh{C: 20}: ε=20.
+	res := buildResult(t, "avg", [][2]float64{{0, 10}, {0, 10}, {0, 100}})
+	an, err := Rank(res, []int{0}, 0, errmetric.TooHigh{C: 20}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Eps != 20 {
+		t.Fatalf("eps: %v", an.Eps)
+	}
+	// Removing the 100: avg(10,10)=10 → ε'=0, delta=20.
+	// Removing a 10: avg(10,100)=55 → ε'=35, delta=-15.
+	if an.Influences[0].Row != 2 || math.Abs(an.Influences[0].Delta-20) > 1e-9 {
+		t.Errorf("top influence: %+v", an.Influences[0])
+	}
+	if math.Abs(an.Influences[1].Delta-(-15)) > 1e-9 {
+		t.Errorf("second influence: %+v", an.Influences[1])
+	}
+	top := an.TopRows(0)
+	if len(top) != 1 || top[0] != 2 {
+		t.Errorf("TopRows: %v", top)
+	}
+}
+
+func TestRankMultiGroup(t *testing.T) {
+	// Two suspect groups; sum metric.
+	res := buildResult(t, "sum", [][2]float64{{0, 5}, {0, -8}, {1, -3}, {1, 1}})
+	an, err := Rank(res, []int{0, 1}, 0, errmetric.TooLow{C: 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sums: g0 = -3, g1 = -2 → ε = 5.
+	if an.Eps != 5 {
+		t.Fatalf("eps: %v", an.Eps)
+	}
+	// Removing row 1 (-8): g0 = 5 → ε = 2; delta = 3.
+	if an.Influences[0].Row != 1 || math.Abs(an.Influences[0].Delta-3) > 1e-9 {
+		t.Errorf("top: %+v", an.Influences[0])
+	}
+	if len(an.F) != 4 {
+		t.Errorf("F: %v", an.F)
+	}
+}
+
+// Property: for every aggregate, the LOO delta matches re-running the
+// query without the tuple.
+func TestLOOMatchesRequery(t *testing.T) {
+	for _, aggName := range []string{"avg", "sum", "stddev", "min", "max", "count", "median"} {
+		aggName := aggName
+		t.Run(aggName, func(t *testing.T) {
+			f := func(raw []int8, pick uint8) bool {
+				if len(raw) < 3 {
+					return true
+				}
+				rows := make([][2]float64, len(raw))
+				for i, r := range raw {
+					rows[i] = [2]float64{0, float64(r)}
+				}
+				res := buildResult(t, aggName, rows)
+				metric := errmetric.NotEqual{C: 1}
+				an, err := Rank(res, []int{0}, 0, metric, Options{})
+				if err != nil {
+					return false
+				}
+				idx := int(pick) % len(rows)
+				// Brute force: rebuild without row idx.
+				rest := append(append([][2]float64(nil), rows[:idx]...), rows[idx+1:]...)
+				res2 := buildResult(t, aggName, rest)
+				var after float64
+				if v, ok := res2.AggFloat(0, 0); ok {
+					after = metric.Eval([]float64{v})
+				} else {
+					after = metric.Eval(nil)
+				}
+				wantDelta := an.Eps - after
+				return math.Abs(an.DeltaOf(idx)-wantDelta) < 1e-6*math.Max(1, math.Abs(wantDelta))
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestEpsWithoutRowsMatchesRequery(t *testing.T) {
+	f := func(raw []int8, mask uint16) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		rows := make([][2]float64, len(raw))
+		for i, r := range raw {
+			rows[i] = [2]float64{float64(i % 2), float64(r)}
+		}
+		res := buildResult(t, "avg", rows)
+		suspects := res.AllRows()
+		metric := errmetric.TooHigh{C: 0}
+
+		var removed []int
+		var kept [][2]float64
+		for i, r := range rows {
+			if mask&(1<<(i%16)) != 0 {
+				removed = append(removed, i)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		got, err := EpsWithoutRows(res, suspects, 0, metric, removed)
+		if err != nil {
+			return false
+		}
+		// Brute force.
+		var vals []float64
+		byGroup := map[int][]float64{}
+		for _, r := range kept {
+			byGroup[int(r[0])] = append(byGroup[int(r[0])], r[1])
+		}
+		// Match original group order: groups sorted by key (0 then 1),
+		// but only groups that existed originally count; empty ones are
+		// NaN (ignored by the metric).
+		for gi := 0; gi < res.NumRows(); gi++ {
+			key := int(res.Table.Value(gi, 0).Int())
+			gvals := byGroup[key]
+			if len(gvals) == 0 {
+				continue
+			}
+			var sum float64
+			for _, v := range gvals {
+				sum += v
+			}
+			vals = append(vals, sum/float64(len(gvals)))
+		}
+		want := metric.Eval(vals)
+		return math.Abs(got-want) < 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplingCap(t *testing.T) {
+	rows := make([][2]float64, 500)
+	for i := range rows {
+		rows[i] = [2]float64{0, float64(i)}
+	}
+	res := buildResult(t, "avg", rows)
+	an, err := Rank(res, []int{0}, 0, errmetric.TooHigh{C: 0}, Options{MaxTuples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Influences) != 50 {
+		t.Errorf("sampled influences: %d", len(an.Influences))
+	}
+	if len(an.F) != 500 {
+		t.Errorf("F should remain full: %d", len(an.F))
+	}
+}
+
+func TestTopQuantileRows(t *testing.T) {
+	res := buildResult(t, "avg", [][2]float64{{0, 0}, {0, 0}, {0, 100}, {0, 90}})
+	an, err := Rank(res, []int{0}, 0, errmetric.TooHigh{C: 10}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := an.TopQuantileRows(0.5)
+	// The two large values dominate; the zeros have negative delta.
+	if len(rows) < 1 || len(rows) > 2 {
+		t.Errorf("quantile rows: %v", rows)
+	}
+	for _, r := range rows {
+		if r != 2 && r != 3 {
+			t.Errorf("unexpected quantile row %d", r)
+		}
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	res := buildResult(t, "avg", [][2]float64{{0, 1}})
+	if _, err := Rank(res, nil, 0, errmetric.TooHigh{}, Options{}); err == nil {
+		t.Error("empty suspects accepted")
+	}
+	if _, err := Rank(res, []int{0}, 5, errmetric.TooHigh{}, Options{}); err == nil {
+		t.Error("bad ordinal accepted")
+	}
+	if _, err := Rank(res, []int{99}, 0, errmetric.TooHigh{}, Options{}); err == nil {
+		t.Error("out-of-range suspect accepted")
+	}
+}

@@ -1,0 +1,215 @@
+// Package pca implements principal component analysis via power
+// iteration with deflation. The paper (§2.2.1) proposes plotting "the
+// two largest principal components against each other" to visualize
+// multi-attribute group-by results; Project2D is that operation, used by
+// the dashboard and the viz helpers when a result has more than two
+// group-by attributes.
+package pca
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result holds the fitted components.
+type Result struct {
+	// Components holds the top-k unit-norm principal directions, rows of
+	// length dim.
+	Components [][]float64
+	// Eigenvalues holds the corresponding variance captured by each
+	// component, descending.
+	Eigenvalues []float64
+	// Mean is the per-dimension mean removed before fitting.
+	Mean []float64
+	// TotalVariance is the trace of the covariance matrix.
+	TotalVariance float64
+}
+
+// ExplainedRatio returns the fraction of total variance captured by
+// component i.
+func (r *Result) ExplainedRatio(i int) float64 {
+	if r.TotalVariance <= 0 || i >= len(r.Eigenvalues) {
+		return 0
+	}
+	return r.Eigenvalues[i] / r.TotalVariance
+}
+
+// Fit computes the top-k principal components of points (n×dim) using
+// power iteration with Hotelling deflation. Deterministic: the start
+// vector is fixed. k is clamped to dim.
+func Fit(points [][]float64, k int) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("pca: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("pca: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("pca: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k > dim {
+		k = dim
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("pca: k must be positive")
+	}
+
+	// Mean-center.
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for d, v := range p {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(n)
+	}
+
+	// Covariance matrix (dim×dim). dim is small (a handful of group-by
+	// attributes), so the dense O(n·dim²) build is fine.
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	centered := make([]float64, dim)
+	for _, p := range points {
+		for d := range p {
+			centered[d] = p[d] - mean[d]
+		}
+		for i := 0; i < dim; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			row := cov[i]
+			for j := i; j < dim; j++ {
+				row[j] += ci * centered[j]
+			}
+		}
+	}
+	den := float64(n - 1)
+	if den < 1 {
+		den = 1
+	}
+	var trace float64
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= den
+			cov[j][i] = cov[i][j]
+		}
+		trace += cov[i][i]
+	}
+
+	res := &Result{Mean: mean, TotalVariance: trace}
+	work := make([]float64, dim)
+	for c := 0; c < k; c++ {
+		vec, eig, ok := powerIterate(cov, work)
+		if !ok || eig <= 1e-12 {
+			break
+		}
+		res.Components = append(res.Components, vec)
+		res.Eigenvalues = append(res.Eigenvalues, eig)
+		// Deflate: cov -= eig * vec vecᵀ.
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				cov[i][j] -= eig * vec[i] * vec[j]
+			}
+		}
+	}
+	if len(res.Components) == 0 {
+		return nil, fmt.Errorf("pca: degenerate data (zero variance)")
+	}
+	return res, nil
+}
+
+// powerIterate finds the dominant eigenpair of a symmetric matrix.
+func powerIterate(m [][]float64, work []float64) ([]float64, float64, bool) {
+	dim := len(m)
+	v := make([]float64, dim)
+	// Deterministic start: slightly asymmetric so it is not orthogonal
+	// to the dominant eigenvector by accident.
+	for i := range v {
+		v[i] = 1 + 0.001*float64(i)
+	}
+	normalize(v)
+	var eig float64
+	for iter := 0; iter < 500; iter++ {
+		// work = m v
+		for i := 0; i < dim; i++ {
+			var s float64
+			row := m[i]
+			for j := 0; j < dim; j++ {
+				s += row[j] * v[j]
+			}
+			work[i] = s
+		}
+		newEig := norm(work)
+		if newEig <= 1e-15 {
+			return nil, 0, false
+		}
+		for i := range v {
+			v[i] = work[i] / newEig
+		}
+		if math.Abs(newEig-eig) <= 1e-12*math.Max(1, newEig) {
+			eig = newEig
+			break
+		}
+		eig = newEig
+	}
+	out := make([]float64, dim)
+	copy(out, v)
+	return out, eig, true
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Transform projects a point onto the fitted components.
+func (r *Result) Transform(p []float64) []float64 {
+	out := make([]float64, len(r.Components))
+	for c, comp := range r.Components {
+		var s float64
+		for d := range comp {
+			s += (p[d] - r.Mean[d]) * comp[d]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// Project2D fits two components and returns the n×2 projection — the
+// paper's proposed visualization for multi-attribute group-bys.
+func Project2D(points [][]float64) ([][2]float64, *Result, error) {
+	res, err := Fit(points, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][2]float64, len(points))
+	for i, p := range points {
+		t := res.Transform(p)
+		out[i][0] = t[0]
+		if len(t) > 1 {
+			out[i][1] = t[1]
+		}
+	}
+	return out, res, nil
+}

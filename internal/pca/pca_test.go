@@ -1,0 +1,172 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Points stretched along (1, 1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(1))
+	var points [][]float64
+	for i := 0; i < 500; i++ {
+		tv := rng.NormFloat64() * 10
+		noise := rng.NormFloat64() * 0.1
+		points = append(points, []float64{
+			tv/math.Sqrt2 - noise/math.Sqrt2,
+			tv/math.Sqrt2 + noise/math.Sqrt2,
+		})
+	}
+	res, err := Fit(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := res.Components[0]
+	// Dominant direction ≈ ±(0.707, 0.707).
+	if math.Abs(math.Abs(c0[0])-1/math.Sqrt2) > 0.02 || math.Abs(math.Abs(c0[1])-1/math.Sqrt2) > 0.02 {
+		t.Errorf("dominant component: %v", c0)
+	}
+	if res.ExplainedRatio(0) < 0.99 {
+		t.Errorf("explained ratio: %v", res.ExplainedRatio(0))
+	}
+	if len(res.Eigenvalues) == 2 && res.Eigenvalues[1] > res.Eigenvalues[0] {
+		t.Error("eigenvalues not descending")
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var points [][]float64
+	for i := 0; i < 300; i++ {
+		points = append(points, []float64{
+			rng.NormFloat64() * 5, rng.NormFloat64() * 2, rng.NormFloat64(),
+		})
+	}
+	res, err := Fit(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ci := range res.Components {
+		var n float64
+		for _, x := range ci {
+			n += x * x
+		}
+		if math.Abs(n-1) > 1e-6 {
+			t.Errorf("component %d norm² %v", i, n)
+		}
+		for j := i + 1; j < len(res.Components); j++ {
+			var dot float64
+			for d := range ci {
+				dot += ci[d] * res.Components[j][d]
+			}
+			if math.Abs(dot) > 1e-4 {
+				t.Errorf("components %d,%d not orthogonal: %v", i, j, dot)
+			}
+		}
+	}
+}
+
+// Property: sum of eigenvalues <= total variance (within tolerance), and
+// each ExplainedRatio in [0, 1].
+func TestEigenvaluesBounded(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		var points [][]float64
+		for i := 0; i+1 < len(raw); i += 2 {
+			points = append(points, []float64{float64(raw[i]), float64(raw[i+1])})
+		}
+		res, err := Fit(points, 2)
+		if err != nil {
+			return true // degenerate inputs are allowed to fail
+		}
+		var sum float64
+		for i := range res.Eigenvalues {
+			r := res.ExplainedRatio(i)
+			if r < -1e-9 || r > 1+1e-9 {
+				return false
+			}
+			sum += res.Eigenvalues[i]
+		}
+		return sum <= res.TotalVariance*(1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformCentersData(t *testing.T) {
+	points := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	res, err := Fit(points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projections of the data must be zero-mean.
+	var sum float64
+	for _, p := range points {
+		sum += res.Transform(p)[0]
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("projection mean: %v", sum/3)
+	}
+}
+
+func TestProject2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var points [][]float64
+	for i := 0; i < 100; i++ {
+		points = append(points, []float64{rng.NormFloat64(), rng.NormFloat64() * 3, rng.NormFloat64() * 0.2})
+	}
+	proj, res, err := Project2D(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 100 {
+		t.Fatalf("projection size: %d", len(proj))
+	}
+	if len(res.Components) != 2 {
+		t.Fatalf("components: %d", len(res.Components))
+	}
+	// First component captures the ×3 dimension: projections along it
+	// must have larger spread.
+	var v0, v1 float64
+	for _, p := range proj {
+		v0 += p[0] * p[0]
+		v1 += p[1] * p[1]
+	}
+	if v0 <= v1 {
+		t.Errorf("component order: var0=%v var1=%v", v0, v1)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 2); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Fit([][]float64{{}}, 1); err == nil {
+		t.Error("zero-dim accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if _, err := Fit([][]float64{{1, 1}, {1, 1}}, 1); err == nil {
+		t.Error("zero-variance accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestKClamped(t *testing.T) {
+	points := [][]float64{{1, 2}, {3, 1}, {2, 5}, {0, 1}}
+	res, err := Fit(points, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) > 2 {
+		t.Errorf("components: %d", len(res.Components))
+	}
+}

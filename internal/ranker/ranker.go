@@ -1,0 +1,417 @@
+// Package ranker implements the Predicate Ranker: the final backend
+// stage that scores each candidate predicate. Per the paper, the score
+// "increases with improvement in the error metric, and the accuracy of
+// the tree at differentiating Dᶜᵢ from F − Dᶜᵢ, and decreases by the
+// complexity (number of terms in) the predicate."
+package ranker
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+	"repro/internal/influence"
+	"repro/internal/predicate"
+)
+
+// Candidate is a predicate awaiting scoring, tagged with its origin
+// (which learner and candidate dataset produced it) for explainability.
+type Candidate struct {
+	Pred   predicate.Predicate
+	Origin string
+	// Target is the candidate dataset Dᶜᵢ this predicate was learned to
+	// describe (source row ids); accuracy is measured against it.
+	Target map[int]bool
+}
+
+// Weights are the mixing coefficients of the score terms.
+type Weights struct {
+	// Err weighs the relative error-metric improvement (0..1).
+	Err float64
+	// Acc weighs the F1 of the predicate at separating the candidate
+	// dataset from the rest of the lineage.
+	Acc float64
+	// Complexity is the penalty per clause beyond the first.
+	Complexity float64
+	// Excess penalizes indiscriminate predicates: it scales with the
+	// fraction of matched lineage tuples that are NOT high-influence
+	// ("culpable"). Surgical predicates that remove only culpable tuples
+	// pay nothing; "delete everything" predicates pay the full weight.
+	Excess float64
+}
+
+// DefaultWeights balances error repair and description accuracy with a
+// mild parsimony pressure.
+func DefaultWeights() Weights {
+	return Weights{Err: 0.45, Acc: 0.45, Complexity: 0.04, Excess: 0.2}
+}
+
+// Context carries everything scoring needs.
+type Context struct {
+	Res     *exec.Result
+	Suspect []int
+	Ord     int // aggregate ordinal
+	Metric  errmetric.Metric
+	// F is the suspect groups' lineage.
+	F []int
+	// Population is the learning population: F plus any sampled contrast
+	// tuples. Accuracy and tautology checks run over it. Nil means F.
+	Population []int
+	// Culpable marks the high-influence lineage tuples (from the
+	// preprocessor's leave-one-out analysis); the Excess term uses it.
+	// Nil disables the Excess term.
+	Culpable map[int]bool
+	// Eps is ε before any removal.
+	Eps float64
+	// Weights mixes the score terms (zero value → DefaultWeights).
+	Weights Weights
+	// DisablePrune turns off greedy clause pruning (ablation).
+	DisablePrune bool
+	// DisableMerge turns off pairwise predicate merging (ablation).
+	DisableMerge bool
+}
+
+// Scored is a fully scored explanation.
+type Scored struct {
+	Pred   predicate.Predicate
+	Origin string
+	// ErrImprovement is (ε − ε_after)/ε, clamped to [0, 1] (0 when ε=0).
+	ErrImprovement float64
+	// EpsAfter is ε after removing the predicate's tuples.
+	EpsAfter float64
+	// Precision/Recall/F1 measure how well the predicate separates its
+	// target candidate dataset from the rest of F.
+	Precision, Recall, F1 float64
+	// Complexity is the number of clauses.
+	Complexity int
+	// NumTuples is how many lineage tuples the predicate matches.
+	NumTuples int
+	// CulpableFrac is the fraction of matched lineage tuples that are
+	// high-influence (1 when the context has no culpability data).
+	CulpableFrac float64
+	// Score is the final ranking score.
+	Score float64
+}
+
+// String renders a one-line summary.
+func (s Scored) String() string {
+	return fmt.Sprintf("%.3f  %s  (Δε=%.0f%%, F1=%.2f, %d tuples, %s)",
+		s.Score, s.Pred, 100*s.ErrImprovement, s.F1, s.NumTuples, s.Origin)
+}
+
+// Score evaluates one candidate. ok is false when the predicate matches
+// no lineage tuples (vacuous) or matches all of them (tautological).
+func Score(c Candidate, ctx *Context) (Scored, bool) {
+	w := ctx.Weights
+	if w == (Weights{}) {
+		w = DefaultWeights()
+	}
+	pop := ctx.Population
+	if pop == nil {
+		pop = ctx.F
+	}
+	matchedPop := c.Pred.MatchingRows(ctx.Res.Source, pop)
+	// Vacuous and tautological predicates explain nothing.
+	if len(matchedPop) == 0 || len(matchedPop) == len(pop) {
+		return Scored{}, false
+	}
+	matched := c.Pred.MatchingRows(ctx.Res.Source, ctx.F)
+	if len(matched) == 0 {
+		return Scored{}, false
+	}
+	epsAfter, err := influence.EpsWithoutRows(ctx.Res, ctx.Suspect, ctx.Ord, ctx.Metric, matched)
+	if err != nil {
+		return Scored{}, false
+	}
+	if math.IsNaN(epsAfter) {
+		epsAfter = 0
+	}
+	s := Scored{
+		Pred:       c.Pred,
+		Origin:     c.Origin,
+		EpsAfter:   epsAfter,
+		Complexity: c.Pred.Len(),
+		NumTuples:  len(matched),
+	}
+	if ctx.Eps > 0 {
+		s.ErrImprovement = (ctx.Eps - epsAfter) / ctx.Eps
+		if s.ErrImprovement < 0 {
+			s.ErrImprovement = 0
+		}
+		if s.ErrImprovement > 1 {
+			s.ErrImprovement = 1
+		}
+	}
+	if len(c.Target) > 0 {
+		var hit int
+		for _, r := range matchedPop {
+			if c.Target[r] {
+				hit++
+			}
+		}
+		s.Precision = float64(hit) / float64(len(matchedPop))
+		s.Recall = float64(hit) / float64(len(c.Target))
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+	}
+	s.CulpableFrac = 1
+	if len(ctx.Culpable) > 0 {
+		hit := 0
+		for _, r := range matched {
+			if ctx.Culpable[r] {
+				hit++
+			}
+		}
+		s.CulpableFrac = float64(hit) / float64(len(matched))
+	}
+	comp := float64(s.Complexity - 1)
+	if comp < 0 {
+		comp = 0
+	}
+	s.Score = w.Err*s.ErrImprovement + w.Acc*s.F1 - w.Complexity*comp - w.Excess*(1-s.CulpableFrac)
+	return s, true
+}
+
+// Prune greedily drops clauses that do not hurt the score: subgroup
+// rules and deep tree paths often carry incidental conjuncts (an
+// arbitrary timestamp bound, a humidity range that merely correlates),
+// and the paper wants *compact* predicates. Each round re-scores every
+// one-clause-removed variant and keeps the best while it is at least as
+// good as the current predicate.
+func Prune(c Candidate, sc Scored, ctx *Context) (Candidate, Scored) {
+	for len(c.Pred.Clauses) > 1 {
+		improved := false
+		for drop := range c.Pred.Clauses {
+			var variant Candidate
+			variant.Origin = c.Origin
+			variant.Target = c.Target
+			variant.Pred.Clauses = make([]predicate.Clause, 0, len(c.Pred.Clauses)-1)
+			variant.Pred.Clauses = append(variant.Pred.Clauses, c.Pred.Clauses[:drop]...)
+			variant.Pred.Clauses = append(variant.Pred.Clauses, c.Pred.Clauses[drop+1:]...)
+			vs, ok := Score(variant, ctx)
+			if ok && vs.Score >= sc.Score {
+				c, sc = variant, vs
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return c, sc
+}
+
+// mergePredicates builds the least conjunction covering both inputs:
+// per column, numeric bounds widen to the union envelope, equalities on
+// the same value survive, and conflicting constraints drop. It returns
+// ok=false when the two predicates constrain different column sets
+// (merging those would be a semantic leap, not a widening).
+func mergePredicates(a, b predicate.Predicate) (predicate.Predicate, bool) {
+	colsOf := func(p predicate.Predicate) map[string]bool {
+		m := map[string]bool{}
+		for _, c := range p.Columns() {
+			m[strings.ToLower(c)] = true
+		}
+		return m
+	}
+	ca, cb := colsOf(a), colsOf(b)
+	if len(ca) != len(cb) {
+		return predicate.Predicate{}, false
+	}
+	for k := range ca {
+		if !cb[k] {
+			return predicate.Predicate{}, false
+		}
+	}
+	var out predicate.Predicate
+	for col := range ca {
+		ac := clausesFor(a, col)
+		bc := clausesFor(b, col)
+		merged, ok := mergeColumn(ac, bc)
+		if !ok {
+			// Unconstrained column in the merge — acceptable only if it
+			// leaves at least one clause overall; continue.
+			continue
+		}
+		out.Clauses = append(out.Clauses, merged...)
+	}
+	if out.IsTrue() {
+		return out, false
+	}
+	simplified, ok := out.Simplify()
+	if !ok {
+		return predicate.Predicate{}, false
+	}
+	return simplified, true
+}
+
+func clausesFor(p predicate.Predicate, colLower string) []predicate.Clause {
+	var out []predicate.Clause
+	for _, c := range p.Clauses {
+		if strings.ToLower(c.Col) == colLower {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mergeColumn widens one column's constraints to cover both sides.
+func mergeColumn(a, b []predicate.Clause) ([]predicate.Clause, bool) {
+	// Same single equality on both sides survives.
+	if len(a) == 1 && len(b) == 1 && a[0].Op == predicate.OpEq && b[0].Op == predicate.OpEq {
+		if engine.Equal(a[0].Val, b[0].Val) {
+			return []predicate.Clause{a[0]}, true
+		}
+		return nil, false // would need IN; drop the constraint
+	}
+	// Bound envelope: keep the loosest lower and upper bounds present on
+	// BOTH sides (a bound present on only one side must drop, or the
+	// merge would not cover the other predicate).
+	lower := func(cs []predicate.Clause) (predicate.Clause, bool) {
+		for _, c := range cs {
+			if c.Op == predicate.OpGe || c.Op == predicate.OpGt {
+				return c, true
+			}
+		}
+		return predicate.Clause{}, false
+	}
+	upper := func(cs []predicate.Clause) (predicate.Clause, bool) {
+		for _, c := range cs {
+			if c.Op == predicate.OpLe || c.Op == predicate.OpLt {
+				return c, true
+			}
+		}
+		return predicate.Clause{}, false
+	}
+	var out []predicate.Clause
+	if la, okA := lower(a); okA {
+		if lb, okB := lower(b); okB {
+			if cmp, err := engine.Compare(la.Val, lb.Val); err == nil {
+				if cmp <= 0 {
+					out = append(out, la)
+				} else {
+					out = append(out, lb)
+				}
+			}
+		}
+	}
+	if ua, okA := upper(a); okA {
+		if ub, okB := upper(b); okB {
+			if cmp, err := engine.Compare(ua.Val, ub.Val); err == nil {
+				if cmp >= 0 {
+					out = append(out, ua)
+				} else {
+					out = append(out, ub)
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// MergeAdjacent tries pairwise merges of the scored predicates (the
+// MERGER idea from Scorpion, the full-paper successor of this demo):
+// when the least-widening conjunction covering two predicates scores at
+// least as well as both, it replaces them. One pass over the top
+// results.
+func MergeAdjacent(scored []Scored, targets map[string]map[int]bool, ctx *Context) []Scored {
+	const maxPairwise = 12
+	n := len(scored)
+	if n > maxPairwise {
+		n = maxPairwise
+	}
+	dead := make([]bool, len(scored))
+	var added []Scored
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if dead[i] || dead[j] {
+				continue
+			}
+			merged, ok := mergePredicates(scored[i].Pred, scored[j].Pred)
+			if !ok {
+				continue
+			}
+			target := targets[scored[i].Pred.Key()]
+			sc, ok := Score(Candidate{Pred: merged, Origin: scored[i].Origin + "+merge", Target: target}, ctx)
+			if !ok {
+				continue
+			}
+			if sc.Score >= scored[i].Score && sc.Score >= scored[j].Score {
+				dead[i] = true
+				dead[j] = true
+				added = append(added, sc)
+			}
+		}
+	}
+	out := make([]Scored, 0, len(scored)+len(added))
+	for i, s := range scored {
+		if !dead[i] {
+			out = append(out, s)
+		}
+	}
+	out = append(out, added...)
+	sortScored(out)
+	return out
+}
+
+func sortScored(out []Scored) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Complexity != out[j].Complexity {
+			return out[i].Complexity < out[j].Complexity
+		}
+		return out[i].NumTuples < out[j].NumTuples
+	})
+}
+
+// RankAll scores every candidate, prunes incidental clauses,
+// deduplicates by canonical predicate key (keeping the best score), and
+// returns the survivors sorted by descending score (ties: fewer
+// clauses, then fewer tuples).
+func RankAll(cands []Candidate, ctx *Context) []Scored {
+	byKey := make(map[string]Scored)
+	targets := make(map[string]map[int]bool)
+	var order []string
+	for _, c := range cands {
+		sc, ok := Score(c, ctx)
+		if !ok {
+			continue
+		}
+		if !ctx.DisablePrune {
+			c, sc = Prune(c, sc, ctx)
+		}
+		key := c.Pred.Key()
+		prev, seen := byKey[key]
+		if !seen {
+			order = append(order, key)
+			byKey[key] = sc
+			targets[key] = c.Target
+		} else if sc.Score > prev.Score {
+			byKey[key] = sc
+			targets[key] = c.Target
+		}
+	}
+	out := make([]Scored, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	sortScored(out)
+	if ctx.DisableMerge {
+		return out
+	}
+	return MergeAdjacent(out, targets, ctx)
+}

@@ -1,0 +1,471 @@
+// Package server implements the DBWipes web frontend: a JSON API plus an
+// embedded single-page dashboard with the paper's four components —
+// query input form, result scatterplot with suspect/example selection,
+// error metric form, and the ranked predicate list whose entries can be
+// clicked to clean the database and automatically re-run the query
+// (Figure 2 of the paper).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/predicate"
+	"repro/internal/sqlparse"
+)
+
+// Server serves the DBWipes dashboard over one engine database.
+type Server struct {
+	db *engine.DB
+
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// session is one browser's interactive state.
+type session struct {
+	sql     string
+	res     *exec.Result
+	applied []predicate.Predicate // cleaning history (clicked predicates)
+	lastDbg *core.DebugResult
+}
+
+// New creates a server over db.
+func New(db *engine.DB) *Server {
+	return &Server{db: db, sessions: make(map[string]*session)}
+}
+
+// Handler returns the HTTP handler (mountable under any mux).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/tables", s.handleTables)
+	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/suggest", s.handleSuggest)
+	mux.HandleFunc("POST /api/zoom", s.handleZoom)
+	mux.HandleFunc("POST /api/debug", s.handleDebug)
+	mux.HandleFunc("POST /api/clean", s.handleClean)
+	mux.HandleFunc("POST /api/reset", s.handleReset)
+	return mux
+}
+
+func (s *Server) session(id string) *session {
+	if id == "" {
+		id = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		sess = &session{}
+		s.sessions[id] = sess
+	}
+	return sess
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashboardHTML))
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, _ *http.Request) {
+	type col struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	out := map[string][]col{}
+	for _, name := range s.db.Names() {
+		t, err := s.db.Table(name)
+		if err != nil {
+			continue
+		}
+		var cols []col
+		for _, c := range t.Schema() {
+			cols = append(cols, col{c.Name, c.Type.String()})
+		}
+		out[name] = cols
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, errmetric.Specs())
+}
+
+// queryPayload is the shared response shape of /api/query and
+// /api/clean.
+type queryPayload struct {
+	SQL       string   `json:"sql"`
+	Columns   []string `json:"columns"`
+	Types     []string `json:"types"`
+	Rows      [][]any  `json:"rows"`
+	AggCols   []int    `json:"aggCols"`
+	Applied   []string `json:"applied"`
+	Truncated bool     `json:"truncated"`
+	// PCA holds the two-principal-component projection of the groups
+	// (paper §2.2.1's proposed multi-attribute visualization), present
+	// when the result has 3+ numeric columns; PCAExplained reports the
+	// variance ratio captured by each axis.
+	PCA          [][2]float64 `json:"pca,omitempty"`
+	PCAExplained [2]float64   `json:"pcaExplained,omitempty"`
+}
+
+const maxRowsOut = 5000
+
+func (s *Server) buildPayload(sess *session) *queryPayload {
+	res := sess.res
+	p := &queryPayload{SQL: sess.sql, AggCols: res.AggOrdinals()}
+	for _, c := range res.Table.Schema() {
+		p.Columns = append(p.Columns, c.Name)
+		p.Types = append(p.Types, c.Type.String())
+	}
+	n := res.Table.NumRows()
+	if n > maxRowsOut {
+		n = maxRowsOut
+		p.Truncated = true
+	}
+	for i := 0; i < n; i++ {
+		row := res.Table.Row(i)
+		jsRow := make([]any, len(row))
+		for c, v := range row {
+			jsRow[c] = valueJSON(v)
+		}
+		p.Rows = append(p.Rows, jsRow)
+	}
+	for _, ap := range sess.applied {
+		p.Applied = append(p.Applied, ap.String())
+	}
+	// Multi-attribute results additionally get the paper's proposed
+	// PCA view. Only computed for the rows actually shipped.
+	numeric := 0
+	for _, c := range res.Table.Schema() {
+		if c.Type.IsNumeric() {
+			numeric++
+		}
+	}
+	if numeric >= 3 && !p.Truncated {
+		if proj, explained, err := core.PCAGroups(res); err == nil {
+			p.PCA = proj
+			p.PCAExplained = explained
+		}
+	}
+	return p
+}
+
+func valueJSON(v engine.Value) any {
+	switch v.T {
+	case engine.TNull:
+		return nil
+	case engine.TBool:
+		return v.Bool()
+	case engine.TInt:
+		return v.I
+	case engine.TFloat:
+		return v.F
+	case engine.TTime:
+		return v.Time().Format("2006-01-02T15:04:05Z")
+	default:
+		return v.S
+	}
+}
+
+// runWithCleaning executes sql with the session's cleaning predicates
+// appended as WHERE NOT (...) conjuncts.
+func (s *Server) runWithCleaning(sess *session, sql string) error {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return err
+	}
+	for _, p := range sess.applied {
+		stmt.Where = expr.And(stmt.Where, p.NegationExpr())
+	}
+	res, err := exec.Run(s.db, stmt)
+	if err != nil {
+		return err
+	}
+	sess.sql = sql
+	sess.res = res
+	sess.lastDbg = nil
+	return nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		SQL     string `json:"sql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.session(req.Session)
+	if err := s.runWithCleaning(sess, req.SQL); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildPayload(sess))
+}
+
+// handleSuggest implements the paper's dynamic Error Metric Form: given
+// the highlighted suspect groups it returns the offered metrics together
+// with a prefilled expected value c — the median of the *non-suspect*
+// groups' aggregate, i.e. "what this aggregate normally looks like".
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		Suspect []int  `json:"suspect"`
+		AggItem int    `json:"aggItem"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.session(req.Session)
+	if sess.res == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
+		return
+	}
+	ords := sess.res.AggOrdinals()
+	if len(ords) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("query has no aggregates"))
+		return
+	}
+	col := ords[0]
+	if req.AggItem > 0 && req.AggItem < sess.res.Table.NumCols() {
+		col = req.AggItem
+	}
+	inS := make(map[int]bool, len(req.Suspect))
+	for _, i := range req.Suspect {
+		inS[i] = true
+	}
+	var rest, suspects []float64
+	for i := 0; i < sess.res.Table.NumRows(); i++ {
+		v := sess.res.Table.Value(i, col)
+		if v.IsNull() {
+			continue
+		}
+		if inS[i] {
+			suspects = append(suspects, v.Float())
+		} else {
+			rest = append(rest, v.Float())
+		}
+	}
+	suggested := errmetric.SuggestReference(rest)
+	// Offer the directional metric matching how the suspects deviate.
+	recommended := "notequal"
+	if len(suspects) > 0 {
+		sMed := errmetric.SuggestReference(suspects)
+		if sMed > suggested {
+			recommended = "toohigh"
+		} else if sMed < suggested {
+			recommended = "toolow"
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metrics":     errmetric.Specs(),
+		"suggestedC":  suggested,
+		"recommended": recommended,
+	})
+}
+
+func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		Suspect []int  `json:"suspect"`
+		Limit   int    `json:"limit"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.session(req.Session)
+	if sess.res == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > 20000 {
+		limit = 20000
+	}
+	lineage := sess.res.Lineage(req.Suspect)
+	truncated := false
+	if len(lineage) > limit {
+		lineage = lineage[:limit]
+		truncated = true
+	}
+	src := sess.res.Source
+	var cols []string
+	for _, c := range src.Schema() {
+		cols = append(cols, c.Name)
+	}
+	rows := make([][]any, 0, len(lineage))
+	for _, ri := range lineage {
+		row := src.Row(ri)
+		jsRow := make([]any, 0, len(row)+1)
+		jsRow = append(jsRow, ri) // row id first, so D' selections can reference it
+		for _, v := range row {
+			jsRow = append(jsRow, valueJSON(v))
+		}
+		rows = append(rows, jsRow)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns":   append([]string{"_rowid"}, cols...),
+		"rows":      rows,
+		"truncated": truncated,
+	})
+}
+
+// explanationJSON is one ranked predicate over the wire.
+type explanationJSON struct {
+	Predicate      string  `json:"predicate"`
+	Score          float64 `json:"score"`
+	ErrImprovement float64 `json:"errImprovement"`
+	F1             float64 `json:"f1"`
+	NumTuples      int     `json:"numTuples"`
+	Origin         string  `json:"origin"`
+	CleanedSQL     string  `json:"cleanedSql"`
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session      string             `json:"session"`
+		Suspect      []int              `json:"suspect"`
+		AggItem      int                `json:"aggItem"`
+		Metric       string             `json:"metric"`
+		MetricParams map[string]float64 `json:"metricParams"`
+		// ExamplesCond is a SQL condition over source columns selecting
+		// D' within the suspect lineage (e.g. "temperature > 100").
+		ExamplesCond string `json:"examplesCond"`
+		// ExampleRows lists explicit D' row ids (from /api/zoom).
+		ExampleRows []int `json:"exampleRows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.session(req.Session)
+	if sess.res == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
+		return
+	}
+	metric, err := errmetric.New(req.Metric, req.MetricParams)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	examples := req.ExampleRows
+	if len(examples) == 0 && strings.TrimSpace(req.ExamplesCond) != "" {
+		examples, err = core.ExamplesWhere(sess.res, req.Suspect, req.ExamplesCond)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	aggItem := req.AggItem
+	if aggItem == 0 {
+		aggItem = -1
+	}
+	dr, err := core.Debug(core.DebugRequest{
+		Result:   sess.res,
+		AggItem:  aggItem,
+		Suspect:  req.Suspect,
+		Examples: examples,
+		Metric:   metric,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess.lastDbg = dr
+	out := struct {
+		Eps          float64           `json:"eps"`
+		LineageSize  int               `json:"lineageSize"`
+		Explanations []explanationJSON `json:"explanations"`
+	}{Eps: dr.Eps, LineageSize: len(dr.F)}
+	for _, e := range dr.Explanations {
+		out.Explanations = append(out.Explanations, explanationJSON{
+			Predicate:      e.Pred.String(),
+			Score:          e.Score,
+			ErrImprovement: e.ErrImprovement,
+			F1:             e.F1,
+			NumTuples:      e.NumTuples,
+			Origin:         e.Origin,
+			CleanedSQL:     core.CleanedSQL(sess.res.Stmt, e.Pred),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		// Explanation indexes into the last /api/debug response.
+		Explanation *int `json:"explanation"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.session(req.Session)
+	if sess.res == nil || sess.lastDbg == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("debug first, then clean"))
+		return
+	}
+	if req.Explanation == nil || *req.Explanation < 0 || *req.Explanation >= len(sess.lastDbg.Explanations) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("explanation index out of range"))
+		return
+	}
+	pred := sess.lastDbg.Explanations[*req.Explanation].Pred
+	sess.applied = append(sess.applied, pred)
+	if err := s.runWithCleaning(sess, sess.sql); err != nil {
+		sess.applied = sess.applied[:len(sess.applied)-1]
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildPayload(sess))
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.session(req.Session)
+	sess.applied = nil
+	sess.lastDbg = nil
+	if sess.sql != "" {
+		if err := s.runWithCleaning(sess, sess.sql); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.buildPayload(sess))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}

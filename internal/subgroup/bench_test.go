@@ -1,0 +1,64 @@
+package subgroup
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/feature"
+)
+
+func benchFixture(b *testing.B, n int) (*feature.Space, []int, []bool) {
+	b.Helper()
+	tbl := engine.MustNewTable("t", engine.NewSchema(
+		"mote", engine.TInt, "volt", engine.TFloat, "hum", engine.TFloat, "city", engine.TString))
+	rng := rand.New(rand.NewSource(9))
+	rows := make([]int, 0, n)
+	labels := make([]bool, 0, n)
+	cities := []string{"A", "B", "C", "D", "E"}
+	for i := 0; i < n; i++ {
+		pos := i%10 == 0
+		volt := 2.5 + rng.Float64()*0.3
+		if pos {
+			volt = 2.2 + rng.Float64()*0.15
+		}
+		id := tbl.MustAppendRow(
+			engine.NewInt(rng.Int63n(54)),
+			engine.NewFloat(volt),
+			engine.NewFloat(30+rng.NormFloat64()*5),
+			engine.NewString(cities[i%5]))
+		rows = append(rows, id)
+		labels = append(labels, pos)
+	}
+	return feature.NewSpace(tbl, feature.Options{}), rows, labels
+}
+
+// BenchmarkDiscover measures the CN2-SD covering loop at pipeline-like
+// population sizes.
+func BenchmarkDiscover(b *testing.B) {
+	for _, n := range []int{4_000, 16_000} {
+		n := n
+		b.Run(fmt.Sprintf("pop=%d", n), func(b *testing.B) {
+			sp, rows, labels := benchFixture(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rules := Discover(sp, rows, labels, Options{}); len(rules) == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDiscoverBeamWidth(b *testing.B) {
+	sp, rows, labels := benchFixture(b, 8_000)
+	for _, beam := range []int{1, 8, 32} {
+		beam := beam
+		b.Run(fmt.Sprintf("beam=%d", beam), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Discover(sp, rows, labels, Options{BeamWidth: beam})
+			}
+		})
+	}
+}
