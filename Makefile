@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test short vet bench bench-hot
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: everything must build and pass.
+test: build
+	$(GO) test ./...
+
+# Short mode skips the full-scale (2.3M row) generators.
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep with allocation counts.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Just the scoring hot path: the paper's interactivity claim lives here.
+bench-hot:
+	$(GO) test -run='^$$' -bench='BenchmarkInfluenceLOO|BenchmarkFigure6RankedPredicates' -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkRank|BenchmarkEpsWithout' -benchmem ./internal/influence
+	$(GO) test -run='^$$' -bench='BenchmarkScorePredicate|BenchmarkRankAll' -benchmem ./internal/ranker
+	$(GO) test -run='^$$' -bench='BenchmarkMatching' -benchmem ./internal/predicate

@@ -40,7 +40,7 @@ type intelEnv struct {
 
 var intelCache = map[int]*intelEnv{}
 
-func intelBench(b *testing.B, rows int) *intelEnv {
+func intelBench(b testing.TB, rows int) *intelEnv {
 	b.Helper()
 	if e, ok := intelCache[rows]; ok {
 		return e
@@ -74,7 +74,7 @@ type fecEnv struct {
 
 var fecCache = map[int]*fecEnv{}
 
-func fecBench(b *testing.B, rows int) *fecEnv {
+func fecBench(b testing.TB, rows int) *fecEnv {
 	b.Helper()
 	if e, ok := fecCache[rows]; ok {
 		return e

@@ -22,8 +22,43 @@
 // cmd/experiments (regenerates every figure + the quantitative
 // evaluation). Runnable walkthroughs live in examples/.
 //
+// # The columnar scoring fast path
+//
+// Interactive latency rests on scoring thousands of candidate
+// predicates against the suspect lineage without re-touching boxed
+// values. A Debug run therefore decodes everything it needs once, up
+// front, into flat read-only state, and the whole scoring pipeline runs
+// on bitmaps and float slices:
+//
+//   - internal/bitset — dense []uint64 bitmaps over source row ids;
+//     lineage sets, predicate match sets and culpability sets intersect
+//     and count at word granularity.
+//   - internal/engine — per-table typed column views (FloatView,
+//     DictView): each column decoded once to []float64 + NULL bitmap or
+//     dictionary codes, shared by every downstream consumer.
+//   - internal/exec — Result.AggArgFloats evaluates an aggregate's
+//     argument expression once per source row into an ArgView;
+//     Result.LineageBits/GroupLineageBits expose provenance as bitsets.
+//   - internal/predicate — Index caches a full-table match mask per
+//     clause; a predicate match is the AND of its clause masks
+//     (Predicate.MatchingBitset), bit-for-bit equal to MatchesRow.
+//   - internal/agg — FloatRemovable: leave-out aggregate evaluation fed
+//     straight from the flat argument column, no boxing.
+//   - internal/influence — Scorer ties these together: ε-without-a-set
+//     is "intersect match mask with each group's lineage span, gather
+//     floats, ask the removable state", zero steady-state allocations.
+//   - internal/ranker — candidates score and prune in parallel across a
+//     worker pool; the prepared context is read-only shared state.
+//   - internal/dtree — split search streams the same typed views.
+//
+// Future backends plug in underneath this layer: a sharded or
+// multi-table engine only needs to produce the same flat views
+// (argument columns, lineage bitsets, clause masks) per shard, and the
+// scoring algebra above composes by OR-ing bitsets and merging
+// removable states.
+//
 // The benchmarks in bench_test.go regenerate the data behaviour behind
 // each figure of the paper; run them with
 //
-//	go test -bench=. -benchmem
+//	make bench    # go test -run='^$' -bench=. -benchmem ./...
 package repro

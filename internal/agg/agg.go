@@ -603,9 +603,11 @@ func (m *Median) ResultWithout(v engine.Value) engine.Value {
 	return m.ResultWithoutSet([]engine.Value{v})
 }
 
-// ResultWithoutSet implements Removable.
+// ResultWithoutSet implements Removable. It deliberately avoids
+// ensureSorted: removal evaluation runs concurrently from the ranker's
+// scoring workers, so it must not mutate shared state — it filters into
+// a local slice and sorts that instead.
 func (m *Median) ResultWithoutSet(vs []engine.Value) engine.Value {
-	m.ensureSorted()
 	drop := make(map[float64]int, len(vs))
 	nd := 0
 	for _, v := range vs {
@@ -614,10 +616,17 @@ func (m *Median) ResultWithoutSet(vs []engine.Value) engine.Value {
 			nd++
 		}
 	}
-	if nd == 0 {
-		return medianOfSorted(m.vals)
+	return m.withoutSorted(drop, nd)
+}
+
+// withoutSorted returns the median of vals minus the drop multiset,
+// without touching the receiver's slice or sorted flag.
+func (m *Median) withoutSorted(drop map[float64]int, nd int) engine.Value {
+	capHint := len(m.vals) - nd
+	if capHint < 0 {
+		capHint = 0
 	}
-	kept := make([]float64, 0, len(m.vals)-nd)
+	kept := make([]float64, 0, capHint)
 	for _, f := range m.vals {
 		if drop[f] > 0 {
 			drop[f]--
@@ -625,6 +634,13 @@ func (m *Median) ResultWithoutSet(vs []engine.Value) engine.Value {
 		}
 		kept = append(kept, f)
 	}
+	// Always sort the local copy rather than consulting the lazily
+	// written sorted flag, so this path never writes shared state. It
+	// still reads m.vals: concurrent removal calls are safe with each
+	// other, and safe alongside Result() because exec.materialize
+	// calls Result() on every aggregate (sorting it) before any
+	// concurrent scoring starts.
+	sort.Float64s(kept)
 	return medianOfSorted(kept)
 }
 

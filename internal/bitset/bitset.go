@@ -1,0 +1,229 @@
+// Package bitset implements the dense bitmap that underpins DBWipes'
+// columnar scoring fast path. Lineage sets, predicate match sets, and
+// culpability sets are all subsets of [0, NumRows) of one source table,
+// so a flat []uint64 bitmap turns the per-predicate set algebra
+// (intersection with each group's lineage, membership counting) into
+// word-level AND/popcount loops instead of hash-map probes.
+//
+// The janus-datalog lesson applies directly: provenance workloads are
+// set-membership-bound, and the set representation decides the constant
+// factor. A Bitset over a 100k-row table is ~12.5 KB — it fits in L1/L2
+// and intersects in ~1.5k word operations.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Bitset is a fixed-length dense bitmap over [0, Len()).
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty bitset able to hold n bits.
+func New(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromRows returns a bitset of length n with the given rows set. Rows
+// outside [0, n) are ignored.
+func FromRows(n int, rows []int) *Bitset {
+	b := New(n)
+	for _, r := range rows {
+		if r >= 0 && r < n {
+			b.words[r/wordBits] |= 1 << (uint(r) % wordBits)
+		}
+	}
+	return b
+}
+
+// Len returns the bit capacity.
+func (b *Bitset) Len() int { return b.n }
+
+// Words exposes the backing words for read-only word-level iteration in
+// hot loops. Callers must not mutate the returned slice.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Set sets bit i. Out-of-range bits are ignored.
+func (b *Bitset) Set(i int) {
+	if i >= 0 && i < b.n {
+		b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Unset clears bit i. Out-of-range bits are ignored.
+func (b *Bitset) Unset(i int) {
+	if i >= 0 && i < b.n {
+		b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// Get reports whether bit i is set; out-of-range bits read as false.
+func (b *Bitset) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset clears every bit, keeping capacity.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Fill sets every bit in [0, Len()).
+func (b *Bitset) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimTail()
+}
+
+// trimTail clears the unused high bits of the last word so Count and
+// iteration never see ghost bits.
+func (b *Bitset) trimTail() {
+	if rem := b.n % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	out := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// CopyFrom overwrites b with other's bits. The two must have the same
+// length; CopyFrom panics otherwise.
+func (b *Bitset) CopyFrom(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: CopyFrom length mismatch")
+	}
+	copy(b.words, other.words)
+}
+
+// And intersects b with other in place (same length required).
+func (b *Bitset) And(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: And length mismatch")
+	}
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNot removes other's bits from b in place (same length required).
+func (b *Bitset) AndNot(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: AndNot length mismatch")
+	}
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+// Or unions other into b in place (same length required).
+func (b *Bitset) Or(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: Or length mismatch")
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// IntersectOf sets b = x & y without allocating (all same length).
+func (b *Bitset) IntersectOf(x, y *Bitset) {
+	if b.n != x.n || b.n != y.n {
+		panic("bitset: IntersectOf length mismatch")
+	}
+	for i := range b.words {
+		b.words[i] = x.words[i] & y.words[i]
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AndCount returns |x ∩ y| without materializing the intersection.
+func AndCount(x, y *Bitset) int {
+	if x.n != y.n {
+		panic("bitset: AndCount length mismatch")
+	}
+	c := 0
+	for i, w := range x.words {
+		c += bits.OnesCount64(w & y.words[i])
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendRows appends the set bit positions to dst in ascending order and
+// returns it — the bridge back to the []int row-list world.
+func (b *Bitset) AppendRows(dst []int) []int {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Rows returns the set bit positions as a fresh sorted slice.
+func (b *Bitset) Rows() []int {
+	return b.AppendRows(make([]int, 0, b.Count()))
+}
+
+// WordRange returns the index of the first and last non-zero words,
+// inclusive. ok is false when the set is empty. Hot loops use it to
+// restrict intersection to a group's occupied span.
+func (b *Bitset) WordRange() (lo, hi int, ok bool) {
+	lo = -1
+	for i, w := range b.words {
+		if w != 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo < 0 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

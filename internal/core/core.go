@@ -443,6 +443,12 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 		Eps: an.Eps, Weights: opt.Weights,
 		DisablePrune: opt.DisablePrune, DisableMerge: opt.DisableMerge,
 	}
+	// Columnar fast path: reuse the Scorer the preprocessor already
+	// built (lineage bitsets + flat argument column) for every candidate
+	// scoring in this Debug call; RankAll builds the predicate Index and
+	// falls back to the boxed path internally when the Scorer is nil
+	// (e.g. DISTINCT aggregates).
+	ctx.Scorer = an.Scorer
 	scored := ranker.RankAll(rcands, ctx)
 	if len(scored) > opt.MaxExplanations {
 		scored = scored[:opt.MaxExplanations]

@@ -97,6 +97,9 @@ type Split struct {
 	Numeric   bool
 	Threshold float64
 	Val       engine.Value
+	// code is Val's dictionary code in the attribute's column, letting
+	// categorical routing compare int32s instead of boxed values.
+	code int32
 }
 
 // Node is one tree node.
@@ -121,6 +124,55 @@ type Tree struct {
 	// TrainAccuracy is the weighted accuracy on the training set.
 	TrainAccuracy float64
 	nodes         int
+
+	// Typed column views (from the engine's shared cache), parallel to
+	// Space.Attrs: split search and row routing stream over flat
+	// float64/code slices instead of boxed Values.
+	fviews []*engine.FloatView
+	dviews []*engine.DictView
+	// attrCodes[ai][vi] is the dictionary code of Space.Attrs[ai].Values[vi]
+	// (-1 when the value does not occur in the column).
+	attrCodes [][]int32
+	// attrSlots[ai][code] maps a dictionary code back to its position in
+	// Space.Attrs[ai].Values (-1 for codes outside the attribute's
+	// capped value set), so split search accumulates into arrays sized
+	// by MaxCategories rather than the column's full cardinality.
+	attrSlots [][]int32
+}
+
+// bindViews resolves the typed views of every attribute column once per
+// training run.
+func (t *Tree) bindViews() {
+	sp := t.Space
+	t.fviews = make([]*engine.FloatView, len(sp.Attrs))
+	t.dviews = make([]*engine.DictView, len(sp.Attrs))
+	t.attrCodes = make([][]int32, len(sp.Attrs))
+	t.attrSlots = make([][]int32, len(sp.Attrs))
+	for ai := range sp.Attrs {
+		attr := &sp.Attrs[ai]
+		switch attr.Kind {
+		case feature.Numeric:
+			t.fviews[ai] = sp.Table.FloatView(attr.Col)
+		case feature.Categorical:
+			dv := sp.Table.DictView(attr.Col)
+			t.dviews[ai] = dv
+			if dv != nil {
+				codes := make([]int32, len(attr.Values))
+				slots := make([]int32, len(dv.Values))
+				for i := range slots {
+					slots[i] = -1
+				}
+				for vi, v := range attr.Values {
+					codes[vi] = dv.Code(v.Str())
+					if codes[vi] >= 0 {
+						slots[codes[vi]] = int32(vi)
+					}
+				}
+				t.attrCodes[ai] = codes
+				t.attrSlots[ai] = slots
+			}
+		}
+	}
 }
 
 // NumNodes returns the node count.
@@ -142,6 +194,7 @@ func Train(sp *feature.Space, rows []int, labels []bool, weights []float64, opt 
 		return nil, fmt.Errorf("dtree: %d rows with %d weights", len(rows), len(weights))
 	}
 	tr := &Tree{Space: sp, Opt: opt}
+	tr.bindViews()
 	idx := make([]int, len(rows))
 	for i := range idx {
 		idx[i] = i
@@ -218,7 +271,7 @@ func (t *Tree) build(rows []int, labels []bool, weights []float64, idx []int, de
 
 	var leftIdx, rightIdx []int
 	for _, i := range idx {
-		if splitGoesLeft(t.Space, best, rows[i]) {
+		if t.goesLeft(best, rows[i]) {
 			leftIdx = append(leftIdx, i)
 		} else {
 			rightIdx = append(rightIdx, i)
@@ -280,7 +333,6 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 
 	for ai := range t.Space.Attrs {
 		attr := &t.Space.Attrs[ai]
-		col := t.Space.Table.Column(attr.Col)
 		switch attr.Kind {
 		case feature.Numeric:
 			ths := attr.Thresholds
@@ -292,18 +344,34 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 			// len(ths): v > last or NULL/NaN → always right).
 			bTot := make([]float64, len(ths)+1)
 			bPos := make([]float64, len(ths)+1)
-			for _, i := range idx {
-				v := col[rows[i]]
-				k := len(ths)
-				if !v.IsNull() {
-					f := v.Float()
-					if !math.IsNaN(f) {
+			if fv := t.fviews[ai]; fv != nil {
+				// Typed fast path: stream the flat float column.
+				for _, i := range idx {
+					r := rows[i]
+					k := len(ths)
+					if f := fv.Vals[r]; !math.IsNaN(f) {
 						k = sort.SearchFloat64s(ths, f) // first th >= f
 					}
+					bTot[k] += weights[i]
+					if labels[i] {
+						bPos[k] += weights[i]
+					}
 				}
-				bTot[k] += weights[i]
-				if labels[i] {
-					bPos[k] += weights[i]
+			} else {
+				col := t.Space.Table.Column(attr.Col)
+				for _, i := range idx {
+					v := col[rows[i]]
+					k := len(ths)
+					if !v.IsNull() {
+						f := v.Float()
+						if !math.IsNaN(f) {
+							k = sort.SearchFloat64s(ths, f)
+						}
+					}
+					bTot[k] += weights[i]
+					if labels[i] {
+						bPos[k] += weights[i]
+					}
 				}
 			}
 			var lTot, lPos float64
@@ -316,6 +384,37 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 			if len(attr.Values) == 0 {
 				continue
 			}
+			if dv := t.dviews[ai]; dv != nil {
+				// Typed fast path: accumulate per attribute-value slot
+				// (≤ MaxCategories), not per full-dictionary code, so
+				// high-cardinality columns don't inflate per-node work.
+				slots := t.attrSlots[ai]
+				cTot := make([]float64, len(attr.Values))
+				cPos := make([]float64, len(attr.Values))
+				for _, i := range idx {
+					code := dv.Codes[rows[i]]
+					if code < 0 {
+						continue
+					}
+					slot := slots[code]
+					if slot < 0 {
+						continue // value outside the capped selector set
+					}
+					cTot[slot] += weights[i]
+					if labels[i] {
+						cPos[slot] += weights[i]
+					}
+				}
+				for vi, v := range attr.Values {
+					code := t.attrCodes[ai][vi]
+					if code < 0 {
+						continue // value absent from the column: zero counts
+					}
+					consider(Split{AttrIdx: ai, Val: v, code: code}, cPos[vi], cTot[vi])
+				}
+				continue
+			}
+			col := t.Space.Table.Column(attr.Col)
 			cTot := make(map[string]float64, len(attr.Values))
 			cPos := make(map[string]float64, len(attr.Values))
 			for _, i := range idx {
@@ -351,11 +450,31 @@ func splitGoesLeft(sp *feature.Space, s Split, row int) bool {
 	return engine.Equal(v, s.Val)
 }
 
+// goesLeft routes one row through a split using the typed views, with
+// the boxed splitGoesLeft as fallback.
+func (t *Tree) goesLeft(s Split, row int) bool {
+	if s.AttrIdx >= len(t.fviews) { // tree built without bindViews
+		return splitGoesLeft(t.Space, s, row)
+	}
+	// Views are bound at Train time; a row appended to the table since
+	// then is past their length and falls back to the live column read.
+	if s.Numeric {
+		if fv := t.fviews[s.AttrIdx]; fv != nil && row < len(fv.Vals) {
+			f := fv.Vals[row] // NULL is stored as NaN and routes right
+			return !math.IsNaN(f) && f <= s.Threshold
+		}
+	} else if dv := t.dviews[s.AttrIdx]; dv != nil && row < len(dv.Codes) {
+		code := dv.Codes[row]
+		return code >= 0 && code == s.code
+	}
+	return splitGoesLeft(t.Space, s, row)
+}
+
 // PredictRow classifies one table row.
 func (t *Tree) PredictRow(row int) bool {
 	n := t.Root
 	for !n.Leaf {
-		if splitGoesLeft(t.Space, n.Split, row) {
+		if t.goesLeft(n.Split, row) {
 			n = n.Left
 		} else {
 			n = n.Right

@@ -204,3 +204,23 @@ func TestNumNodes(t *testing.T) {
 		t.Error("empty rendering")
 	}
 }
+
+// TestPredictRowAfterAppend is a regression test: the typed column
+// views are bound at Train time, so classifying a row appended to the
+// table afterwards must fall back to the live column read instead of
+// indexing past the bound slices.
+func TestPredictRowAfterAppend(t *testing.T) {
+	sp, rows, labels := plantedConcept(t, 600)
+	tree, err := Train(sp, rows, labels, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := sp.Table.MustAppendRow(engine.NewInt(1), engine.NewFloat(2.25), engine.NewString("LAB"))
+	neg := sp.Table.MustAppendRow(engine.NewInt(2), engine.NewFloat(2.75), engine.NewString("ROOF"))
+	if !tree.PredictRow(pos) {
+		t.Error("appended positive row misclassified")
+	}
+	if tree.PredictRow(neg) {
+		t.Error("appended negative row misclassified")
+	}
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+var nan = math.NaN()
+
+// This file implements the typed column views behind DBWipes' columnar
+// scoring fast path. A Table stores boxed Values; the hot paths
+// (vectorized predicate evaluation, decision-tree split search) want a
+// flat []float64 or a dictionary-coded []int32 they can stream over
+// without per-row type dispatch. Views are decoded once per column on
+// first request, cached on the table, and rebuilt automatically when
+// rows have been appended since the build.
+
+// FloatView is a decoded numeric column: Vals[i] holds row i's value
+// coerced to float64 (NaN for NULL — consult Null to distinguish a
+// stored NaN from a NULL), and Null marks the NULL rows.
+type FloatView struct {
+	Vals []float64
+	Null *bitset.Bitset
+}
+
+// DictView is a dictionary-encoded string column: Codes[i] indexes
+// Values, or is -1 for NULL. Values lists the distinct strings in first-
+// appearance order.
+type DictView struct {
+	Codes  []int32
+	Values []string
+	byStr  map[string]int32
+}
+
+// Code returns the dictionary code of s, or -1 when s does not occur in
+// the column.
+func (d *DictView) Code(s string) int32 {
+	if c, ok := d.byStr[s]; ok {
+		return c
+	}
+	return -1
+}
+
+// tableViews is the per-table view cache. It lives behind a pointer so
+// Rename's shallow copy shares it (shared storage, shared cache) and so
+// the Table struct stays copyable without copying a lock.
+type tableViews struct {
+	mu    sync.Mutex
+	float map[int]*floatEntry
+	dict  map[int]*dictEntry
+}
+
+type floatEntry struct {
+	view *FloatView
+	rows int
+}
+
+type dictEntry struct {
+	view *DictView
+	rows int
+}
+
+func (t *Table) viewCache() *tableViews {
+	if t.views == nil {
+		// Zero-value / legacy tables: allocate on first use. NewTable
+		// initializes views, so this path is single-goroutine setup code.
+		t.views = &tableViews{}
+	}
+	return t.views
+}
+
+// FloatView returns the cached float64 decoding of numeric column c, or
+// nil when the column is not numeric. The returned view is shared and
+// read-only; it is rebuilt when rows were appended after the last build.
+func (t *Table) FloatView(c int) *FloatView {
+	if c < 0 || c >= len(t.schema) || !t.schema[c].Type.IsNumeric() {
+		return nil
+	}
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.float == nil {
+		vc.float = make(map[int]*floatEntry)
+	}
+	if e, ok := vc.float[c]; ok && e.rows == t.nrows {
+		return e.view
+	}
+	col := t.cols[c]
+	fv := &FloatView{Vals: make([]float64, t.nrows), Null: bitset.New(t.nrows)}
+	for i := 0; i < t.nrows; i++ {
+		v := col[i]
+		if v.IsNull() {
+			fv.Vals[i] = nan
+			fv.Null.Set(i)
+			continue
+		}
+		fv.Vals[i] = v.Float()
+	}
+	vc.float[c] = &floatEntry{view: fv, rows: t.nrows}
+	return fv
+}
+
+// DictView returns the cached dictionary encoding of string column c, or
+// nil when the column is not a string column. The returned view is
+// shared and read-only.
+func (t *Table) DictView(c int) *DictView {
+	if c < 0 || c >= len(t.schema) || t.schema[c].Type != TString {
+		return nil
+	}
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.dict == nil {
+		vc.dict = make(map[int]*dictEntry)
+	}
+	if e, ok := vc.dict[c]; ok && e.rows == t.nrows {
+		return e.view
+	}
+	col := t.cols[c]
+	dv := &DictView{Codes: make([]int32, t.nrows), byStr: make(map[string]int32)}
+	for i := 0; i < t.nrows; i++ {
+		v := col[i]
+		if v.IsNull() {
+			dv.Codes[i] = -1
+			continue
+		}
+		code, ok := dv.byStr[v.S]
+		if !ok {
+			code = int32(len(dv.Values))
+			dv.byStr[v.S] = code
+			dv.Values = append(dv.Values, v.S)
+		}
+		dv.Codes[i] = code
+	}
+	vc.dict[c] = &dictEntry{view: dv, rows: t.nrows}
+	return dv
+}

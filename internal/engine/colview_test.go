@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWithoutOutOfRangeIDs is a regression test: Without used to
+// pre-size its keep slice as nrows-len(rows), which panics with a
+// negative capacity when the removal set contains more ids than the
+// table has rows (e.g. ids from a different, larger table).
+func TestWithoutOutOfRangeIDs(t *testing.T) {
+	tbl := testTable(t) // 5 rows
+	rm := map[int]bool{0: true, 2: true}
+	for id := 100; id < 110; id++ { // more out-of-range ids than rows
+		rm[id] = true
+	}
+	wo := tbl.Without(rm)
+	if wo.NumRows() != 3 {
+		t.Fatalf("Without rows = %d, want 3", wo.NumRows())
+	}
+	for i := 0; i < wo.NumRows(); i++ {
+		if id := wo.Value(i, 0).Int(); id == 1 || id == 3 {
+			t.Errorf("Without kept excluded id %d", id)
+		}
+	}
+	// Negative ids must be ignored too.
+	if got := tbl.Without(map[int]bool{-1: true}).NumRows(); got != 5 {
+		t.Errorf("Without with negative id dropped rows: %d", got)
+	}
+}
+
+func TestFloatView(t *testing.T) {
+	tbl := MustNewTable("t", NewSchema("x", TFloat, "s", TString))
+	tbl.MustAppendRow(NewFloat(1.5), NewString("a"))
+	tbl.MustAppendRow(Null, NewString("b"))
+	tbl.MustAppendRow(NewFloat(-2), Null)
+
+	fv := tbl.FloatView(0)
+	if fv == nil {
+		t.Fatal("nil FloatView for float column")
+	}
+	if fv.Vals[0] != 1.5 || fv.Vals[2] != -2 {
+		t.Errorf("Vals = %v", fv.Vals)
+	}
+	if !math.IsNaN(fv.Vals[1]) || !fv.Null.Get(1) || fv.Null.Get(0) {
+		t.Error("NULL row not marked")
+	}
+	if tbl.FloatView(1) != nil {
+		t.Error("FloatView of string column should be nil")
+	}
+
+	// The view is cached until rows are appended.
+	if tbl.FloatView(0) != fv {
+		t.Error("view not cached")
+	}
+	tbl.MustAppendRow(NewFloat(7), NewString("c"))
+	fv2 := tbl.FloatView(0)
+	if fv2 == fv {
+		t.Error("stale view returned after append")
+	}
+	if len(fv2.Vals) != 4 || fv2.Vals[3] != 7 {
+		t.Errorf("rebuilt view = %v", fv2.Vals)
+	}
+}
+
+func TestDictView(t *testing.T) {
+	tbl := MustNewTable("t", NewSchema("s", TString, "x", TInt))
+	for _, s := range []string{"a", "b", "a", "", "c"} {
+		tbl.MustAppendRow(NewString(s), NewInt(1))
+	}
+	tbl.MustAppendRow(Null, NewInt(1))
+
+	dv := tbl.DictView(0)
+	if dv == nil {
+		t.Fatal("nil DictView for string column")
+	}
+	if len(dv.Values) != 4 { // a, b, "", c
+		t.Fatalf("Values = %v", dv.Values)
+	}
+	if dv.Codes[0] != dv.Codes[2] || dv.Codes[0] == dv.Codes[1] {
+		t.Errorf("Codes = %v", dv.Codes)
+	}
+	if dv.Codes[5] != -1 {
+		t.Error("NULL row should code as -1")
+	}
+	if dv.Code("a") != dv.Codes[0] || dv.Code("zzz") != -1 {
+		t.Error("Code lookup mismatch")
+	}
+	if tbl.DictView(1) != nil {
+		t.Error("DictView of int column should be nil")
+	}
+}

@@ -15,6 +15,9 @@ type Table struct {
 	schema Schema
 	cols   [][]Value
 	nrows  int
+	// views caches typed column decodings (see colview.go). Behind a
+	// pointer so shallow table copies share it instead of a lock.
+	views *tableViews
 }
 
 // NewTable creates an empty table with the given name and schema. The
@@ -23,7 +26,7 @@ func NewTable(name string, schema Schema) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{name: name, schema: schema.Clone(), cols: make([][]Value, len(schema))}
+	t := &Table{name: name, schema: schema.Clone(), cols: make([][]Value, len(schema)), views: &tableViews{}}
 	return t, nil
 }
 
@@ -153,9 +156,15 @@ func (t *Table) Select(rows []int) *Table {
 	return out
 }
 
-// Without materializes a new table excluding the given row ids.
+// Without materializes a new table excluding the given row ids. Ids
+// outside [0, NumRows) are ignored, so rows may safely contain more
+// entries than the table has rows.
 func (t *Table) Without(rows map[int]bool) *Table {
-	keep := make([]int, 0, t.nrows-len(rows))
+	capHint := t.nrows - len(rows)
+	if capHint < 0 {
+		capHint = 0
+	}
+	keep := make([]int, 0, capHint)
 	for i := 0; i < t.nrows; i++ {
 		if !rows[i] {
 			keep = append(keep, i)

@@ -38,6 +38,10 @@ type Metric interface {
 	String() string
 }
 
+// clean filters NaNs (NULL aggregates) into a fresh slice. Eval
+// implementations skip NaNs inline instead — they run once per candidate
+// predicate per scoring pass and must not allocate — so clean is only
+// for cold paths like SuggestReference.
 func clean(vals []float64) []float64 {
 	out := vals[:0:0]
 	for _, v := range vals {
@@ -62,7 +66,10 @@ func (Diff) Name() string { return "diff" }
 // Eval implements Metric.
 func (m Diff) Eval(vals []float64) float64 {
 	worst := 0.0
-	for _, v := range clean(vals) {
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
 		if d := v - m.C; d > worst {
 			worst = d
 		}
@@ -90,8 +97,8 @@ func (TooHigh) Name() string { return "toohigh" }
 // Eval implements Metric.
 func (m TooHigh) Eval(vals []float64) float64 {
 	var sum float64
-	for _, v := range clean(vals) {
-		if v > m.C {
+	for _, v := range vals {
+		if v > m.C { // NaN fails the comparison, filtering NULLs for free
 			sum += v - m.C
 		}
 	}
@@ -115,8 +122,8 @@ func (TooLow) Name() string { return "toolow" }
 // Eval implements Metric.
 func (m TooLow) Eval(vals []float64) float64 {
 	var sum float64
-	for _, v := range clean(vals) {
-		if v < m.C {
+	for _, v := range vals {
+		if v < m.C { // NaN fails the comparison, filtering NULLs for free
 			sum += m.C - v
 		}
 	}
@@ -140,7 +147,10 @@ func (NotEqual) Name() string { return "notequal" }
 // Eval implements Metric.
 func (m NotEqual) Eval(vals []float64) float64 {
 	var sum float64
-	for _, v := range clean(vals) {
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
 		sum += math.Abs(v - m.C)
 	}
 	return sum
@@ -170,9 +180,9 @@ func (m ZScore) Eval(vals []float64) float64 {
 		return 0
 	}
 	var sum float64
-	for _, v := range clean(vals) {
+	for _, v := range vals {
 		z := math.Abs(v-m.Mean) / m.Std
-		if z > m.K {
+		if z > m.K { // NaN z fails the comparison, filtering NULLs for free
 			sum += z - m.K
 		}
 	}

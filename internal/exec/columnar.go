@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/engine"
+)
+
+var nanFloat = math.NaN()
+
+// This file is the exec half of the columnar scoring fast path: instead
+// of re-evaluating an aggregate's argument expression through the boxed
+// expression interpreter for every (predicate, tuple) pair, a Debug run
+// decodes the argument column once into a flat []float64 + NULL bitmap
+// and hands lineage sets out as bitsets.
+
+// ArgView is one aggregate's argument evaluated over every source row:
+// Vals[src] is the float64 coercion of the argument on row src (1 for
+// count(*)), NaN when NULL; Null marks the NULL rows.
+type ArgView struct {
+	Vals []float64
+	Null *bitset.Bitset
+}
+
+// AggArgFloats returns the cached ArgView of the ord'th aggregate,
+// evaluating the argument expression once per source row on first call.
+// The returned view is shared and read-only.
+func (r *Result) AggArgFloats(ord int) (*ArgView, error) {
+	if ord < 0 || ord >= len(r.aggArgs) {
+		return nil, fmt.Errorf("exec: aggregate ordinal %d out of range (%d aggregates)", ord, len(r.aggArgs))
+	}
+	r.argMu.Lock()
+	defer r.argMu.Unlock()
+	if av, ok := r.argViews[ord]; ok {
+		return av, nil
+	}
+	n := r.Source.NumRows()
+	av := &ArgView{Vals: make([]float64, n), Null: bitset.New(n)}
+	arg := r.aggArgs[ord]
+	if arg == nil { // count(*): every row contributes 1
+		for i := range av.Vals {
+			av.Vals[i] = 1
+		}
+	} else {
+		row := make([]engine.Value, r.Source.NumCols())
+		for src := 0; src < n; src++ {
+			r.Source.RowInto(src, row)
+			v, err := arg.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				av.Vals[src] = nanFloat
+				av.Null.Set(src)
+				continue
+			}
+			av.Vals[src] = v.Float()
+		}
+	}
+	if r.argViews == nil {
+		r.argViews = make(map[int]*ArgView)
+	}
+	r.argViews[ord] = av
+	return av, nil
+}
+
+// LineageBits returns the union of the given output rows' lineage as a
+// bitset over source rows — the bitmap form of Lineage.
+func (r *Result) LineageBits(rowIdxs []int) *bitset.Bitset {
+	b := bitset.New(r.Source.NumRows())
+	for _, ri := range rowIdxs {
+		if ri < 0 || ri >= len(r.Groups) {
+			continue
+		}
+		for _, src := range r.Groups[ri].Lineage {
+			b.Set(src)
+		}
+	}
+	return b
+}
+
+// GroupLineageBits returns one lineage bitset per listed output row,
+// each over source rows.
+func (r *Result) GroupLineageBits(rowIdxs []int) []*bitset.Bitset {
+	out := make([]*bitset.Bitset, len(rowIdxs))
+	n := r.Source.NumRows()
+	for i, ri := range rowIdxs {
+		b := bitset.New(n)
+		if ri >= 0 && ri < len(r.Groups) {
+			for _, src := range r.Groups[ri].Lineage {
+				b.Set(src)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}

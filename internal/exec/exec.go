@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/agg"
 	"repro/internal/engine"
@@ -55,6 +56,10 @@ type Result struct {
 	aggArgs []expr.Expr
 	// aggItems maps aggregate ordinal -> select item index.
 	aggItems []int
+	// argMu guards argViews, the per-ordinal flat argument columns the
+	// columnar scoring fast path decodes on first use (see columnar.go).
+	argMu    sync.Mutex
+	argViews map[int]*ArgView
 }
 
 // Run executes stmt against db, capturing provenance.
@@ -429,23 +434,11 @@ func (r *Result) AggArgValue(ord, src int) (engine.Value, error) {
 
 // Lineage returns the union of the lineage of the given output rows,
 // sorted ascending and deduplicated. This is F in the paper: the
-// fine-grained provenance of the suspect groups S.
+// fine-grained provenance of the suspect groups S. The union runs
+// through a bitmap, so dedup and sort order fall out of bit position.
 func (r *Result) Lineage(rowIdxs []int) []int {
-	seen := make(map[int]bool)
-	var out []int
-	for _, ri := range rowIdxs {
-		if ri < 0 || ri >= len(r.Groups) {
-			continue
-		}
-		for _, src := range r.Groups[ri].Lineage {
-			if !seen[src] {
-				seen[src] = true
-				out = append(out, src)
-			}
-		}
-	}
-	sort.Ints(out)
-	return out
+	b := r.LineageBits(rowIdxs)
+	return b.AppendRows(make([]int, 0, b.Count()))
 }
 
 // GroupOf returns, for each listed output row, a map from source row id

@@ -12,7 +12,8 @@ package influence
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/agg"
 	"repro/internal/engine"
@@ -48,6 +49,15 @@ type Analysis struct {
 	Influences []TupleInfluence
 	// F is the full lineage of the suspect groups (sorted row ids).
 	F []int
+	// Scorer is the columnar scoring state built during ranking, ready
+	// for reuse by downstream predicate scoring (nil when the boxed
+	// fallback ran, e.g. for DISTINCT aggregates).
+	Scorer *Scorer
+
+	// deltaByRow indexes Influences by row, built lazily on the first
+	// DeltaOf call.
+	deltaOnce  sync.Once
+	deltaByRow map[int]float64
 }
 
 // Rank computes ε and per-tuple LOO influence for the ord'th aggregate
@@ -58,6 +68,18 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 	}
 	if ord < 0 || ord >= len(res.AggOrdinals()) {
 		return nil, fmt.Errorf("influence: aggregate ordinal %d out of range (%d aggregates)", ord, len(res.AggOrdinals()))
+	}
+
+	// Columnar fast path: when every aggregate state supports unboxed
+	// removal, rank through the Scorer (flat argument column + lineage
+	// bitsets) instead of the boxed interpreter. NewScorer failing for a
+	// reason other than a missing fast path (e.g. an out-of-range
+	// suspect) is fine too: the boxed path below re-detects the problem
+	// and reports the error.
+	if sc, scErr := NewScorer(res, suspect, ord, metric); scErr == nil {
+		an := rankFast(sc, opt)
+		an.Scorer = sc
+		return an, nil
 	}
 
 	// Current aggregate values for the suspect groups, in suspect order.
@@ -89,15 +111,7 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 	}
 	rowGroup := res.GroupOf(suspect)
 
-	rows := an.F
-	if opt.MaxTuples > 0 && len(rows) > opt.MaxTuples {
-		sampled := make([]int, 0, opt.MaxTuples)
-		step := float64(len(rows)) / float64(opt.MaxTuples)
-		for i := 0; i < opt.MaxTuples; i++ {
-			sampled = append(sampled, rows[int(float64(i)*step)])
-		}
-		rows = sampled
-	}
+	rows := sampleRows(an.F, opt.MaxTuples)
 
 	scratch := append([]float64(nil), vals...)
 	an.Influences = make([]TupleInfluence, 0, len(rows))
@@ -122,10 +136,45 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 		scratch[pos] = old
 		an.Influences = append(an.Influences, TupleInfluence{Row: src, GroupRow: gi, Delta: delta})
 	}
-	sort.SliceStable(an.Influences, func(i, j int) bool {
-		return an.Influences[i].Delta > an.Influences[j].Delta
-	})
+	sortInfluences(an.Influences)
 	return an, nil
+}
+
+// sampleRows returns rows, or an evenly spaced sample of max of them
+// when the cap is exceeded (max <= 0 means no cap). Shared by the boxed
+// and columnar Rank paths so their sampling stays identical.
+func sampleRows(rows []int, max int) []int {
+	if max <= 0 || len(rows) <= max {
+		return rows
+	}
+	sampled := make([]int, 0, max)
+	step := float64(len(rows)) / float64(max)
+	for i := 0; i < max; i++ {
+		sampled = append(sampled, rows[int(float64(i)*step)])
+	}
+	return sampled
+}
+
+// sortInfluences orders by descending Delta. Entries are appended in
+// ascending row order, so breaking ties on Row reproduces the stable
+// order while letting the generic (reflection-free) sort run — stable
+// sorting via sort.SliceStable was the dominant cost of the whole LOO
+// pass at |F|=100k.
+func sortInfluences(infs []TupleInfluence) {
+	slices.SortFunc(infs, func(a, b TupleInfluence) int {
+		switch {
+		case a.Delta > b.Delta:
+			return -1
+		case a.Delta < b.Delta:
+			return 1
+		case a.Row < b.Row:
+			return -1
+		case a.Row > b.Row:
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // TopRows returns the rows of the k most influential tuples (Delta > 0
@@ -163,14 +212,18 @@ func (a *Analysis) TopQuantileRows(q float64) []int {
 }
 
 // DeltaOf returns the influence of a specific source row (0 when not
-// analyzed).
+// analyzed). The first call builds a row→delta index, so repeated
+// lookups are O(1) rather than a linear scan of Influences.
 func (a *Analysis) DeltaOf(row int) float64 {
-	for _, ti := range a.Influences {
-		if ti.Row == row {
-			return ti.Delta
+	a.deltaOnce.Do(func() {
+		a.deltaByRow = make(map[int]float64, len(a.Influences))
+		for _, ti := range a.Influences {
+			if _, ok := a.deltaByRow[ti.Row]; !ok {
+				a.deltaByRow[ti.Row] = ti.Delta
+			}
 		}
-	}
-	return 0
+	})
+	return a.deltaByRow[row]
 }
 
 // EpsWithoutRows evaluates ε with an arbitrary set of source rows

@@ -1,0 +1,218 @@
+package influence
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/agg"
+	"repro/internal/bitset"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+)
+
+// Scorer is the columnar fast path for predicate scoring: everything a
+// Debug run needs to evaluate ε-without-a-set-of-rows, decoded once.
+//
+//   - each suspect group's lineage as a bitset (plus its occupied word
+//     span, so intersection skips the rest of the table),
+//   - the aggregate's argument column as a flat []float64 + NULL bitmap
+//     (no boxed expression interpretation per tuple),
+//   - the live aggregate states through agg.FloatRemovable.
+//
+// After construction the Scorer is read-only and safe for concurrent
+// use; per-goroutine mutable state lives in Scratch. This is what lets
+// the ranker score candidate predicates in parallel.
+type Scorer struct {
+	suspect []int
+	metric  errmetric.Metric
+	eps     float64
+	// base[i] is suspect group i's current aggregate (NaN when NULL).
+	base   []float64
+	states []agg.FloatRemovable
+	groups []groupBits
+	fbits  *bitset.Bitset
+	args   *exec.ArgView
+	nsrc   int
+}
+
+// groupBits is one suspect group's lineage with its non-zero word span.
+type groupBits struct {
+	bits   *bitset.Bitset
+	lo, hi int
+	empty  bool
+}
+
+// Scratch holds one goroutine's reusable buffers for EpsWithoutBits.
+type Scratch struct {
+	vals []float64
+	buf  []float64
+}
+
+// NewScorer builds the columnar scoring state for the ord'th aggregate
+// of res over the suspect output rows. It fails — and callers fall back
+// to the boxed path — when an aggregate state does not implement
+// agg.FloatRemovable (e.g. DISTINCT aggregates) or the argument column
+// cannot be decoded.
+func NewScorer(res *exec.Result, suspect []int, ord int, metric errmetric.Metric) (*Scorer, error) {
+	if len(suspect) == 0 {
+		return nil, fmt.Errorf("influence: no suspect groups")
+	}
+	if ord < 0 || ord >= len(res.AggOrdinals()) {
+		return nil, fmt.Errorf("influence: aggregate ordinal %d out of range (%d aggregates)", ord, len(res.AggOrdinals()))
+	}
+	s := &Scorer{
+		suspect: suspect,
+		metric:  metric,
+		base:    make([]float64, len(suspect)),
+		states:  make([]agg.FloatRemovable, len(suspect)),
+		nsrc:    res.Source.NumRows(),
+	}
+	for i, ri := range suspect {
+		if ri < 0 || ri >= res.NumRows() {
+			return nil, fmt.Errorf("influence: suspect row %d out of range", ri)
+		}
+		st, ok := res.AggState(ri, ord)
+		if !ok {
+			return nil, fmt.Errorf("influence: aggregate %d is not removable", ord)
+		}
+		fr, ok := st.(agg.FloatRemovable)
+		if !ok {
+			return nil, fmt.Errorf("influence: aggregate %d has no float fast path", ord)
+		}
+		s.states[i] = fr
+		if v, ok := res.AggFloat(ri, ord); ok {
+			s.base[i] = v
+		} else {
+			s.base[i] = math.NaN()
+		}
+	}
+	s.eps = metric.Eval(s.base)
+
+	args, err := res.AggArgFloats(ord)
+	if err != nil {
+		return nil, err
+	}
+	s.args = args
+
+	lineages := res.GroupLineageBits(suspect)
+	s.groups = make([]groupBits, len(lineages))
+	s.fbits = bitset.New(s.nsrc)
+	for i, b := range lineages {
+		lo, hi, ok := b.WordRange()
+		s.groups[i] = groupBits{bits: b, lo: lo, hi: hi, empty: !ok}
+		s.fbits.Or(b)
+	}
+	return s, nil
+}
+
+// Eps returns ε over the suspect groups before any removal.
+func (s *Scorer) Eps() float64 { return s.eps }
+
+// FBits returns the suspect groups' combined lineage (F) as a bitset.
+// Shared and read-only.
+func (s *Scorer) FBits() *bitset.Bitset { return s.fbits }
+
+// NumSourceRows returns the source table's row count — the length every
+// bitset handed to EpsWithoutBits must have.
+func (s *Scorer) NumSourceRows() int { return s.nsrc }
+
+// NewScratch returns a fresh per-goroutine scratch.
+func (s *Scorer) NewScratch() *Scratch {
+	return &Scratch{vals: make([]float64, len(s.suspect)), buf: make([]float64, 0, 256)}
+}
+
+// EpsWithoutBits evaluates ε with the matched source rows removed from
+// their groups — the bitset counterpart of EpsWithoutRows. matched may
+// contain rows outside the suspect lineage; they are ignored. Steady
+// state it allocates nothing (for the algebraic aggregates).
+func (s *Scorer) EpsWithoutBits(matched *bitset.Bitset, sc *Scratch) float64 {
+	copy(sc.vals, s.base)
+	mw := matched.Words()
+	nw := s.args.Null.Words()
+	for i := range s.groups {
+		g := &s.groups[i]
+		if g.empty {
+			continue
+		}
+		gw := g.bits.Words()
+		buf := sc.buf[:0]
+		for wi := g.lo; wi <= g.hi; wi++ {
+			w := gw[wi] & mw[wi] &^ nw[wi] // NULL args remove nothing
+			if w == 0 {
+				continue
+			}
+			base := wi * 64
+			for w != 0 {
+				buf = append(buf, s.args.Vals[base+bits.TrailingZeros64(w)])
+				w &= w - 1
+			}
+		}
+		sc.buf = buf[:0]
+		if len(buf) == 0 {
+			continue
+		}
+		if v, ok := s.states[i].ResultWithoutFloats(buf); ok {
+			sc.vals[i] = v
+		} else {
+			sc.vals[i] = math.NaN()
+		}
+	}
+	return s.metric.Eval(sc.vals)
+}
+
+// rankFast is Rank's columnar path: per-tuple leave-one-out influence
+// without boxed argument evaluation or per-row map lookups.
+func rankFast(s *Scorer, opt Options) *Analysis {
+	an := &Analysis{Eps: s.eps, F: s.fbits.Rows()}
+
+	// rowPos[src] is the suspect position of src's group (-1 outside F;
+	// the first listed suspect group wins, matching Result.GroupOf).
+	rowPos := make([]int32, s.nsrc)
+	for i := range rowPos {
+		rowPos[i] = -1
+	}
+	for gi := range s.groups {
+		g := &s.groups[gi]
+		if g.empty {
+			continue
+		}
+		pos := int32(gi)
+		g.bits.ForEach(func(r int) {
+			if rowPos[r] < 0 {
+				rowPos[r] = pos
+			}
+		})
+	}
+
+	rows := sampleRows(an.F, opt.MaxTuples)
+
+	scratch := append([]float64(nil), s.base...)
+	var buf1 [1]float64
+	an.Influences = make([]TupleInfluence, 0, len(rows))
+	for _, src := range rows {
+		pos := rowPos[src]
+		if pos < 0 {
+			continue
+		}
+		gi := s.suspect[pos]
+		var delta float64
+		if s.args.Null.Get(src) {
+			// Removing a NULL argument changes nothing: δ is exactly 0.
+			delta = 0
+		} else {
+			buf1[0] = s.args.Vals[src]
+			old := scratch[pos]
+			if v, ok := s.states[pos].ResultWithoutFloats(buf1[:1]); ok {
+				scratch[pos] = v
+			} else {
+				scratch[pos] = math.NaN()
+			}
+			delta = s.eps - s.metric.Eval(scratch)
+			scratch[pos] = old
+		}
+		an.Influences = append(an.Influences, TupleInfluence{Row: src, GroupRow: gi, Delta: delta})
+	}
+	sortInfluences(an.Influences)
+	return an
+}

@@ -1,0 +1,177 @@
+package influence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+)
+
+// scorerResult builds a grouped query over a table with NULLs mixed in.
+func scorerResult(t testing.TB, rows int, aggSQL string) *exec.Result {
+	t.Helper()
+	tbl := engine.MustNewTable("t", engine.NewSchema("k", engine.TInt, "v", engine.TFloat))
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < rows; i++ {
+		v := engine.NewFloat(float64(rng.Intn(200)))
+		if rng.Intn(10) == 0 {
+			v = engine.Null
+		}
+		tbl.MustAppendRow(engine.NewInt(int64(i%7)), v)
+	}
+	db := engine.NewDB()
+	db.Register(tbl)
+	res, err := exec.RunSQL(db, "SELECT k, "+aggSQL+" FROM t GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEpsWithoutBitsParity checks the bitset scoring path returns the
+// same ε as the boxed EpsWithoutRows for random removal sets, across
+// aggregate kinds (algebraic, extremum, holistic).
+func TestEpsWithoutBitsParity(t *testing.T) {
+	for _, aggSQL := range []string{"avg(v)", "sum(v)", "count(v)", "stddev(v)", "min(v)", "max(v)", "median(v)", "count(*)"} {
+		res := scorerResult(t, 500, aggSQL)
+		suspect := res.AllRows()
+		metric := errmetric.TooHigh{C: 90}
+		sc, err := NewScorer(res, suspect, 0, metric)
+		if err != nil {
+			t.Fatalf("%s: NewScorer: %v", aggSQL, err)
+		}
+		scratch := sc.NewScratch()
+		rng := rand.New(rand.NewSource(5))
+		n := res.Source.NumRows()
+		for trial := 0; trial < 50; trial++ {
+			var rows []int
+			for r := 0; r < n; r++ {
+				if rng.Intn(4) == 0 {
+					rows = append(rows, r)
+				}
+			}
+			want, err := EpsWithoutRows(res, suspect, 0, metric, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sc.EpsWithoutBits(bitset.FromRows(n, rows), scratch)
+			if !floatsEqual(want, got) {
+				t.Fatalf("%s trial %d: EpsWithoutRows=%g EpsWithoutBits=%g", aggSQL, trial, want, got)
+			}
+		}
+	}
+}
+
+// TestRankFastParity checks the columnar Rank path matches the boxed
+// path entry for entry. The boxed path is forced by reproducing the
+// original algorithm through EpsWithoutRows on singleton sets.
+func TestRankFastParity(t *testing.T) {
+	res := scorerResult(t, 400, "avg(v)")
+	suspect := res.AllRows()
+	metric := errmetric.TooHigh{C: 90}
+	an, err := Rank(res, suspect, 0, metric, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Influences) == 0 {
+		t.Fatal("no influences")
+	}
+	// Spot-check deltas against the one-row removal primitive.
+	for _, ti := range an.Influences[:20] {
+		epsWithout, err := EpsWithoutRows(res, suspect, 0, metric, []int{ti.Row})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := an.Eps - epsWithout
+		if !floatsEqual(want, ti.Delta) {
+			t.Fatalf("row %d: delta=%g want %g", ti.Row, ti.Delta, want)
+		}
+	}
+	// Deltas must be sorted descending.
+	for i := 1; i < len(an.Influences); i++ {
+		if an.Influences[i].Delta > an.Influences[i-1].Delta {
+			t.Fatal("Influences not sorted by descending delta")
+		}
+	}
+}
+
+// TestEpsWithoutBitsZeroAlloc pins the per-predicate scoring primitive
+// to zero steady-state allocations for algebraic aggregates — the
+// property the whole columnar layer exists to provide.
+func TestEpsWithoutBitsZeroAlloc(t *testing.T) {
+	res := scorerResult(t, 2000, "avg(v)")
+	suspect := res.AllRows()
+	sc, err := NewScorer(res, suspect, 0, errmetric.TooHigh{C: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := sc.NewScratch()
+	n := res.Source.NumRows()
+	matched := bitset.New(n)
+	for r := 0; r < n; r += 3 {
+		matched.Set(r)
+	}
+	sc.EpsWithoutBits(matched, scratch) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.EpsWithoutBits(matched, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("EpsWithoutBits allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestDeltaOfIndexed covers the lazily built row→delta index.
+func TestDeltaOfIndexed(t *testing.T) {
+	an := &Analysis{Influences: []TupleInfluence{
+		{Row: 7, Delta: 3.5},
+		{Row: 2, Delta: 1.25},
+		{Row: 9, Delta: -0.5},
+	}}
+	if got := an.DeltaOf(2); got != 1.25 {
+		t.Fatalf("DeltaOf(2) = %g", got)
+	}
+	if got := an.DeltaOf(7); got != 3.5 {
+		t.Fatalf("DeltaOf(7) = %g", got)
+	}
+	if got := an.DeltaOf(1000); got != 0 {
+		t.Fatalf("DeltaOf(1000) = %g, want 0", got)
+	}
+}
+
+func floatsEqual(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if a == b {
+		return true
+	}
+	// The float and boxed paths may differ by accumulated rounding.
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+func BenchmarkEpsWithoutBits(b *testing.B) {
+	res := benchResult(b, 100_000)
+	suspect := res.AllRows()
+	sc, err := NewScorer(res, suspect, 0, errmetric.TooHigh{C: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := sc.NewScratch()
+	n := res.Source.NumRows()
+	removed := make([]int, 0, 1000)
+	for r := 0; r < n; r += 100 {
+		removed = append(removed, r)
+	}
+	matched := bitset.FromRows(n, removed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.EpsWithoutBits(matched, scratch)
+	}
+}

@@ -1,0 +1,209 @@
+package predicate
+
+import (
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/engine"
+)
+
+// Index evaluates predicates against one table column-at-a-time. Each
+// clause is evaluated once over the whole table into a bitset mask and
+// cached; a predicate match is then just the AND of its clause masks
+// (and an optional subset mask). Candidate predicates share clauses
+// heavily — tree paths reuse the same attribute thresholds, and the
+// ranker's pruning re-scores one-clause-removed variants — so the cache
+// hit rate is high and steady-state matching allocates nothing.
+//
+// Evaluation semantics are bit-for-bit identical to MatchesRow: NULL
+// never matches, comparisons follow engine.Compare (numeric coercion
+// across int/float/bool/time, string ordering for strings, incomparable
+// types never match, NULL clause values compare below everything, NaN
+// compares equal to everything).
+type Index struct {
+	t  *engine.Table
+	mu sync.RWMutex
+	// clauses caches full-table match masks keyed by the clause value
+	// itself (Clause is comparable), so cache hits allocate nothing.
+	clauses map[Clause]*bitset.Bitset
+}
+
+// NewIndex returns an index over t.
+func NewIndex(t *engine.Table) *Index {
+	return &Index{t: t, clauses: make(map[Clause]*bitset.Bitset)}
+}
+
+// Table returns the indexed table.
+func (ix *Index) Table() *engine.Table { return ix.t }
+
+// ClauseBits returns the cached full-table match mask of one clause.
+// The returned bitset is shared and read-only.
+func (ix *Index) ClauseBits(c Clause) *bitset.Bitset {
+	if c.Val.T == engine.TFloat && math.IsNaN(c.Val.F) {
+		// NaN keys never hit a map; build uncached rather than leak an
+		// entry per call.
+		return ix.buildClause(c)
+	}
+	n := ix.t.NumRows()
+	ix.mu.RLock()
+	b, ok := ix.clauses[c]
+	ix.mu.RUnlock()
+	if ok && b.Len() == n {
+		return b
+	}
+	// Miss, or the table grew since the mask was cached: rebuild, like
+	// the engine's column views do on row-count change.
+	b = ix.buildClause(c)
+	ix.mu.Lock()
+	if prev, ok := ix.clauses[c]; ok && prev.Len() == n {
+		b = prev // another goroutine won the race; share its mask
+	} else {
+		ix.clauses[c] = b
+	}
+	ix.mu.Unlock()
+	return b
+}
+
+// opMatchesCmp reports whether comparison outcome cmp satisfies op —
+// the single op dispatch shared by Clause.Matches and the vectorized
+// clause-mask builders.
+func opMatchesCmp(op Op, cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNeq:
+		return cmp != 0
+	case OpLe:
+		return cmp <= 0
+	case OpGe:
+		return cmp >= 0
+	case OpLt:
+		return cmp < 0
+	case OpGt:
+		return cmp > 0
+	}
+	return false
+}
+
+func (ix *Index) buildClause(c Clause) *bitset.Bitset {
+	n := ix.t.NumRows()
+	out := bitset.New(n)
+	ci := ix.t.Schema().ColIndex(c.Col)
+	if ci < 0 {
+		return out // unknown column matches nothing
+	}
+	colType := ix.t.Schema()[ci].Type
+
+	// NULL clause value: engine.Compare places NULL below every non-NULL
+	// value, so every non-NULL row compares as +1.
+	if c.Val.IsNull() {
+		if opMatchesCmp(c.Op, 1) {
+			ix.setNonNull(out, ci)
+		}
+		return out
+	}
+
+	switch {
+	case colType.IsNumeric() && c.Val.T.IsNumeric():
+		ix.buildNumeric(out, ci, c)
+	case colType == engine.TString && c.Val.T == engine.TString:
+		ix.buildString(out, ci, c)
+	default:
+		// Incomparable column/value types: engine.Compare errors, the
+		// clause matches nothing.
+	}
+	return out
+}
+
+// setNonNull sets every non-NULL row of column ci.
+func (ix *Index) setNonNull(out *bitset.Bitset, ci int) {
+	if fv := ix.t.FloatView(ci); fv != nil {
+		out.Fill()
+		out.AndNot(fv.Null)
+		return
+	}
+	if dv := ix.t.DictView(ci); dv != nil {
+		for r, code := range dv.Codes {
+			if code >= 0 {
+				out.Set(r)
+			}
+		}
+		return
+	}
+	col := ix.t.Column(ci)
+	for r, v := range col {
+		if !v.IsNull() {
+			out.Set(r)
+		}
+	}
+}
+
+// buildNumeric evaluates a numeric clause against the float view. The
+// comparisons are written so NaN values yield cmp==0 (both f<cv and
+// f>cv false), matching engine.Compare's behavior exactly.
+func (ix *Index) buildNumeric(out *bitset.Bitset, ci int, c Clause) {
+	fv := ix.t.FloatView(ci)
+	cv := c.Val.Float()
+	nulls := fv.Null
+	var match func(f float64) bool
+	switch c.Op {
+	case OpEq:
+		match = func(f float64) bool { return !(f < cv) && !(f > cv) }
+	case OpNeq:
+		match = func(f float64) bool { return f < cv || f > cv }
+	case OpLe:
+		match = func(f float64) bool { return !(f > cv) }
+	case OpGe:
+		match = func(f float64) bool { return !(f < cv) }
+	case OpLt:
+		match = func(f float64) bool { return f < cv }
+	case OpGt:
+		match = func(f float64) bool { return f > cv }
+	default:
+		return
+	}
+	for r, f := range fv.Vals {
+		if match(f) && !nulls.Get(r) {
+			out.Set(r)
+		}
+	}
+}
+
+// buildString evaluates a string clause against the dictionary view:
+// the comparison runs once per distinct value, then fans out by code.
+func (ix *Index) buildString(out *bitset.Bitset, ci int, c Clause) {
+	dv := ix.t.DictView(ci)
+	verdict := make([]bool, len(dv.Values))
+	for code, s := range dv.Values {
+		verdict[code] = opMatchesCmp(c.Op, strings.Compare(s, c.Val.S))
+	}
+	for r, code := range dv.Codes {
+		if code >= 0 && verdict[code] {
+			out.Set(r)
+		}
+	}
+}
+
+// MatchInto writes the rows matching p (within subset, or the whole
+// table when subset is nil) into dst and returns it. dst must have
+// length == table rows. The TRUE predicate matches everything in subset.
+func (ix *Index) MatchInto(p Predicate, subset *bitset.Bitset, dst *bitset.Bitset) *bitset.Bitset {
+	if subset != nil {
+		dst.CopyFrom(subset)
+	} else {
+		dst.Fill()
+	}
+	for _, c := range p.Clauses {
+		dst.And(ix.ClauseBits(c))
+	}
+	return dst
+}
+
+// MatchingBitset returns the rows of the indexed table satisfying p
+// (restricted to subset when non-nil) as a fresh bitset — the vectorized
+// counterpart of Predicate.MatchingRows.
+func (p Predicate) MatchingBitset(ix *Index, subset *bitset.Bitset) *bitset.Bitset {
+	return ix.MatchInto(p, subset, bitset.New(ix.t.NumRows()))
+}

@@ -1,0 +1,197 @@
+package predicate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/engine"
+)
+
+// randomTable builds a table with mixed int/float/string columns,
+// NULLs, and the occasional NaN.
+func randomTable(rng *rand.Rand, rows int) *engine.Table {
+	tbl := engine.MustNewTable("t", engine.NewSchema(
+		"i", engine.TInt,
+		"f", engine.TFloat,
+		"s", engine.TString,
+		"b", engine.TBool,
+	))
+	strs := []string{"alpha", "beta", "gamma", "delta", ""}
+	for r := 0; r < rows; r++ {
+		iv := engine.NewInt(int64(rng.Intn(10) - 5))
+		fv := engine.NewFloat(float64(rng.Intn(20))/2 - 4)
+		sv := engine.NewString(strs[rng.Intn(len(strs))])
+		bv := engine.NewBool(rng.Intn(2) == 0)
+		if rng.Intn(8) == 0 {
+			iv = engine.Null
+		}
+		if rng.Intn(8) == 0 {
+			fv = engine.Null
+		} else if rng.Intn(16) == 0 {
+			fv = engine.NewFloat(math.NaN())
+		}
+		if rng.Intn(8) == 0 {
+			sv = engine.Null
+		}
+		if rng.Intn(8) == 0 {
+			bv = engine.Null
+		}
+		tbl.MustAppendRow(iv, fv, sv, bv)
+	}
+	return tbl
+}
+
+// randomClause draws a clause over a random column, sometimes with a
+// mismatched value type, an absent value, or a NULL literal.
+func randomClause(rng *rand.Rand) Clause {
+	cols := []string{"i", "f", "s", "b", "missing"}
+	col := cols[rng.Intn(len(cols))]
+	op := Op(rng.Intn(6))
+	var val engine.Value
+	switch rng.Intn(10) {
+	case 0:
+		val = engine.Null
+	case 1:
+		val = engine.NewString([]string{"alpha", "beta", "nowhere", ""}[rng.Intn(4)])
+	case 2:
+		val = engine.NewBool(rng.Intn(2) == 0)
+	case 3, 4:
+		val = engine.NewInt(int64(rng.Intn(10) - 5))
+	default:
+		val = engine.NewFloat(float64(rng.Intn(20))/2 - 4)
+	}
+	return Clause{Col: col, Op: op, Val: val}
+}
+
+// TestMatchingBitsetParity is the scalar/vector property test: over
+// random tables, subsets and predicates, the vectorized MatchingBitset
+// must return exactly the rows MatchingRows returns.
+func TestMatchingBitsetParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for trial := 0; trial < 300; trial++ {
+		rows := 1 + rng.Intn(200)
+		tbl := randomTable(rng, rows)
+		ix := NewIndex(tbl)
+		for p := 0; p < 10; p++ {
+			var pred Predicate
+			for nc := rng.Intn(4); nc > 0; nc-- {
+				pred.Clauses = append(pred.Clauses, randomClause(rng))
+			}
+
+			var subset []int
+			var subsetBits *bitset.Bitset
+			if rng.Intn(2) == 0 {
+				subsetBits = bitset.New(rows)
+				for r := 0; r < rows; r++ {
+					if rng.Intn(3) == 0 {
+						subset = append(subset, r)
+						subsetBits.Set(r)
+					}
+				}
+				if subset == nil {
+					subset = []int{}
+				}
+			}
+
+			want := pred.MatchingRows(tbl, subset)
+			got := pred.MatchingBitset(ix, subsetBits).Rows()
+			if subset == nil && subsetBits == nil {
+				// both mean "all rows"
+			}
+			if !equalRows(want, got) {
+				t.Fatalf("trial %d pred %q subset=%v:\n scalar: %v\n vector: %v",
+					trial, pred, subset, want, got)
+			}
+		}
+	}
+}
+
+// TestMatchingBitsetTruePredicate checks the TRUE predicate matches the
+// whole subset on both paths.
+func TestMatchingBitsetTruePredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := randomTable(rng, 50)
+	ix := NewIndex(tbl)
+	var pred Predicate
+	if got := pred.MatchingBitset(ix, nil).Count(); got != 50 {
+		t.Fatalf("TRUE matched %d of 50", got)
+	}
+	sub := bitset.FromRows(50, []int{3, 7, 11})
+	if got := pred.MatchingBitset(ix, sub).Rows(); !equalRows(got, []int{3, 7, 11}) {
+		t.Fatalf("TRUE over subset = %v", got)
+	}
+}
+
+func equalRows(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkMatchingRowsScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := randomTable(rng, 100_000)
+	pred := New(
+		Clause{Col: "f", Op: OpGe, Val: engine.NewFloat(-1)},
+		Clause{Col: "s", Op: OpEq, Val: engine.NewString("alpha")},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.MatchingRows(tbl, nil)
+	}
+}
+
+func BenchmarkMatchingBitsetVector(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := randomTable(rng, 100_000)
+	ix := NewIndex(tbl)
+	pred := New(
+		Clause{Col: "f", Op: OpGe, Val: engine.NewFloat(-1)},
+		Clause{Col: "s", Op: OpEq, Val: engine.NewString("alpha")},
+	)
+	dst := bitset.New(tbl.NumRows())
+	ix.MatchInto(pred, nil, dst) // warm the clause cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.MatchInto(pred, nil, dst)
+	}
+}
+
+func ExamplePredicate_MatchingBitset() {
+	tbl := engine.MustNewTable("t", engine.NewSchema("x", engine.TInt))
+	for i := 0; i < 6; i++ {
+		tbl.MustAppendRow(engine.NewInt(int64(i)))
+	}
+	ix := NewIndex(tbl)
+	p := New(Clause{Col: "x", Op: OpGe, Val: engine.NewInt(4)})
+	fmt.Println(p.MatchingBitset(ix, nil).Rows())
+	// Output: [4 5]
+}
+
+// TestIndexAfterAppend: clause masks cached before rows were appended
+// must rebuild instead of panicking on a bitset length mismatch.
+func TestIndexAfterAppend(t *testing.T) {
+	tbl := engine.MustNewTable("t", engine.NewSchema("x", engine.TInt))
+	for i := 0; i < 5; i++ {
+		tbl.MustAppendRow(engine.NewInt(int64(i)))
+	}
+	ix := NewIndex(tbl)
+	p := New(Clause{Col: "x", Op: OpGe, Val: engine.NewInt(3)})
+	if got := p.MatchingBitset(ix, nil).Rows(); !equalRows(got, []int{3, 4}) {
+		t.Fatalf("before append: %v", got)
+	}
+	tbl.MustAppendRow(engine.NewInt(9))
+	if got := p.MatchingBitset(ix, nil).Rows(); !equalRows(got, []int{3, 4, 5}) {
+		t.Fatalf("after append: %v", got)
+	}
+}

@@ -61,7 +61,9 @@ func (c Clause) String() string {
 }
 
 // Matches evaluates the clause against a value of its column. NULL never
-// matches (SQL semantics).
+// matches (SQL semantics). The op dispatch lives in opMatchesCmp
+// (index.go) so the vectorized clause masks and this row-at-a-time path
+// share one source of truth.
 func (c Clause) Matches(v engine.Value) bool {
 	if v.IsNull() {
 		return false
@@ -70,21 +72,7 @@ func (c Clause) Matches(v engine.Value) bool {
 	if err != nil {
 		return false
 	}
-	switch c.Op {
-	case OpEq:
-		return cmp == 0
-	case OpNeq:
-		return cmp != 0
-	case OpLe:
-		return cmp <= 0
-	case OpGe:
-		return cmp >= 0
-	case OpLt:
-		return cmp < 0
-	case OpGt:
-		return cmp > 0
-	}
-	return false
+	return opMatchesCmp(c.Op, cmp)
 }
 
 // Predicate is a conjunction of clauses. The zero Predicate matches

@@ -1,0 +1,121 @@
+package ranker
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/errmetric"
+	"repro/internal/exec"
+	"repro/internal/influence"
+	"repro/internal/predicate"
+)
+
+// benchCtx builds a 100k-row grouped result with a handful of candidate
+// predicates — the shape of one Debug call's ranking stage.
+func benchCtx(b *testing.B, fast bool) (*Context, []Candidate) {
+	b.Helper()
+	tbl := engine.MustNewTable("t", engine.NewSchema(
+		"k", engine.TInt, "v", engine.TFloat, "memo", engine.TString, "site", engine.TInt))
+	rng := rand.New(rand.NewSource(3))
+	tbl.Grow(100_000)
+	for i := 0; i < 100_000; i++ {
+		memo, v := "ok", float64(rng.Intn(40))
+		if i%11 == 3 {
+			memo, v = "BAD", 150+float64(rng.Intn(20))
+		}
+		tbl.MustAppendRow(engine.NewInt(int64(i%20)), engine.NewFloat(v),
+			engine.NewString(memo), engine.NewInt(int64(i%8)))
+	}
+	db := engine.NewDB()
+	db.Register(tbl)
+	res, err := exec.RunSQL(db, "SELECT k, avg(v) AS a FROM t GROUP BY k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	suspect := res.AllRows()
+	metric := errmetric.TooHigh{C: 30}
+	F := res.Lineage(suspect)
+	target := map[int]bool{}
+	culpable := map[int]bool{}
+	for _, r := range F {
+		if tbl.Value(r, 2).Str() == "BAD" {
+			target[r] = true
+			culpable[r] = true
+		}
+	}
+	an, err := influence.Rank(res, suspect, 0, metric, influence.Options{MaxTuples: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &Context{
+		Res: res, Suspect: suspect, Ord: 0,
+		Metric: metric, F: F, Eps: an.Eps, Culpable: culpable,
+	}
+	if fast {
+		sc, err := influence.NewScorer(res, suspect, 0, metric)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx.Scorer = sc
+		ctx.Index = predicate.NewIndex(res.Source)
+	}
+	var cands []Candidate
+	cands = append(cands, Candidate{
+		Pred:   predicate.New(predicate.Clause{Col: "memo", Op: predicate.OpEq, Val: engine.NewString("BAD")}),
+		Origin: "bench", Target: target,
+	})
+	for _, th := range []float64{60, 100, 140} {
+		cands = append(cands, Candidate{
+			Pred: predicate.New(
+				predicate.Clause{Col: "v", Op: predicate.OpGt, Val: engine.NewFloat(th)},
+				predicate.Clause{Col: "site", Op: predicate.OpLe, Val: engine.NewInt(6)},
+			),
+			Origin: "bench", Target: target,
+		})
+	}
+	return ctx, cands
+}
+
+// BenchmarkScorePredicate compares one candidate scoring through the
+// boxed row-at-a-time path against the columnar bitset path.
+func BenchmarkScorePredicate(b *testing.B) {
+	for _, fast := range []bool{false, true} {
+		name := "boxed"
+		if fast {
+			name = "columnar"
+		}
+		b.Run(name, func(b *testing.B) {
+			ctx, cands := benchCtx(b, fast)
+			env := &scoreEnv{} // zero env: boxed path
+			if fast {
+				ctx.prepare()
+				if !ctx.fastOK {
+					b.Fatal("fast path unavailable")
+				}
+				env = ctx.newEnv()
+			}
+			if _, ok := scoreWith(cands[0], ctx, env); !ok {
+				b.Fatal("candidate rejected")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scoreWith(cands[i%len(cands)], ctx, env)
+			}
+		})
+	}
+}
+
+// BenchmarkRankAll measures the full ranking stage (score + prune +
+// dedup + merge) over the candidate set.
+func BenchmarkRankAll(b *testing.B) {
+	ctx, cands := benchCtx(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := RankAll(cands, ctx); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}

@@ -8,9 +8,12 @@ package ranker
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/engine"
 	"repro/internal/errmetric"
 	"repro/internal/exec"
@@ -26,6 +29,9 @@ type Candidate struct {
 	// Target is the candidate dataset Dᶜᵢ this predicate was learned to
 	// describe (source row ids); accuracy is measured against it.
 	Target map[int]bool
+	// targetBits is Target as a bitset, populated once per candidate by
+	// RankAll so pruning variants don't re-hash the map.
+	targetBits *bitset.Bitset
 }
 
 // Weights are the mixing coefficients of the score terms.
@@ -73,6 +79,73 @@ type Context struct {
 	DisablePrune bool
 	// DisableMerge turns off pairwise predicate merging (ablation).
 	DisableMerge bool
+	// Scorer enables the columnar scoring fast path. Left nil, RankAll
+	// builds one automatically (and silently keeps the boxed path when
+	// the aggregate has no float fast path, e.g. DISTINCT).
+	Scorer *influence.Scorer
+	// Index caches vectorized per-clause match masks over Res.Source;
+	// built automatically when nil and the fast path is active.
+	Index *predicate.Index
+
+	// prepared lazily by prepare(): bitset forms of Population, F and
+	// Culpable, shared read-only across scoring goroutines.
+	prepOnce     sync.Once
+	popBits      *bitset.Bitset
+	fBits        *bitset.Bitset
+	culpableBits *bitset.Bitset
+	popCount     int
+	fastOK       bool
+}
+
+// prepare builds the shared read-only scoring state exactly once. Like
+// influence.Scorer, the prepared Context is a snapshot of Res.Source at
+// prepare time: appending rows to the source table while reusing the
+// same Context is not supported (build a fresh Context after the table
+// changes — scoring a grown table against stale lineage would be wrong
+// even if the bitset sizes happened to line up).
+func (ctx *Context) prepare() {
+	ctx.prepOnce.Do(func() {
+		if ctx.Scorer == nil {
+			sc, err := influence.NewScorer(ctx.Res, ctx.Suspect, ctx.Ord, ctx.Metric)
+			if err != nil {
+				return // boxed fallback
+			}
+			ctx.Scorer = sc
+		}
+		if ctx.Index == nil {
+			ctx.Index = predicate.NewIndex(ctx.Res.Source)
+		}
+		n := ctx.Res.Source.NumRows()
+		pop := ctx.Population
+		if pop == nil {
+			pop = ctx.F
+		}
+		ctx.popBits = bitset.FromRows(n, pop)
+		ctx.popCount = ctx.popBits.Count()
+		ctx.fBits = bitset.FromRows(n, ctx.F)
+		if len(ctx.Culpable) > 0 {
+			ctx.culpableBits = targetBitsOf(ctx.Culpable, n)
+		}
+		ctx.fastOK = true
+	})
+}
+
+// scoreEnv is one goroutine's reusable scoring buffers.
+type scoreEnv struct {
+	scratch *influence.Scratch
+	pb, mb  *bitset.Bitset
+}
+
+func (ctx *Context) newEnv() *scoreEnv {
+	if !ctx.fastOK {
+		return &scoreEnv{}
+	}
+	n := ctx.Res.Source.NumRows()
+	return &scoreEnv{
+		scratch: ctx.Scorer.NewScratch(),
+		pb:      bitset.New(n),
+		mb:      bitset.New(n),
+	}
 }
 
 // Scored is a fully scored explanation.
@@ -106,10 +179,89 @@ func (s Scored) String() string {
 // Score evaluates one candidate. ok is false when the predicate matches
 // no lineage tuples (vacuous) or matches all of them (tautological).
 func Score(c Candidate, ctx *Context) (Scored, bool) {
+	ctx.prepare()
+	return scoreWith(c, ctx, ctx.newEnv())
+}
+
+// scoreWith evaluates one candidate using env's reusable buffers. When
+// the context has a columnar fast path, matching and ε re-evaluation run
+// entirely on bitsets and flat float columns; otherwise it falls back to
+// the boxed row-at-a-time path. Both paths produce identical Scored
+// values.
+func scoreWith(c Candidate, ctx *Context, env *scoreEnv) (Scored, bool) {
 	w := ctx.Weights
 	if w == (Weights{}) {
 		w = DefaultWeights()
 	}
+	if ctx.fastOK && env.scratch != nil {
+		return scoreFast(c, ctx, env, w)
+	}
+	return scoreSlow(c, ctx, w)
+}
+
+// scoreFast is the vectorized scoring path: clause-mask ANDs for
+// matching, word-level intersection counting for accuracy/culpability,
+// and Scorer.EpsWithoutBits for the counterfactual ε. Steady state
+// (clause masks warm, target bits populated) it allocates nothing.
+func scoreFast(c Candidate, ctx *Context, env *scoreEnv, w Weights) (Scored, bool) {
+	pb := ctx.Index.MatchInto(c.Pred, ctx.popBits, env.pb)
+	nPop := pb.Count()
+	// Vacuous and tautological predicates explain nothing.
+	if nPop == 0 || nPop == ctx.popCount {
+		return Scored{}, false
+	}
+	// Match against the FULL lineage, not pb ∩ F: the Population may be
+	// a capped learner sample (core's MaxLearnRows) that misses lineage
+	// rows, and ε must reflect removing every matched lineage tuple.
+	mb := ctx.Index.MatchInto(c.Pred, ctx.fBits, env.mb)
+	nMatched := mb.Count()
+	if nMatched == 0 {
+		return Scored{}, false
+	}
+	epsAfter := ctx.Scorer.EpsWithoutBits(mb, env.scratch)
+	if math.IsNaN(epsAfter) {
+		epsAfter = 0
+	}
+	s := Scored{
+		Pred:       c.Pred,
+		Origin:     c.Origin,
+		EpsAfter:   epsAfter,
+		Complexity: c.Pred.Len(),
+		NumTuples:  nMatched,
+	}
+	if ctx.Eps > 0 {
+		s.ErrImprovement = (ctx.Eps - epsAfter) / ctx.Eps
+		if s.ErrImprovement < 0 {
+			s.ErrImprovement = 0
+		}
+		if s.ErrImprovement > 1 {
+			s.ErrImprovement = 1
+		}
+	}
+	if len(c.Target) > 0 {
+		tb := c.targetBits
+		if tb == nil {
+			tb = targetBitsOf(c.Target, ctx.Res.Source.NumRows())
+		}
+		hit := bitset.AndCount(pb, tb)
+		s.Precision = float64(hit) / float64(nPop)
+		s.Recall = float64(hit) / float64(len(c.Target))
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+	}
+	s.CulpableFrac = 1
+	if ctx.culpableBits != nil {
+		hit := bitset.AndCount(mb, ctx.culpableBits)
+		s.CulpableFrac = float64(hit) / float64(nMatched)
+	}
+	s.Score = finalScore(&s, w)
+	return s, true
+}
+
+// scoreSlow is the original boxed path, kept for aggregates without a
+// float fast path (e.g. DISTINCT) and as the parity reference.
+func scoreSlow(c Candidate, ctx *Context, w Weights) (Scored, bool) {
 	pop := ctx.Population
 	if pop == nil {
 		pop = ctx.F
@@ -169,12 +321,27 @@ func Score(c Candidate, ctx *Context) (Scored, bool) {
 		}
 		s.CulpableFrac = float64(hit) / float64(len(matched))
 	}
+	s.Score = finalScore(&s, w)
+	return s, true
+}
+
+func finalScore(s *Scored, w Weights) float64 {
 	comp := float64(s.Complexity - 1)
 	if comp < 0 {
 		comp = 0
 	}
-	s.Score = w.Err*s.ErrImprovement + w.Acc*s.F1 - w.Complexity*comp - w.Excess*(1-s.CulpableFrac)
-	return s, true
+	return w.Err*s.ErrImprovement + w.Acc*s.F1 - w.Complexity*comp - w.Excess*(1-s.CulpableFrac)
+}
+
+// targetBitsOf converts a target row set to a bitset over source rows.
+func targetBitsOf(target map[int]bool, n int) *bitset.Bitset {
+	b := bitset.New(n)
+	for r, ok := range target {
+		if ok {
+			b.Set(r)
+		}
+	}
+	return b
 }
 
 // Prune greedily drops clauses that do not hurt the score: subgroup
@@ -184,16 +351,22 @@ func Score(c Candidate, ctx *Context) (Scored, bool) {
 // one-clause-removed variant and keeps the best while it is at least as
 // good as the current predicate.
 func Prune(c Candidate, sc Scored, ctx *Context) (Candidate, Scored) {
+	ctx.prepare()
+	return pruneWith(c, sc, ctx, ctx.newEnv())
+}
+
+func pruneWith(c Candidate, sc Scored, ctx *Context, env *scoreEnv) (Candidate, Scored) {
 	for len(c.Pred.Clauses) > 1 {
 		improved := false
 		for drop := range c.Pred.Clauses {
 			var variant Candidate
 			variant.Origin = c.Origin
 			variant.Target = c.Target
+			variant.targetBits = c.targetBits
 			variant.Pred.Clauses = make([]predicate.Clause, 0, len(c.Pred.Clauses)-1)
 			variant.Pred.Clauses = append(variant.Pred.Clauses, c.Pred.Clauses[:drop]...)
 			variant.Pred.Clauses = append(variant.Pred.Clauses, c.Pred.Clauses[drop+1:]...)
-			vs, ok := Score(variant, ctx)
+			vs, ok := scoreWith(variant, ctx, env)
 			if ok && vs.Score >= sc.Score {
 				c, sc = variant, vs
 				improved = true
@@ -325,6 +498,9 @@ func mergeColumn(a, b []predicate.Clause) ([]predicate.Clause, bool) {
 // results.
 func MergeAdjacent(scored []Scored, targets map[string]map[int]bool, ctx *Context) []Scored {
 	const maxPairwise = 12
+	ctx.prepare()
+	env := ctx.newEnv() // one reusable env for every pairwise attempt
+	targetBits := map[string]*bitset.Bitset{}
 	n := len(scored)
 	if n > maxPairwise {
 		n = maxPairwise
@@ -343,8 +519,16 @@ func MergeAdjacent(scored []Scored, targets map[string]map[int]bool, ctx *Contex
 			if !ok {
 				continue
 			}
-			target := targets[scored[i].Pred.Key()]
-			sc, ok := Score(Candidate{Pred: merged, Origin: scored[i].Origin + "+merge", Target: target}, ctx)
+			key := scored[i].Pred.Key()
+			target := targets[key]
+			cand := Candidate{Pred: merged, Origin: scored[i].Origin + "+merge", Target: target}
+			if ctx.fastOK && len(target) > 0 {
+				if targetBits[key] == nil {
+					targetBits[key] = targetBitsOf(target, ctx.Res.Source.NumRows())
+				}
+				cand.targetBits = targetBits[key]
+			}
+			sc, ok := scoreWith(cand, ctx, env)
 			if !ok {
 				continue
 			}
@@ -382,18 +566,68 @@ func sortScored(out []Scored) {
 // deduplicates by canonical predicate key (keeping the best score), and
 // returns the survivors sorted by descending score (ties: fewer
 // clauses, then fewer tuples).
+//
+// Scoring and pruning run in parallel across a worker pool: once the
+// context is prepared, the scoring inputs (clause masks, lineage
+// bitsets, flat argument columns) are read-only shared state, so each
+// candidate is independent. Results are collected by slot index, keeping
+// the final ranking deterministic.
 func RankAll(cands []Candidate, ctx *Context) []Scored {
+	ctx.prepare()
+	if ctx.fastOK {
+		// Populate target bitsets up front so pruning variants and
+		// parallel workers share them instead of re-hashing the maps.
+		for i := range cands {
+			if len(cands[i].Target) > 0 && cands[i].targetBits == nil {
+				cands[i].targetBits = targetBitsOf(cands[i].Target, ctx.Res.Source.NumRows())
+			}
+		}
+	}
+
+	type slot struct {
+		c  Candidate
+		sc Scored
+		ok bool
+	}
+	slots := make([]slot, len(cands))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := ctx.newEnv()
+			for i := range jobs {
+				c := cands[i]
+				sc, ok := scoreWith(c, ctx, env)
+				if ok && !ctx.DisablePrune {
+					c, sc = pruneWith(c, sc, ctx, env)
+				}
+				slots[i] = slot{c: c, sc: sc, ok: ok}
+			}
+		}()
+	}
+	for i := range cands {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
 	byKey := make(map[string]Scored)
 	targets := make(map[string]map[int]bool)
 	var order []string
-	for _, c := range cands {
-		sc, ok := Score(c, ctx)
-		if !ok {
+	for i := range slots {
+		if !slots[i].ok {
 			continue
 		}
-		if !ctx.DisablePrune {
-			c, sc = Prune(c, sc, ctx)
-		}
+		c, sc := slots[i].c, slots[i].sc
 		key := c.Pred.Key()
 		prev, seen := byKey[key]
 		if !seen {

@@ -1,0 +1,55 @@
+package repro_test
+
+// Perf smoke tests: cheap pins on the scoring hot path that run inside
+// plain `go test ./...` (tier-1), so a regression that reintroduces
+// per-tuple boxing or per-predicate map churn fails CI instead of only
+// showing up in -bench output. The full numbers live in bench_test.go
+// and `make bench`.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errmetric"
+	"repro/internal/influence"
+)
+
+// TestInfluenceAllocSmoke pins the leave-one-out pass to a small,
+// |F|-independent allocation budget. Before the columnar fast path this
+// pass allocated ~6 per lineage tuple (boxed argument evaluation plus
+// metric scratch) — about 120k allocations at this scale.
+func TestInfluenceAllocSmoke(t *testing.T) {
+	e := intelBench(t, 20_000)
+	warm, err := influence.Rank(e.res, e.suspect, 0, errmetric.TooHigh{C: 70}, influence.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.F) == 0 {
+		t.Fatal("empty lineage")
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := influence.Rank(e.res, e.suspect, 0, errmetric.TooHigh{C: 70}, influence.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1000 {
+		t.Errorf("influence.Rank allocates %.0f per run; the columnar path budget is 1000", allocs)
+	}
+}
+
+// TestDebugSmoke runs the full pipeline end to end at reduced scale and
+// checks it still produces explanations — the bench-shaped guard that
+// keeps BenchmarkFigure6RankedPredicates meaningful in short mode.
+func TestDebugSmoke(t *testing.T) {
+	e := intelBench(t, 20_000)
+	dr, err := core.Debug(core.DebugRequest{
+		Result: e.res, AggItem: -1, Suspect: e.suspect,
+		Examples: e.dprime, Metric: errmetric.TooHigh{C: 70},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Explanations) == 0 {
+		t.Fatal("Debug produced no explanations")
+	}
+}
