@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet bench bench-hot
+.PHONY: all build test short vet fmt-check check bench bench-hot bench-json
 
 all: build test
 
@@ -18,9 +18,28 @@ short:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# The CI gate: build, vet, formatting, and the short test suite.
+check: build vet fmt-check short
+
 # Full benchmark sweep with allocation counts.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Record the perf trajectory: run the root figure benchmarks and write
+# ns/op + B/op + allocs/op per bench as JSON. Check the file in so each
+# PR's numbers diff against the last.
+BENCH_JSON ?= BENCH_PR2.json
+bench-json:
+	@out=$$(mktemp); \
+	$(GO) test -run='^$$' -bench=. -benchmem -short . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	$(GO) run ./cmd/benchjson < $$out > $(BENCH_JSON); rm -f $$out
+	@echo "wrote $(BENCH_JSON)"
 
 # Just the scoring hot path: the paper's interactivity claim lives here.
 bench-hot:

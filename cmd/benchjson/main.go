@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON document on stdout, so benchmark runs can be checked in
+// and diffed across PRs (the perf trajectory files BENCH_PR*.json at
+// the repo root). Lines that are not benchmark results pass through to
+// stderr untouched, keeping failures visible.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result line.
+type Bench struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iters is the measured iteration count.
+	Iters int64 `json:"iters"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is allocated bytes per operation (-benchmem).
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is allocations per operation (-benchmem).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	var doc Doc
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			} else {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkFoo/rows=100-8   5   16689573 ns/op   2836403 B/op   1049 allocs/op
+func parseBench(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Bench{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix (absent when GOMAXPROCS=1).
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iters: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}

@@ -57,6 +57,39 @@
 // scoring algebra above composes by OR-ing bitsets and merging
 // removable states.
 //
+// # The vectorized query executor
+//
+// The same columnar substrate now runs the query half of the loop.
+// exec.RunOn keeps two implementations: a boxed reference scan (the
+// oracle — row materialization, per-row WHERE interpretation, string
+// group keys) and a vectorized shard-parallel pipeline that grouped
+// statements take by default:
+//
+//   - WHERE lowers onto predicate.Index clause masks: a comparison
+//     between a column and a constant becomes a cached bitmap, and the
+//     tree combines with Kleene-logic (TRUE,FALSE) mask pairs so
+//     NOT/NULL semantics survive the translation (exec/filter.go).
+//     Trees with non-lowerable nodes (LIKE, arithmetic, column-column)
+//     fall back to one per-row expr.EvalBool pass that fills the same
+//     bitmap.
+//   - Group keys are integers, not strings: dictionary codes for string
+//     columns, canonical float bits for numeric columns, and compiled
+//     zero-alloc evaluators (expr.Compile) for computed keys; a single
+//     string-column key uses a dense code-indexed slot table instead of
+//     a hash map.
+//   - Aggregate arguments stream from engine.FloatView float slices
+//     into the states through agg.FloatAdder — no boxing per row.
+//   - The row space splits across a worker pool; per-shard group states
+//     merge in shard order via agg.Merger, which reproduces the
+//     sequential scan's group order, lineage order, and FirstRow
+//     exactly.
+//
+// Statements the pipeline cannot express exactly — DISTINCT aggregates,
+// more than four group-by columns, string-valued computed keys — take
+// the reference scan instead (Result.Plan says which path ran and why).
+// A randomized property test executes generated statements on both
+// paths and requires identical output, group order, and lineage.
+//
 // The benchmarks in bench_test.go regenerate the data behaviour behind
 // each figure of the paper; run them with
 //

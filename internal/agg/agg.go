@@ -445,6 +445,24 @@ func (e *extremum) better(a, b float64) bool {
 	return a > b
 }
 
+// displaces reports whether a newly seen value f should replace the
+// current best. engine.Compare treats NaN as equal to everything, so
+// any element of a NaN-containing multiset is a valid extremum; this
+// picks the deterministic, order-independent one: NaN never displaces a
+// real value and a real value always displaces NaN, so best is NaN only
+// when every value is NaN. (A plain e.better here made the result
+// depend on arrival order — first value NaN stuck forever — which also
+// broke the shard-merge equivalence Merge needs.)
+func (e *extremum) displaces(f, best float64) bool {
+	if math.IsNaN(f) {
+		return false
+	}
+	if math.IsNaN(best) {
+		return true
+	}
+	return e.better(f, best)
+}
+
 // Add implements Func.
 func (e *extremum) Add(v engine.Value) {
 	if v.IsNull() {
@@ -452,7 +470,7 @@ func (e *extremum) Add(v engine.Value) {
 	}
 	f := v.Float()
 	e.counts[f]++
-	if !e.haveAny || e.better(f, e.best) {
+	if !e.haveAny || e.displaces(f, e.best) {
 		e.best = f
 		e.haveAny = true
 	}
@@ -485,7 +503,7 @@ func (e *extremum) rescan(delta map[float64]int) (float64, bool) {
 		if c <= 0 {
 			continue
 		}
-		if !have || e.better(f, best) {
+		if !have || e.displaces(f, best) {
 			best = f
 			have = true
 		}

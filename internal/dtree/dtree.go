@@ -138,6 +138,12 @@ type Tree struct {
 	// capped value set), so split search accumulates into arrays sized
 	// by MaxCategories rather than the column's full cardinality.
 	attrSlots [][]int32
+	// buckets[ai][i] is population position i's threshold bucket for
+	// numeric attribute ai (sort.SearchFloat64s over the attribute's
+	// thresholds; the last bucket holds NULL/NaN and above-all values).
+	// A row's bucket never changes across nodes, so it is computed once
+	// per training run instead of once per node visit.
+	buckets [][]int16
 }
 
 // bindViews resolves the typed views of every attribute column once per
@@ -195,6 +201,7 @@ func Train(sp *feature.Space, rows []int, labels []bool, weights []float64, opt 
 	}
 	tr := &Tree{Space: sp, Opt: opt}
 	tr.bindViews()
+	tr.bucketize(rows)
 	idx := make([]int, len(rows))
 	for i := range idx {
 		idx[i] = i
@@ -213,6 +220,44 @@ func Train(sp *feature.Space, rows []int, labels []bool, weights []float64, opt 
 		tr.TrainAccuracy = correct / total
 	}
 	return tr, nil
+}
+
+// bucketize precomputes, once per training run, each population
+// position's threshold bucket for every numeric attribute. bestSplit's
+// per-node pass then indexes an int16 slice instead of re-running a
+// binary search (and NaN test) for every row at every node.
+func (t *Tree) bucketize(rows []int) {
+	sp := t.Space
+	t.buckets = make([][]int16, len(sp.Attrs))
+	for ai := range sp.Attrs {
+		attr := &sp.Attrs[ai]
+		ths := attr.Thresholds
+		if attr.Kind != feature.Numeric || len(ths) == 0 || len(ths) >= 1<<15 {
+			continue
+		}
+		b := make([]int16, len(rows))
+		if fv := t.fviews[ai]; fv != nil {
+			for i, r := range rows {
+				k := len(ths)
+				if f := fv.Vals[r]; !math.IsNaN(f) {
+					k = sort.SearchFloat64s(ths, f)
+				}
+				b[i] = int16(k)
+			}
+		} else {
+			col := sp.Table.Column(attr.Col)
+			for i, r := range rows {
+				k := len(ths)
+				if v := col[r]; !v.IsNull() {
+					if f := v.Float(); !math.IsNaN(f) {
+						k = sort.SearchFloat64s(ths, f)
+					}
+				}
+				b[i] = int16(k)
+			}
+		}
+		t.buckets[ai] = b
+	}
 }
 
 // counts returns (posW, totW, n) over idx.
@@ -344,7 +389,16 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 			// len(ths): v > last or NULL/NaN → always right).
 			bTot := make([]float64, len(ths)+1)
 			bPos := make([]float64, len(ths)+1)
-			if fv := t.fviews[ai]; fv != nil {
+			if bk := t.buckets[ai]; bk != nil {
+				// Precomputed path: the bucket of every population
+				// position was resolved once in bucketize.
+				for _, i := range idx {
+					bTot[bk[i]] += weights[i]
+					if labels[i] {
+						bPos[bk[i]] += weights[i]
+					}
+				}
+			} else if fv := t.fviews[ai]; fv != nil {
 				// Typed fast path: stream the flat float column.
 				for _, i := range idx {
 					r := rows[i]

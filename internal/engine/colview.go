@@ -50,6 +50,7 @@ type tableViews struct {
 	mu    sync.Mutex
 	float map[int]*floatEntry
 	dict  map[int]*dictEntry
+	aux   map[any]any
 }
 
 type floatEntry struct {
@@ -69,6 +70,33 @@ func (t *Table) viewCache() *tableViews {
 		t.views = &tableViews{}
 	}
 	return t.views
+}
+
+// AuxLoadOrStore returns the per-table auxiliary cache entry for key,
+// building it with build on first request. Entries share the table's
+// lifetime (and its Rename copies), which lets higher layers — the
+// executor's predicate index, for instance — cache derived structures
+// per table without a process-global map that outlives the table.
+// build may run more than once under a race; exactly one result wins.
+func (t *Table) AuxLoadOrStore(key any, build func() any) any {
+	vc := t.viewCache()
+	vc.mu.Lock()
+	if v, ok := vc.aux[key]; ok {
+		vc.mu.Unlock()
+		return v
+	}
+	vc.mu.Unlock()
+	v := build()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.aux == nil {
+		vc.aux = make(map[any]any)
+	}
+	if prev, ok := vc.aux[key]; ok {
+		return prev
+	}
+	vc.aux[key] = v
+	return v
 }
 
 // FloatView returns the cached float64 decoding of numeric column c, or

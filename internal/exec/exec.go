@@ -56,6 +56,8 @@ type Result struct {
 	aggArgs []expr.Expr
 	// aggItems maps aggregate ordinal -> select item index.
 	aggItems []int
+	// Plan records which execution strategy produced this result.
+	Plan PlanInfo
 	// argMu guards argViews, the per-ordinal flat argument columns the
 	// columnar scoring fast path decodes on first use (see columnar.go).
 	argMu    sync.Mutex
@@ -82,8 +84,17 @@ func RunSQL(db *engine.DB, sql string) (*Result, error) {
 
 // RunOn executes stmt against an explicit source table (the FROM name
 // is ignored). This is what clean-and-requery uses to run the original
-// statement against a filtered view.
+// statement against a filtered view. Grouped statements take the
+// vectorized shard-parallel pipeline (vector.go) when they can, and the
+// boxed reference scan otherwise; Result.Plan records the choice.
 func RunOn(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
+	return RunOnWith(src, stmt, Options{})
+}
+
+// RunOnWith is RunOn with explicit strategy options (shard count,
+// forced scalar execution). Tests and benchmarks use it to pin paths;
+// normal callers want RunOn.
+func RunOnWith(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
 	if len(stmt.Items) == 0 {
 		return nil, fmt.Errorf("exec: empty select list")
 	}
@@ -120,7 +131,7 @@ func RunOn(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
 	}
 	grouped := stmt.HasAggregates() || len(stmt.GroupBy) > 0
 	if !grouped {
-		return runProjection(src, stmt)
+		return runProjection(src, stmt, opts)
 	}
 	if err := checkPlainItemsGrouped(stmt); err != nil {
 		return nil, err
@@ -139,6 +150,25 @@ func RunOn(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
 		protos[ai] = f
 	}
 
+	if !opts.ForceScalar {
+		res, fallback, err := runVector(src, stmt, aggArgs, aggItems, protos, opts)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+		return runScalarGrouped(src, stmt, aggArgs, aggItems, protos, fallback)
+	}
+	return runScalarGrouped(src, stmt, aggArgs, aggItems, protos, "forced scalar")
+}
+
+// runScalarGrouped is the boxed reference scan: row-at-a-time WHERE
+// evaluation, string group keys, boxed aggregate accumulation. It is
+// the oracle the vectorized pipeline is property-tested against, and
+// the fallback for statements the pipeline cannot express (recorded in
+// Plan.Fallback).
+func runScalarGrouped(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, aggItems []int, protos []agg.Func, fallback string) (*Result, error) {
 	groupsByKey := make(map[string]*Group)
 	var groups []*Group
 	row := make([]engine.Value, src.NumCols())
@@ -194,7 +224,11 @@ func RunOn(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
 		}
 	}
 
-	res := &Result{Stmt: stmt, Source: src, Groups: groups, aggArgs: aggArgs, aggItems: aggItems}
+	res := &Result{
+		Stmt: stmt, Source: src, Groups: groups,
+		aggArgs: aggArgs, aggItems: aggItems,
+		Plan: PlanInfo{Fallback: fallback},
+	}
 	if err := res.materialize(); err != nil {
 		return nil, err
 	}
@@ -222,23 +256,25 @@ func checkPlainItemsGrouped(stmt *sqlparse.SelectStmt) error {
 }
 
 // runProjection handles aggregate-free statements: each output row's
-// lineage is exactly its one source row.
-func runProjection(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
-	res := &Result{Stmt: stmt, Source: src}
-	row := make([]engine.Value, src.NumCols())
-	for r := 0; r < src.NumRows(); r++ {
-		src.RowInto(r, row)
-		if stmt.Where != nil {
-			ok, err := expr.EvalBool(stmt.Where, row)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		res.Groups = append(res.Groups, &Group{Lineage: []int{r}, FirstRow: r})
+// lineage is exactly its one source row. The WHERE filter goes through
+// the same compiled clause-mask path as the grouped pipeline (with the
+// same per-row fallback), so projections over predicate-shaped filters
+// never interpret the WHERE tree per row.
+func runProjection(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
+	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering || opts.ForceScalar)
+	if err != nil {
+		return nil, err
 	}
+	res := &Result{Stmt: stmt, Source: src, Plan: PlanInfo{WhereLowered: lowered}}
+	if filter == nil {
+		for r := 0; r < src.NumRows(); r++ {
+			res.Groups = append(res.Groups, &Group{Lineage: []int{r}, FirstRow: r})
+		}
+		return res, res.materialize()
+	}
+	filter.ForEach(func(r int) {
+		res.Groups = append(res.Groups, &Group{Lineage: []int{r}, FirstRow: r})
+	})
 	return res, res.materialize()
 }
 

@@ -1,0 +1,333 @@
+package exec
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/predicate"
+)
+
+// This file is the WHERE half of the vectorized pipeline: it lowers
+// predicate-shaped WHERE trees — comparisons between a column and a
+// constant, IS NULL, BETWEEN and IN over constants, combined with
+// AND/OR/NOT — onto the cached clause masks of predicate.Index, so
+// filter evaluation becomes a handful of bitmap operations instead of a
+// per-row tree walk.
+//
+// SQL WHERE is three-valued: a row passes only when the expression is
+// TRUE, and NOT must map NULL to NULL, not to TRUE. Lowering therefore
+// tracks a pair of masks per node — rows where the expression is TRUE
+// and rows where it is FALSE; rows in neither are NULL — and the
+// combinators follow Kleene logic:
+//
+//	AND:  T = T₁∧T₂   F = F₁∨F₂
+//	OR:   T = T₁∨T₂   F = F₁∧F₂
+//	NOT:  T = F₁      F = T₁
+//
+// A comparison leaf gets T from the clause mask (whose semantics are
+// pinned bit-for-bit to the scalar evaluator by the predicate package's
+// parity test) and F = nonNull(column) \ T. Anything the lowerer cannot
+// express — arithmetic inside a comparison, column-to-column
+// comparisons, LIKE, scalar function calls — makes the whole tree
+// non-lowerable and the executor falls back to per-row expr.EvalBool.
+
+// auxIndexKey keys the per-table predicate.Index in the engine's aux
+// cache, so repeated queries over one table share clause masks and the
+// index is collected with the table.
+type auxIndexKey struct{}
+
+// tableIndex returns the table's shared predicate index.
+func tableIndex(t *engine.Table) *predicate.Index {
+	return t.AuxLoadOrStore(auxIndexKey{}, func() any {
+		return predicate.NewIndex(t)
+	}).(*predicate.Index)
+}
+
+// tfMask is a node's three-valued result: t holds the rows where it is
+// TRUE, f the rows where it is FALSE; rows in neither are NULL. Leaf
+// masks may alias shared cached bitsets — combinators always allocate
+// fresh outputs and never mutate inputs.
+type tfMask struct {
+	t, f *bitset.Bitset
+}
+
+// lowerWhere lowers a resolved WHERE tree to the mask of passing rows
+// (TRUE rows; NULL counts as not passing, matching expr.EvalBool). The
+// returned bitset may alias a shared clause mask and must be treated as
+// read-only. ok is false when the tree contains a non-lowerable node.
+func lowerWhere(e expr.Expr, ix *predicate.Index) (*bitset.Bitset, bool) {
+	m, ok := lowerTF(e, ix)
+	if !ok {
+		return nil, false
+	}
+	return m.t, true
+}
+
+func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
+	n := ix.Table().NumRows()
+	switch node := e.(type) {
+	case *expr.Lit:
+		// A constant condition: TRUE/FALSE for every row, or NULL for a
+		// NULL literal (neither mask set).
+		m := tfMask{t: bitset.New(n), f: bitset.New(n)}
+		if !node.Val.IsNull() {
+			if node.Val.Bool() {
+				m.t.Fill()
+			} else {
+				m.f.Fill()
+			}
+		}
+		return m, true
+
+	case *expr.Not:
+		m, ok := lowerTF(node.X, ix)
+		if !ok {
+			return tfMask{}, false
+		}
+		return tfMask{t: m.f, f: m.t}, true
+
+	case *expr.Bin:
+		if node.Op.IsLogic() {
+			l, ok := lowerTF(node.L, ix)
+			if !ok {
+				return tfMask{}, false
+			}
+			r, ok := lowerTF(node.R, ix)
+			if !ok {
+				return tfMask{}, false
+			}
+			out := tfMask{t: bitset.New(n), f: bitset.New(n)}
+			if node.Op == expr.OpAnd {
+				out.t.IntersectOf(l.t, r.t)
+				out.f.CopyFrom(l.f)
+				out.f.Or(r.f)
+			} else {
+				out.t.CopyFrom(l.t)
+				out.t.Or(r.t)
+				out.f.IntersectOf(l.f, r.f)
+			}
+			return out, true
+		}
+		if node.Op.IsComparison() {
+			return lowerComparison(node, ix)
+		}
+		return tfMask{}, false // arithmetic has no boolean lowering
+
+	case *expr.IsNull:
+		col, ok := node.X.(*expr.Col)
+		if !ok {
+			return tfMask{}, false
+		}
+		ci := ix.Table().Schema().ColIndex(col.Name)
+		if ci < 0 {
+			return tfMask{}, false
+		}
+		nonNull := ix.NonNullBits(ci)
+		isNull := bitset.New(n)
+		isNull.Fill()
+		isNull.AndNot(nonNull)
+		if node.Invert { // IS NOT NULL
+			return tfMask{t: nonNull, f: isNull}, true
+		}
+		return tfMask{t: isNull, f: nonNull}, true
+
+	case *expr.Between:
+		col, ok := node.X.(*expr.Col)
+		if !ok {
+			return tfMask{}, false
+		}
+		lo, okLo := node.Lo.(*expr.Lit)
+		hi, okHi := node.Hi.(*expr.Lit)
+		if !okLo || !okHi {
+			return tfMask{}, false
+		}
+		ci := ix.Table().Schema().ColIndex(col.Name)
+		if ci < 0 {
+			return tfMask{}, false
+		}
+		if lo.Val.IsNull() || hi.Val.IsNull() {
+			// NULL bound: the range test is NULL for every row.
+			return tfMask{t: bitset.New(n), f: bitset.New(n)}, true
+		}
+		colType := ix.Table().Schema()[ci].Type
+		if !literalComparable(colType, lo.Val) || !literalComparable(colType, hi.Val) {
+			return tfMask{}, false // scalar path would error; keep it
+		}
+		t := bitset.New(n)
+		t.IntersectOf(
+			ix.ClauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpGe, Val: lo.Val}),
+			ix.ClauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpLe, Val: hi.Val}),
+		)
+		f := ix.NonNullBits(ci).Clone()
+		f.AndNot(t)
+		if node.Invert {
+			return tfMask{t: f, f: t}, true
+		}
+		return tfMask{t: t, f: f}, true
+
+	case *expr.In:
+		col, ok := node.X.(*expr.Col)
+		if !ok {
+			return tfMask{}, false
+		}
+		ci := ix.Table().Schema().ColIndex(col.Name)
+		if ci < 0 {
+			return tfMask{}, false
+		}
+		t := bitset.New(n)
+		sawNull := false
+		for _, e := range node.List {
+			lit, ok := e.(*expr.Lit)
+			if !ok {
+				return tfMask{}, false
+			}
+			if lit.Val.IsNull() {
+				sawNull = true
+				continue
+			}
+			// Equality against an incomparable literal type matches
+			// nothing in both paths (engine.Equal treats incomparable as
+			// unequal, the clause mask stays empty), so every literal
+			// lowers.
+			t.Or(ix.ClauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpEq, Val: lit.Val}))
+		}
+		f := bitset.New(n)
+		if !sawNull {
+			// With a NULL in the list, non-matching rows are NULL (x
+			// might equal the NULL), so F stays empty.
+			f.CopyFrom(ix.NonNullBits(ci))
+			f.AndNot(t)
+		}
+		if node.Invert {
+			return tfMask{t: f, f: t}, true
+		}
+		return tfMask{t: t, f: f}, true
+
+	default:
+		// Bare columns, function calls, LIKE, …: not lowerable.
+		return tfMask{}, false
+	}
+}
+
+// lowerComparison lowers "column op constant" (either operand order)
+// onto one clause mask.
+func lowerComparison(node *expr.Bin, ix *predicate.Index) (tfMask, bool) {
+	n := ix.Table().NumRows()
+	col, lit, op, ok := comparisonShape(node)
+	if !ok {
+		return tfMask{}, false
+	}
+	ci := ix.Table().Schema().ColIndex(col.Name)
+	if ci < 0 {
+		return tfMask{}, false
+	}
+	if lit.Val.IsNull() {
+		// Comparison with a NULL constant is NULL for every row.
+		return tfMask{t: bitset.New(n), f: bitset.New(n)}, true
+	}
+	if !literalComparable(ix.Table().Schema()[ci].Type, lit.Val) {
+		// The scalar evaluator errors on incomparable comparison
+		// operands; don't lower, so the error surfaces identically.
+		return tfMask{}, false
+	}
+	t := ix.ClauseBits(predicate.Clause{Col: col.Name, Op: op, Val: lit.Val})
+	f := ix.NonNullBits(ci).Clone()
+	f.AndNot(t)
+	return tfMask{t: t, f: f}, true
+}
+
+// comparisonShape extracts the (column, constant, clause op) of a
+// comparison, flipping the operator when the constant is on the left
+// (5 < x  ⇔  x > 5).
+func comparisonShape(node *expr.Bin) (*expr.Col, *expr.Lit, predicate.Op, bool) {
+	op, ok := clauseOp(node.Op)
+	if !ok {
+		return nil, nil, 0, false
+	}
+	if col, ok := node.L.(*expr.Col); ok {
+		if lit, ok := node.R.(*expr.Lit); ok {
+			return col, lit, op, true
+		}
+	}
+	if lit, ok := node.L.(*expr.Lit); ok {
+		if col, ok := node.R.(*expr.Col); ok {
+			return col, lit, flipOp(op), true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+func clauseOp(op expr.BinOp) (predicate.Op, bool) {
+	switch op {
+	case expr.OpEq:
+		return predicate.OpEq, true
+	case expr.OpNeq:
+		return predicate.OpNeq, true
+	case expr.OpLt:
+		return predicate.OpLt, true
+	case expr.OpLe:
+		return predicate.OpLe, true
+	case expr.OpGt:
+		return predicate.OpGt, true
+	case expr.OpGe:
+		return predicate.OpGe, true
+	default:
+		return 0, false
+	}
+}
+
+func flipOp(op predicate.Op) predicate.Op {
+	switch op {
+	case predicate.OpLt:
+		return predicate.OpGt
+	case predicate.OpLe:
+		return predicate.OpGe
+	case predicate.OpGt:
+		return predicate.OpLt
+	case predicate.OpGe:
+		return predicate.OpLe
+	default: // = and != are symmetric
+		return op
+	}
+}
+
+// literalComparable reports whether engine.Compare is defined between
+// values of a column's type and a literal — the condition under which
+// the clause mask and the scalar evaluator agree (and neither errors).
+func literalComparable(colType engine.Type, lit engine.Value) bool {
+	if colType.IsNumeric() && lit.T.IsNumeric() {
+		return true
+	}
+	return colType == engine.TString && lit.T == engine.TString
+}
+
+// buildFilter produces the WHERE pass mask for src: lowered onto clause
+// masks when possible, otherwise (or when lowering is disabled) by
+// scanning rows through expr.EvalBool exactly like the boxed executor.
+// A nil where yields (nil, true, nil): no filtering.
+func buildFilter(src *engine.Table, where expr.Expr, noLowering bool) (pass *bitset.Bitset, lowered bool, err error) {
+	if where == nil {
+		return nil, true, nil
+	}
+	if !noLowering {
+		if pass, ok := lowerWhere(where, tableIndex(src)); ok {
+			return pass, true, nil
+		}
+	}
+	// Scalar fallback: per-row three-valued evaluation, aborting on the
+	// first error like the reference scan.
+	n := src.NumRows()
+	pass = bitset.New(n)
+	row := make([]engine.Value, src.NumCols())
+	for r := 0; r < n; r++ {
+		src.RowInto(r, row)
+		ok, err := expr.EvalBool(where, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			pass.Set(r)
+		}
+	}
+	return pass, false, nil
+}

@@ -1,0 +1,335 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+)
+
+// This file pins the vectorized pipeline to the boxed reference scan
+// with randomized statements: WHERE trees (lowerable and not), GROUP BY
+// combinations (column, computed, string-valued computed), aggregate
+// mixes (including DISTINCT and computed arguments), over tables with
+// NULLs, NaNs and collision-heavy values. Results must match exactly —
+// cell values, group order, lineage, FirstRow — for the scalar
+// reference, the single-shard vectorized run, and a forced 4-shard run.
+//
+// Shard merging adds partial float sums, which is only bit-exact when
+// the addends are; the generator therefore draws floats from multiples
+// of 0.25 in a small range (exactly representable, with exactly
+// representable squares), so even the sharded run must agree to the
+// last bit.
+
+// parityTable builds a random test table: two int columns, a float
+// column (NULLs and NaNs), a string column (NULLs, empty strings), and
+// a time column.
+func parityTable(rng *rand.Rand, nrows int) *engine.Table {
+	schema := engine.Schema{
+		{Name: "i", Type: engine.TInt},
+		{Name: "j", Type: engine.TInt},
+		{Name: "f", Type: engine.TFloat},
+		{Name: "s", Type: engine.TString},
+		{Name: "t", Type: engine.TTime},
+	}
+	t, err := engine.NewTable("p", schema)
+	if err != nil {
+		panic(err)
+	}
+	strs := []string{"a", "b", "c", "", "xy"}
+	row := make([]engine.Value, len(schema))
+	for r := 0; r < nrows; r++ {
+		row[0] = engine.NewInt(int64(rng.Intn(11) - 5))
+		if rng.Float64() < 0.15 {
+			row[0] = engine.Null
+		}
+		row[1] = engine.NewInt(int64(rng.Intn(4)))
+		switch {
+		case rng.Float64() < 0.12:
+			row[2] = engine.Null
+		case rng.Float64() < 0.1:
+			row[2] = engine.NewFloat(math.NaN())
+		default:
+			// Multiples of 0.25 in [-8, 8): exact partial sums.
+			row[2] = engine.NewFloat(float64(rng.Intn(64)-32) * 0.25)
+		}
+		if rng.Float64() < 0.15 {
+			row[3] = engine.Null
+		} else {
+			row[3] = engine.NewString(strs[rng.Intn(len(strs))])
+		}
+		if rng.Float64() < 0.1 {
+			row[4] = engine.Null
+		} else {
+			row[4] = engine.NewTimeUnix(int64(rng.Intn(7200)))
+		}
+		if _, err := t.AppendRow(row); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+var parityCols = []string{"i", "j", "f", "s", "t"}
+
+func randLit(rng *rand.Rand, col string) expr.Expr {
+	if rng.Float64() < 0.07 {
+		return expr.NewLit(engine.Null)
+	}
+	if rng.Float64() < 0.1 {
+		// Deliberately mismatched literal type for the column.
+		if col == "s" {
+			return expr.Int(int64(rng.Intn(5)))
+		}
+		return expr.Str("a")
+	}
+	switch col {
+	case "s":
+		return expr.Str([]string{"a", "b", "c", "", "zz"}[rng.Intn(5)])
+	case "f":
+		if rng.Float64() < 0.08 {
+			return expr.Float(math.NaN())
+		}
+		return expr.Float(float64(rng.Intn(64)-32) * 0.25)
+	case "t":
+		return expr.NewLit(engine.NewTimeUnix(int64(rng.Intn(7200))))
+	default:
+		return expr.Int(int64(rng.Intn(11) - 5))
+	}
+}
+
+var cmpOps = []expr.BinOp{expr.OpEq, expr.OpNeq, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe}
+
+func randWhere(rng *rand.Rand, depth int) expr.Expr {
+	if depth > 0 && rng.Float64() < 0.55 {
+		switch rng.Intn(3) {
+		case 0:
+			return expr.NewBin(expr.OpAnd, randWhere(rng, depth-1), randWhere(rng, depth-1))
+		case 1:
+			return expr.NewBin(expr.OpOr, randWhere(rng, depth-1), randWhere(rng, depth-1))
+		default:
+			return expr.NewNot(randWhere(rng, depth-1))
+		}
+	}
+	col := parityCols[rng.Intn(len(parityCols))]
+	switch rng.Intn(10) {
+	case 0:
+		return &expr.IsNull{X: expr.NewCol(col), Invert: rng.Intn(2) == 0}
+	case 1:
+		return &expr.Between{
+			X: expr.NewCol(col), Lo: randLit(rng, col), Hi: randLit(rng, col),
+			Invert: rng.Intn(2) == 0,
+		}
+	case 2:
+		in := &expr.In{X: expr.NewCol(col), Invert: rng.Intn(2) == 0}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			in.List = append(in.List, randLit(rng, col))
+		}
+		return in
+	case 3:
+		// Not lowerable: LIKE forces the scalar filter fallback.
+		return &expr.Like{X: expr.NewCol("s"), Pattern: []string{"a%", "%y", "_"}[rng.Intn(3)], Invert: rng.Intn(2) == 0}
+	case 4:
+		// Not lowerable: arithmetic inside the comparison.
+		lhs := expr.NewBin(expr.OpAdd, expr.NewCol("f"), expr.Float(0.25))
+		return expr.NewBin(cmpOps[rng.Intn(len(cmpOps))], lhs, randLit(rng, "f"))
+	default:
+		op := cmpOps[rng.Intn(len(cmpOps))]
+		l, r := expr.Expr(expr.NewCol(col)), randLit(rng, col)
+		if rng.Intn(2) == 0 {
+			l, r = r, l
+		}
+		return expr.NewBin(op, l, r)
+	}
+}
+
+// randGroupBy returns 0..2 group-by expressions; the bool reports
+// whether a string-valued computed key (lower(s)) was included, which
+// must route to the reference scan.
+func randGroupBy(rng *rand.Rand) ([]expr.Expr, bool) {
+	ng := rng.Intn(3)
+	var out []expr.Expr
+	stringComputed := false
+	for k := 0; k < ng; k++ {
+		switch rng.Intn(7) {
+		case 0:
+			out = append(out, expr.NewCol("s"))
+		case 1:
+			out = append(out, expr.NewCol("f"))
+		case 2:
+			out = append(out, expr.NewFunc("bucket", expr.NewCol("i"), expr.Int(3)))
+		case 3:
+			out = append(out, expr.NewFunc("bucket", expr.NewFunc("epoch", expr.NewCol("t")), expr.Int(1800)))
+		case 4:
+			if rng.Float64() < 0.5 {
+				out = append(out, expr.NewFunc("lower", expr.NewCol("s")))
+				stringComputed = true
+			} else {
+				out = append(out, expr.NewCol("j"))
+			}
+		default:
+			out = append(out, expr.NewCol("i"))
+		}
+	}
+	return out, stringComputed
+}
+
+func randAggItem(rng *rand.Rand, alias string) sqlparse.SelectItem {
+	var call *sqlparse.AggCall
+	switch rng.Intn(12) {
+	case 0:
+		call = &sqlparse.AggCall{Name: "count", Star: true}
+	case 1:
+		call = &sqlparse.AggCall{Name: "count", Arg: expr.NewCol("f")}
+	case 2:
+		call = &sqlparse.AggCall{Name: "avg", Arg: expr.NewCol("f")}
+	case 3:
+		call = &sqlparse.AggCall{Name: "min", Arg: expr.NewCol("i")}
+	case 4:
+		call = &sqlparse.AggCall{Name: "max", Arg: expr.NewCol("f")}
+	case 5:
+		call = &sqlparse.AggCall{Name: "stddev", Arg: expr.NewCol("f")}
+	case 6:
+		call = &sqlparse.AggCall{Name: "var", Arg: expr.NewCol("i")}
+	case 7:
+		call = &sqlparse.AggCall{Name: "median", Arg: expr.NewCol("f")}
+	case 8:
+		// Computed argument: exercises the compiled-evaluator source.
+		call = &sqlparse.AggCall{Name: "sum", Arg: expr.NewBin(expr.OpAdd, expr.NewCol("f"), expr.NewCol("j"))}
+	case 9:
+		// Aggregate over a string column (boxed column source).
+		call = &sqlparse.AggCall{Name: "count", Arg: expr.NewCol("s")}
+	case 10:
+		call = &sqlparse.AggCall{Name: "count", Arg: expr.NewCol("s"), Distinct: true}
+	default:
+		call = &sqlparse.AggCall{Name: "sum", Arg: expr.NewCol("f")}
+	}
+	return sqlparse.SelectItem{Agg: call, Alias: alias}
+}
+
+func randStmt(rng *rand.Rand) (*sqlparse.SelectStmt, bool) {
+	stmt := &sqlparse.SelectStmt{From: "p", Limit: -1}
+	groupBy, stringComputed := randGroupBy(rng)
+	stmt.GroupBy = groupBy
+	for k, g := range groupBy {
+		// Re-create an equal expression so select items and GROUP BY
+		// don't share nodes (matching what the parser produces).
+		stmt.Items = append(stmt.Items, sqlparse.SelectItem{Expr: cloneGroupExpr(g), Alias: fmt.Sprintf("g%d", k)})
+	}
+	nagg := 1 + rng.Intn(3)
+	hasDistinct := false
+	for k := 0; k < nagg; k++ {
+		item := randAggItem(rng, fmt.Sprintf("a%d", k))
+		if item.Agg.Distinct {
+			hasDistinct = true
+		}
+		stmt.Items = append(stmt.Items, item)
+	}
+	if rng.Float64() < 0.65 {
+		stmt.Where = randWhere(rng, 2)
+	}
+	if rng.Float64() < 0.2 {
+		stmt.Having = expr.NewBin(expr.OpGt, expr.NewCol("a0"), expr.Int(0))
+	}
+	if rng.Float64() < 0.3 {
+		stmt.OrderBy = []sqlparse.OrderItem{{Expr: expr.NewCol("a0"), Desc: rng.Intn(2) == 0}}
+	}
+	if rng.Float64() < 0.15 {
+		stmt.Limit = rng.Intn(5)
+	}
+	_ = stringComputed
+	return stmt, hasDistinct
+}
+
+// cloneGroupExpr re-parses a group-by expression from its SQL rendering
+// so the plain select item is an independent, textually-equal tree.
+func cloneGroupExpr(g expr.Expr) expr.Expr {
+	stmt, err := sqlparse.Parse("SELECT " + g.String() + " FROM x GROUP BY " + g.String())
+	if err != nil {
+		panic(fmt.Sprintf("cloneGroupExpr %q: %v", g, err))
+	}
+	return stmt.Items[0].Expr
+}
+
+// groupsEqual compares two results' provenance exactly.
+func groupsEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("%s: %d vs %d groups", label, len(a.Groups), len(b.Groups))
+	}
+	for gi := range a.Groups {
+		ga, gb := a.Groups[gi], b.Groups[gi]
+		if ga.FirstRow != gb.FirstRow {
+			t.Fatalf("%s: group %d FirstRow %d vs %d", label, gi, ga.FirstRow, gb.FirstRow)
+		}
+		if len(ga.Lineage) != len(gb.Lineage) {
+			t.Fatalf("%s: group %d lineage %d vs %d rows", label, gi, len(ga.Lineage), len(gb.Lineage))
+		}
+		for k := range ga.Lineage {
+			if ga.Lineage[k] != gb.Lineage[k] {
+				t.Fatalf("%s: group %d lineage[%d] %d vs %d", label, gi, k, ga.Lineage[k], gb.Lineage[k])
+			}
+		}
+	}
+}
+
+// tablesEqual compares materialized output cell-for-cell (Value.Key is
+// NaN-safe and numerically canonical).
+func tablesEqual(t *testing.T, label string, a, b *engine.Table) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", label, a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		if a.Schema()[c].Name != b.Schema()[c].Name {
+			t.Fatalf("%s: column %d label %q vs %q", label, c, a.Schema()[c].Name, b.Schema()[c].Name)
+		}
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		for c := 0; c < a.NumCols(); c++ {
+			va, vb := a.Value(r, c), b.Value(r, c)
+			if va.Key() != vb.Key() {
+				t.Fatalf("%s: cell (%d,%d): %s vs %s", label, r, c, va, vb)
+			}
+		}
+	}
+}
+
+func TestVectorScalarParity(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := parityTable(rng, rng.Intn(250))
+		for iter := 0; iter < 60; iter++ {
+			stmt, hasDistinct := randStmt(rng)
+			sql := stmt.String()
+
+			ref, refErr := RunOnWith(tbl, stmt, Options{ForceScalar: true})
+			vec1, vec1Err := RunOnWith(tbl, stmt, Options{Shards: 1})
+			vec4, vec4Err := RunOnWith(tbl, stmt, Options{Shards: 4})
+
+			if (refErr != nil) != (vec1Err != nil) || (refErr != nil) != (vec4Err != nil) {
+				t.Fatalf("seed %d iter %d: error disagreement\nsql: %s\nref: %v\nvec1: %v\nvec4: %v",
+					seed, iter, sql, refErr, vec1Err, vec4Err)
+			}
+			if refErr != nil {
+				continue
+			}
+			for label, vec := range map[string]*Result{"shards=1": vec1, "shards=4": vec4} {
+				tablesEqual(t, fmt.Sprintf("seed %d iter %d %s [%s]", seed, iter, label, sql), ref.Table, vec.Table)
+				groupsEqual(t, fmt.Sprintf("seed %d iter %d %s [%s]", seed, iter, label, sql), ref, vec)
+			}
+			if hasDistinct {
+				if vec1.Plan.Vectorized {
+					t.Fatalf("seed %d iter %d: DISTINCT statement did not fall back to the reference scan [%s]", seed, iter, sql)
+				}
+				if vec1.Plan.Fallback == "" {
+					t.Fatalf("seed %d iter %d: DISTINCT fallback reason missing [%s]", seed, iter, sql)
+				}
+			}
+		}
+	}
+}

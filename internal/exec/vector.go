@@ -1,0 +1,591 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/bitset"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+)
+
+// This file is the vectorized, shard-parallel aggregate pipeline — the
+// fast path RunOn takes for grouped statements. Where the boxed
+// reference scan (runScalarGrouped) materializes every row, interprets
+// WHERE per row, builds string group keys, and feeds boxed values to
+// the aggregates, this pipeline:
+//
+//  1. evaluates WHERE once into a bitmap (filter.go: clause-mask
+//     lowering with a per-row EvalBool fallback),
+//  2. turns each group-by expression into an integer key slot per row —
+//     dictionary codes for string columns, canonical float bits for
+//     numeric columns, a compiled zero-alloc evaluator for computed
+//     keys — with a dense slot table replacing the hash map for
+//     single string-column keys,
+//  3. streams numeric argument columns (engine.FloatView) straight into
+//     the aggregate states through agg.FloatAdder, and
+//  4. splits the row space across a worker pool, each shard
+//     accumulating private group states that merge in shard order via
+//     agg.Merger — which preserves the sequential scan's
+//     first-appearance group order, ascending lineage, and FirstRow.
+//
+// Anything the pipeline cannot express exactly falls back to the boxed
+// reference scan (DISTINCT aggregates, more than four group-by columns,
+// computed group keys that turn out to be strings); the randomized
+// parity test pins the two paths to identical output.
+
+// Options selects an execution strategy for RunOnWith. The zero value
+// means "choose automatically" and is what RunOn uses.
+type Options struct {
+	// Shards forces the number of scan partitions (0 = automatic:
+	// GOMAXPROCS capped so each shard keeps at least a few thousand
+	// rows). Ignored when the statement is not shardable.
+	Shards int
+	// ForceScalar routes execution through the boxed reference scan.
+	ForceScalar bool
+	// NoFilterLowering disables WHERE clause-mask lowering; the filter
+	// is built by per-row evaluation instead. For tests.
+	NoFilterLowering bool
+}
+
+// PlanInfo records which strategy an execution actually took; tests and
+// benchmarks read it to pin fast-path coverage and fallbacks.
+type PlanInfo struct {
+	// Vectorized is true when the vectorized grouped pipeline produced
+	// the result (false for the boxed reference scan and for
+	// aggregate-free projections).
+	Vectorized bool
+	// WhereLowered is true when the WHERE filter was evaluated through
+	// bitmap clause masks rather than per-row expression evaluation.
+	// Meaningful for projections too; true when there is no WHERE.
+	WhereLowered bool
+	// Shards is the number of scan partitions the vectorized pipeline
+	// used (0 when it did not run).
+	Shards int
+	// Fallback names the reason the boxed reference scan ran instead of
+	// the vectorized pipeline ("" when it did not fall back).
+	Fallback string
+}
+
+// errVectorAbort signals mid-scan discovery that the statement needs
+// the boxed path (a computed group key evaluated to a string, or a
+// shard state refused to merge). The caller reruns the reference scan.
+var errVectorAbort = errors.New("exec: not vectorizable")
+
+const (
+	// maxVectorGroupCols bounds the packed group key width.
+	maxVectorGroupCols = 4
+	// minShardRows keeps shards coarse enough that per-shard setup and
+	// merge never dominate.
+	minShardRows = 4096
+	// nullSlot is the key slot of NULL. It is a NaN bit pattern
+	// canonSlot never produces (canonSlot maps every NaN to one
+	// canonical pattern), so it cannot collide with a real value.
+	nullSlot = ^uint64(0)
+	// canonNaN is the canonical NaN slot. The boxed scan's string keys
+	// render every NaN as "NaN", so all NaNs must land in one group.
+	canonNaN = 0x7FF8000000000000
+)
+
+// canonSlot maps a float64 to its group key slot with the same equality
+// the boxed scan's Value.Key() strings induce: every NaN collapses to
+// one slot, -0 and +0 stay distinct (FormatFloat renders them apart),
+// and all numeric types compare through their float64 coercion.
+func canonSlot(f float64) uint64 {
+	if f != f {
+		return canonNaN
+	}
+	return math.Float64bits(f)
+}
+
+// vKey is a packed group key: one slot per group-by column.
+type vKey [maxVectorGroupCols]uint64
+
+type keyKind int
+
+const (
+	kindDict     keyKind = iota // string column: dictionary code
+	kindFloat                   // numeric column: canonical float bits
+	kindComputed                // any other expression: compiled evaluator
+)
+
+// keySrc is one group-by column's per-row key source.
+type keySrc struct {
+	kind  keyKind
+	codes []int32        // kindDict
+	vals  []float64      // kindFloat
+	null  *bitset.Bitset // kindFloat
+	node  expr.Expr      // kindComputed (compiled per shard)
+}
+
+type argKind int
+
+const (
+	argConst1   argKind = iota // count(*): every row contributes 1
+	argFloat                   // numeric column via FloatView
+	argBoxedCol                // non-numeric column: boxed stored value
+	argEval                    // computed argument: compiled evaluator
+)
+
+// argSrc is one aggregate's per-row argument source.
+type argSrc struct {
+	kind     argKind
+	vals     []float64      // argFloat
+	null     *bitset.Bitset // argFloat
+	col      int            // argFloat, argBoxedCol
+	node     expr.Expr      // argEval (compiled per shard)
+	floatFed bool           // state implements agg.FloatAdder and the source is float
+}
+
+// vectorPlan is the analyzed statement: everything the shard workers
+// share read-only.
+type vectorPlan struct {
+	src       *engine.Table
+	stmt      *sqlparse.SelectStmt
+	protos    []agg.Func
+	keys      []keySrc
+	args      []argSrc
+	filter    *bitset.Bitset // nil: no WHERE
+	lowered   bool
+	denseSize int // >0: single string group column, dense slot table
+	mergeable bool
+}
+
+// planVector analyzes the statement for the vectorized pipeline. A
+// non-empty reason means "run the reference scan instead"; err is a
+// real query error.
+func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, protos []agg.Func, opts Options) (*vectorPlan, string, error) {
+	if len(stmt.GroupBy) > maxVectorGroupCols {
+		return nil, "more than 4 group-by columns", nil
+	}
+	p := &vectorPlan{src: src, stmt: stmt, protos: protos, mergeable: true}
+
+	for _, proto := range protos {
+		if _, ok := proto.(*agg.Distinct); ok {
+			return nil, "DISTINCT aggregate", nil
+		}
+		if _, ok := proto.(agg.Merger); !ok {
+			p.mergeable = false
+		}
+	}
+
+	p.keys = make([]keySrc, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		if col, ok := g.(*expr.Col); ok && col.Index >= 0 {
+			if dv := src.DictView(col.Index); dv != nil {
+				p.keys[i] = keySrc{kind: kindDict, codes: dv.Codes}
+				if len(stmt.GroupBy) == 1 {
+					p.denseSize = len(dv.Values) + 1
+				}
+				continue
+			}
+			if fv := src.FloatView(col.Index); fv != nil {
+				p.keys[i] = keySrc{kind: kindFloat, vals: fv.Vals, null: fv.Null}
+				continue
+			}
+			return nil, "group-by column has no typed view", nil
+		}
+		if _, ok := expr.Compile(g, src); !ok {
+			return nil, "group-by expression not compilable", nil
+		}
+		p.keys[i] = keySrc{kind: kindComputed, node: g}
+	}
+
+	p.args = make([]argSrc, len(aggArgs))
+	for ai, arg := range aggArgs {
+		_, isFA := protos[ai].(agg.FloatAdder)
+		switch {
+		case arg == nil:
+			p.args[ai] = argSrc{kind: argConst1, floatFed: isFA}
+		default:
+			if col, ok := arg.(*expr.Col); ok && col.Index >= 0 {
+				if fv := src.FloatView(col.Index); fv != nil {
+					p.args[ai] = argSrc{kind: argFloat, vals: fv.Vals, null: fv.Null, col: col.Index, floatFed: isFA}
+					continue
+				}
+				p.args[ai] = argSrc{kind: argBoxedCol, col: col.Index}
+				continue
+			}
+			if _, ok := expr.Compile(arg, src); !ok {
+				return nil, "aggregate argument not compilable", nil
+			}
+			p.args[ai] = argSrc{kind: argEval, node: arg}
+		}
+	}
+
+	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering)
+	if err != nil {
+		return nil, "", err
+	}
+	p.filter, p.lowered = filter, lowered
+	return p, "", nil
+}
+
+// vGroup is one shard-local (or merged) group with its packed key and
+// the pre-asserted unboxed accumulation handles.
+type vGroup struct {
+	g   *Group
+	key vKey
+	fas []agg.FloatAdder // per aggregate ordinal; nil when boxed
+}
+
+// shardScan is one worker's private accumulation state over [lo, hi).
+type shardScan struct {
+	plan     *vectorPlan
+	lo, hi   int
+	keyEvals []expr.Evaluator
+	argEvals []expr.Evaluator
+	groups   []*vGroup
+	dense    []int32          // single-dict: code+1 → group index+1
+	h1       map[uint64]int32 // single non-dict column
+	hN       map[vKey]int32   // 2..4 columns
+	err      error
+}
+
+func newShardScan(p *vectorPlan, lo, hi int) *shardScan {
+	ss := &shardScan{plan: p, lo: lo, hi: hi}
+	switch {
+	case len(p.keys) == 0:
+		// global aggregate: at most one group, no lookup structure
+	case p.denseSize > 0:
+		ss.dense = make([]int32, p.denseSize)
+	case len(p.keys) == 1:
+		ss.h1 = make(map[uint64]int32)
+	default:
+		ss.hN = make(map[vKey]int32)
+	}
+	ss.keyEvals = make([]expr.Evaluator, len(p.keys))
+	for i := range p.keys {
+		if p.keys[i].kind == kindComputed {
+			ev, _ := expr.Compile(p.keys[i].node, p.src)
+			ss.keyEvals[i] = ev
+		}
+	}
+	ss.argEvals = make([]expr.Evaluator, len(p.args))
+	for ai := range p.args {
+		if p.args[ai].kind == argEval {
+			ev, _ := expr.Compile(p.args[ai].node, p.src)
+			ss.argEvals[ai] = ev
+		}
+	}
+	return ss
+}
+
+func (p *vectorPlan) newGroup(key vKey, r int) *vGroup {
+	g := &Group{Aggs: make([]agg.Func, len(p.protos)), FirstRow: r}
+	vg := &vGroup{g: g, key: key, fas: make([]agg.FloatAdder, len(p.protos))}
+	for i, proto := range p.protos {
+		g.Aggs[i] = proto.Clone()
+		if p.args[i].floatFed {
+			vg.fas[i] = g.Aggs[i].(agg.FloatAdder)
+		}
+	}
+	return vg
+}
+
+// lookup finds or creates the group of key; r is the creating row.
+func (ss *shardScan) lookup(key vKey, r int) *vGroup {
+	switch {
+	case ss.dense != nil:
+		if gi := ss.dense[key[0]]; gi != 0 {
+			return ss.groups[gi-1]
+		}
+		ss.dense[key[0]] = int32(len(ss.groups)) + 1
+	case ss.h1 != nil:
+		if gi, ok := ss.h1[key[0]]; ok {
+			return ss.groups[gi]
+		}
+		ss.h1[key[0]] = int32(len(ss.groups))
+	case ss.hN != nil:
+		if gi, ok := ss.hN[key]; ok {
+			return ss.groups[gi]
+		}
+		ss.hN[key] = int32(len(ss.groups))
+	default:
+		if len(ss.groups) > 0 {
+			return ss.groups[0]
+		}
+	}
+	vg := ss.plan.newGroup(key, r)
+	ss.groups = append(ss.groups, vg)
+	return vg
+}
+
+// scanRow folds one passing row into the shard state.
+func (ss *shardScan) scanRow(r int) error {
+	p := ss.plan
+	var key vKey
+	for i := range p.keys {
+		k := &p.keys[i]
+		switch k.kind {
+		case kindDict:
+			key[i] = uint64(k.codes[r] + 1) // NULL code -1 → slot 0
+		case kindFloat:
+			if k.null.Get(r) {
+				key[i] = nullSlot
+			} else {
+				key[i] = canonSlot(k.vals[r])
+			}
+		default: // kindComputed
+			v, err := ss.keyEvals[i](r)
+			if err != nil {
+				return err
+			}
+			switch {
+			case v.IsNull():
+				key[i] = nullSlot
+			case v.T == engine.TString:
+				// String-valued computed keys have no table-global
+				// code; the reference scan handles them.
+				return errVectorAbort
+			default:
+				key[i] = canonSlot(v.Float())
+			}
+		}
+	}
+	vg := ss.lookup(key, r)
+	grp := vg.g
+	grp.Lineage = append(grp.Lineage, r)
+	for ai := range p.args {
+		a := &p.args[ai]
+		switch a.kind {
+		case argConst1:
+			if fa := vg.fas[ai]; fa != nil {
+				fa.AddFloat(1)
+			} else {
+				grp.Aggs[ai].Add(engine.NewInt(1))
+			}
+		case argFloat:
+			if a.null.Get(r) {
+				continue // Add ignores NULLs; so does skipping
+			}
+			if fa := vg.fas[ai]; fa != nil {
+				fa.AddFloat(a.vals[r])
+			} else {
+				grp.Aggs[ai].Add(p.src.Value(r, a.col))
+			}
+		case argBoxedCol:
+			grp.Aggs[ai].Add(p.src.Value(r, a.col))
+		default: // argEval
+			v, err := ss.argEvals[ai](r)
+			if err != nil {
+				return err
+			}
+			grp.Aggs[ai].Add(v)
+		}
+	}
+	return nil
+}
+
+// run scans the shard's row range, restricted to the filter bitmap.
+func (ss *shardScan) run() {
+	p := ss.plan
+	if ss.hi <= ss.lo {
+		return
+	}
+	if p.filter == nil {
+		for r := ss.lo; r < ss.hi; r++ {
+			if err := ss.scanRow(r); err != nil {
+				ss.err = err
+				return
+			}
+		}
+		return
+	}
+	words := p.filter.Words()
+	loWord, hiWord := ss.lo/64, (ss.hi-1)/64
+	for wi := loWord; wi <= hiWord; wi++ {
+		w := words[wi]
+		if wi == loWord {
+			w &= ^uint64(0) << (uint(ss.lo) % 64)
+		}
+		if wi == hiWord {
+			if rem := ss.hi - wi*64; rem < 64 {
+				w &= (1 << uint(rem)) - 1
+			}
+		}
+		for w != 0 {
+			r := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if err := ss.scanRow(r); err != nil {
+				ss.err = err
+				return
+			}
+		}
+	}
+}
+
+// mergeShards combines per-shard group states in shard order. Because
+// shard row ranges are ascending and contiguous, visiting shard 0's
+// groups first (in their local first-appearance order), then each later
+// shard's unseen groups, reproduces the sequential scan's group order
+// exactly; concatenating lineage in shard order keeps it ascending.
+func mergeShards(p *vectorPlan, states []*shardScan) ([]*vGroup, error) {
+	if len(states) == 1 {
+		return states[0].groups, nil
+	}
+	total := newShardScan(p, 0, 0) // reuse its lookup structures
+	var merged []*vGroup
+	for _, ss := range states {
+		for _, vg := range ss.groups {
+			var tgt *vGroup
+			switch {
+			case total.dense != nil:
+				if gi := total.dense[vg.key[0]]; gi != 0 {
+					tgt = merged[gi-1]
+				} else {
+					total.dense[vg.key[0]] = int32(len(merged)) + 1
+				}
+			case total.h1 != nil:
+				if gi, ok := total.h1[vg.key[0]]; ok {
+					tgt = merged[gi]
+				} else {
+					total.h1[vg.key[0]] = int32(len(merged))
+				}
+			case total.hN != nil:
+				if gi, ok := total.hN[vg.key]; ok {
+					tgt = merged[gi]
+				} else {
+					total.hN[vg.key] = int32(len(merged))
+				}
+			default:
+				if len(merged) > 0 {
+					tgt = merged[0]
+				}
+			}
+			if tgt == nil {
+				merged = append(merged, vg)
+				continue
+			}
+			tgt.g.Lineage = append(tgt.g.Lineage, vg.g.Lineage...)
+			for ai := range tgt.g.Aggs {
+				m, ok := tgt.g.Aggs[ai].(agg.Merger)
+				if !ok || !m.Merge(vg.g.Aggs[ai]) {
+					return nil, errVectorAbort
+				}
+			}
+		}
+	}
+	return merged, nil
+}
+
+// shardCount picks the scan partition count. An explicit Options.Shards
+// is honored as given (capped at one row per shard); the automatic
+// choice additionally keeps every shard above minShardRows so setup and
+// merge never dominate.
+func shardCount(p *vectorPlan, n int, opts Options) int {
+	if !p.mergeable {
+		return 1
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if max := (n + minShardRows - 1) / minShardRows; shards > max {
+			shards = max
+		}
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// runVector executes a grouped statement through the vectorized
+// pipeline. A non-empty reason (with nil Result and error) means the
+// caller should run the boxed reference scan instead.
+func runVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, aggItems []int, protos []agg.Func, opts Options) (*Result, string, error) {
+	p, reason, err := planVector(src, stmt, aggArgs, protos, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	if reason != "" {
+		return nil, reason, nil
+	}
+
+	n := src.NumRows()
+	nshards := shardCount(p, n, opts)
+	states := make([]*shardScan, 0, nshards)
+	if nshards == 1 {
+		ss := newShardScan(p, 0, n)
+		ss.run()
+		states = append(states, ss)
+	} else {
+		per := (n + nshards - 1) / nshards
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			states = append(states, newShardScan(p, lo, hi))
+		}
+		nshards = len(states)
+		var wg sync.WaitGroup
+		for _, ss := range states {
+			wg.Add(1)
+			go func(ss *shardScan) {
+				defer wg.Done()
+				ss.run()
+			}(ss)
+		}
+		wg.Wait()
+	}
+	// The lowest-indexed shard's error corresponds to the earliest
+	// erroring row — the error the sequential scan would have hit.
+	for _, ss := range states {
+		if ss.err != nil {
+			if errors.Is(ss.err, errVectorAbort) {
+				return nil, "computed group key produced a string", nil
+			}
+			return nil, "", ss.err
+		}
+	}
+
+	merged, err := mergeShards(p, states)
+	if err != nil {
+		if errors.Is(err, errVectorAbort) {
+			return nil, "shard states did not merge", nil
+		}
+		return nil, "", err
+	}
+
+	// Materialize the boxed key values once per group (the reference
+	// scan evaluates them per row; per group is enough for output).
+	groups := make([]*Group, len(merged))
+	if len(stmt.GroupBy) > 0 {
+		row := make([]engine.Value, src.NumCols())
+		for i, vg := range merged {
+			src.RowInto(vg.g.FirstRow, row)
+			vg.g.Key = make([]engine.Value, len(stmt.GroupBy))
+			for k, g := range stmt.GroupBy {
+				v, err := g.Eval(row)
+				if err != nil {
+					return nil, "", err
+				}
+				vg.g.Key[k] = v
+			}
+			groups[i] = vg.g
+		}
+	} else {
+		for i, vg := range merged {
+			groups[i] = vg.g
+		}
+	}
+
+	res := &Result{
+		Stmt: stmt, Source: src, Groups: groups,
+		aggArgs: aggArgs, aggItems: aggItems,
+		Plan: PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: nshards},
+	}
+	if err := res.materialize(); err != nil {
+		return nil, "", err
+	}
+	return res, "", nil
+}

@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sqlparse"
+)
+
+// Plan coverage: these tests pin which execution path each statement
+// shape takes — vectorized with lowered WHERE, vectorized with the
+// scalar filter fallback, or the boxed reference scan — and that the
+// fallbacks produce output identical to the fast path's oracle.
+
+func vectorTestTable(t *testing.T) *engine.Table {
+	t.Helper()
+	tbl, err := engine.NewTable("v", engine.Schema{
+		{Name: "city", Type: engine.TString},
+		{Name: "pop", Type: engine.TInt},
+		{Name: "temp", Type: engine.TFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		city engine.Value
+		pop  engine.Value
+		temp engine.Value
+	}{
+		{engine.NewString("ann"), engine.NewInt(10), engine.NewFloat(1.5)},
+		{engine.NewString("bos"), engine.NewInt(20), engine.NewFloat(2.5)},
+		{engine.NewString("ann"), engine.NewInt(30), engine.Null},
+		{engine.Null, engine.NewInt(40), engine.NewFloat(-1)},
+		{engine.NewString("cam"), engine.Null, engine.NewFloat(4)},
+		{engine.NewString("bos"), engine.NewInt(60), engine.NewFloat(0.25)},
+	}
+	for _, r := range rows {
+		tbl.MustAppendRow(r.city, r.pop, r.temp)
+	}
+	return tbl
+}
+
+func mustParse(t *testing.T, sql string) *sqlparse.SelectStmt {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+// runBoth executes the statement on the default path and on the forced
+// scalar reference, checks the outputs match, and returns the default
+// path's result for plan assertions.
+func runBoth(t *testing.T, tbl *engine.Table, sql string) *Result {
+	t.Helper()
+	res, err := RunOnWith(tbl, mustParse(t, sql), Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	ref, err := RunOnWith(tbl, mustParse(t, sql), Options{ForceScalar: true})
+	if err != nil {
+		t.Fatalf("%s (scalar): %v", sql, err)
+	}
+	tablesEqual(t, sql, ref.Table, res.Table)
+	groupsEqual(t, sql, ref, res)
+	return res
+}
+
+func TestVectorPlanLoweredWhere(t *testing.T) {
+	tbl := vectorTestTable(t)
+	res := runBoth(t, tbl, `SELECT city, sum(pop) AS s FROM v WHERE pop >= 20 AND NOT (temp < 0 OR city = 'cam') GROUP BY city`)
+	if !res.Plan.Vectorized || !res.Plan.WhereLowered {
+		t.Fatalf("predicate-shaped WHERE should vectorize with lowered filter, got %+v", res.Plan)
+	}
+	res = runBoth(t, tbl, `SELECT city, count(*) AS c FROM v WHERE temp IS NOT NULL AND city IN ('ann', 'bos') GROUP BY city`)
+	if !res.Plan.Vectorized || !res.Plan.WhereLowered {
+		t.Fatalf("IS NULL / IN WHERE should lower, got %+v", res.Plan)
+	}
+	res = runBoth(t, tbl, `SELECT city, count(*) AS c FROM v WHERE pop BETWEEN 15 AND 45 GROUP BY city`)
+	if !res.Plan.Vectorized || !res.Plan.WhereLowered {
+		t.Fatalf("BETWEEN WHERE should lower, got %+v", res.Plan)
+	}
+}
+
+func TestVectorPlanScalarFilterFallback(t *testing.T) {
+	tbl := vectorTestTable(t)
+	// length() has no clause-mask lowering: the filter must fall back to
+	// per-row evaluation while grouping stays vectorized.
+	res := runBoth(t, tbl, `SELECT city, sum(pop) AS s FROM v WHERE length(city) > 2 GROUP BY city`)
+	if !res.Plan.Vectorized {
+		t.Fatalf("non-lowerable WHERE should still vectorize grouping, got %+v", res.Plan)
+	}
+	if res.Plan.WhereLowered {
+		t.Fatalf("length() WHERE must take the scalar filter fallback, got %+v", res.Plan)
+	}
+}
+
+func TestVectorPlanDistinctFallsBack(t *testing.T) {
+	tbl := vectorTestTable(t)
+	res := runBoth(t, tbl, `SELECT count(DISTINCT city) AS c FROM v`)
+	if res.Plan.Vectorized {
+		t.Fatalf("DISTINCT must run on the reference scan, got %+v", res.Plan)
+	}
+	if !strings.Contains(res.Plan.Fallback, "DISTINCT") {
+		t.Fatalf("fallback reason should name DISTINCT, got %q", res.Plan.Fallback)
+	}
+}
+
+func TestVectorPlanStringComputedKeyFallsBack(t *testing.T) {
+	tbl := vectorTestTable(t)
+	res := runBoth(t, tbl, `SELECT upper(city) AS u, count(*) AS c FROM v GROUP BY upper(city)`)
+	if res.Plan.Vectorized {
+		t.Fatalf("string-valued computed key must run on the reference scan, got %+v", res.Plan)
+	}
+	if res.Plan.Fallback == "" {
+		t.Fatal("fallback reason missing for string-valued computed key")
+	}
+}
+
+func TestProjectionUsesLoweredFilter(t *testing.T) {
+	tbl := vectorTestTable(t)
+	res := runBoth(t, tbl, `SELECT city, pop FROM v WHERE pop > 15 AND city != 'cam'`)
+	if !res.Plan.WhereLowered {
+		t.Fatalf("projection over predicate WHERE should lower, got %+v", res.Plan)
+	}
+	// Lineage of a projection is one source row per output row.
+	for i, g := range res.Groups {
+		if len(g.Lineage) != 1 {
+			t.Fatalf("projection group %d lineage %v", i, g.Lineage)
+		}
+	}
+	res = runBoth(t, tbl, `SELECT city FROM v WHERE length(city) = 3`)
+	if res.Plan.WhereLowered {
+		t.Fatalf("length() projection filter must fall back, got %+v", res.Plan)
+	}
+}
+
+func TestVectorShardedMatchesSingleShard(t *testing.T) {
+	tbl := vectorTestTable(t)
+	sql := `SELECT city, sum(pop) AS s, min(temp) AS m FROM v GROUP BY city`
+	one, err := RunOnWith(tbl, mustParse(t, sql), Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunOnWith(tbl, mustParse(t, sql), Options{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Plan.Shards != 1 || many.Plan.Shards < 2 {
+		t.Fatalf("shard counts: %+v vs %+v", one.Plan, many.Plan)
+	}
+	tablesEqual(t, sql, one.Table, many.Table)
+	groupsEqual(t, sql, one, many)
+}

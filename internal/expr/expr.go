@@ -165,39 +165,7 @@ func (b *Bin) Eval(row []engine.Value) (engine.Value, error) {
 		if err != nil {
 			return engine.Null, err
 		}
-		lb, lk := boolValue(lv)
-		// Short-circuit where 3VL permits.
-		if b.Op == OpAnd && lk && !lb {
-			return engine.NewBool(false), nil
-		}
-		if b.Op == OpOr && lk && lb {
-			return engine.NewBool(true), nil
-		}
-		rv, err := b.R.Eval(row)
-		if err != nil {
-			return engine.Null, err
-		}
-		rb, rk := boolValue(rv)
-		switch b.Op {
-		case OpAnd:
-			switch {
-			case lk && rk:
-				return engine.NewBool(lb && rb), nil
-			case (lk && !lb) || (rk && !rb):
-				return engine.NewBool(false), nil
-			default:
-				return engine.Null, nil
-			}
-		default: // OpOr
-			switch {
-			case lk && rk:
-				return engine.NewBool(lb || rb), nil
-			case (lk && lb) || (rk && rb):
-				return engine.NewBool(true), nil
-			default:
-				return engine.Null, nil
-			}
-		}
+		return b.applyLogic(lv, func() (engine.Value, error) { return b.R.Eval(row) })
 	}
 
 	lv, err := b.L.Eval(row)
@@ -208,6 +176,54 @@ func (b *Bin) Eval(row []engine.Value) (engine.Value, error) {
 	if err != nil {
 		return engine.Null, err
 	}
+	return b.apply(lv, rv)
+}
+
+// applyLogic evaluates AND/OR with SQL three-valued logic over an
+// already-evaluated left operand and a lazily-evaluated right operand
+// (preserving short-circuit behavior). Shared by Eval and the compiled
+// evaluator.
+func (b *Bin) applyLogic(lv engine.Value, evalR func() (engine.Value, error)) (engine.Value, error) {
+	lb, lk := boolValue(lv)
+	// Short-circuit where 3VL permits.
+	if b.Op == OpAnd && lk && !lb {
+		return engine.NewBool(false), nil
+	}
+	if b.Op == OpOr && lk && lb {
+		return engine.NewBool(true), nil
+	}
+	rv, err := evalR()
+	if err != nil {
+		return engine.Null, err
+	}
+	rb, rk := boolValue(rv)
+	switch b.Op {
+	case OpAnd:
+		switch {
+		case lk && rk:
+			return engine.NewBool(lb && rb), nil
+		case (lk && !lb) || (rk && !rb):
+			return engine.NewBool(false), nil
+		default:
+			return engine.Null, nil
+		}
+	default: // OpOr
+		switch {
+		case lk && rk:
+			return engine.NewBool(lb || rb), nil
+		case (lk && lb) || (rk && rb):
+			return engine.NewBool(true), nil
+		default:
+			return engine.Null, nil
+		}
+	}
+}
+
+// apply evaluates the non-logic operators over already-evaluated
+// operands. It is shared by Eval and the compiled evaluator (compile.go)
+// so both paths have one source of truth for comparison and arithmetic
+// semantics.
+func (b *Bin) apply(lv, rv engine.Value) (engine.Value, error) {
 	if lv.IsNull() || rv.IsNull() {
 		return engine.Null, nil
 	}
@@ -386,12 +402,19 @@ func (in *In) Eval(row []engine.Value) (engine.Value, error) {
 	if err != nil {
 		return engine.Null, err
 	}
+	return in.apply(xv, func(i int) (engine.Value, error) { return in.List[i].Eval(row) })
+}
+
+// apply evaluates the membership test over an already-evaluated operand
+// and lazily-evaluated list elements (preserving the early exit on
+// match). Shared by Eval and the compiled evaluator.
+func (in *In) apply(xv engine.Value, evalElem func(i int) (engine.Value, error)) (engine.Value, error) {
 	if xv.IsNull() {
 		return engine.Null, nil
 	}
 	sawNull := false
-	for _, e := range in.List {
-		ev, err := e.Eval(row)
+	for i := range in.List {
+		ev, err := evalElem(i)
 		if err != nil {
 			return engine.Null, err
 		}
@@ -461,6 +484,12 @@ func (b *Between) Eval(row []engine.Value) (engine.Value, error) {
 	if err != nil {
 		return engine.Null, err
 	}
+	return b.apply(xv, lo, hi)
+}
+
+// apply evaluates the range test over already-evaluated operands.
+// Shared by Eval and the compiled evaluator.
+func (b *Between) apply(xv, lo, hi engine.Value) (engine.Value, error) {
 	if xv.IsNull() || lo.IsNull() || hi.IsNull() {
 		return engine.Null, nil
 	}

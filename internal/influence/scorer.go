@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/agg"
 	"repro/internal/bitset"
@@ -95,15 +98,66 @@ func NewScorer(res *exec.Result, suspect []int, ord int, metric errmetric.Metric
 	}
 	s.args = args
 
-	lineages := res.GroupLineageBits(suspect)
-	s.groups = make([]groupBits, len(lineages))
+	s.buildGroupBits(res, suspect)
+	return s, nil
+}
+
+// buildGroupBits decodes each suspect group's lineage into a bitset
+// (with its occupied word span) and unions them into F. The per-group
+// work is independent, so it shards across a worker pool when there are
+// enough groups and CPUs to pay for it; per-worker partial F bitmaps
+// merge at the end, keeping the result identical to the sequential
+// build.
+func (s *Scorer) buildGroupBits(res *exec.Result, suspect []int) {
+	s.groups = make([]groupBits, len(suspect))
 	s.fbits = bitset.New(s.nsrc)
-	for i, b := range lineages {
+
+	build := func(i int) *bitset.Bitset {
+		b := bitset.New(s.nsrc)
+		ri := suspect[i]
+		if ri >= 0 && ri < len(res.Groups) {
+			for _, src := range res.Groups[ri].Lineage {
+				b.Set(src)
+			}
+		}
 		lo, hi, ok := b.WordRange()
 		s.groups[i] = groupBits{bits: b, lo: lo, hi: hi, empty: !ok}
-		s.fbits.Or(b)
+		return b
 	}
-	return s, nil
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(suspect) {
+		workers = len(suspect)
+	}
+	if workers <= 1 || len(suspect) < 4 {
+		for i := range suspect {
+			s.fbits.Or(build(i))
+		}
+		return
+	}
+
+	partial := make([]*bitset.Bitset, workers)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := bitset.New(s.nsrc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(suspect) {
+					break
+				}
+				f.Or(build(i))
+			}
+			partial[w] = f
+		}(w)
+	}
+	wg.Wait()
+	for _, f := range partial {
+		s.fbits.Or(f)
+	}
 }
 
 // Eps returns ε over the suspect groups before any removal.

@@ -28,11 +28,19 @@ type Index struct {
 	// clauses caches full-table match masks keyed by the clause value
 	// itself (Clause is comparable), so cache hits allocate nothing.
 	clauses map[Clause]*bitset.Bitset
+	// nonNull caches the non-NULL row mask per column index — the
+	// complement half the executor's 3VL filter lowering needs to turn
+	// "comparison is FALSE" into a mask.
+	nonNull map[int]*bitset.Bitset
 }
 
 // NewIndex returns an index over t.
 func NewIndex(t *engine.Table) *Index {
-	return &Index{t: t, clauses: make(map[Clause]*bitset.Bitset)}
+	return &Index{
+		t:       t,
+		clauses: make(map[Clause]*bitset.Bitset),
+		nonNull: make(map[int]*bitset.Bitset),
+	}
 }
 
 // Table returns the indexed table.
@@ -61,6 +69,31 @@ func (ix *Index) ClauseBits(c Clause) *bitset.Bitset {
 		b = prev // another goroutine won the race; share its mask
 	} else {
 		ix.clauses[c] = b
+	}
+	ix.mu.Unlock()
+	return b
+}
+
+// NonNullBits returns the cached mask of rows where column ci is not
+// NULL (empty for out-of-range columns). The returned bitset is shared
+// and read-only.
+func (ix *Index) NonNullBits(ci int) *bitset.Bitset {
+	n := ix.t.NumRows()
+	ix.mu.RLock()
+	b, ok := ix.nonNull[ci]
+	ix.mu.RUnlock()
+	if ok && b.Len() == n {
+		return b
+	}
+	b = bitset.New(n)
+	if ci >= 0 && ci < len(ix.t.Schema()) {
+		ix.setNonNull(b, ci)
+	}
+	ix.mu.Lock()
+	if prev, ok := ix.nonNull[ci]; ok && prev.Len() == n {
+		b = prev
+	} else {
+		ix.nonNull[ci] = b
 	}
 	ix.mu.Unlock()
 	return b

@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/engine"
 	"repro/internal/feature"
 	"repro/internal/predicate"
@@ -135,12 +136,12 @@ func Discover(sp *feature.Space, rows []int, positive []bool, opt Options) []Rul
 			Selectors: append([]Selector(nil), best.sels...),
 			WRAcc:     best.wracc,
 		}
-		for _, i := range best.cover {
+		best.cover.ForEach(func(i int) {
 			rule.Covered = append(rule.Covered, rows[i])
 			if positive[i] {
 				rule.Pos++
 			}
-		}
+		})
 		if len(rule.Covered) == 0 {
 			break
 		}
@@ -150,7 +151,7 @@ func Discover(sp *feature.Space, rows []int, positive []bool, opt Options) []Rul
 
 		// Weighted covering: decay covered positives' weights.
 		newlyCovered := false
-		for _, i := range best.cover {
+		best.cover.ForEach(func(i int) {
 			if positive[i] {
 				if coverCount[i] == 0 {
 					newlyCovered = true
@@ -158,7 +159,7 @@ func Discover(sp *feature.Space, rows []int, positive []bool, opt Options) []Rul
 				coverCount[i]++
 				weights[i] = 1 / (1 + opt.CoverDecay*float64(coverCount[i]))
 			}
-		}
+		})
 		if !newlyCovered {
 			break // no progress: every positive the rule covers was already covered
 		}
@@ -166,22 +167,27 @@ func Discover(sp *feature.Space, rows []int, positive []bool, opt Options) []Rul
 	return out
 }
 
-// candidate is a partial rule in the beam. Coverage is kept as a list
-// of covered population positions so refinements only scan the parent's
-// coverage, not the whole population.
+// candidate is a partial rule in the beam. Coverage is kept as a bitset
+// over population positions so refinements are a word-level AND with the
+// selector's match mask instead of a scan of the parent's coverage.
 type candidate struct {
 	sels  []Selector
-	cover []int32 // covered population positions, ascending
+	cover *bitset.Bitset // covered population positions
+	n     int            // cover.Count()
 	wracc float64
 	// used guards against stacking contradictory selectors; numeric
 	// attrs may contribute one <= and one >=.
 	used map[int]int // attrIdx -> bitmask 1:eq/le, 2:ge
 }
 
-func beamSearch(selectors []Selector, matches [][]bool, positive []bool, weights []float64, n int, opt Options) (candidate, bool) {
+func beamSearch(selectors []Selector, matches []*bitset.Bitset, positive []bool, weights []float64, n int, opt Options) (candidate, bool) {
 	var totalW, posW float64
+	uniform := true
 	for i := 0; i < n; i++ {
 		totalW += weights[i]
+		if weights[i] != 1 {
+			uniform = false
+		}
 		if positive[i] {
 			posW += weights[i]
 		}
@@ -191,18 +197,23 @@ func beamSearch(selectors []Selector, matches [][]bool, positive []bool, weights
 	}
 	baseRate := posW / totalW
 
-	// Root: full coverage.
-	root := candidate{cover: make([]int32, n), used: map[int]int{}}
-	for i := range root.cover {
-		root.cover[i] = int32(i)
+	posBits := bitset.New(n)
+	for i, p := range positive {
+		if p {
+			posBits.Set(i)
+		}
 	}
+
+	// Root: full coverage.
+	root := candidate{cover: bitset.New(n), n: n, used: map[int]int{}}
+	root.cover.Fill()
 	beam := []candidate{root}
 	var best candidate
 	bestOK := false
 
-	// Scratch buffer reused across refinements; successful refinements
-	// copy it out.
-	scratch := make([]int32, 0, n)
+	// Scratch bitset reused across refinements; successful refinements
+	// clone it out.
+	scratch := bitset.New(n)
 	for depth := 0; depth < opt.MaxSelectors; depth++ {
 		var next []candidate
 		for _, cand := range beam {
@@ -214,19 +225,27 @@ func beamSearch(selectors []Selector, matches [][]bool, positive []bool, weights
 				if cand.used[sel.AttrIdx]&mask != 0 {
 					continue
 				}
-				scratch = scratch[:0]
+				scratch.IntersectOf(cand.cover, matches[si])
+				covN := scratch.Count()
+				if covN < opt.MinCoverage || covN == cand.n {
+					continue
+				}
 				var covW, covPosW float64
-				m := matches[si]
-				for _, i := range cand.cover {
-					if m[i] {
-						scratch = append(scratch, i)
+				if uniform {
+					// All weights are exactly 1 (always true before the
+					// first covering pass): the weighted sums are plain
+					// cardinalities, computed by popcount alone.
+					covW = float64(covN)
+					covPosW = float64(bitset.AndCount(scratch, posBits))
+				} else {
+					scratch.ForEach(func(i int) {
 						covW += weights[i]
 						if positive[i] {
 							covPosW += weights[i]
 						}
-					}
+					})
 				}
-				if len(scratch) < opt.MinCoverage || covW == 0 || len(scratch) == len(cand.cover) {
+				if covW == 0 {
 					continue
 				}
 				wracc := (covW / totalW) * (covPosW/covW - baseRate)
@@ -242,7 +261,8 @@ func beamSearch(selectors []Selector, matches [][]bool, positive []bool, weights
 				used[sel.AttrIdx] |= mask
 				nc := candidate{
 					sels:  append(append([]Selector(nil), cand.sels...), sel),
-					cover: append([]int32(nil), scratch...),
+					cover: scratch.Clone(),
+					n:     covN,
 					wracc: wracc,
 					used:  used,
 				}
@@ -296,13 +316,14 @@ func Selectors(sp *feature.Space) []Selector {
 	return selectors
 }
 
-// enumerateSelectors builds the selector vocabulary and a match bitmap
+// enumerateSelectors builds the selector vocabulary and a match bitset
 // per selector over the population rows. Numeric columns are decoded to
 // float64 once per attribute so each selector's bitmap is a primitive
-// comparison loop rather than generic value comparison.
-func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, [][]bool) {
+// comparison loop rather than generic value comparison; the bitsets are
+// what lets beamSearch refine coverage with word-level ANDs.
+func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, []*bitset.Bitset) {
 	selectors := Selectors(sp)
-	matches := make([][]bool, len(selectors))
+	matches := make([]*bitset.Bitset, len(selectors))
 
 	// Decode each referenced attribute once.
 	numVals := map[int][]float64{} // attrIdx -> per-row float (NaN = NULL)
@@ -345,25 +366,31 @@ func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, [][]bool) {
 
 	for si, sel := range selectors {
 		attr := &sp.Attrs[sel.AttrIdx]
-		m := make([]bool, len(rows))
+		m := bitset.New(len(rows))
 		switch attr.Kind {
 		case feature.Numeric:
 			vals := numVals[sel.AttrIdx]
 			t := sel.Val.Float()
 			if sel.Op == predicate.OpLe {
 				for i, f := range vals {
-					m[i] = f <= t // NaN compares false
+					if f <= t { // NaN compares false
+						m.Set(i)
+					}
 				}
 			} else {
 				for i, f := range vals {
-					m[i] = f >= t
+					if f >= t {
+						m.Set(i)
+					}
 				}
 			}
 		case feature.Categorical:
 			keys := catKeys[sel.AttrIdx]
 			want := sel.Val.Key()
 			for i, k := range keys {
-				m[i] = k == want
+				if k == want {
+					m.Set(i)
+				}
 			}
 		}
 		matches[si] = m

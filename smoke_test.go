@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/datasets"
 	"repro/internal/errmetric"
+	"repro/internal/exec"
 	"repro/internal/influence"
 )
 
@@ -34,6 +36,32 @@ func TestInfluenceAllocSmoke(t *testing.T) {
 	})
 	if allocs > 1000 {
 		t.Errorf("influence.Rank allocates %.0f per run; the columnar path budget is 1000", allocs)
+	}
+}
+
+// TestWindowQueryAllocSmoke pins the steady-state vectorized scan of
+// the Figure 4 window query to a small allocation budget, mirroring the
+// scorer guards above. Before the vectorized executor this query
+// allocated ~5 per scanned row (boxed function-call arguments plus the
+// string group key) — about 100k allocations at this scale; the
+// vectorized scan's allocations are per *group*, not per row.
+func TestWindowQueryAllocSmoke(t *testing.T) {
+	e := intelBench(t, 20_000)
+	// Warm the table's column views, then measure the steady state.
+	res, err := exec.RunSQL(e.db, datasets.IntelWindowSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.Vectorized {
+		t.Fatalf("window query did not take the vectorized pipeline: %+v", res.Plan)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := exec.RunSQL(e.db, datasets.IntelWindowSQL); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2500 {
+		t.Errorf("window query allocates %.0f per run; the vectorized scan budget is 2500", allocs)
 	}
 }
 
