@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet fmt-check check bench bench-hot bench-json
+.PHONY: all build test short test-race vet fmt-check check bench bench-hot bench-json
 
 all: build test
 
@@ -14,6 +14,12 @@ test: build
 # Short mode skips the full-scale (2.3M row) generators.
 short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent surfaces: the shard-parallel
+# executor, the copy-on-write append/serve path, and the server's
+# per-session state. CI runs this as its own job.
+test-race:
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
@@ -34,7 +40,7 @@ bench:
 # Record the perf trajectory: run the root figure benchmarks and write
 # ns/op + B/op + allocs/op per bench as JSON. Check the file in so each
 # PR's numbers diff against the last.
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 bench-json:
 	@out=$$(mktemp); \
 	$(GO) test -run='^$$' -bench=. -benchmem -short . > $$out || { cat $$out; rm -f $$out; exit 1; }; \

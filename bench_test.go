@@ -27,6 +27,7 @@ import (
 	"repro/internal/errmetric"
 	"repro/internal/exec"
 	"repro/internal/influence"
+	"repro/internal/sqlparse"
 )
 
 // intelEnv caches one synthetic trace + executed query per size so the
@@ -251,6 +252,84 @@ func BenchmarkInfluenceLOO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := influence.Rank(e.res, e.suspect, 0, errmetric.TooHigh{C: 70}, influence.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingAppendQuery measures the continuous-monitoring
+// cycle — append one batch, re-run the Figure 4 window query — at
+// several base table sizes. The incremental path (copy-on-write
+// AppendBatch + exec.Advance folding in only the appended rows, with
+// column views and clause masks extending by suffix decode) must cost
+// O(batch) per cycle regardless of table size; the rebuild variant
+// re-runs the full query after each append and scales O(table), the
+// cost every streaming re-query paid before incremental maintenance.
+func BenchmarkStreamingAppendQuery(b *testing.B) {
+	const batchSize = 1_000
+	const poolBatches = 100
+	stmt, err := sqlparse.Parse(datasets.IntelWindowSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, base := range []int{50_000, 100_000, 200_000} {
+		full, _ := datasets.Intel(datasets.IntelConfig{Rows: base + poolBatches*batchSize, Seed: 7})
+		pool := make([][][]engine.Value, poolBatches)
+		for bi := range pool {
+			rows := make([][]engine.Value, batchSize)
+			for r := range rows {
+				rows[r] = full.Row(base + bi*batchSize + r)
+			}
+			pool[bi] = rows
+		}
+		setup := func(b *testing.B) (*engine.Table, *exec.Result) {
+			ids := make([]int, base)
+			for i := range ids {
+				ids[i] = i
+			}
+			tbl := full.Select(ids)
+			res, err := exec.RunOn(tbl, stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return tbl, res
+		}
+		for _, mode := range []string{"incremental", "rebuild"} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/base=%d", mode, base), func(b *testing.B) {
+				tbl, res := setup(b)
+				bi := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if bi == len(pool) {
+						// Pool exhausted: restart from the base table so
+						// the measured table size stays near base.
+						b.StopTimer()
+						tbl, res = setup(b)
+						bi = 0
+						b.StartTimer()
+					}
+					grown, err := tbl.AppendBatch(pool[bi])
+					if err != nil {
+						b.Fatal(err)
+					}
+					bi++
+					if mode == "incremental" {
+						res, err = exec.Advance(res, grown)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !res.Plan.Incremental {
+							b.Fatalf("advance fell back: %+v", res.Plan)
+						}
+					} else {
+						res, err = exec.RunOn(grown, stmt)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					tbl = grown
+				}
+			})
 		}
 	}
 }

@@ -6,15 +6,29 @@
 //
 //	datagen -dataset intel -rows 100000 -out readings.csv [-truth truth.csv] [-seed 1]
 //	datagen -dataset fec   -rows 150000 -out donations.csv
+//
+// Streaming driver — the continuous-monitoring scenario. The base rows
+// go to -out as usual and the remaining rows are carved into -batches
+// append batches of -batch-rows each, either written as numbered CSV
+// files next to -out or POSTed to a running dashboard's /api/append
+// ingest endpoint (with -interval pacing, simulating live sensors):
+//
+//	datagen -dataset intel -rows 100000 -batches 20 -batch-rows 1000 -out readings.csv
+//	datagen -dataset intel -rows 100000 -batches 20 -batch-rows 1000 -out readings.csv \
+//	        -post http://localhost:8080/api/append -table readings -interval 500ms
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/datasets"
 	"repro/internal/engine"
@@ -22,31 +36,72 @@ import (
 
 func main() {
 	dataset := flag.String("dataset", "intel", "intel or fec")
-	rows := flag.Int("rows", 100_000, "row count")
+	rows := flag.Int("rows", 100_000, "base row count")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "", "output CSV path (required)")
 	truthPath := flag.String("truth", "", "optional ground-truth CSV path")
+	batches := flag.Int("batches", 0, "streaming: number of append batches to generate after the base rows")
+	batchRows := flag.Int("batch-rows", 1000, "streaming: rows per append batch")
+	post := flag.String("post", "", "streaming: POST batches to this /api/append URL instead of writing CSVs")
+	table := flag.String("table", "readings", "streaming: table name for -post")
+	interval := flag.Duration("interval", 0, "streaming: pause between posted batches")
 	flag.Parse()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	total := *rows
+	if *batches > 0 {
+		total += *batches * *batchRows
+	}
 	var t *engine.Table
 	var truth []bool
 	switch *dataset {
 	case "intel":
-		t, truth = datasets.Intel(datasets.IntelConfig{Rows: *rows, Seed: *seed})
+		t, truth = datasets.Intel(datasets.IntelConfig{Rows: total, Seed: *seed})
 	case "fec":
-		t, truth = datasets.FEC(datasets.FECConfig{Rows: *rows, Seed: *seed})
+		t, truth = datasets.FEC(datasets.FECConfig{Rows: total, Seed: *seed})
 	default:
 		log.Fatalf("unknown dataset %q (want intel or fec)", *dataset)
 	}
 
-	if err := engine.SaveCSVFile(*out, t); err != nil {
+	base := t
+	if *batches > 0 {
+		ids := make([]int, *rows)
+		for i := range ids {
+			ids[i] = i
+		}
+		base = t.Select(ids)
+	}
+	if err := engine.SaveCSVFile(*out, base); err != nil {
 		log.Fatalf("write %s: %v", *out, err)
 	}
-	fmt.Printf("wrote %s (%d rows)\n", *out, t.NumRows())
+	fmt.Printf("wrote %s (%d rows)\n", *out, base.NumRows())
+
+	for b := 0; b < *batches; b++ {
+		lo := *rows + b**batchRows
+		hi := lo + *batchRows
+		if *post != "" {
+			if err := postBatch(*post, *table, t, lo, hi); err != nil {
+				log.Fatalf("post batch %d: %v", b, err)
+			}
+			fmt.Printf("posted batch %d (%d rows) to %s\n", b, hi-lo, *post)
+			if *interval > 0 && b < *batches-1 {
+				time.Sleep(*interval)
+			}
+			continue
+		}
+		ids := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			ids = append(ids, i)
+		}
+		path := fmt.Sprintf("%s.batch%03d.csv", *out, b)
+		if err := engine.SaveCSVFile(path, t.Select(ids)); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, hi-lo)
+	}
 
 	if *truthPath != "" {
 		f, err := os.Create(*truthPath)
@@ -71,4 +126,47 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d anomalous rows)\n", *truthPath, n)
 	}
+}
+
+// postBatch ships rows [lo, hi) of t to a dashboard's /api/append
+// endpoint as JSON cells (null / bool / number / string; timestamps as
+// RFC 3339 strings, which the server parses per column type).
+func postBatch(url, table string, t *engine.Table, lo, hi int) error {
+	rows := make([][]any, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		row := t.Row(r)
+		cells := make([]any, len(row))
+		for c, v := range row {
+			switch v.T {
+			case engine.TNull:
+				cells[c] = nil
+			case engine.TBool:
+				cells[c] = v.Bool()
+			case engine.TInt:
+				cells[c] = v.I
+			case engine.TFloat:
+				cells[c] = v.F
+			case engine.TTime:
+				cells[c] = v.Time().UTC().Format(time.RFC3339)
+			default:
+				cells[c] = v.S
+			}
+		}
+		rows = append(rows, cells)
+	}
+	body, err := json.Marshal(map[string]any{"table": table, "rows": rows})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, buf.String())
+	}
+	return nil
 }

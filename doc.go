@@ -90,6 +90,51 @@
 // A randomized property test executes generated statements on both
 // paths and requires identical output, group order, and lineage.
 //
+// # Incremental maintenance and streaming ingest
+//
+// The paper's motivating scenario is continuous monitoring: readings
+// keep arriving and the analyst re-runs the aggregate query and Debug
+// over the growing table. Every layer above is therefore maintained
+// incrementally under appends instead of being rebuilt from row 0:
+//
+//   - internal/engine — tables are versioned by a monotonically
+//     increasing row high-water mark. Table.AppendBatch is copy-on-write:
+//     it returns a new table version sharing the column prefix, so
+//     in-flight queries keep an immutable snapshot and never observe a
+//     half-appended batch; DB.Append republishes the grown version
+//     atomically. FloatView/DictView keep one canonical growable decode
+//     per column and extend it by decoding only [built, NumRows) —
+//     dictionary codes are append-stable (first-appearance order) — and
+//     hand out immutable per-length snapshots.
+//   - internal/predicate — Index implements engine.RowSynced (the
+//     row-stamped invalidation hook of Table.AuxLoadOrStore): cached
+//     clause masks and non-NULL masks grow by appending words, existing
+//     bits being immutable, and queries request masks stamped to their
+//     own snapshot's length (ClauseBitsAt), so a scan mid-append never
+//     sees a mask of the wrong size.
+//   - internal/exec — Advance(res, grown) re-executes a statement over a
+//     grown table version by folding only the appended rows into copies
+//     of the previous result's group states (Clone+Merge state copy,
+//     shared lineage prefixes), then re-materializing HAVING/ORDER
+//     BY/LIMIT over the groups: O(batch + groups) per cycle instead of
+//     an O(n) rescan. Lineage bitsets and argument views carry across
+//     the advance with prefix reuse, so a following Debug
+//     (influence.Scorer) also skips the unchanged prefix.
+//   - internal/server — POST /api/append ingests JSON row batches
+//     through the copy-on-write path, and a repeated query on an
+//     unchanged statement advances the session's cached result
+//     incrementally. Sessions hold a per-session mutex across handler
+//     bodies and the session map is bounded (LRU cap + idle TTL).
+//
+// Group-key equality is pinned to engine.Equal everywhere: Value.Key
+// and the executor's canonical float slots both collapse -0.0 into
+// +0.0 (and all NaNs into one key), so the scalar and vectorized paths
+// group identically.
+//
+// BenchmarkStreamingAppendQuery measures the append-then-requery cycle:
+// per-batch cost is independent of total table size on the incremental
+// path, against an O(table) full re-run baseline.
+//
 // The benchmarks in bench_test.go regenerate the data behaviour behind
 // each figure of the paper; run them with
 //

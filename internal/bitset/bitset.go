@@ -29,6 +29,81 @@ func New(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// FromWords wraps words as a bitset of length n, taking ownership of
+// the slice. The slice is resized to exactly the word count n needs and
+// ghost bits at positions >= n are cleared, so a prefix copied out of a
+// longer canonical bitmap becomes a well-formed shorter bitset. This is
+// the constructor the incremental view/mask maintenance uses to stamp
+// per-table-version snapshots out of one growing word array.
+func FromWords(n int, words []uint64) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	nw := (n + wordBits - 1) / wordBits
+	for len(words) < nw {
+		words = append(words, 0)
+	}
+	b := &Bitset{words: words[:nw], n: n}
+	b.trimTail()
+	return b
+}
+
+// SetInWords sets bit i in a growable canonical word slice (the raw
+// form the incremental view/mask builders extend before stamping
+// snapshots with FromWords), growing the slice as needed.
+func SetInWords(words *[]uint64, i int) {
+	wi := i >> 6
+	for len(*words) <= wi {
+		*words = append(*words, 0)
+	}
+	(*words)[wi] |= 1 << (uint(i) & 63)
+}
+
+// SnapshotWords stamps an immutable length-n bitset out of a canonical
+// word slice: prefix copy, zero-padded or truncated to n's word count,
+// ghost bits cleared. The input is not retained.
+func SnapshotWords(n int, words []uint64) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	nw := (n + wordBits - 1) / wordBits
+	w := make([]uint64, nw)
+	if nw > len(words) {
+		copy(w, words)
+	} else {
+		copy(w, words[:nw])
+	}
+	return FromWords(n, w)
+}
+
+// OrRangeAndNot sets bits [lo, n) of the canonical word slice to the
+// complement of not's corresponding bits, word-at-a-time — the
+// builder-side form of Fill+AndNot used when extending a non-NULL mask
+// by an appended suffix. not must cover at least n bits.
+func OrRangeAndNot(words *[]uint64, lo, n int, not []uint64) {
+	if lo >= n {
+		return
+	}
+	nw := (n + wordBits - 1) / wordBits
+	for len(*words) < nw {
+		*words = append(*words, 0)
+	}
+	w := *words
+	loWord := lo >> 6
+	for wi := loWord; wi < nw; wi++ {
+		m := ^uint64(0)
+		if wi == loWord {
+			m &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == nw-1 {
+			if rem := n - wi*wordBits; rem < wordBits {
+				m &= (1 << uint(rem)) - 1
+			}
+		}
+		w[wi] |= m &^ not[wi]
+	}
+}
+
 // FromRows returns a bitset of length n with the given rows set. Rows
 // outside [0, n) are ignored.
 func FromRows(n int, rows []int) *Bitset {

@@ -10,12 +10,25 @@ import (
 var nan = math.NaN()
 
 // This file implements the typed column views behind DBWipes' columnar
-// scoring fast path. A Table stores boxed Values; the hot paths
+// scoring fast path, and — since the streaming-append work — their
+// *incremental* maintenance. A Table stores boxed Values; the hot paths
 // (vectorized predicate evaluation, decision-tree split search) want a
 // flat []float64 or a dictionary-coded []int32 they can stream over
-// without per-row type dispatch. Views are decoded once per column on
-// first request, cached on the table, and rebuilt automatically when
-// rows have been appended since the build.
+// without per-row type dispatch.
+//
+// Tables are append-only, so a decoded prefix never changes: when rows
+// have been appended since the last build, only the suffix
+// [built, NumRows) is decoded and appended to the canonical decode
+// state. Callers receive immutable per-length *snapshots* of that
+// state: the value slices alias the canonical arrays (append-extension
+// writes only indexes >= every published snapshot's length, so aliasing
+// is race-free), while NULL bitmaps copy the canonical words (an
+// n/64-word memcpy — 64x smaller than the data and the price of
+// keeping bitset word boundaries immutable per snapshot).
+//
+// The same cache structure carries the table family's row high-water
+// mark: every copy-on-write append snapshot (Table.AppendBatch) shares
+// this struct, and hw is what detects appends to a stale snapshot.
 
 // FloatView is a decoded numeric column: Vals[i] holds row i's value
 // coerced to float64 (NaN for NULL — consult Null to distinguish a
@@ -26,59 +39,111 @@ type FloatView struct {
 }
 
 // DictView is a dictionary-encoded string column: Codes[i] indexes
-// Values, or is -1 for NULL. Values lists the distinct strings in first-
-// appearance order.
+// Values, or is -1 for NULL. Values lists the distinct strings in
+// first-appearance order — which makes codes append-stable: a string's
+// code never changes as rows are appended, so views of different table
+// versions agree on every shared code.
 type DictView struct {
 	Codes  []int32
 	Values []string
 	byStr  map[string]int32
+	// nvals bounds Code lookups: the shared byStr map may contain
+	// strings that first appear after this snapshot's last row (their
+	// codes are >= nvals), and those must read as absent here.
+	nvals int32
 }
 
 // Code returns the dictionary code of s, or -1 when s does not occur in
-// the column.
+// the column (within this snapshot's rows).
 func (d *DictView) Code(s string) int32 {
-	if c, ok := d.byStr[s]; ok {
+	if c, ok := d.byStr[s]; ok && c < d.nvals {
 		return c
 	}
 	return -1
 }
 
-// tableViews is the per-table view cache. It lives behind a pointer so
-// Rename's shallow copy shares it (shared storage, shared cache) and so
-// the Table struct stays copyable without copying a lock.
+// tableViews is the per-table-family view cache and version state. It
+// lives behind a pointer so Rename's and AppendBatch's shallow copies
+// share it (shared storage, shared cache) and so the Table struct stays
+// copyable without copying a lock.
 type tableViews struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// hw is the family's row high-water mark: the row count of the
+	// newest table version sharing this cache. Appends are only legal on
+	// the version whose NumRows equals hw — appending to an older
+	// snapshot would clobber rows a newer version already published.
+	hw    int
 	float map[int]*floatEntry
 	dict  map[int]*dictEntry
 	aux   map[any]any
 }
 
+// floatEntry is one numeric column's canonical growable decode state.
 type floatEntry struct {
-	view *FloatView
-	rows int
+	vals  []float64 // decoded rows [0, built)
+	nullW []uint64  // NULL bitmap words covering [0, built)
+	built int
+	snap  *FloatView // cached snapshot at the newest built length
 }
 
+// dictMark records the dictionary size right after a new string's first
+// appearance: after row rows-1, nvals strings had been seen. Snapshots
+// at older lengths use the marks to bound Values/Code exactly.
+type dictMark struct {
+	rows  int
+	nvals int32
+}
+
+// dictEntry is one string column's canonical growable decode state.
 type dictEntry struct {
-	view *DictView
-	rows int
+	codes  []int32
+	values []string
+	byStr  map[string]int32
+	// shared is true once byStr has been handed to a snapshot; the next
+	// insertion then clones the map first (copy-on-grow), so published
+	// snapshots never observe a map write.
+	shared bool
+	marks  []dictMark
+	built  int
+	snap   *DictView
 }
 
 func (t *Table) viewCache() *tableViews {
 	if t.views == nil {
 		// Zero-value / legacy tables: allocate on first use. NewTable
 		// initializes views, so this path is single-goroutine setup code.
-		t.views = &tableViews{}
+		t.views = &tableViews{hw: t.nrows}
 	}
 	return t.views
 }
 
+// RowSynced is implemented by aux cache values (AuxLoadOrStore) that
+// maintain per-row derived state — e.g. the executor's predicate index
+// with its cached clause masks. AuxLoadOrStore calls SyncRows with the
+// requesting table version on every access, so the value can extend
+// itself to a grown snapshot (decoding only the appended suffix)
+// instead of being rebuilt from row 0.
+type RowSynced interface {
+	SyncRows(t *Table)
+}
+
 // AuxLoadOrStore returns the per-table auxiliary cache entry for key,
-// building it with build on first request. Entries share the table's
-// lifetime (and its Rename copies), which lets higher layers — the
-// executor's predicate index, for instance — cache derived structures
-// per table without a process-global map that outlives the table.
-// build may run more than once under a race; exactly one result wins.
+// building it with build on first request. Entries share the table
+// family's lifetime (and its Rename/AppendBatch copies), which lets
+// higher layers — the executor's predicate index, for instance — cache
+// derived structures per table without a process-global map that
+// outlives the table. build may run more than once under a race;
+// exactly one result wins. Values implementing RowSynced are notified
+// of the requesting table version before being returned.
 func (t *Table) AuxLoadOrStore(key any, build func() any) any {
+	v := t.auxLoadOrStore(key, build)
+	if rs, ok := v.(RowSynced); ok {
+		rs.SyncRows(t)
+	}
+	return v
+}
+
+func (t *Table) auxLoadOrStore(key any, build func() any) any {
 	vc := t.viewCache()
 	vc.mu.Lock()
 	if v, ok := vc.aux[key]; ok {
@@ -99,69 +164,120 @@ func (t *Table) AuxLoadOrStore(key any, build func() any) any {
 	return v
 }
 
-// FloatView returns the cached float64 decoding of numeric column c, or
-// nil when the column is not numeric. The returned view is shared and
-// read-only; it is rebuilt when rows were appended after the last build.
+// FloatView returns the float64 decoding of numeric column c at this
+// table version's length, or nil when the column is not numeric. The
+// returned view is an immutable snapshot, shared across callers at the
+// same length; appended rows extend the canonical decode in place
+// (suffix-only work) rather than rebuilding it.
 func (t *Table) FloatView(c int) *FloatView {
 	if c < 0 || c >= len(t.schema) || !t.schema[c].Type.IsNumeric() {
 		return nil
 	}
+	n := t.nrows
 	vc := t.viewCache()
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
 	if vc.float == nil {
 		vc.float = make(map[int]*floatEntry)
 	}
-	if e, ok := vc.float[c]; ok && e.rows == t.nrows {
-		return e.view
+	e, ok := vc.float[c]
+	if !ok {
+		e = &floatEntry{}
+		vc.float[c] = e
 	}
-	col := t.cols[c]
-	fv := &FloatView{Vals: make([]float64, t.nrows), Null: bitset.New(t.nrows)}
-	for i := 0; i < t.nrows; i++ {
-		v := col[i]
-		if v.IsNull() {
-			fv.Vals[i] = nan
-			fv.Null.Set(i)
-			continue
+	if e.built < n {
+		col := t.cols[c]
+		for i := e.built; i < n; i++ {
+			v := col[i]
+			if v.IsNull() {
+				e.vals = append(e.vals, nan)
+				bitset.SetInWords(&e.nullW, i)
+				continue
+			}
+			e.vals = append(e.vals, v.Float())
 		}
-		fv.Vals[i] = v.Float()
+		e.built = n
+		e.snap = nil
 	}
-	vc.float[c] = &floatEntry{view: fv, rows: t.nrows}
+	if e.snap != nil && len(e.snap.Vals) == n {
+		return e.snap
+	}
+	fv := &FloatView{Vals: e.vals[:n:n], Null: bitset.SnapshotWords(n, e.nullW)}
+	if n == e.built {
+		e.snap = fv
+	}
 	return fv
 }
 
-// DictView returns the cached dictionary encoding of string column c, or
-// nil when the column is not a string column. The returned view is
-// shared and read-only.
+// DictView returns the dictionary encoding of string column c at this
+// table version's length, or nil when the column is not a string
+// column. The returned view is an immutable snapshot; appended rows
+// extend the canonical dictionary in place, and codes are append-stable
+// (first-appearance order).
 func (t *Table) DictView(c int) *DictView {
 	if c < 0 || c >= len(t.schema) || t.schema[c].Type != TString {
 		return nil
 	}
+	n := t.nrows
 	vc := t.viewCache()
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
 	if vc.dict == nil {
 		vc.dict = make(map[int]*dictEntry)
 	}
-	if e, ok := vc.dict[c]; ok && e.rows == t.nrows {
-		return e.view
+	e, ok := vc.dict[c]
+	if !ok {
+		e = &dictEntry{byStr: make(map[string]int32)}
+		vc.dict[c] = e
 	}
-	col := t.cols[c]
-	dv := &DictView{Codes: make([]int32, t.nrows), byStr: make(map[string]int32)}
-	for i := 0; i < t.nrows; i++ {
-		v := col[i]
-		if v.IsNull() {
-			dv.Codes[i] = -1
-			continue
+	if e.built < n {
+		col := t.cols[c]
+		for i := e.built; i < n; i++ {
+			v := col[i]
+			if v.IsNull() {
+				e.codes = append(e.codes, -1)
+				continue
+			}
+			code, ok := e.byStr[v.S]
+			if !ok {
+				if e.shared {
+					clone := make(map[string]int32, len(e.byStr)+1)
+					for k, cv := range e.byStr {
+						clone[k] = cv
+					}
+					e.byStr = clone
+					e.shared = false
+				}
+				code = int32(len(e.values))
+				e.byStr[v.S] = code
+				e.values = append(e.values, v.S)
+				e.marks = append(e.marks, dictMark{rows: i + 1, nvals: code + 1})
+			}
+			e.codes = append(e.codes, code)
 		}
-		code, ok := dv.byStr[v.S]
-		if !ok {
-			code = int32(len(dv.Values))
-			dv.byStr[v.S] = code
-			dv.Values = append(dv.Values, v.S)
-		}
-		dv.Codes[i] = code
+		e.built = n
+		e.snap = nil
 	}
-	vc.dict[c] = &dictEntry{view: dv, rows: t.nrows}
+	if e.snap != nil && len(e.snap.Codes) == n {
+		return e.snap
+	}
+	nvals := int32(len(e.values))
+	if e.built > n {
+		// Older snapshot: bound the dictionary to the strings that had
+		// appeared by row n (marks record each first appearance).
+		nvals = 0
+		for _, m := range e.marks {
+			if m.rows <= n {
+				nvals = m.nvals
+			} else {
+				break
+			}
+		}
+	}
+	dv := &DictView{Codes: e.codes[:n:n], Values: e.values[:nvals:nvals], byStr: e.byStr, nvals: nvals}
+	e.shared = true
+	if n == e.built {
+		e.snap = dv
+	}
 	return dv
 }

@@ -91,3 +91,128 @@ func TestDictView(t *testing.T) {
 		t.Error("DictView of int column should be nil")
 	}
 }
+
+// TestFloatViewExtendsIncrementally pins the streaming tentpole at the
+// engine layer: appending rows must extend the canonical decode state
+// in place (suffix-only work), not discard and rebuild it, and views
+// handed out earlier must stay immutable.
+func TestFloatViewExtendsIncrementally(t *testing.T) {
+	tbl := MustNewTable("t", NewSchema("x", TFloat))
+	for i := 0; i < 100; i++ {
+		tbl.MustAppendRow(NewFloat(float64(i)))
+	}
+	fv1 := tbl.FloatView(0)
+	e := tbl.views.float[0]
+	if e == nil || e.built != 100 {
+		t.Fatalf("entry built = %v", e)
+	}
+	tbl.MustAppendRow(Null)
+	tbl.MustAppendRow(NewFloat(42))
+
+	fv2 := tbl.FloatView(0)
+	if tbl.views.float[0] != e {
+		t.Fatal("append replaced the canonical entry instead of extending it")
+	}
+	if e.built != 102 {
+		t.Fatalf("entry.built = %d, want 102", e.built)
+	}
+	if len(fv2.Vals) != 102 || fv2.Vals[101] != 42 || !fv2.Null.Get(100) || !math.IsNaN(fv2.Vals[100]) {
+		t.Fatalf("extended view wrong: len=%d", len(fv2.Vals))
+	}
+	// The old snapshot is immutable: same length, same bits.
+	if len(fv1.Vals) != 100 || fv1.Null.Len() != 100 || fv1.Null.Any() {
+		t.Fatal("old snapshot changed after append")
+	}
+	// Same-length requests hit the snapshot cache.
+	if tbl.FloatView(0) != fv2 {
+		t.Fatal("extended view not cached")
+	}
+}
+
+// TestDictViewExtendsIncrementally checks append-stable dictionary
+// codes, copy-on-grow of the shared code map, and that older snapshots
+// bound their dictionary at their own length.
+func TestDictViewExtendsIncrementally(t *testing.T) {
+	tbl := MustNewTable("t", NewSchema("s", TString))
+	for _, s := range []string{"a", "b", "a"} {
+		tbl.MustAppendRow(NewString(s))
+	}
+	dv1 := tbl.DictView(0)
+	e := tbl.views.dict[0]
+	if len(dv1.Values) != 2 {
+		t.Fatalf("Values = %v", dv1.Values)
+	}
+	tbl.MustAppendRow(NewString("zz")) // new string: first appearance at row 3
+	tbl.MustAppendRow(NewString("b"))
+
+	dv2 := tbl.DictView(0)
+	if tbl.views.dict[0] != e || e.built != 5 {
+		t.Fatal("append replaced the canonical dict entry instead of extending it")
+	}
+	if dv2.Codes[0] != dv1.Codes[0] || dv2.Codes[4] != dv1.Codes[1] {
+		t.Fatal("dictionary codes not append-stable")
+	}
+	if dv2.Code("zz") != 2 || len(dv2.Values) != 3 {
+		t.Fatalf("new string not coded: %v", dv2.Values)
+	}
+	// The old snapshot must not see the new string (length-bounded Code).
+	if dv1.Code("zz") != -1 || len(dv1.Values) != 2 {
+		t.Fatal("old snapshot sees a string first appearing after its last row")
+	}
+}
+
+// TestAppendBatchCopyOnWrite pins the concurrent-ingest contract: the
+// batch lands in a new table version, the old version keeps its rows,
+// both share the incremental view cache, and stale appends error.
+func TestAppendBatchCopyOnWrite(t *testing.T) {
+	tbl := MustNewTable("t", NewSchema("x", TFloat, "s", TString))
+	for i := 0; i < 10; i++ {
+		tbl.MustAppendRow(NewFloat(float64(i)), NewString("a"))
+	}
+	fv := tbl.FloatView(0) // warm the cache pre-append
+	nt, err := tbl.AppendBatch([][]Value{
+		{NewFloat(100), NewString("b")},
+		{NewFloat(101), Null},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 10 || nt.NumRows() != 12 {
+		t.Fatalf("rows: old %d new %d", tbl.NumRows(), nt.NumRows())
+	}
+	if !tbl.SameFamily(nt) {
+		t.Fatal("AppendBatch result not in the same family")
+	}
+	if nt.Version() <= tbl.Version() {
+		t.Fatalf("version not monotone: %d vs %d", nt.Version(), tbl.Version())
+	}
+	nfv := nt.FloatView(0)
+	if len(nfv.Vals) != 12 || nfv.Vals[10] != 100 {
+		t.Fatalf("grown view = %v", nfv.Vals)
+	}
+	if len(fv.Vals) != 10 {
+		t.Fatal("old snapshot grew")
+	}
+	if e := tbl.views.float[0]; e.built != 12 {
+		t.Fatalf("canonical decode not extended through the shared cache: built=%d", e.built)
+	}
+	// Old view still servable at its own length.
+	if ofv := tbl.FloatView(0); len(ofv.Vals) != 10 || ofv.Vals[9] != 9 {
+		t.Fatal("old version's view wrong after family growth")
+	}
+
+	// Appends are linear: the superseded snapshot refuses both forms.
+	if _, err := tbl.AppendBatch([][]Value{{NewFloat(1), NewString("x")}}); err == nil {
+		t.Fatal("AppendBatch to stale snapshot should error")
+	}
+	if _, err := tbl.AppendRow([]Value{NewFloat(1), NewString("x")}); err == nil {
+		t.Fatal("AppendRow to stale snapshot should error")
+	}
+	// A half-bad batch publishes nothing.
+	if _, err := nt.AppendBatch([][]Value{{NewFloat(1), NewString("x")}, {NewString("oops"), NewString("y")}}); err == nil {
+		t.Fatal("type-bad batch should error")
+	}
+	if nt.NumRows() != 12 {
+		t.Fatal("failed batch changed row count")
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,59 @@ func (db *DB) Table(name string) (*Table, error) {
 		return nil, fmt.Errorf("engine: no table %q (have: %s)", name, strings.Join(db.names(), ", "))
 	}
 	return t, nil
+}
+
+// Append appends a batch of rows to the named table through the
+// copy-on-write path (Table.AppendBatch) and atomically republishes the
+// grown version under the same name. Queries that already fetched the
+// table keep their immutable snapshot and never observe a half-appended
+// batch; queries started after Append returns see all of it. Appends to
+// one table serialize on the catalog lock, so concurrent ingest is safe.
+// The grown table version is returned.
+func (db *DB) Append(name string, rows [][]Value) (*Table, error) {
+	key := strings.ToLower(name)
+	for {
+		db.mu.RLock()
+		t, ok := db.tables[key]
+		db.mu.RUnlock()
+		if !ok {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			return nil, fmt.Errorf("engine: no table %q (have: %s)", name, strings.Join(db.names(), ", "))
+		}
+		// The batch coercion and copy run outside the catalog lock so
+		// concurrent query starts (db.Table) are never blocked behind a
+		// large ingest; the family high-water mark serializes appenders.
+		nt, err := t.AppendBatch(rows)
+		if errors.Is(err, ErrStaleAppend) {
+			// A concurrent DB.Append republishes a newer version, so a
+			// retry sees a different table and makes progress. If the
+			// registered pointer is unchanged, the family was grown
+			// outside the catalog (direct AppendBatch without Register);
+			// spinning would never converge — surface the error, the
+			// caller may retry.
+			db.mu.RLock()
+			cur := db.tables[key]
+			db.mu.RUnlock()
+			if cur == t {
+				return nil, err
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		db.mu.Lock()
+		if db.tables[key] == t {
+			db.tables[key] = nt
+			db.mu.Unlock()
+			return nt, nil
+		}
+		db.mu.Unlock()
+		// The catalog changed underneath (Register/Drop during the
+		// append): the batch landed in an orphaned family, so retry
+		// against whatever is registered now.
+	}
 }
 
 // Drop removes the named table; it is a no-op when absent.

@@ -1,9 +1,16 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrStaleAppend reports an append against a superseded table snapshot:
+// a newer version of the family has already published more rows.
+// Callers that lost an append race (engine.DB.Append) match on it to
+// retry against the newest version.
+var ErrStaleAppend = errors.New("append to stale snapshot")
 
 // Table is an append-only, in-memory columnar relation. Row identifiers
 // are stable: row i is always the i'th appended row. Stable identifiers
@@ -80,12 +87,39 @@ func typeCompatible(v Value, ct Type) (Value, bool) {
 	}
 }
 
-// AppendRow appends a row and returns its row id. The row length must
-// match the schema and each value must be type-compatible with its
-// column.
+// coerceRow type-checks row against the schema, returning the
+// column-coerced values. The input slice is not retained.
+func (t *Table) coerceRow(row []Value) ([]Value, error) {
+	if len(row) != len(t.schema) {
+		return nil, fmt.Errorf("engine: table %s: row has %d values, schema has %d columns", t.name, len(row), len(t.schema))
+	}
+	out := make([]Value, len(row))
+	for i, v := range row {
+		cv, ok := typeCompatible(v, t.schema[i].Type)
+		if !ok {
+			return nil, fmt.Errorf("engine: table %s: column %s is %s, got %s", t.name, t.schema[i].Name, t.schema[i].Type, v.T)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// AppendRow appends a row in place and returns its row id. The row
+// length must match the schema and each value must be type-compatible
+// with its column. AppendRow is the single-owner build-phase mutator;
+// it refuses to append to a stale snapshot (one superseded by
+// AppendBatch), since that would clobber rows a newer version already
+// published. For concurrent ingest while queries are in flight, use
+// AppendBatch (copy-on-write) instead.
 func (t *Table) AppendRow(row []Value) (int, error) {
 	if len(row) != len(t.schema) {
 		return 0, fmt.Errorf("engine: table %s: row has %d values, schema has %d columns", t.name, len(row), len(t.schema))
+	}
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.hw > t.nrows {
+		return 0, fmt.Errorf("engine: table %s: %w (%d rows, family has %d)", t.name, ErrStaleAppend, t.nrows, vc.hw)
 	}
 	for i, v := range row {
 		cv, ok := typeCompatible(v, t.schema[i].Type)
@@ -95,7 +129,64 @@ func (t *Table) AppendRow(row []Value) (int, error) {
 		t.cols[i] = append(t.cols[i], cv)
 	}
 	t.nrows++
+	vc.hw = t.nrows
 	return t.nrows - 1, nil
+}
+
+// AppendBatch appends rows copy-on-write: it returns a NEW table
+// version containing the appended batch, leaving the receiver — and
+// every view, mask, or query result derived from it — untouched and
+// valid. The two versions share column storage for the common prefix
+// (the batch lands in spare slice capacity or a reallocated array, so
+// readers of the old version never observe the new rows), and they
+// share the incremental view cache, so FloatView/DictView/clause masks
+// extend by decoding only the appended suffix.
+//
+// Appends are linear: only the newest version of a family may be
+// appended to. A batch against a superseded snapshot returns an error,
+// which is what makes concurrent ingest safe — two racing appenders
+// serialize on the family lock and the loser gets the stale error
+// instead of silently clobbering published rows. The whole batch is
+// type-checked before anything is published, so no version ever exposes
+// a half-appended batch.
+func (t *Table) AppendBatch(rows [][]Value) (*Table, error) {
+	coerced := make([][]Value, len(rows))
+	for ri, row := range rows {
+		cr, err := t.coerceRow(row)
+		if err != nil {
+			return nil, err
+		}
+		coerced[ri] = cr
+	}
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if vc.hw > t.nrows {
+		return nil, fmt.Errorf("engine: table %s: %w (%d rows, family has %d)", t.name, ErrStaleAppend, t.nrows, vc.hw)
+	}
+	nt := &Table{name: t.name, schema: t.schema, cols: make([][]Value, len(t.cols)), nrows: t.nrows, views: vc}
+	copy(nt.cols, t.cols)
+	for _, row := range coerced {
+		for i, v := range row {
+			nt.cols[i] = append(nt.cols[i], v)
+		}
+	}
+	nt.nrows += len(coerced)
+	vc.hw = nt.nrows
+	return nt, nil
+}
+
+// Version returns this table version's row high-water mark. Tables are
+// append-only, so the row count is a monotonically increasing version
+// stamp: two versions of one family are ordered by it, and rows below
+// the smaller version are bit-identical in both.
+func (t *Table) Version() int { return t.nrows }
+
+// SameFamily reports whether o is a version of the same underlying
+// table (they share storage and the incremental view cache — the
+// relationship AppendBatch and Rename establish).
+func (t *Table) SameFamily(o *Table) bool {
+	return t != nil && o != nil && t.views != nil && t.views == o.views
 }
 
 // MustAppendRow appends a row, panicking on type errors. Intended for
@@ -153,6 +244,7 @@ func (t *Table) Select(rows []int) *Table {
 		}
 	}
 	out.nrows = len(rows)
+	out.views.hw = out.nrows
 	return out
 }
 

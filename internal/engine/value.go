@@ -245,7 +245,14 @@ func (v Value) Key() string {
 	case TNull:
 		return "\x00"
 	case TBool, TInt, TTime, TFloat:
-		return "n" + strconv.FormatFloat(v.Float(), 'g', -1, 64)
+		f := v.Float()
+		if f == 0 {
+			// Canonicalize -0.0 to +0.0: Compare (IEEE ==) treats them as
+			// equal, so Key must too, or -0 and +0 rows split into two
+			// groups that Equal says are one (FormatFloat renders "-0").
+			f = 0
+		}
+		return "n" + strconv.FormatFloat(f, 'g', -1, 64)
 	case TString:
 		return "s" + v.S
 	default:

@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/bitset"
+	"repro/internal/engine"
+)
+
+// This file implements incremental result maintenance for streaming
+// appends: Advance(res, grown) produces the result the statement would
+// yield over the grown table by folding ONLY the appended suffix rows
+// into copies of the previous result's group states — O(batch + groups)
+// instead of the O(n) rescan a fresh run costs. It is the top of the
+// incremental stack: the engine extends column views by suffix decode,
+// the predicate index extends clause masks the same way, and Advance
+// extends group aggregates, lineage, lineage bitsets, and argument
+// views, so a continuous-monitoring loop (append batch, re-run query,
+// re-Debug) does per-batch work independent of total table size.
+//
+// Correctness leans on three append-stability facts: row ids never
+// change (appends only add larger ids), dictionary codes are assigned
+// in first-appearance order (a group key's code is the same in every
+// table version), and group first-appearance order over the full table
+// equals the old order followed by suffix-only newcomers.
+//
+// The previous result stays valid and immutable for concurrent readers:
+// aggregate states are copied via Clone+Merge, and lineage/argument
+// slices grow by appending past every published length (prefix bytes
+// are never rewritten). That makes advancing linear — a result can be
+// advanced once; branching would clobber the shared suffix, so a second
+// Advance returns an error.
+
+// Advance executes res.Stmt against grown — a newer version of
+// res.Source's table family (see engine.Table.AppendBatch) — reusing
+// res's group states and folding in only the appended rows. Statements
+// the vectorized pipeline cannot express (DISTINCT aggregates, >4
+// group-by columns, string-valued computed keys) and aggregate-free
+// projections fall back to a full RunOn; Plan.Incremental reports
+// whether the incremental path ran.
+func Advance(res *Result, grown *engine.Table) (*Result, error) {
+	if res == nil || res.Stmt == nil {
+		return nil, fmt.Errorf("exec: Advance of nil result")
+	}
+	if !res.Source.SameFamily(grown) {
+		return nil, fmt.Errorf("exec: Advance target is not a version of the result's source table")
+	}
+	oldN, newN := res.Source.NumRows(), grown.NumRows()
+	if newN < oldN {
+		return nil, fmt.Errorf("exec: Advance target has %d rows, result's source has %d", newN, oldN)
+	}
+	stmt := res.Stmt
+	if !stmt.HasAggregates() && len(stmt.GroupBy) == 0 {
+		// Projection: every output row is one source row; a re-run is
+		// already O(n) output materialization, nothing to reuse.
+		return RunOn(grown, stmt)
+	}
+
+	// Prototype aggregates; anything non-mergeable cannot state-copy.
+	protos := make([]agg.Func, len(res.aggItems))
+	for ai, i := range res.aggItems {
+		f, err := agg.New(stmt.Items[i].Agg.Name)
+		if err != nil {
+			return nil, err
+		}
+		if stmt.Items[i].Agg.Distinct {
+			f = agg.NewDistinct(f)
+		}
+		protos[ai] = f
+	}
+
+	// The WHERE mask is needed only for suffix rows: lowered filters
+	// extend their clause masks incrementally, and the per-row fallback
+	// for non-lowerable trees evaluates just [oldN, newN) — otherwise a
+	// non-lowerable WHERE would silently reinstate the O(table)-per-batch
+	// rescan this path exists to avoid.
+	p, reason, err := planVector(grown, stmt, res.aggArgs, protos, Options{}, oldN)
+	if err != nil {
+		return nil, err
+	}
+	if reason != "" || !p.mergeable {
+		return RunOn(grown, stmt)
+	}
+
+	// Claim the result for advancing before touching any shared slice.
+	res.argMu.Lock()
+	if res.advanced {
+		res.argMu.Unlock()
+		return nil, fmt.Errorf("exec: result already advanced (advance chains are linear)")
+	}
+	res.advanced = true
+	res.argMu.Unlock()
+
+	// Seed a suffix scan with copies of every old group, in scan order.
+	ss := newShardScan(p, oldN, newN)
+	oldLens := make([]int, len(res.allGroups))
+	for gi, g := range res.allGroups {
+		oldLens[gi] = len(g.Lineage)
+		key, ok := reconstructKey(g, p)
+		if !ok {
+			return RunOn(grown, stmt)
+		}
+		vg, ok := copyGroup(g, p, key)
+		if !ok {
+			return RunOn(grown, stmt)
+		}
+		switch {
+		case ss.dense != nil:
+			ss.dense[key[0]] = int32(len(ss.groups)) + 1
+		case ss.h1 != nil:
+			ss.h1[key[0]] = int32(len(ss.groups))
+		case ss.hN != nil:
+			ss.hN[key] = int32(len(ss.groups))
+		}
+		ss.groups = append(ss.groups, vg)
+	}
+
+	ss.run()
+	if ss.err != nil {
+		if errors.Is(ss.err, errVectorAbort) {
+			return RunOn(grown, stmt)
+		}
+		return nil, ss.err
+	}
+
+	// Materialize boxed key values for suffix-born groups only.
+	groups := make([]*Group, len(ss.groups))
+	row := make([]engine.Value, grown.NumCols())
+	for gi, vg := range ss.groups {
+		if gi >= len(res.allGroups) && len(stmt.GroupBy) > 0 {
+			grown.RowInto(vg.g.FirstRow, row)
+			vg.g.Key = make([]engine.Value, len(stmt.GroupBy))
+			for k, g := range stmt.GroupBy {
+				v, err := g.Eval(row)
+				if err != nil {
+					return nil, err
+				}
+				vg.g.Key[k] = v
+			}
+		}
+		groups[gi] = vg.g
+	}
+
+	out := &Result{
+		Stmt: stmt, Source: grown, Groups: groups,
+		aggArgs: res.aggArgs, aggItems: res.aggItems,
+		Plan: PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: 1, Incremental: true},
+	}
+	if err := out.materialize(); err != nil {
+		return nil, err
+	}
+	carryCaches(res, out, ss, oldLens, oldN, newN)
+	return out, nil
+}
+
+// reconstructKey rebuilds a group's packed key slots from its boxed key
+// values, using the same canonicalization scanRow applies per row.
+// Append-stable dictionary codes make the dict slots version-portable.
+func reconstructKey(g *Group, p *vectorPlan) (vKey, bool) {
+	var key vKey
+	if len(g.Key) != len(p.keys) {
+		return key, false
+	}
+	for i := range p.keys {
+		v := g.Key[i]
+		switch p.keys[i].kind {
+		case kindDict:
+			if v.IsNull() {
+				key[i] = 0 // scanRow: NULL code -1 → slot 0
+				continue
+			}
+			if v.T != engine.TString {
+				return key, false
+			}
+			code := p.keys[i].dict.Code(v.S)
+			if code < 0 {
+				return key, false // key string unseen in the grown dict: impossible unless mismatched
+			}
+			key[i] = uint64(code + 1)
+		default: // kindFloat, kindComputed (numeric)
+			if v.IsNull() {
+				key[i] = nullSlot
+				continue
+			}
+			if v.T == engine.TString {
+				return key, false // string computed keys never vectorize
+			}
+			key[i] = canonSlot(v.Float())
+		}
+	}
+	return key, true
+}
+
+// copyGroup makes the advanced copy of one group: aggregate states are
+// deep-copied via Clone+Merge (the old states stay untouched for
+// in-flight readers), Key is shared (immutable), and Lineage is shared
+// as-is — suffix appends land past the old length, which old readers
+// never index.
+func copyGroup(g *Group, p *vectorPlan, key vKey) (*vGroup, bool) {
+	ng := &Group{Key: g.Key, Lineage: g.Lineage, Aggs: make([]agg.Func, len(g.Aggs)), FirstRow: g.FirstRow}
+	vg := &vGroup{g: ng, key: key, fas: make([]agg.FloatAdder, len(g.Aggs))}
+	for i, a := range g.Aggs {
+		fresh := a.Clone()
+		m, ok := fresh.(agg.Merger)
+		if !ok || !m.Merge(a) {
+			return nil, false
+		}
+		ng.Aggs[i] = fresh
+		if p.args[i].floatFed {
+			vg.fas[i] = ng.Aggs[i].(agg.FloatAdder)
+		}
+	}
+	return vg, true
+}
+
+// carryCaches extends the old result's lazily-built columnar caches —
+// per-group lineage bitsets and per-ordinal argument views — onto the
+// new result, so downstream Debug runs (influence.Scorer) reuse the
+// unchanged prefix instead of rebuilding it: the prefix is a word-level
+// memcpy plus amortized slice growth, and only the appended suffix is
+// decoded or set bit-by-bit.
+func carryCaches(res, out *Result, ss *shardScan, oldLens []int, oldN, newN int) {
+	// Snapshot the cache maps under the lock: concurrent readers of the
+	// old result (a Debug in flight calls GroupLineageBitsShared /
+	// AggArgFloats, which insert) may grow them while we carry.
+	res.argMu.Lock()
+	oldBits := make(map[*Group]*bitset.Bitset, len(res.lineBits))
+	for g, b := range res.lineBits {
+		oldBits[g] = b
+	}
+	oldAVs := make(map[int]*ArgView, len(res.argViews))
+	for ord, av := range res.argViews {
+		oldAVs[ord] = av
+	}
+	res.argMu.Unlock()
+
+	if len(oldBits) > 0 {
+		out.lineBits = make(map[*Group]*bitset.Bitset, len(oldBits))
+		for gi, og := range res.allGroups {
+			b, ok := oldBits[og]
+			if !ok {
+				continue
+			}
+			ng := ss.groups[gi].g
+			nb := bitset.SnapshotWords(newN, b.Words())
+			for _, r := range ng.Lineage[oldLens[gi]:] {
+				nb.Set(r)
+			}
+			out.lineBits[ng] = nb
+		}
+	}
+
+	if len(oldAVs) > 0 {
+		out.argViews = make(map[int]*ArgView, len(oldAVs))
+		row := make([]engine.Value, out.Source.NumCols())
+		for ord, av := range oldAVs {
+			vals := av.Vals // len oldN; appends stay past published lengths
+			nb := bitset.SnapshotWords(newN, av.Null.Words())
+			arg := out.aggArgs[ord]
+			ok := true
+			for src := oldN; src < newN; src++ {
+				if arg == nil {
+					vals = append(vals, 1)
+					continue
+				}
+				out.Source.RowInto(src, row)
+				v, err := arg.Eval(row)
+				if err != nil {
+					ok = false // leave this ordinal to a lazy full build
+					break
+				}
+				if v.IsNull() {
+					vals = append(vals, nanFloat)
+					nb.Set(src)
+					continue
+				}
+				vals = append(vals, v.Float())
+			}
+			if ok {
+				out.argViews[ord] = &ArgView{Vals: vals, Null: nb}
+			}
+		}
+	}
+}

@@ -81,6 +81,41 @@ func (r *Result) LineageBits(rowIdxs []int) *bitset.Bitset {
 	return b
 }
 
+// GroupLineageBitsShared returns output row ri's lineage as a bitset
+// over source rows, from the per-result cache — built on first request,
+// shared (read-only!) afterwards. Advance carries this cache across
+// appended batches by extending each bitset with the group's suffix
+// lineage, so a streaming re-Debug reuses the unchanged prefix instead
+// of re-setting every lineage bit.
+func (r *Result) GroupLineageBitsShared(ri int) *bitset.Bitset {
+	if ri < 0 || ri >= len(r.Groups) {
+		return bitset.New(r.Source.NumRows())
+	}
+	g := r.Groups[ri]
+	r.argMu.Lock()
+	if b, ok := r.lineBits[g]; ok {
+		r.argMu.Unlock()
+		return b
+	}
+	r.argMu.Unlock()
+	// Build outside the lock so parallel Scorer construction isn't
+	// serialized; a racing duplicate build is correct and one wins.
+	b := bitset.New(r.Source.NumRows())
+	for _, src := range g.Lineage {
+		b.Set(src)
+	}
+	r.argMu.Lock()
+	defer r.argMu.Unlock()
+	if prev, ok := r.lineBits[g]; ok {
+		return prev
+	}
+	if r.lineBits == nil {
+		r.lineBits = make(map[*Group]*bitset.Bitset)
+	}
+	r.lineBits[g] = b
+	return b
+}
+
 // GroupLineageBits returns one lineage bitset per listed output row,
 // each over source rows.
 func (r *Result) GroupLineageBits(rowIdxs []int) []*bitset.Bitset {

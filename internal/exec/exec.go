@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/agg"
+	"repro/internal/bitset"
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
@@ -58,10 +59,22 @@ type Result struct {
 	aggItems []int
 	// Plan records which execution strategy produced this result.
 	Plan PlanInfo
-	// argMu guards argViews, the per-ordinal flat argument columns the
-	// columnar scoring fast path decodes on first use (see columnar.go).
+	// allGroups retains every group in scan order, before HAVING/ORDER
+	// BY/LIMIT pruned or reordered Groups — the set Advance folds
+	// appended rows into.
+	allGroups []*Group
+	// argMu guards argViews (the per-ordinal flat argument columns the
+	// columnar scoring fast path decodes on first use, see columnar.go),
+	// lineBits (the per-group lineage bitset cache Advance carries
+	// across batches), and the advanced flag.
 	argMu    sync.Mutex
 	argViews map[int]*ArgView
+	lineBits map[*Group]*bitset.Bitset
+	// advanced marks a result that has already been advanced once;
+	// Advance extends lineage slices and argument views in place past
+	// their published lengths, so advancing must be linear — a second
+	// Advance from the same result would clobber the first's suffix.
+	advanced bool
 }
 
 // Run executes stmt against db, capturing provenance.
@@ -261,7 +274,7 @@ func checkPlainItemsGrouped(stmt *sqlparse.SelectStmt) error {
 // same per-row fallback), so projections over predicate-shaped filters
 // never interpret the WHERE tree per row.
 func runProjection(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
-	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering || opts.ForceScalar)
+	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering || opts.ForceScalar, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -281,6 +294,7 @@ func runProjection(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (
 // materialize builds the result table from groups and applies HAVING,
 // ORDER BY and LIMIT (keeping Groups parallel to rows throughout).
 func (r *Result) materialize() error {
+	r.allGroups = r.Groups
 	stmt := r.Stmt
 	labels := make([]string, len(stmt.Items))
 	for i := range stmt.Items {

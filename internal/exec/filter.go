@@ -36,11 +36,31 @@ import (
 // index is collected with the table.
 type auxIndexKey struct{}
 
-// tableIndex returns the table's shared predicate index.
+// tableIndex returns the table family's shared predicate index. The
+// index implements engine.RowSynced, so AuxLoadOrStore rebases it onto
+// t when t is a grown copy-on-write version — cached clause masks then
+// extend by decoding only the appended suffix.
 func tableIndex(t *engine.Table) *predicate.Index {
 	return t.AuxLoadOrStore(auxIndexKey{}, func() any {
 		return predicate.NewIndex(t)
 	}).(*predicate.Index)
+}
+
+// lowerCtx carries the index together with the exact table version the
+// statement is executing against. Masks are always requested at
+// src.NumRows(), never at the index's own (possibly newer) length, so a
+// query running mid-append sees masks of exactly its snapshot's length.
+type lowerCtx struct {
+	ix  *predicate.Index
+	src *engine.Table
+}
+
+func (lc lowerCtx) clauseBits(c predicate.Clause) *bitset.Bitset {
+	return lc.ix.ClauseBitsAt(c, lc.src.NumRows())
+}
+
+func (lc lowerCtx) nonNullBits(ci int) *bitset.Bitset {
+	return lc.ix.NonNullBitsAt(ci, lc.src.NumRows())
 }
 
 // tfMask is a node's three-valued result: t holds the rows where it is
@@ -55,16 +75,16 @@ type tfMask struct {
 // (TRUE rows; NULL counts as not passing, matching expr.EvalBool). The
 // returned bitset may alias a shared clause mask and must be treated as
 // read-only. ok is false when the tree contains a non-lowerable node.
-func lowerWhere(e expr.Expr, ix *predicate.Index) (*bitset.Bitset, bool) {
-	m, ok := lowerTF(e, ix)
+func lowerWhere(e expr.Expr, lc lowerCtx) (*bitset.Bitset, bool) {
+	m, ok := lowerTF(e, lc)
 	if !ok {
 		return nil, false
 	}
 	return m.t, true
 }
 
-func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
-	n := ix.Table().NumRows()
+func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
+	n := lc.src.NumRows()
 	switch node := e.(type) {
 	case *expr.Lit:
 		// A constant condition: TRUE/FALSE for every row, or NULL for a
@@ -80,7 +100,7 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 		return m, true
 
 	case *expr.Not:
-		m, ok := lowerTF(node.X, ix)
+		m, ok := lowerTF(node.X, lc)
 		if !ok {
 			return tfMask{}, false
 		}
@@ -88,11 +108,11 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 
 	case *expr.Bin:
 		if node.Op.IsLogic() {
-			l, ok := lowerTF(node.L, ix)
+			l, ok := lowerTF(node.L, lc)
 			if !ok {
 				return tfMask{}, false
 			}
-			r, ok := lowerTF(node.R, ix)
+			r, ok := lowerTF(node.R, lc)
 			if !ok {
 				return tfMask{}, false
 			}
@@ -109,7 +129,7 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 			return out, true
 		}
 		if node.Op.IsComparison() {
-			return lowerComparison(node, ix)
+			return lowerComparison(node, lc)
 		}
 		return tfMask{}, false // arithmetic has no boolean lowering
 
@@ -118,11 +138,11 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 		if !ok {
 			return tfMask{}, false
 		}
-		ci := ix.Table().Schema().ColIndex(col.Name)
+		ci := lc.src.Schema().ColIndex(col.Name)
 		if ci < 0 {
 			return tfMask{}, false
 		}
-		nonNull := ix.NonNullBits(ci)
+		nonNull := lc.nonNullBits(ci)
 		isNull := bitset.New(n)
 		isNull.Fill()
 		isNull.AndNot(nonNull)
@@ -141,7 +161,7 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 		if !okLo || !okHi {
 			return tfMask{}, false
 		}
-		ci := ix.Table().Schema().ColIndex(col.Name)
+		ci := lc.src.Schema().ColIndex(col.Name)
 		if ci < 0 {
 			return tfMask{}, false
 		}
@@ -149,16 +169,16 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 			// NULL bound: the range test is NULL for every row.
 			return tfMask{t: bitset.New(n), f: bitset.New(n)}, true
 		}
-		colType := ix.Table().Schema()[ci].Type
+		colType := lc.src.Schema()[ci].Type
 		if !literalComparable(colType, lo.Val) || !literalComparable(colType, hi.Val) {
 			return tfMask{}, false // scalar path would error; keep it
 		}
 		t := bitset.New(n)
 		t.IntersectOf(
-			ix.ClauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpGe, Val: lo.Val}),
-			ix.ClauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpLe, Val: hi.Val}),
+			lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpGe, Val: lo.Val}),
+			lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpLe, Val: hi.Val}),
 		)
-		f := ix.NonNullBits(ci).Clone()
+		f := lc.nonNullBits(ci).Clone()
 		f.AndNot(t)
 		if node.Invert {
 			return tfMask{t: f, f: t}, true
@@ -170,7 +190,7 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 		if !ok {
 			return tfMask{}, false
 		}
-		ci := ix.Table().Schema().ColIndex(col.Name)
+		ci := lc.src.Schema().ColIndex(col.Name)
 		if ci < 0 {
 			return tfMask{}, false
 		}
@@ -189,13 +209,13 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 			// nothing in both paths (engine.Equal treats incomparable as
 			// unequal, the clause mask stays empty), so every literal
 			// lowers.
-			t.Or(ix.ClauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpEq, Val: lit.Val}))
+			t.Or(lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpEq, Val: lit.Val}))
 		}
 		f := bitset.New(n)
 		if !sawNull {
 			// With a NULL in the list, non-matching rows are NULL (x
 			// might equal the NULL), so F stays empty.
-			f.CopyFrom(ix.NonNullBits(ci))
+			f.CopyFrom(lc.nonNullBits(ci))
 			f.AndNot(t)
 		}
 		if node.Invert {
@@ -211,13 +231,13 @@ func lowerTF(e expr.Expr, ix *predicate.Index) (tfMask, bool) {
 
 // lowerComparison lowers "column op constant" (either operand order)
 // onto one clause mask.
-func lowerComparison(node *expr.Bin, ix *predicate.Index) (tfMask, bool) {
-	n := ix.Table().NumRows()
+func lowerComparison(node *expr.Bin, lc lowerCtx) (tfMask, bool) {
+	n := lc.src.NumRows()
 	col, lit, op, ok := comparisonShape(node)
 	if !ok {
 		return tfMask{}, false
 	}
-	ci := ix.Table().Schema().ColIndex(col.Name)
+	ci := lc.src.Schema().ColIndex(col.Name)
 	if ci < 0 {
 		return tfMask{}, false
 	}
@@ -225,13 +245,13 @@ func lowerComparison(node *expr.Bin, ix *predicate.Index) (tfMask, bool) {
 		// Comparison with a NULL constant is NULL for every row.
 		return tfMask{t: bitset.New(n), f: bitset.New(n)}, true
 	}
-	if !literalComparable(ix.Table().Schema()[ci].Type, lit.Val) {
+	if !literalComparable(lc.src.Schema()[ci].Type, lit.Val) {
 		// The scalar evaluator errors on incomparable comparison
 		// operands; don't lower, so the error surfaces identically.
 		return tfMask{}, false
 	}
-	t := ix.ClauseBits(predicate.Clause{Col: col.Name, Op: op, Val: lit.Val})
-	f := ix.NonNullBits(ci).Clone()
+	t := lc.clauseBits(predicate.Clause{Col: col.Name, Op: op, Val: lit.Val})
+	f := lc.nonNullBits(ci).Clone()
 	f.AndNot(t)
 	return tfMask{t: t, f: f}, true
 }
@@ -304,13 +324,16 @@ func literalComparable(colType engine.Type, lit engine.Value) bool {
 // buildFilter produces the WHERE pass mask for src: lowered onto clause
 // masks when possible, otherwise (or when lowering is disabled) by
 // scanning rows through expr.EvalBool exactly like the boxed executor.
-// A nil where yields (nil, true, nil): no filtering.
-func buildFilter(src *engine.Table, where expr.Expr, noLowering bool) (pass *bitset.Bitset, lowered bool, err error) {
+// A nil where yields (nil, true, nil): no filtering. Bits below "from"
+// may be left unset: callers that only consume a suffix (exec.Advance)
+// pass the first row they will read, which keeps the scalar fallback
+// O(suffix) instead of O(table); full scans pass 0.
+func buildFilter(src *engine.Table, where expr.Expr, noLowering bool, from int) (pass *bitset.Bitset, lowered bool, err error) {
 	if where == nil {
 		return nil, true, nil
 	}
 	if !noLowering {
-		if pass, ok := lowerWhere(where, tableIndex(src)); ok {
+		if pass, ok := lowerWhere(where, lowerCtx{ix: tableIndex(src), src: src}); ok {
 			return pass, true, nil
 		}
 	}
@@ -319,7 +342,7 @@ func buildFilter(src *engine.Table, where expr.Expr, noLowering bool) (pass *bit
 	n := src.NumRows()
 	pass = bitset.New(n)
 	row := make([]engine.Value, src.NumCols())
-	for r := 0; r < n; r++ {
+	for r := from; r < n; r++ {
 		src.RowInto(r, row)
 		ok, err := expr.EvalBool(where, row)
 		if err != nil {

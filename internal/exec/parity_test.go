@@ -53,6 +53,12 @@ func parityTable(rng *rand.Rand, nrows int) *engine.Table {
 			row[2] = engine.Null
 		case rng.Float64() < 0.1:
 			row[2] = engine.NewFloat(math.NaN())
+		case rng.Float64() < 0.08:
+			// Signed zeros as group keys: Key() and canonSlot must both
+			// collapse -0.0 and +0.0 into one group (they are Equal).
+			row[2] = engine.NewFloat(math.Copysign(0, -1))
+		case rng.Float64() < 0.08:
+			row[2] = engine.NewFloat(0)
 		default:
 			// Multiples of 0.25 in [-8, 8): exact partial sums.
 			row[2] = engine.NewFloat(float64(rng.Intn(64)-32) * 0.25)
@@ -93,6 +99,9 @@ func randLit(rng *rand.Rand, col string) expr.Expr {
 	case "f":
 		if rng.Float64() < 0.08 {
 			return expr.Float(math.NaN())
+		}
+		if rng.Float64() < 0.06 {
+			return expr.Float(math.Copysign(0, -1))
 		}
 		return expr.Float(float64(rng.Intn(64)-32) * 0.25)
 	case "t":

@@ -70,6 +70,10 @@ type PlanInfo struct {
 	// Fallback names the reason the boxed reference scan ran instead of
 	// the vectorized pipeline ("" when it did not fall back).
 	Fallback string
+	// Incremental is true when Advance produced this result by folding
+	// only appended rows into the previous result's group states instead
+	// of rescanning the table.
+	Incremental bool
 }
 
 // errVectorAbort signals mid-scan discovery that the statement needs
@@ -93,12 +97,16 @@ const (
 )
 
 // canonSlot maps a float64 to its group key slot with the same equality
-// the boxed scan's Value.Key() strings induce: every NaN collapses to
-// one slot, -0 and +0 stay distinct (FormatFloat renders them apart),
-// and all numeric types compare through their float64 coercion.
+// engine.Equal (and the boxed scan's Value.Key() strings) induce: every
+// NaN collapses to one slot, -0 canonicalizes to +0 (IEEE == treats
+// them as equal, so grouping must not split them), and all numeric
+// types compare through their float64 coercion.
 func canonSlot(f float64) uint64 {
 	if f != f {
 		return canonNaN
+	}
+	if f == 0 {
+		return 0 // +0.0 bits; -0.0 lands here too
 	}
 	return math.Float64bits(f)
 }
@@ -117,10 +125,11 @@ const (
 // keySrc is one group-by column's per-row key source.
 type keySrc struct {
 	kind  keyKind
-	codes []int32        // kindDict
-	vals  []float64      // kindFloat
-	null  *bitset.Bitset // kindFloat
-	node  expr.Expr      // kindComputed (compiled per shard)
+	codes []int32          // kindDict
+	dict  *engine.DictView // kindDict: Code lookups for Advance's key reconstruction
+	vals  []float64        // kindFloat
+	null  *bitset.Bitset   // kindFloat
+	node  expr.Expr        // kindComputed (compiled per shard)
 }
 
 type argKind int
@@ -159,7 +168,10 @@ type vectorPlan struct {
 // planVector analyzes the statement for the vectorized pipeline. A
 // non-empty reason means "run the reference scan instead"; err is a
 // real query error.
-func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, protos []agg.Func, opts Options) (*vectorPlan, string, error) {
+// filterFrom is the first row the caller will consume from the WHERE
+// mask: fresh runs pass 0, Advance passes the old row count so the
+// per-row fallback for non-lowerable trees touches only the suffix.
+func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, protos []agg.Func, opts Options, filterFrom int) (*vectorPlan, string, error) {
 	if len(stmt.GroupBy) > maxVectorGroupCols {
 		return nil, "more than 4 group-by columns", nil
 	}
@@ -178,7 +190,7 @@ func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Exp
 	for i, g := range stmt.GroupBy {
 		if col, ok := g.(*expr.Col); ok && col.Index >= 0 {
 			if dv := src.DictView(col.Index); dv != nil {
-				p.keys[i] = keySrc{kind: kindDict, codes: dv.Codes}
+				p.keys[i] = keySrc{kind: kindDict, codes: dv.Codes, dict: dv}
 				if len(stmt.GroupBy) == 1 {
 					p.denseSize = len(dv.Values) + 1
 				}
@@ -218,7 +230,7 @@ func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Exp
 		}
 	}
 
-	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering)
+	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering, filterFrom)
 	if err != nil {
 		return nil, "", err
 	}
@@ -502,7 +514,7 @@ func shardCount(p *vectorPlan, n int, opts Options) int {
 // pipeline. A non-empty reason (with nil Result and error) means the
 // caller should run the boxed reference scan instead.
 func runVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, aggItems []int, protos []agg.Func, opts Options) (*Result, string, error) {
-	p, reason, err := planVector(src, stmt, aggArgs, protos, opts)
+	p, reason, err := planVector(src, stmt, aggArgs, protos, opts, 0)
 	if err != nil {
 		return nil, "", err
 	}

@@ -102,24 +102,19 @@ func NewScorer(res *exec.Result, suspect []int, ord int, metric errmetric.Metric
 	return s, nil
 }
 
-// buildGroupBits decodes each suspect group's lineage into a bitset
-// (with its occupied word span) and unions them into F. The per-group
-// work is independent, so it shards across a worker pool when there are
-// enough groups and CPUs to pay for it; per-worker partial F bitmaps
-// merge at the end, keeping the result identical to the sequential
-// build.
+// buildGroupBits fetches each suspect group's lineage bitset (from the
+// result's shared per-group cache — for incrementally advanced results
+// the unchanged prefix was carried over rather than rebuilt) and unions
+// them into F. The per-group work is independent, so it shards across a
+// worker pool when there are enough groups and CPUs to pay for it;
+// per-worker partial F bitmaps merge at the end, keeping the result
+// identical to the sequential build.
 func (s *Scorer) buildGroupBits(res *exec.Result, suspect []int) {
 	s.groups = make([]groupBits, len(suspect))
 	s.fbits = bitset.New(s.nsrc)
 
 	build := func(i int) *bitset.Bitset {
-		b := bitset.New(s.nsrc)
-		ri := suspect[i]
-		if ri >= 0 && ri < len(res.Groups) {
-			for _, src := range res.Groups[ri].Lineage {
-				b.Set(src)
-			}
-		}
+		b := res.GroupLineageBitsShared(suspect[i])
 		lo, hi, ok := b.WordRange()
 		s.groups[i] = groupBits{bits: b, lo: lo, hi: hi, empty: !ok}
 		return b

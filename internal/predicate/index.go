@@ -17,85 +17,163 @@ import (
 // ranker's pruning re-scores one-clause-removed variants — so the cache
 // hit rate is high and steady-state matching allocates nothing.
 //
+// The index is maintained *incrementally* across appends: each cached
+// mask keeps a canonical growable word array plus the row count it
+// covers. When the table grows (in place via AppendRow, or as a
+// copy-on-write version via AppendBatch — the index tracks the newest
+// version through engine.Table's RowSynced aux hook), only the appended
+// suffix [built, n) is decoded into the existing words; prefix bits are
+// immutable. Callers receive immutable per-length snapshots, so queries
+// running against an older table version keep masks of exactly their
+// length even while newer versions extend the canonical state.
+//
 // Evaluation semantics are bit-for-bit identical to MatchesRow: NULL
 // never matches, comparisons follow engine.Compare (numeric coercion
 // across int/float/bool/time, string ordering for strings, incomparable
 // types never match, NULL clause values compare below everything, NaN
 // compares equal to everything).
 type Index struct {
-	t  *engine.Table
 	mu sync.RWMutex
-	// clauses caches full-table match masks keyed by the clause value
+	// t is the newest table version the index has been synced to; suffix
+	// decodes read from it (its rows cover every requested length).
+	t *engine.Table
+	// clauses caches canonical match masks keyed by the clause value
 	// itself (Clause is comparable), so cache hits allocate nothing.
-	clauses map[Clause]*bitset.Bitset
+	clauses map[Clause]*maskEntry
 	// nonNull caches the non-NULL row mask per column index — the
 	// complement half the executor's 3VL filter lowering needs to turn
 	// "comparison is FALSE" into a mask.
-	nonNull map[int]*bitset.Bitset
+	nonNull map[int]*maskEntry
+}
+
+// maskEntry is one mask's canonical growable state: bits for rows
+// [0, built) in words, plus the snapshot cache at the newest length.
+type maskEntry struct {
+	words []uint64
+	built int
+	snap  *bitset.Bitset
 }
 
 // NewIndex returns an index over t.
 func NewIndex(t *engine.Table) *Index {
 	return &Index{
 		t:       t,
-		clauses: make(map[Clause]*bitset.Bitset),
-		nonNull: make(map[int]*bitset.Bitset),
+		clauses: make(map[Clause]*maskEntry),
+		nonNull: make(map[int]*maskEntry),
 	}
 }
 
-// Table returns the indexed table.
-func (ix *Index) Table() *engine.Table { return ix.t }
+// Table returns the newest indexed table version.
+func (ix *Index) Table() *engine.Table {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.t
+}
 
-// ClauseBits returns the cached full-table match mask of one clause.
-// The returned bitset is shared and read-only.
+// SyncRows implements engine.RowSynced: it rebases the index onto t
+// when t is a newer (longer) version of the indexed table family.
+// Cached masks extend lazily, on their next request.
+func (ix *Index) SyncRows(t *engine.Table) {
+	ix.mu.Lock()
+	if t.NumRows() > ix.t.NumRows() {
+		ix.t = t
+	}
+	ix.mu.Unlock()
+}
+
+// ClauseBits returns the match mask of one clause at the newest synced
+// length. The returned bitset is shared and read-only.
 func (ix *Index) ClauseBits(c Clause) *bitset.Bitset {
+	return ix.ClauseBitsAt(c, ix.Table().NumRows())
+}
+
+// ClauseBitsAt returns the match mask of one clause over the first n
+// rows — the form queries use so a statement executing against an older
+// table version gets masks of exactly its length, even while newer
+// versions have already extended the canonical bits. The returned
+// bitset is shared and read-only.
+func (ix *Index) ClauseBitsAt(c Clause, n int) *bitset.Bitset {
 	if c.Val.T == engine.TFloat && math.IsNaN(c.Val.F) {
 		// NaN keys never hit a map; build uncached rather than leak an
 		// entry per call.
-		return ix.buildClause(c)
+		e := &maskEntry{}
+		ix.mu.RLock()
+		ix.extendClause(e, c, n)
+		ix.mu.RUnlock()
+		return bitset.FromWords(n, e.words)
 	}
-	n := ix.t.NumRows()
 	ix.mu.RLock()
-	b, ok := ix.clauses[c]
+	e, ok := ix.clauses[c]
+	if ok && e.built >= n {
+		if s := e.snap; s != nil && s.Len() == n {
+			ix.mu.RUnlock()
+			return s
+		}
+	}
 	ix.mu.RUnlock()
-	if ok && b.Len() == n {
-		return b
-	}
-	// Miss, or the table grew since the mask was cached: rebuild, like
-	// the engine's column views do on row-count change.
-	b = ix.buildClause(c)
 	ix.mu.Lock()
-	if prev, ok := ix.clauses[c]; ok && prev.Len() == n {
-		b = prev // another goroutine won the race; share its mask
-	} else {
-		ix.clauses[c] = b
+	defer ix.mu.Unlock()
+	e, ok = ix.clauses[c]
+	if !ok {
+		e = &maskEntry{}
+		ix.clauses[c] = e
 	}
-	ix.mu.Unlock()
-	return b
+	if e.built < n {
+		ix.extendClause(e, c, n)
+		e.built = n
+		e.snap = nil
+	}
+	return e.snapshot(n)
 }
 
-// NonNullBits returns the cached mask of rows where column ci is not
-// NULL (empty for out-of-range columns). The returned bitset is shared
-// and read-only.
+// NonNullBits returns the mask of rows where column ci is not NULL at
+// the newest synced length (empty for out-of-range columns). The
+// returned bitset is shared and read-only.
 func (ix *Index) NonNullBits(ci int) *bitset.Bitset {
-	n := ix.t.NumRows()
+	return ix.NonNullBitsAt(ci, ix.Table().NumRows())
+}
+
+// NonNullBitsAt is NonNullBits over the first n rows; see ClauseBitsAt.
+func (ix *Index) NonNullBitsAt(ci int, n int) *bitset.Bitset {
 	ix.mu.RLock()
-	b, ok := ix.nonNull[ci]
+	e, ok := ix.nonNull[ci]
+	if ok && e.built >= n {
+		if s := e.snap; s != nil && s.Len() == n {
+			ix.mu.RUnlock()
+			return s
+		}
+	}
 	ix.mu.RUnlock()
-	if ok && b.Len() == n {
-		return b
-	}
-	b = bitset.New(n)
-	if ci >= 0 && ci < len(ix.t.Schema()) {
-		ix.setNonNull(b, ci)
-	}
 	ix.mu.Lock()
-	if prev, ok := ix.nonNull[ci]; ok && prev.Len() == n {
-		b = prev
-	} else {
-		ix.nonNull[ci] = b
+	defer ix.mu.Unlock()
+	e, ok = ix.nonNull[ci]
+	if !ok {
+		e = &maskEntry{}
+		ix.nonNull[ci] = e
 	}
-	ix.mu.Unlock()
+	if e.built < n {
+		if ci >= 0 && ci < len(ix.t.Schema()) {
+			ix.extendNonNull(e, ci, n)
+		}
+		e.built = n
+		e.snap = nil
+	}
+	return e.snapshot(n)
+}
+
+// snapshot stamps an immutable length-n bitset out of the canonical
+// words: the newest length is cached, older lengths (in-flight queries
+// against a superseded table version) are copied on demand. The copy is
+// n/64 words — bits below built never change, so the prefix memcpy plus
+// a ghost-bit trim is all a shorter view needs.
+func (e *maskEntry) snapshot(n int) *bitset.Bitset {
+	if s := e.snap; s != nil && s.Len() == n {
+		return s
+	}
+	b := bitset.SnapshotWords(n, e.words)
+	if n == e.built {
+		e.snap = b
+	}
 	return b
 }
 
@@ -120,12 +198,17 @@ func opMatchesCmp(op Op, cmp int) bool {
 	return false
 }
 
-func (ix *Index) buildClause(c Clause) *bitset.Bitset {
-	n := ix.t.NumRows()
-	out := bitset.New(n)
+// extendClause decodes rows [e.built, n) of clause c into e.words.
+// Caller holds ix.mu (read lock suffices only for the uncached NaN
+// path, which owns its entry).
+func (ix *Index) extendClause(e *maskEntry, c Clause, n int) {
+	lo := e.built
+	if lo >= n {
+		return
+	}
 	ci := ix.t.Schema().ColIndex(c.Col)
 	if ci < 0 {
-		return out // unknown column matches nothing
+		return // unknown column matches nothing
 	}
 	colType := ix.t.Schema()[ci].Type
 
@@ -133,50 +216,52 @@ func (ix *Index) buildClause(c Clause) *bitset.Bitset {
 	// value, so every non-NULL row compares as +1.
 	if c.Val.IsNull() {
 		if opMatchesCmp(c.Op, 1) {
-			ix.setNonNull(out, ci)
+			ix.extendNonNull(e, ci, n)
 		}
-		return out
+		return
 	}
 
 	switch {
 	case colType.IsNumeric() && c.Val.T.IsNumeric():
-		ix.buildNumeric(out, ci, c)
+		ix.extendNumeric(e, ci, c, lo, n)
 	case colType == engine.TString && c.Val.T == engine.TString:
-		ix.buildString(out, ci, c)
+		ix.extendString(e, ci, c, lo, n)
 	default:
 		// Incomparable column/value types: engine.Compare errors, the
 		// clause matches nothing.
 	}
-	return out
 }
 
-// setNonNull sets every non-NULL row of column ci.
-func (ix *Index) setNonNull(out *bitset.Bitset, ci int) {
+// extendNonNull sets every non-NULL row of column ci in [e.built, n).
+func (ix *Index) extendNonNull(e *maskEntry, ci, n int) {
+	lo := e.built
 	if fv := ix.t.FloatView(ci); fv != nil {
-		out.Fill()
-		out.AndNot(fv.Null)
+		// Word-level Fill+AndNot over the suffix: ~64x fewer operations
+		// than per-bit sets on the initial full-table build.
+		bitset.OrRangeAndNot(&e.words, lo, n, fv.Null.Words())
 		return
 	}
 	if dv := ix.t.DictView(ci); dv != nil {
-		for r, code := range dv.Codes {
-			if code >= 0 {
-				out.Set(r)
+		for r := lo; r < n; r++ {
+			if dv.Codes[r] >= 0 {
+				bitset.SetInWords(&e.words, r)
 			}
 		}
 		return
 	}
 	col := ix.t.Column(ci)
-	for r, v := range col {
-		if !v.IsNull() {
-			out.Set(r)
+	for r := lo; r < n; r++ {
+		if !col[r].IsNull() {
+			bitset.SetInWords(&e.words, r)
 		}
 	}
 }
 
-// buildNumeric evaluates a numeric clause against the float view. The
-// comparisons are written so NaN values yield cmp==0 (both f<cv and
-// f>cv false), matching engine.Compare's behavior exactly.
-func (ix *Index) buildNumeric(out *bitset.Bitset, ci int, c Clause) {
+// extendNumeric evaluates a numeric clause against rows [lo, n) of the
+// float view. The comparisons are written so NaN values yield cmp==0
+// (both f<cv and f>cv false), matching engine.Compare's behavior
+// exactly.
+func (ix *Index) extendNumeric(e *maskEntry, ci int, c Clause, lo, n int) {
 	fv := ix.t.FloatView(ci)
 	cv := c.Val.Float()
 	nulls := fv.Null
@@ -197,31 +282,33 @@ func (ix *Index) buildNumeric(out *bitset.Bitset, ci int, c Clause) {
 	default:
 		return
 	}
-	for r, f := range fv.Vals {
-		if match(f) && !nulls.Get(r) {
-			out.Set(r)
+	for r := lo; r < n; r++ {
+		if match(fv.Vals[r]) && !nulls.Get(r) {
+			bitset.SetInWords(&e.words, r)
 		}
 	}
 }
 
-// buildString evaluates a string clause against the dictionary view:
-// the comparison runs once per distinct value, then fans out by code.
-func (ix *Index) buildString(out *bitset.Bitset, ci int, c Clause) {
+// extendString evaluates a string clause against rows [lo, n) of the
+// dictionary view: the comparison runs once per distinct value, then
+// fans out by code.
+func (ix *Index) extendString(e *maskEntry, ci int, c Clause, lo, n int) {
 	dv := ix.t.DictView(ci)
 	verdict := make([]bool, len(dv.Values))
 	for code, s := range dv.Values {
 		verdict[code] = opMatchesCmp(c.Op, strings.Compare(s, c.Val.S))
 	}
-	for r, code := range dv.Codes {
-		if code >= 0 && verdict[code] {
-			out.Set(r)
+	for r := lo; r < n; r++ {
+		if code := dv.Codes[r]; code >= 0 && verdict[code] {
+			bitset.SetInWords(&e.words, r)
 		}
 	}
 }
 
 // MatchInto writes the rows matching p (within subset, or the whole
-// table when subset is nil) into dst and returns it. dst must have
-// length == table rows. The TRUE predicate matches everything in subset.
+// table when subset is nil) into dst and returns it. dst's length picks
+// the table version: every clause mask is stamped to it. The TRUE
+// predicate matches everything in subset.
 func (ix *Index) MatchInto(p Predicate, subset *bitset.Bitset, dst *bitset.Bitset) *bitset.Bitset {
 	if subset != nil {
 		dst.CopyFrom(subset)
@@ -229,7 +316,7 @@ func (ix *Index) MatchInto(p Predicate, subset *bitset.Bitset, dst *bitset.Bitse
 		dst.Fill()
 	}
 	for _, c := range p.Clauses {
-		dst.And(ix.ClauseBits(c))
+		dst.And(ix.ClauseBitsAt(c, dst.Len()))
 	}
 	return dst
 }
@@ -238,5 +325,5 @@ func (ix *Index) MatchInto(p Predicate, subset *bitset.Bitset, dst *bitset.Bitse
 // (restricted to subset when non-nil) as a fresh bitset — the vectorized
 // counterpart of Predicate.MatchingRows.
 func (p Predicate) MatchingBitset(ix *Index, subset *bitset.Bitset) *bitset.Bitset {
-	return ix.MatchInto(p, subset, bitset.New(ix.t.NumRows()))
+	return ix.MatchInto(p, subset, bitset.New(ix.Table().NumRows()))
 }

@@ -195,3 +195,103 @@ func TestIndexAfterAppend(t *testing.T) {
 		t.Fatalf("after append: %v", got)
 	}
 }
+
+// TestIndexExtendsOnAppend pins the incremental clause-mask
+// maintenance: after rows are appended, cached masks extend by decoding
+// only the suffix (the canonical entry survives), snapshots at the old
+// length stay valid, and match results stay parity-exact with the
+// scalar evaluator.
+func TestIndexExtendsOnAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := randomTable(rng, 150)
+	ix := NewIndex(tbl)
+
+	clauses := []Clause{
+		{Col: "f", Op: OpGt, Val: engine.NewFloat(0)},
+		{Col: "s", Op: OpEq, Val: engine.NewString("beta")},
+		{Col: "i", Op: OpLe, Val: engine.NewInt(2)},
+	}
+	old := make([]*bitset.Bitset, len(clauses))
+	entries := make([]*maskEntry, len(clauses))
+	for k, c := range clauses {
+		old[k] = ix.ClauseBits(c)
+		entries[k] = ix.clauses[c]
+		if entries[k].built != 150 {
+			t.Fatalf("clause %d built = %d", k, entries[k].built)
+		}
+	}
+	oldNonNull := ix.NonNullBits(1)
+
+	// Grow the table in place (the single-owner form) by 60 rows.
+	grown := randomTable(rng, 60)
+	for r := 0; r < grown.NumRows(); r++ {
+		if _, err := tbl.AppendRow(grown.Row(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for k, c := range clauses {
+		nb := ix.ClauseBits(c)
+		if ix.clauses[c] != entries[k] {
+			t.Fatalf("clause %d: canonical entry rebuilt instead of extended", k)
+		}
+		if entries[k].built != 210 || nb.Len() != 210 {
+			t.Fatalf("clause %d: built=%d len=%d", k, entries[k].built, nb.Len())
+		}
+		// Parity with the scalar evaluator over the grown table.
+		ci := tbl.Schema().ColIndex(c.Col)
+		for r := 0; r < tbl.NumRows(); r++ {
+			if nb.Get(r) != c.Matches(tbl.Value(r, ci)) {
+				t.Fatalf("clause %d row %d: mask=%v scalar=%v", k, r, nb.Get(r), !nb.Get(r))
+			}
+		}
+		// Old snapshots keep their length and bits.
+		if old[k].Len() != 150 {
+			t.Fatalf("clause %d: old snapshot grew", k)
+		}
+		for r := 0; r < 150; r++ {
+			if old[k].Get(r) != nb.Get(r) {
+				t.Fatalf("clause %d row %d: prefix bit changed", k, r)
+			}
+		}
+		// Length-stamped requests at the old version still work.
+		if s := ix.ClauseBitsAt(c, 150); s.Len() != 150 || s.Count() != old[k].Count() {
+			t.Fatalf("clause %d: ClauseBitsAt(150) = len %d count %d", k, s.Len(), s.Count())
+		}
+	}
+	if nn := ix.NonNullBits(1); nn.Len() != 210 || oldNonNull.Len() != 150 {
+		t.Fatalf("non-NULL masks: new %d old %d", nn.Len(), oldNonNull.Len())
+	}
+}
+
+// TestIndexSyncRows checks the copy-on-write form: the index follows
+// the table family to the newest version through SyncRows (the
+// engine.RowSynced hook) and serves masks at the grown length.
+func TestIndexSyncRows(t *testing.T) {
+	tbl := engine.MustNewTable("t", engine.NewSchema("x", engine.TFloat))
+	for i := 0; i < 30; i++ {
+		tbl.MustAppendRow(engine.NewFloat(float64(i)))
+	}
+	ix := NewIndex(tbl)
+	c := Clause{Col: "x", Op: OpGe, Val: engine.NewFloat(10)}
+	if got := ix.ClauseBits(c).Count(); got != 20 {
+		t.Fatalf("initial count = %d", got)
+	}
+	nt, err := tbl.AppendBatch([][]engine.Value{{engine.NewFloat(50)}, {engine.NewFloat(-1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SyncRows(nt)
+	if ix.Table() != nt {
+		t.Fatal("SyncRows did not rebase onto the newer version")
+	}
+	b := ix.ClauseBits(c)
+	if b.Len() != 32 || b.Count() != 21 {
+		t.Fatalf("after sync: len=%d count=%d", b.Len(), b.Count())
+	}
+	// Syncing to an older version is a no-op.
+	ix.SyncRows(tbl)
+	if ix.Table() != nt {
+		t.Fatal("SyncRows regressed to an older version")
+	}
+}

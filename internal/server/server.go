@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -26,21 +27,54 @@ import (
 type Server struct {
 	db *engine.DB
 
+	// maxSessions and sessionTTL bound the session map (LRU count cap
+	// and idle expiry); zero values take the defaults below.
+	maxSessions int
+	sessionTTL  time.Duration
+	now         func() time.Time // test hook; defaults to time.Now
+
 	mu       sync.Mutex
 	sessions map[string]*session
 }
 
-// session is one browser's interactive state.
+const (
+	defaultMaxSessions = 1024
+	defaultSessionTTL  = 2 * time.Hour
+)
+
+// session is one browser's interactive state. Handlers hold mu across
+// their whole body: two concurrent requests on one session id would
+// otherwise race on sql/res/applied/lastDbg (e.g. handleClean's
+// append-then-rollback truncation against a concurrent query).
 type session struct {
+	mu      sync.Mutex
 	sql     string
 	res     *exec.Result
+	resKey  string                // sql + applied predicates res was computed under
 	applied []predicate.Predicate // cleaning history (clicked predicates)
 	lastDbg *core.DebugResult
+
+	// lastUsed is guarded by Server.mu (not session.mu): eviction scans
+	// it while handlers hold individual session locks.
+	lastUsed time.Time
 }
 
 // New creates a server over db.
 func New(db *engine.DB) *Server {
 	return &Server{db: db, sessions: make(map[string]*session)}
+}
+
+// SetSessionLimits overrides the session-map bounds (count cap and idle
+// TTL); zero keeps the current value. For tests and embedders.
+func (s *Server) SetSessionLimits(max int, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if max > 0 {
+		s.maxSessions = max
+	}
+	if ttl > 0 {
+		s.sessionTTL = ttl
+	}
 }
 
 // Handler returns the HTTP handler (mountable under any mux).
@@ -55,19 +89,64 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/debug", s.handleDebug)
 	mux.HandleFunc("POST /api/clean", s.handleClean)
 	mux.HandleFunc("POST /api/reset", s.handleReset)
+	mux.HandleFunc("POST /api/append", s.handleAppend)
 	return mux
 }
 
+// session returns (creating if needed) the session for id, stamping its
+// recency and evicting expired / least-recently-used entries so the map
+// stays bounded under many-users traffic. The caller must lock the
+// returned session's mu before touching its state.
 func (s *Server) session(id string) *session {
 	if id == "" {
 		id = "default"
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := time.Now()
+	if s.now != nil {
+		now = s.now()
+	}
+	ttl := s.sessionTTL
+	if ttl <= 0 {
+		ttl = defaultSessionTTL
+	}
+	max := s.maxSessions
+	if max <= 0 {
+		max = defaultMaxSessions
+	}
 	sess, ok := s.sessions[id]
 	if !ok {
 		sess = &session{}
 		s.sessions[id] = sess
+	}
+	sess.lastUsed = now
+
+	// TTL sweep: drop idle sessions. Evicting only removes the map
+	// entry; a handler still holding the session finishes unharmed and
+	// a later request simply starts a fresh session.
+	for k, v := range s.sessions {
+		if k != id && now.Sub(v.lastUsed) > ttl {
+			delete(s.sessions, k)
+		}
+	}
+	// LRU cap: evict the least recently used until under the bound.
+	for len(s.sessions) > max {
+		var oldest string
+		var oldestAt time.Time
+		first := true
+		for k, v := range s.sessions {
+			if k == id {
+				continue
+			}
+			if first || v.lastUsed.Before(oldestAt) {
+				oldest, oldestAt, first = k, v.lastUsed, false
+			}
+		}
+		if first {
+			break // only the current session remains
+		}
+		delete(s.sessions, oldest)
 	}
 	return sess
 }
@@ -192,9 +271,39 @@ func valueJSON(v engine.Value) any {
 	}
 }
 
+// cleanKey identifies the (sql, applied predicates) pair a cached
+// result was computed under; a re-query with the same key over a grown
+// version of the same source table can advance incrementally.
+func cleanKey(sql string, applied []predicate.Predicate) string {
+	var b strings.Builder
+	b.WriteString(sql)
+	for _, p := range applied {
+		b.WriteString("\x1f")
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
 // runWithCleaning executes sql with the session's cleaning predicates
-// appended as WHERE NOT (...) conjuncts.
+// appended as WHERE NOT (...) conjuncts. When the statement and
+// cleaning set are unchanged and the source table has only grown (the
+// streaming /api/append path), the cached result is advanced by folding
+// in just the appended rows (exec.Advance) instead of rescanning.
 func (s *Server) runWithCleaning(sess *session, sql string) error {
+	key := cleanKey(sql, sess.applied)
+	if sess.res != nil && sess.resKey == key {
+		if src, err := s.db.Table(sess.res.Stmt.From); err == nil &&
+			src.SameFamily(sess.res.Source) && src.NumRows() >= sess.res.Source.NumRows() {
+			if res, err := exec.Advance(sess.res, src); err == nil {
+				sess.sql = sql
+				sess.res = res
+				sess.lastDbg = nil
+				return nil
+			}
+			// Any Advance error (already-advanced result, unexpected
+			// shape) falls through to the full run below.
+		}
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return err
@@ -208,6 +317,7 @@ func (s *Server) runWithCleaning(sess *session, sql string) error {
 	}
 	sess.sql = sql
 	sess.res = res
+	sess.resKey = key
 	sess.lastDbg = nil
 	return nil
 }
@@ -222,6 +332,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if err := s.runWithCleaning(sess, req.SQL); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -244,6 +356,8 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if sess.res == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
 		return
@@ -302,6 +416,8 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if sess.res == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
 		return
@@ -367,6 +483,8 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if sess.res == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
 		return
@@ -430,6 +548,8 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if sess.res == nil || sess.lastDbg == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("debug first, then clean"))
 		return
@@ -457,6 +577,8 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	sess.applied = nil
 	sess.lastDbg = nil
 	if sess.sql != "" {
@@ -468,4 +590,95 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleAppend is the streaming ingest endpoint: it appends a batch of
+// rows to a table through the engine's copy-on-write path (engine.DB
+// Append), so queries in flight keep their snapshot and later queries
+// see the whole batch. Cell values follow JSON typing: null, bool,
+// number (int columns require integral numbers; time columns take unix
+// seconds), or string (parsed per column type, so timestamps may also
+// be RFC 3339 strings).
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Table string  `json:"table"`
+		Rows  [][]any `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Table == "" || len(req.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("append needs a table and at least one row"))
+		return
+	}
+	t, err := s.db.Table(req.Table)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	schema := t.Schema()
+	rows := make([][]engine.Value, len(req.Rows))
+	for ri, raw := range req.Rows {
+		if len(raw) != len(schema) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d has %d values, schema has %d columns", ri, len(raw), len(schema)))
+			return
+		}
+		row := make([]engine.Value, len(raw))
+		for ci, cell := range raw {
+			v, err := jsonValue(cell, schema[ci].Type)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d column %s: %w", ri, schema[ci].Name, err))
+				return
+			}
+			row[ci] = v
+		}
+		rows[ri] = row
+	}
+	nt, err := s.db.Append(req.Table, rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":    nt.Name(),
+		"appended": len(rows),
+		"rows":     nt.NumRows(),
+		"version":  nt.Version(),
+	})
+}
+
+// jsonValue converts one decoded JSON cell to an engine value of the
+// column's type.
+func jsonValue(cell any, ct engine.Type) (engine.Value, error) {
+	switch c := cell.(type) {
+	case nil:
+		return engine.Null, nil
+	case bool:
+		if ct != engine.TBool {
+			return engine.Null, fmt.Errorf("bool value for %s column", ct)
+		}
+		return engine.NewBool(c), nil
+	case float64:
+		switch ct {
+		case engine.TFloat:
+			return engine.NewFloat(c), nil
+		case engine.TInt:
+			if c != float64(int64(c)) {
+				return engine.Null, fmt.Errorf("non-integral value %v for int column", c)
+			}
+			return engine.NewInt(int64(c)), nil
+		case engine.TTime:
+			if c != float64(int64(c)) {
+				return engine.Null, fmt.Errorf("non-integral unix seconds %v", c)
+			}
+			return engine.NewTimeUnix(int64(c)), nil
+		default:
+			return engine.Null, fmt.Errorf("numeric value for %s column", ct)
+		}
+	case string:
+		return engine.ParseValue(c, ct)
+	default:
+		return engine.Null, fmt.Errorf("unsupported JSON value %T", cell)
+	}
 }

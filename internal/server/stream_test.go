@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/engine"
+)
+
+// streamDB builds a tiny database with a simple groupable table for the
+// ingest tests.
+func streamDB(t *testing.T) *engine.DB {
+	t.Helper()
+	tbl := engine.MustNewTable("readings", engine.NewSchema("mote", engine.TString, "temp", engine.TFloat))
+	for i := 0; i < 200; i++ {
+		tbl.MustAppendRow(engine.NewString(fmt.Sprintf("m%d", i%4)), engine.NewFloat(float64(i%30)))
+	}
+	db := engine.NewDB()
+	db.Register(tbl)
+	return db
+}
+
+// TestAppendEndpointAndIncrementalRequery walks the streaming loop:
+// query, ingest a batch through /api/append, re-query. The second
+// result must include the batch, and the server must have advanced the
+// cached result incrementally rather than rescanning.
+func TestAppendEndpointAndIncrementalRequery(t *testing.T) {
+	db := streamDB(t)
+	srv := New(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	sql := "SELECT mote, sum(temp) AS total FROM readings GROUP BY mote"
+	var q1 struct {
+		Rows [][]any `json:"rows"`
+	}
+	post(t, ts, "/api/query", map[string]any{"session": "s", "sql": sql}, &q1)
+	if len(q1.Rows) != 4 {
+		t.Fatalf("initial groups: %d", len(q1.Rows))
+	}
+
+	var ap struct {
+		Appended int    `json:"appended"`
+		Rows     int    `json:"rows"`
+		Error    string `json:"error"`
+	}
+	resp := post(t, ts, "/api/append", map[string]any{
+		"table": "readings",
+		"rows": [][]any{
+			{"m0", 1000.0},
+			{"m9", 5.0}, // brand-new group
+			{nil, 3.0},
+		},
+	}, &ap)
+	if resp.StatusCode != 200 || ap.Appended != 3 || ap.Rows != 203 {
+		t.Fatalf("append: status=%d %+v", resp.StatusCode, ap)
+	}
+
+	var q2 struct {
+		Rows [][]any `json:"rows"`
+	}
+	post(t, ts, "/api/query", map[string]any{"session": "s", "sql": sql}, &q2)
+	if len(q2.Rows) != 6 { // m0..m3, m9, NULL
+		t.Fatalf("groups after append: %d", len(q2.Rows))
+	}
+	srv.mu.Lock()
+	sess := srv.sessions["s"]
+	srv.mu.Unlock()
+	sess.mu.Lock()
+	incremental := sess.res.Plan.Incremental
+	n := sess.res.Source.NumRows()
+	sess.mu.Unlock()
+	if !incremental {
+		t.Fatal("re-query after append did not take the incremental path")
+	}
+	if n != 203 {
+		t.Fatalf("advanced source has %d rows", n)
+	}
+
+	// Bad rows never publish: wrong arity and wrong type both 400.
+	if resp := post(t, ts, "/api/append", map[string]any{"table": "readings", "rows": [][]any{{"m0"}}}, nil); resp.StatusCode != 400 {
+		t.Fatalf("short row: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts, "/api/append", map[string]any{"table": "readings", "rows": [][]any{{true, 1.0}}}, nil); resp.StatusCode != 400 {
+		t.Fatalf("bad type: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts, "/api/append", map[string]any{"table": "nope", "rows": [][]any{{"a", 1.0}}}, nil); resp.StatusCode != 404 {
+		t.Fatalf("missing table: status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentQueryCleanRace fires /api/query and /api/clean at ONE
+// session id concurrently — the race the per-session mutex fixes
+// (handleClean's applied append + rollback truncation used to interleave
+// with a concurrent query's session writes). Run under -race.
+func TestConcurrentQueryCleanRace(t *testing.T) {
+	ts := testServer(t)
+	sql := datasets.FECDailySQL("McCain")
+
+	// Seed the session: query, then debug so clean has explanations.
+	var q struct {
+		Rows [][]any `json:"rows"`
+	}
+	post(t, ts, "/api/query", map[string]any{"session": "race", "sql": sql}, &q)
+	var suspect []int
+	for i, row := range q.Rows {
+		if tot, ok := row[1].(float64); ok && tot < 0 {
+			suspect = append(suspect, i)
+		}
+	}
+	post(t, ts, "/api/debug", map[string]any{
+		"session": "race", "suspect": suspect, "aggItem": -1,
+		"metric": "toolow", "metricParams": map[string]float64{"c": 0},
+	}, nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				var body map[string]any
+				var path string
+				if w%2 == 0 {
+					path, body = "/api/query", map[string]any{"session": "race", "sql": sql}
+				} else {
+					idx := 0
+					path, body = "/api/clean", map[string]any{"session": "race", "explanation": &idx}
+				}
+				b, _ := json.Marshal(body)
+				resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				resp.Body.Close()
+				// Clean may legitimately 400 once a concurrent query
+				// cleared lastDbg; only transport-level failures and 5xx
+				// are errors here.
+				if resp.StatusCode >= 500 {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSessionEviction pins the session-map bounds: LRU count cap and
+// idle TTL expiry, with the active session never evicted.
+func TestSessionEviction(t *testing.T) {
+	db := streamDB(t)
+	srv := New(db)
+	srv.SetSessionLimits(3, time.Hour)
+	now := time.Unix(1_000_000, 0)
+	srv.now = func() time.Time { return now }
+
+	for i := 0; i < 10; i++ {
+		srv.session(fmt.Sprintf("s%d", i))
+		now = now.Add(time.Second)
+	}
+	srv.mu.Lock()
+	n := len(srv.sessions)
+	_, hasLast := srv.sessions["s9"]
+	_, hasFirst := srv.sessions["s0"]
+	srv.mu.Unlock()
+	if n > 3 {
+		t.Fatalf("session map not bounded: %d entries", n)
+	}
+	if !hasLast || hasFirst {
+		t.Fatalf("LRU evicted wrong sessions (s9=%v s0=%v)", hasLast, hasFirst)
+	}
+
+	// TTL: idle sessions expire on the next access.
+	now = now.Add(2 * time.Hour)
+	srv.session("fresh")
+	srv.mu.Lock()
+	n = len(srv.sessions)
+	_, hasFresh := srv.sessions["fresh"]
+	_, hasS9 := srv.sessions["s9"]
+	srv.mu.Unlock()
+	if !hasFresh || hasS9 || n != 1 {
+		t.Fatalf("TTL sweep failed: n=%d fresh=%v s9=%v", n, hasFresh, hasS9)
+	}
+}
