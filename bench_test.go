@@ -17,6 +17,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/baseline"
@@ -323,6 +324,142 @@ func BenchmarkStreamingAppendQuery(b *testing.B) {
 						}
 					} else {
 						res, err = exec.RunOn(grown, stmt)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					tbl = grown
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStreamingDebug measures the monitoring loop's debug half:
+// append a 1k batch, advance the query result, and re-Debug — the
+// incremental path (core.DebugAdvance carrying the scorer, lineage
+// bitsets, argument views, clause masks and scored candidates) against
+// the full re-Debug baseline (fresh run + fresh Debug over the grown
+// table). Incremental cost should stay roughly flat across base sizes
+// while the baseline grows with the table.
+func BenchmarkStreamingDebug(b *testing.B) {
+	const batchSize = 1_000
+	const poolBatches = 60
+	stmt, err := sqlparse.Parse(datasets.IntelWindowSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// C=0 keeps ε positive at every base size (window averages are
+	// always positive), so the pipeline never bails with "nothing to
+	// explain" — this is a throughput benchmark, not an accuracy one.
+	metric := errmetric.TooHigh{C: 0}
+	// Suspect rule: the 8 highest-std windows. A fixed suspect count
+	// models the monitoring scenario (a handful of anomalous windows
+	// under investigation while the trace keeps growing); since the
+	// Intel trace grows by adding windows — not rows per window — the
+	// debugged lineage stays roughly constant and the measured growth
+	// isolates the per-table costs the carry is supposed to remove.
+	suspectsOf := func(res *exec.Result) []int {
+		ci := res.Table.Schema().ColIndex("std_temp")
+		type ws struct {
+			row int
+			std float64
+		}
+		var wins []ws
+		for r := 0; r < res.Table.NumRows(); r++ {
+			if v := res.Table.Value(r, ci); !v.IsNull() {
+				wins = append(wins, ws{r, v.Float()})
+			}
+		}
+		if len(wins) == 0 {
+			b.Fatal("no std windows")
+		}
+		sort.Slice(wins, func(i, j int) bool {
+			if wins[i].std != wins[j].std {
+				return wins[i].std > wins[j].std
+			}
+			return wins[i].row < wins[j].row
+		})
+		if len(wins) > 8 {
+			wins = wins[:8]
+		}
+		suspect := make([]int, len(wins))
+		for i, w := range wins {
+			suspect[i] = w.row
+		}
+		sort.Ints(suspect)
+		return suspect
+	}
+	for _, base := range []int{50_000, 100_000, 200_000} {
+		full, _ := datasets.Intel(datasets.IntelConfig{Rows: base + poolBatches*batchSize, Seed: 7})
+		pool := make([][][]engine.Value, poolBatches)
+		for bi := range pool {
+			rows := make([][]engine.Value, batchSize)
+			for r := range rows {
+				rows[r] = full.Row(base + bi*batchSize + r)
+			}
+			pool[bi] = rows
+		}
+		setup := func(b *testing.B) (*engine.Table, *exec.Result, *core.DebugResult) {
+			ids := make([]int, base)
+			for i := range ids {
+				ids[i] = i
+			}
+			tbl := full.Select(ids)
+			res, err := exec.RunOn(tbl, stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dbg, err := core.Debug(core.DebugRequest{
+				Result: res, AggItem: -1, Suspect: suspectsOf(res), Metric: metric,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return tbl, res, dbg
+		}
+		for _, mode := range []string{"incremental", "rebuild"} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/base=%d", mode, base), func(b *testing.B) {
+				tbl, res, dbg := setup(b)
+				bi := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if bi == len(pool) {
+						// Pool exhausted: restart from the base table so
+						// the measured table size stays near base.
+						b.StopTimer()
+						tbl, res, dbg = setup(b)
+						bi = 0
+						b.StartTimer()
+					}
+					grown, err := tbl.AppendBatch(pool[bi])
+					if err != nil {
+						b.Fatal(err)
+					}
+					bi++
+					if mode == "incremental" {
+						res, err = exec.Advance(res, grown)
+						if err != nil {
+							b.Fatal(err)
+						}
+						dbg, err = core.DebugAdvance(dbg, core.DebugRequest{
+							Result: res, AggItem: -1, Suspect: suspectsOf(res), Metric: metric,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !dbg.Plan.Incremental {
+							b.Fatalf("debug advance fell back: %+v", dbg.Plan)
+						}
+					} else {
+						res, err = exec.RunOn(grown, stmt)
+						if err != nil {
+							b.Fatal(err)
+						}
+						dbg, err = core.Debug(core.DebugRequest{
+							Result: res, AggItem: -1, Suspect: suspectsOf(res), Metric: metric,
+						})
 						if err != nil {
 							b.Fatal(err)
 						}

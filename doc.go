@@ -135,6 +135,64 @@
 // per-batch cost is independent of total table size on the incremental
 // path, against an O(table) full re-run baseline.
 //
+// # Incremental Debug (streaming explanation maintenance)
+//
+// The other half of the monitoring loop — the Debug call itself — is
+// also maintained across append batches. core.DebugAdvance(prev, req)
+// picks a previous Debug's analysis up on an advanced result instead of
+// rebuilding the scoring state from row 0:
+//
+//   - internal/influence — AdvanceScorer extends the carried Scorer by
+//     the appended suffix: per-group lineage bitsets and the flat
+//     argument view come from the advanced result's carried caches, and
+//     the F union reuses the previous words (appends only touch words
+//     from the old length on). The advanced Scorer is bit-identical to
+//     one built from scratch; influence.RankWithScorer re-ranks LOO
+//     influence through it.
+//   - internal/predicate — the Debug chain owns one clause-mask Index,
+//     carried in the debug state and rebased onto each grown version
+//     (Index.SyncRows), so rescoring a carried candidate decodes only
+//     the appended rows into its masks. It is deliberately NOT the
+//     family-shared predicate.Shared index (which the executor's
+//     bounded WHERE lowering uses): candidate thresholds churn per
+//     re-expansion and that cache never evicts, so the carried index
+//     lives and dies with the analysis chain, capped in size.
+//   - internal/ranker — RankAllCarry returns a RankerState: every
+//     ranked predicate with its frozen target set and score. A later
+//     Rescore runs the same worker-pool scoring/pruning/merge mechanics
+//     over the carried candidates against the advanced context and
+//     reports the score drift.
+//
+// The carry/re-expand state machine (recorded in DebugResult.Plan):
+//
+//   - carried — drift stayed within Options.DriftThreshold: the carried
+//     predicates, rescored exactly against the grown table, ARE the
+//     answer; the learners (subgroup discovery, tree induction) do not
+//     run at all.
+//   - reexpanded — drift exceeded the threshold (or a previously-ranked
+//     predicate became vacuous, which counts as infinite drift): the
+//     learners re-run over the advanced preprocessing — stage for
+//     stage identical to a from-scratch Debug, so with DriftThreshold
+//     < 0 (always re-expand) DebugAdvance is the differential-test
+//     oracle's equal.
+//   - full — conditions the carry cannot express: no carried state, a
+//     changed statement/metric/aggregate, a non-advanceable aggregate
+//     (DISTINCT), a non-grown table. Plan.Fallback says why.
+//
+// Debug and DebugAdvance share their stage functions (preprocess,
+// featurize, clean, enumerate, rank), so the incremental path cannot
+// drift from the full pipeline; the randomized differential harness in
+// internal/core/advance_test.go pins DebugAdvance to from-scratch
+// Debug — ε, lineage, influence ranking, candidate counts, ranked
+// explanations and scores — at every step of random append chains, at
+// forced shard counts, with the carried structures differentially
+// tested one layer down (influence, ranker) as well.
+//
+// BenchmarkStreamingDebug measures the append + advance + re-Debug
+// cycle against append + fresh run + fresh Debug: incremental cost
+// stays roughly flat across base table sizes while the rebuild
+// baseline grows with the table.
+//
 // The benchmarks in bench_test.go regenerate the data behaviour behind
 // each figure of the paper; run them with
 //

@@ -5,9 +5,14 @@
 // This is the streaming counterpart of examples/sensor_anomaly. Each
 // cycle appends one batch through the engine's copy-on-write ingest
 // path (engine.DB.Append), advances the cached query result by folding
-// in only the appended rows (exec.Advance — no rescan), and re-Debugs.
-// The printed per-batch latency stays flat as the table grows: the
-// append-then-requery cycle costs O(batch), not O(table).
+// in only the appended rows (exec.Advance — no rescan), and advances
+// the previous Debug analysis the same way (core.DebugAdvance): the
+// carried scorer, lineage bitsets, argument view and scored predicates
+// all extend by the appended suffix, and the learners only re-run when
+// a carried predicate's score drifts. The printed per-batch latency
+// stays flat as the table grows: the whole
+// append → requery → re-debug cycle costs O(batch + lineage), not
+// O(table).
 //
 //	go run ./examples/sensor_stream
 package main
@@ -48,7 +53,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(res, 0, 0)
+	var dbg *core.DebugResult
+	dbg = report(res, dbg, 0, 0)
 
 	for b := 0; b < batches; b++ {
 		batch := make([][]engine.Value, 0, batchRows)
@@ -67,13 +73,15 @@ func main() {
 		if !res.Plan.Incremental {
 			log.Fatalf("batch %d did not advance incrementally: %+v", b, res.Plan)
 		}
-		report(res, b+1, time.Since(start))
+		dbg = report(res, dbg, b+1, time.Since(start))
 	}
 }
 
 // report re-runs the monitoring check on the current result: highlight
-// high-stddev windows, re-Debug, and print the top suspect predicate.
-func report(res *exec.Result, batch int, cycle time.Duration) {
+// high-stddev windows, advance the previous Debug analysis (or run a
+// fresh one on the first batch), and print the top suspect predicate.
+// It returns the analysis so the next batch can advance it again.
+func report(res *exec.Result, prev *core.DebugResult, batch int, cycle time.Duration) *core.DebugResult {
 	suspect, err := core.SuspectWhere(res, "std_temp", func(v engine.Value) bool {
 		return !v.IsNull() && v.Float() > 10
 	})
@@ -83,19 +91,19 @@ func report(res *exec.Result, batch int, cycle time.Duration) {
 	if len(suspect) == 0 {
 		fmt.Printf("batch %2d: %7d rows, %4d windows, no suspect windows yet\n",
 			batch, res.Source.NumRows(), res.NumRows())
-		return
+		return prev
 	}
-	dprime, err := core.ExamplesWhere(res, suspect, "temperature > 100")
-	if err != nil {
-		log.Fatal(err)
-	}
+	// No explicit D' examples: the high-influence set stands in,
+	// derived fresh inside each pass. Explicit example rows are part of
+	// the question's identity — listing different rows each batch would
+	// (correctly) force the learners to re-run every time, since
+	// carried rankings only answer an unchanged question.
 	t0 := time.Now()
-	dr, err := core.Debug(core.DebugRequest{
-		Result:   res,
-		AggItem:  -1,
-		Suspect:  suspect,
-		Examples: dprime,
-		Metric:   errmetric.TooHigh{C: 70},
+	dr, err := core.DebugAdvance(prev, core.DebugRequest{
+		Result:  res,
+		AggItem: -1,
+		Suspect: suspect,
+		Metric:  errmetric.TooHigh{C: 70},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,7 +112,8 @@ func report(res *exec.Result, batch int, cycle time.Duration) {
 	if len(dr.Explanations) > 0 {
 		top = dr.Explanations[0].Pred.String()
 	}
-	fmt.Printf("batch %2d: %7d rows, %4d windows, %2d suspect  append+requery %s  debug %s  top: %s\n",
+	fmt.Printf("batch %2d: %7d rows, %4d windows, %2d suspect  append+requery %s  debug %s [%s]  top: %s\n",
 		batch, res.Source.NumRows(), res.NumRows(), len(suspect),
-		cycle.Round(time.Microsecond), time.Since(t0).Round(time.Millisecond), top)
+		cycle.Round(time.Microsecond), time.Since(t0).Round(time.Millisecond), dr.Plan.Mode, top)
+	return dr
 }

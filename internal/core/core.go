@@ -82,9 +82,22 @@ type Options struct {
 	// DisableMerge turns off the ranker's pairwise predicate merging
 	// (ablation).
 	DisableMerge bool
+	// DriftThreshold governs DebugAdvance's carry/re-expand decision:
+	// carried candidates are rescored against the advanced state, and
+	// when the largest score movement exceeds the threshold the learners
+	// re-run (re-expansion). 0 takes the default (0.1); negative always
+	// re-expands, which makes DebugAdvance produce exactly what a
+	// from-scratch Debug would — the differential-test oracle mode.
+	DriftThreshold float64
 	// FeatureOpts overrides featurization (advanced).
 	Feature feature.Options
 }
+
+// defaultDriftThreshold is the score movement DebugAdvance tolerates
+// before re-running the learners. Scores live in roughly [0, 1]
+// (Err+Acc weights sum near 0.9), so 0.1 means "an explanation moved by
+// a tenth of the scale".
+const defaultDriftThreshold = 0.1
 
 func (o *Options) defaults() {
 	if o.InfluenceQuantile <= 0 || o.InfluenceQuantile > 1 {
@@ -104,6 +117,9 @@ func (o *Options) defaults() {
 	}
 	if o.MaxLearnRows == 0 {
 		o.MaxLearnRows = 16000
+	}
+	if o.DriftThreshold == 0 {
+		o.DriftThreshold = defaultDriftThreshold
 	}
 }
 
@@ -135,6 +151,34 @@ type Explanation struct {
 	Candidate string
 }
 
+// DebugPlan records how a Debug pass was produced — the explanation
+// pipeline's counterpart of exec.PlanInfo. The carry/re-expand state
+// machine: a DebugAdvance call first tries to carry (rescore the
+// previous pass's predicates against the advanced scoring state);
+// carried scores drifting past Options.DriftThreshold trigger
+// re-expansion (the learners re-run over the advanced state); and
+// conditions the incremental path cannot express at all — no carried
+// state, a changed statement or metric, a non-advanceable aggregate —
+// fall back to the full from-scratch pipeline, with the reason
+// recorded in Fallback.
+type DebugPlan struct {
+	// Incremental is true when the pass advanced carried state from a
+	// previous Debug instead of rebuilding the scoring structures.
+	Incremental bool
+	// Mode is "full" (from-scratch pipeline), "carried" (previous
+	// candidates rescored, learners skipped), or "reexpanded"
+	// (incremental preprocessing, learners re-run after drift).
+	Mode string
+	// Fallback is why a requested advance ran the full pipeline.
+	Fallback string
+	// Carried and Fresh count the ranked candidates by provenance.
+	Carried, Fresh int
+	// Drift is the largest carried-candidate score movement observed
+	// (set whenever carried candidates were rescored, even when the
+	// result re-expanded).
+	Drift float64
+}
+
 // DebugResult is the output of one Debug call.
 type DebugResult struct {
 	// Explanations is the ranked predicate list (best first).
@@ -151,6 +195,74 @@ type DebugResult struct {
 	Candidates int
 	// Timings records per-stage wall time.
 	Timings map[string]time.Duration
+	// Plan records how this pass was produced (full / carried /
+	// re-expanded) and why.
+	Plan DebugPlan
+
+	// state is the carryable analysis for DebugAdvance chains.
+	state *debugState
+}
+
+// debugState is what a later DebugAdvance needs to pick the analysis up
+// after the source table grew: the result and request shape the pass
+// ran under (to validate the advance applies), the columnar scorer (its
+// bitsets and argument view extend by suffix), and the ranker's scored
+// candidates (rescored instead of re-learned while drift stays low).
+type debugState struct {
+	src       *engine.Table // source table the pass ran over (family + length checks)
+	stmtKey   string
+	ord       int
+	metricKey string
+	opt       Options
+	scorer    *influence.Scorer
+	rstate    *ranker.RankerState
+	// suspectKey and examplesKey fingerprint the question the carried
+	// candidates were learned for: suspect groups by version-stable
+	// identity (first source row), examples by row id. A changed
+	// selection forces re-expansion — rescoring would be numerically
+	// honest, but the learners never saw the new selection's lineage,
+	// so selection-specific predicates could be silently missing.
+	suspectKey  string
+	examplesKey string
+	// index is the pass's clause-mask index, carried so rescoring a
+	// candidate over the grown table extends masks by suffix decode
+	// only. Owned by the Debug chain (NOT the family-shared aux index):
+	// candidate thresholds churn per re-expansion, and an unevictable
+	// family-lifetime cache would grow without bound under streaming.
+	index *predicate.Index
+}
+
+// maxCarriedClauseMasks bounds the carried index: re-expansions add
+// data-dependent thresholds that rarely recur, so past this many cached
+// masks the chain starts over with a fresh index rather than keep
+// paying rows/8 bytes per dead mask.
+const maxCarriedClauseMasks = 256
+
+// metricKey canonicalizes a metric for change detection across Debug
+// passes; every errmetric renders its parameters into String/against
+// %v.
+func metricKey(m errmetric.Metric) string {
+	return fmt.Sprintf("%s|%v", m.Name(), m)
+}
+
+// suspectKeyOf fingerprints a suspect selection by the selected groups'
+// first source rows — stable across table versions and output
+// re-materialization, unlike the output row indexes themselves. All
+// indexes must be in range (callers validate via the scorer first).
+func suspectKeyOf(res *exec.Result, suspect []int) string {
+	frs := make([]int, len(suspect))
+	for i, ri := range suspect {
+		frs[i] = res.Groups[ri].FirstRow
+	}
+	sort.Ints(frs)
+	return fmt.Sprint(frs)
+}
+
+// rowsKey fingerprints a row-id selection (order-insensitive).
+func rowsKey(rows []int) string {
+	s := append([]int(nil), rows...)
+	sort.Ints(s)
+	return fmt.Sprint(s)
 }
 
 // Run parses and executes sql against db with provenance capture.
@@ -158,67 +270,87 @@ func Run(db *engine.DB, sql string) (*exec.Result, error) {
 	return exec.RunSQL(db, sql)
 }
 
-// Debug runs the ranked provenance pipeline.
-func Debug(req DebugRequest) (*DebugResult, error) {
-	opt := req.Opt
-	opt.defaults()
+// resolveDebug validates the request shape shared by Debug and
+// DebugAdvance and resolves the aggregate ordinal.
+func resolveDebug(req DebugRequest) (int, error) {
 	res := req.Result
 	if res == nil {
-		return nil, fmt.Errorf("core: nil result")
+		return 0, fmt.Errorf("core: nil result")
 	}
 	if req.Metric == nil {
-		return nil, fmt.Errorf("core: nil error metric")
+		return 0, fmt.Errorf("core: nil error metric")
 	}
 	if len(req.Suspect) == 0 {
-		return nil, fmt.Errorf("core: no suspect groups selected")
+		return 0, fmt.Errorf("core: no suspect groups selected")
 	}
-	aggOrds := res.AggOrdinals()
-	if len(aggOrds) == 0 {
-		return nil, fmt.Errorf("core: query has no aggregates to debug")
+	if len(res.AggOrdinals()) == 0 {
+		return 0, fmt.Errorf("core: query has no aggregates to debug")
 	}
 	ord := 0
 	if req.AggItem >= 0 {
 		ord = res.AggOrdinalOf(req.AggItem)
 		if ord < 0 {
-			return nil, fmt.Errorf("core: select item %d is not an aggregate", req.AggItem)
+			return 0, fmt.Errorf("core: select item %d is not an aggregate", req.AggItem)
 		}
 	}
+	return ord, nil
+}
 
-	out := &DebugResult{Timings: make(map[string]time.Duration)}
+// debugRun carries one Debug pass's intermediate state across the
+// pipeline stages. Debug and DebugAdvance share these stage methods, so
+// the incremental path cannot drift from the from-scratch one: the only
+// difference between them is where the influence analysis comes from
+// (a fresh Scorer vs an advanced one) and whether the learner stages
+// run at all.
+type debugRun struct {
+	req DebugRequest
+	opt Options
+	ord int
+	out *DebugResult
 
-	// --- Preprocessor: lineage + leave-one-out influence. ---
-	start := time.Now()
-	an, err := influence.Rank(res, req.Suspect, ord, req.Metric, influence.Options{MaxTuples: opt.MaxLOOTuples})
-	if err != nil {
-		return nil, err
-	}
-	out.Timings["preprocess"] = time.Since(start)
+	an            *influence.Analysis
+	inF           map[int]bool
+	dprime        []int
+	highInfluence []int
+	extras        []int
+	pop, learnPop []int
+	sp            *feature.Space
+	// index is the clause-mask index the ranking stage scores through —
+	// fresh for a from-scratch Debug, carried (suffix-extending) for an
+	// advanced one.
+	index *predicate.Index
+}
+
+// preprocess records the influence analysis and derives the example and
+// learning populations (Dataset Enumerator step 1).
+func (d *debugRun) preprocess(an *influence.Analysis) error {
+	opt, req, out := d.opt, d.req, d.out
+	d.an = an
 	out.Influence = an
 	out.Eps = an.Eps
 	out.F = an.F
 	if len(an.F) == 0 {
-		return nil, fmt.Errorf("core: suspect groups have empty lineage")
+		return fmt.Errorf("core: suspect groups have empty lineage")
 	}
 
-	// --- Dataset Enumerator step 1: restrict D' to F, clean it. ---
-	start = time.Now()
-	inF := make(map[int]bool, len(an.F))
+	start := time.Now()
+	d.inF = make(map[int]bool, len(an.F))
 	for _, r := range an.F {
-		inF[r] = true
+		d.inF[r] = true
 	}
-	var dprime []int
+	d.dprime = nil
 	for _, r := range req.Examples {
-		if inF[r] {
-			dprime = append(dprime, r)
+		if d.inF[r] {
+			d.dprime = append(d.dprime, r)
 		}
 	}
-	highInfluence := an.TopQuantileRows(opt.InfluenceQuantile)
-	if len(dprime) == 0 {
+	d.highInfluence = an.TopQuantileRows(opt.InfluenceQuantile)
+	if len(d.dprime) == 0 {
 		// No examples: the high-influence set stands in for D'.
-		dprime = highInfluence
+		d.dprime = d.highInfluence
 	}
-	if len(dprime) == 0 {
-		return nil, fmt.Errorf("core: no influential tuples found (ε=%g); nothing to explain", an.Eps)
+	if len(d.dprime) == 0 {
+		return fmt.Errorf("core: no influential tuples found (ε=%g); nothing to explain", an.Eps)
 	}
 
 	// The learners need a negative class. F − D' supplies part of it
@@ -227,7 +359,7 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 	// non-suspect groups are error-free by construction — so that
 	// predicates can describe F itself when an entire group is bad, and
 	// so they generalize against the rest of the table.
-	pop := an.F
+	d.pop = an.F
 	want := len(an.F)
 	if want > 20000 {
 		want = 20000
@@ -235,35 +367,35 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 	if want < 50 {
 		want = 50
 	}
-	extras := sampleOutside(res.Source.NumRows(), inF, want)
-	if len(extras) > 0 {
-		pop = append(append([]int(nil), an.F...), extras...)
+	d.extras = sampleOutside(req.Result.Source.NumRows(), d.inF, want)
+	if len(d.extras) > 0 {
+		d.pop = append(append([]int(nil), an.F...), d.extras...)
 	}
 
 	// Learners see a capped population: all culpable tuples plus an
 	// evenly spaced sample of the rest. Scoring still runs on the full
 	// lineage, so this only trades learner variance for speed.
-	learnPop := pop
-	if opt.MaxLearnRows > 0 && len(pop) > opt.MaxLearnRows {
-		culpableSet := make(map[int]bool, len(dprime)+len(highInfluence))
-		for _, r := range dprime {
+	d.learnPop = d.pop
+	if opt.MaxLearnRows > 0 && len(d.pop) > opt.MaxLearnRows {
+		culpableSet := make(map[int]bool, len(d.dprime)+len(d.highInfluence))
+		for _, r := range d.dprime {
 			culpableSet[r] = true
 		}
-		for _, r := range highInfluence {
+		for _, r := range d.highInfluence {
 			culpableSet[r] = true
 		}
-		learnPop = make([]int, 0, opt.MaxLearnRows)
+		learnPop := make([]int, 0, opt.MaxLearnRows)
 		capCulp := opt.MaxLearnRows * 3 / 4
 		nCulp := 0
-		for _, r := range pop {
+		for _, r := range d.pop {
 			if culpableSet[r] && nCulp < capCulp {
 				learnPop = append(learnPop, r)
 				nCulp++
 			}
 		}
 		rest := opt.MaxLearnRows - len(learnPop)
-		others := make([]int, 0, len(pop)-nCulp)
-		for _, r := range pop {
+		others := make([]int, 0, len(d.pop)-nCulp)
+		for _, r := range d.pop {
 			if !culpableSet[r] {
 				others = append(others, r)
 			}
@@ -277,34 +409,52 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 			}
 		}
 		sort.Ints(learnPop)
+		d.learnPop = learnPop
 	}
-	out.Timings["enumerate"] = time.Since(start)
+	d.out.Timings["enumerate"] = time.Since(start)
+	return nil
+}
 
-	// --- Feature space over the learning population. ---
-	start = time.Now()
-	fopt := opt.Feature
-	fopt.Rows = learnPop
-	fopt.Exclude = append(append([]string(nil), fopt.Exclude...), opt.ExcludeCols...)
-	if !opt.KeepAggColumn {
-		fopt.Exclude = append(fopt.Exclude, aggColumns(res, ord)...)
+// featurize builds the feature space over the learning population.
+func (d *debugRun) featurize() error {
+	start := time.Now()
+	fopt := d.opt.Feature
+	fopt.Rows = d.learnPop
+	fopt.Exclude = append(append([]string(nil), fopt.Exclude...), d.opt.ExcludeCols...)
+	if !d.opt.KeepAggColumn {
+		fopt.Exclude = append(fopt.Exclude, aggColumns(d.req.Result, d.ord)...)
 	}
-	sp := feature.NewSpace(res.Source, fopt)
-	if len(sp.Attrs) == 0 {
-		return nil, fmt.Errorf("core: no usable attributes remain after exclusions")
+	d.sp = feature.NewSpace(d.req.Result.Source, fopt)
+	if len(d.sp.Attrs) == 0 {
+		return fmt.Errorf("core: no usable attributes remain after exclusions")
 	}
-	out.Timings["featurize"] = time.Since(start)
+	d.out.Timings["featurize"] += time.Since(start)
+	return nil
+}
 
-	// --- Dataset Enumerator step 2: clean D', enumerate candidates. ---
-	start = time.Now()
-	if len(req.Examples) > 0 && len(dprime) > 0 {
-		background := difference(an.F, dprime)
-		dprime = cleaner.Clean(sp, dprime, cleaner.Options{
-			Method:     opt.CleanMethod,
+// cleanExamples runs the D' consistency technique over user-supplied
+// examples (Dataset Enumerator step 2a). Requires featurize.
+func (d *debugRun) cleanExamples() {
+	start := time.Now()
+	if len(d.req.Examples) > 0 && len(d.dprime) > 0 {
+		background := difference(d.an.F, d.dprime)
+		d.dprime = cleaner.Clean(d.sp, d.dprime, cleaner.Options{
+			Method:     d.opt.CleanMethod,
 			Background: background,
 		})
 	}
-	out.DPrime = dprime
+	d.out.DPrime = d.dprime
+	d.out.Timings["enumerate"] += time.Since(start)
+}
 
+// enumerate runs candidate dataset enumeration (Dataset Enumerator step
+// 2b) and the Predicate Enumerator (trees per candidate per criterion),
+// returning the ranker's candidate pool. Requires cleanExamples.
+func (d *debugRun) enumerate() []ranker.Candidate {
+	opt, out := d.opt, d.out
+	learnPop, dprime := d.learnPop, d.dprime
+
+	start := time.Now()
 	type cand struct {
 		name string
 		rows map[int]bool
@@ -326,13 +476,13 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 		candidates = append(candidates, cand{name, set})
 	}
 	addCandidate("dprime", dprime)
-	if len(highInfluence) > 0 {
-		addCandidate("dprime+influence", union(dprime, highInfluence))
+	if len(d.highInfluence) > 0 {
+		addCandidate("dprime+influence", union(dprime, d.highInfluence))
 	}
-	if len(extras) > 0 {
+	if len(d.extras) > 0 {
 		// With external contrast available, the full lineage is itself a
 		// describable candidate ("everything in these groups is bad").
-		addCandidate("lineage", an.F)
+		addCandidate("lineage", d.an.F)
 	}
 
 	// Subgroup discovery extends D' into self-consistent regions of the
@@ -345,7 +495,7 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 	for i, r := range learnPop {
 		labels[i] = inDPrime[r]
 	}
-	sgRules := subgroup.Discover(sp, learnPop, labels, opt.Subgroup)
+	sgRules := subgroup.Discover(d.sp, learnPop, labels, opt.Subgroup)
 	for i, rule := range sgRules {
 		if i >= opt.MaxCandidates {
 			break
@@ -386,7 +536,7 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 			}
 			topt := opt.Tree
 			topt.Criterion = j.crit
-			tree, err := dtree.Train(sp, learnPop, candLabels, nil, topt)
+			tree, err := dtree.Train(d.sp, learnPop, candLabels, nil, topt)
 			if err != nil {
 				return
 			}
@@ -409,7 +559,7 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 	}
 	// Subgroup rules are themselves compact predicates; rank them too.
 	for i, rule := range sgRules {
-		p := rule.Predicate(sp)
+		p := rule.Predicate(d.sp)
 		if p.IsTrue() {
 			continue
 		}
@@ -424,32 +574,44 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 		})
 	}
 	out.Timings["predicates"] = time.Since(start)
+	return rcands
+}
 
-	// --- Predicate Ranker. ---
-	start = time.Now()
+// context builds the ranker's scoring context. Requires cleanExamples
+// (culpability uses the cleaned D').
+func (d *debugRun) context() *ranker.Context {
 	// Culpability: tuples in the user's cleaned D' or the high-influence
 	// set. The ranker's Excess term uses it to prefer surgical
 	// predicates over "delete the whole group" ones.
-	culpable := make(map[int]bool, len(dprime)+len(highInfluence))
-	for _, r := range dprime {
+	culpable := make(map[int]bool, len(d.dprime)+len(d.highInfluence))
+	for _, r := range d.dprime {
 		culpable[r] = true
 	}
-	for _, r := range highInfluence {
+	for _, r := range d.highInfluence {
 		culpable[r] = true
 	}
 	ctx := &ranker.Context{
-		Res: res, Suspect: req.Suspect, Ord: ord,
-		Metric: req.Metric, F: an.F, Population: learnPop, Culpable: culpable,
-		Eps: an.Eps, Weights: opt.Weights,
-		DisablePrune: opt.DisablePrune, DisableMerge: opt.DisableMerge,
+		Res: d.req.Result, Suspect: d.req.Suspect, Ord: d.ord,
+		Metric: d.req.Metric, F: d.an.F, Population: d.learnPop, Culpable: culpable,
+		Eps: d.an.Eps, Weights: d.opt.Weights,
+		DisablePrune: d.opt.DisablePrune, DisableMerge: d.opt.DisableMerge,
 	}
 	// Columnar fast path: reuse the Scorer the preprocessor already
 	// built (lineage bitsets + flat argument column) for every candidate
-	// scoring in this Debug call; RankAll builds the predicate Index and
-	// falls back to the boxed path internally when the Scorer is nil
-	// (e.g. DISTINCT aggregates).
-	ctx.Scorer = an.Scorer
-	scored := ranker.RankAll(rcands, ctx)
+	// scoring in this Debug call; the ranker falls back to the boxed
+	// path internally when the Scorer is nil (e.g. DISTINCT aggregates).
+	ctx.Scorer = d.an.Scorer
+	if d.index == nil {
+		d.index = predicate.NewIndex(d.req.Result.Source)
+	}
+	ctx.Index = d.index
+	return ctx
+}
+
+// finish truncates, renders the explanation list, and snapshots the
+// carry state for a later DebugAdvance.
+func (d *debugRun) finish(scored []ranker.Scored, rstate *ranker.RankerState, start time.Time) {
+	out, opt := d.out, d.opt
 	if len(scored) > opt.MaxExplanations {
 		scored = scored[:opt.MaxExplanations]
 	}
@@ -462,8 +624,196 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 		}
 		out.Explanations = append(out.Explanations, e)
 	}
+	for _, s := range scored {
+		if s.Provenance == "carried" {
+			out.Plan.Carried++
+		} else {
+			out.Plan.Fresh++
+		}
+	}
 	out.Timings["rank"] = time.Since(start)
+	out.state = &debugState{
+		src:       d.req.Result.Source,
+		stmtKey:   d.req.Result.Stmt.String(),
+		ord:       d.ord,
+		metricKey: metricKey(d.req.Metric),
+		opt:       opt,
+		scorer:    d.an.Scorer,
+		rstate:    rstate,
+		index:     d.index,
+	}
+	out.state.suspectKey = suspectKeyOf(d.req.Result, d.req.Suspect)
+	out.state.examplesKey = rowsKey(d.req.Examples)
+}
+
+// Debug runs the ranked provenance pipeline.
+func Debug(req DebugRequest) (*DebugResult, error) {
+	opt := req.Opt
+	opt.defaults()
+	ord, err := resolveDebug(req)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &DebugResult{Timings: make(map[string]time.Duration), Plan: DebugPlan{Mode: "full"}}
+	d := &debugRun{req: req, opt: opt, ord: ord, out: out}
+
+	// --- Preprocessor: lineage + leave-one-out influence. ---
+	start := time.Now()
+	an, err := influence.Rank(req.Result, req.Suspect, ord, req.Metric, influence.Options{MaxTuples: opt.MaxLOOTuples})
+	if err != nil {
+		return nil, err
+	}
+	out.Timings["preprocess"] = time.Since(start)
+	if err := d.preprocess(an); err != nil {
+		return nil, err
+	}
+	if err := d.featurize(); err != nil {
+		return nil, err
+	}
+	d.cleanExamples()
+	rcands := d.enumerate()
+
+	start = time.Now()
+	scored, rstate := ranker.RankAllCarry(rcands, d.context())
+	d.finish(scored, rstate, start)
 	return out, nil
+}
+
+// DebugAdvance picks a Debug analysis up after the source table grew:
+// req.Result must be (a version of) the result prev was computed over,
+// advanced across one or more appended batches (exec.Advance). The
+// carried columnar state — per-group lineage bitsets, the flat argument
+// view, clause masks, the scored candidate set — extends by the
+// appended suffix instead of rebuilding, so a monitoring loop's
+// re-Debug costs O(batch + lineage + candidates) rather than
+// O(table × candidates).
+//
+// The carry/re-expand state machine (recorded in DebugResult.Plan):
+// carried candidates are rescored exactly against the advanced state;
+// when the largest score movement stays within Options.DriftThreshold
+// the carried ranking stands ("carried"), otherwise the learners re-run
+// over the advanced state ("reexpanded" — identical, stage for stage,
+// to what a from-scratch Debug would compute). Conditions the advance
+// cannot express at all — no carried state, a changed statement,
+// metric, or aggregate, a non-advanceable aggregate state — fall back
+// to the full pipeline with Plan.Fallback saying why. DebugAdvance with
+// a nil prev is exactly Debug.
+func DebugAdvance(prev *DebugResult, req DebugRequest) (*DebugResult, error) {
+	opt := req.Opt
+	opt.defaults()
+	ord, err := resolveDebug(req)
+	if err != nil {
+		return nil, err
+	}
+	fall := func(reason string) (*DebugResult, error) {
+		out, err := Debug(req)
+		if err != nil {
+			return nil, err
+		}
+		out.Plan.Fallback = reason
+		return out, nil
+	}
+	if prev == nil || prev.state == nil {
+		return fall("no carried analysis")
+	}
+	st := prev.state
+	res := req.Result
+	switch {
+	case st.scorer == nil:
+		return fall("previous analysis has no columnar scorer")
+	case res.Stmt == nil || st.stmtKey != res.Stmt.String():
+		return fall("statement changed")
+	case !res.Source.SameFamily(st.src):
+		return fall("source table changed")
+	case res.Source.NumRows() < st.src.NumRows():
+		return fall("source table shrank")
+	case st.ord != ord:
+		return fall("debugged aggregate changed")
+	case st.metricKey != metricKey(req.Metric):
+		return fall("error metric changed")
+	}
+
+	// --- Preprocessor, incremental: advance the carried scorer by the
+	// appended suffix and re-rank influence through it. ---
+	start := time.Now()
+	sc, err := influence.AdvanceScorer(st.scorer, res, req.Suspect, ord, req.Metric)
+	if err != nil {
+		return fall("scorer not advanceable: " + err.Error())
+	}
+	an := influence.RankWithScorer(sc, influence.Options{MaxTuples: opt.MaxLOOTuples})
+
+	out := &DebugResult{Timings: make(map[string]time.Duration), Plan: DebugPlan{Incremental: true}}
+	d := &debugRun{req: req, opt: opt, ord: ord, out: out}
+	// Carry the clause-mask index: rescoring a carried candidate then
+	// only decodes the appended rows into its masks. Past the size cap
+	// (dead data-dependent thresholds from many re-expansions) the
+	// chain starts a fresh index instead.
+	if st.index != nil && st.index.NumClauses() <= maxCarriedClauseMasks {
+		st.index.SyncRows(res.Source)
+		d.index = st.index
+	}
+	out.Timings["preprocess"] = time.Since(start)
+	if err := d.preprocess(an); err != nil {
+		return nil, err
+	}
+
+	// Carry is only meaningful for the SAME question: the carried
+	// candidates were learned from the previous suspect/example
+	// selection's lineage, so a changed selection re-expands (rescoring
+	// alone could silently miss selection-specific predicates even when
+	// the carried ones drift little). Same for a changed pipeline
+	// configuration, and there must be candidates to rescore.
+	carry := st.rstate.Len() > 0 && optionsCompatible(st.opt, opt) &&
+		st.suspectKey == suspectKeyOf(res, req.Suspect) &&
+		st.examplesKey == rowsKey(req.Examples)
+
+	// The feature space is needed for example cleaning and for the
+	// learners; a carried pass without user examples skips it.
+	needSpace := !carry || len(req.Examples) > 0
+	if needSpace {
+		if err := d.featurize(); err != nil {
+			return nil, err
+		}
+	}
+	d.cleanExamples()
+	ctx := d.context()
+
+	var scored []ranker.Scored
+	var rstate *ranker.RankerState
+	start = time.Now()
+	if carry {
+		s2, ns, drift := st.rstate.Rescore(ctx)
+		out.Plan.Drift = drift
+		if opt.DriftThreshold >= 0 && drift <= opt.DriftThreshold {
+			scored, rstate = s2, ns
+			out.Plan.Mode = "carried"
+		}
+	}
+	if scored == nil {
+		// Re-expand: the learners re-run over the advanced state — the
+		// same stages, in the same order, as a from-scratch Debug.
+		if d.sp == nil {
+			if err := d.featurize(); err != nil {
+				return nil, err
+			}
+		}
+		rcands := d.enumerate()
+		start = time.Now()
+		scored, rstate = ranker.RankAllCarry(rcands, ctx)
+		out.Plan.Mode = "reexpanded"
+	}
+	d.finish(scored, rstate, start)
+	return out, nil
+}
+
+// optionsCompatible reports whether two option sets configure the same
+// pipeline — a changed configuration forces re-expansion so carried
+// rankings never mix regimes. Compared textually: Options is a flat
+// bag of scalars, slices and learner sub-options with no reference
+// cycles, so the %+v rendering is a faithful identity.
+func optionsCompatible(a, b Options) bool {
+	return fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", b)
 }
 
 // aggColumns returns the source columns referenced by the ord'th

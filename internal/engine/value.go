@@ -184,12 +184,22 @@ func (v Value) String() string {
 }
 
 // SQL renders the value as a SQL literal (strings quoted and escaped).
+// Float literals always carry a float marker: %g renders -0.0 as "-0"
+// and 100.0 as "100", which re-parse as *integer* literals — and the
+// parser's constant folding then drops the zero's sign, so the literal
+// would not survive a parse → String → parse round trip.
 func (v Value) SQL() string {
 	switch v.T {
 	case TString:
 		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
 	case TTime:
 		return "'" + v.Time().Format(time.RFC3339) + "'"
+	case TFloat:
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eEIN") { // leave Inf/NaN alone (unrepresentable anyway)
+			s += ".0"
+		}
+		return s
 	default:
 		return v.String()
 	}

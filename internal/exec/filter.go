@@ -31,19 +31,14 @@ import (
 // comparisons, LIKE, scalar function calls — makes the whole tree
 // non-lowerable and the executor falls back to per-row expr.EvalBool.
 
-// auxIndexKey keys the per-table predicate.Index in the engine's aux
-// cache, so repeated queries over one table share clause masks and the
-// index is collected with the table.
-type auxIndexKey struct{}
-
-// tableIndex returns the table family's shared predicate index. The
-// index implements engine.RowSynced, so AuxLoadOrStore rebases it onto
-// t when t is a grown copy-on-write version — cached clause masks then
-// extend by decoding only the appended suffix.
+// tableIndex returns the table family's shared predicate index
+// (predicate.Shared — one set of clause masks per family, shared with
+// the ranker's candidate scoring). The index implements
+// engine.RowSynced, so the aux cache rebases it onto t when t is a
+// grown copy-on-write version — cached clause masks then extend by
+// decoding only the appended suffix.
 func tableIndex(t *engine.Table) *predicate.Index {
-	return t.AuxLoadOrStore(auxIndexKey{}, func() any {
-		return predicate.NewIndex(t)
-	}).(*predicate.Index)
+	return predicate.Shared(t)
 }
 
 // lowerCtx carries the index together with the exact table version the

@@ -58,7 +58,47 @@ func (c *Col) Eval(row []engine.Value) (engine.Value, error) {
 }
 
 // String implements Expr.
-func (c *Col) String() string { return c.Name }
+func (c *Col) String() string { return QuoteIdent(c.Name) }
+
+// sqlReserved are the words the parser treats as structure after an
+// expression or identifier position; a column or alias spelled like one
+// must be quoted to round-trip through SQL text.
+var sqlReserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"having": true, "order": true, "limit": true, "as": true,
+	"and": true, "or": true, "not": true, "in": true, "like": true,
+	"between": true, "is": true, "asc": true, "desc": true, "by": true,
+	"null": true, "distinct": true, "true": true, "false": true,
+}
+
+// QuoteIdent renders an identifier as SQL: bare when it is a plain
+// unreserved word ([A-Za-z_][A-Za-z0-9_]*), double-quoted otherwise —
+// names with spaces, punctuation, a leading digit, or a reserved
+// spelling would otherwise re-parse as different syntax. Names
+// containing a double quote cannot be represented in this dialect (the
+// lexer has no quote escape); the parser can never produce one, so
+// they only arise from programmatic construction and render best-effort.
+func QuoteIdent(name string) string {
+	plain := name != ""
+	for i, r := range name {
+		switch {
+		case r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z'):
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				plain = false
+			}
+		default:
+			plain = false
+		}
+		if !plain {
+			break
+		}
+	}
+	if plain && !sqlReserved[strings.ToLower(name)] {
+		return name
+	}
+	return `"` + name + `"`
+}
 
 // Columns implements Expr.
 func (c *Col) Columns(dst []string) []string { return append(dst, c.Name) }
@@ -289,10 +329,14 @@ func (b *Bin) apply(lv, rv engine.Value) (engine.Value, error) {
 		}
 		return engine.NewFloat(lf / rf), nil
 	case OpMod:
-		if rf == 0 {
+		// Modulo truncates both operands; guard the TRUNCATED divisor —
+		// a fractional rf in (-1, 1) is non-zero as a float but becomes
+		// 0 as an integer, and `% 0` is a runtime panic, not an error.
+		li, ri := int64(lf), int64(rf)
+		if ri == 0 {
 			return engine.Null, nil
 		}
-		return engine.NewFloat(float64(int64(lf) % int64(rf))), nil
+		return engine.NewFloat(float64(li % ri)), nil
 	}
 	return engine.Null, fmt.Errorf("expr: unsupported operator %v", b.Op)
 }
@@ -368,7 +412,15 @@ func (n *Neg) Eval(row []engine.Value) (engine.Value, error) {
 }
 
 // String implements Expr.
-func (n *Neg) String() string { return fmt.Sprintf("-%s", n.X) }
+func (n *Neg) String() string {
+	// A nested unary must parenthesize: "--f" lexes as two operators
+	// (and fails to parse), not as negate-twice.
+	switch n.X.(type) {
+	case *Neg, *Not:
+		return fmt.Sprintf("-(%s)", n.X)
+	}
+	return fmt.Sprintf("-%s", n.X)
+}
 
 // Columns implements Expr.
 func (n *Neg) Columns(dst []string) []string { return n.X.Columns(dst) }

@@ -1,0 +1,153 @@
+package influence
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/exec"
+	"repro/internal/testgen"
+)
+
+// These tests pin AdvanceScorer to NewScorer: a scorer advanced across
+// a chain of append batches must be bit-identical to one built from
+// scratch over the grown result — F union, per-group spans, base
+// aggregates, ε, and every EpsWithoutBits evaluation. The generator's
+// floats are exactly representable, so equality is exact.
+
+func scorersEqual(t *testing.T, label string, a, b *Scorer, rng *rand.Rand) {
+	t.Helper()
+	if a.nsrc != b.nsrc {
+		t.Fatalf("%s: nsrc %d vs %d", label, a.nsrc, b.nsrc)
+	}
+	if a.eps != b.eps && !(math.IsNaN(a.eps) && math.IsNaN(b.eps)) {
+		t.Fatalf("%s: eps %v vs %v", label, a.eps, b.eps)
+	}
+	for i := range a.base {
+		if a.base[i] != b.base[i] && !(math.IsNaN(a.base[i]) && math.IsNaN(b.base[i])) {
+			t.Fatalf("%s: base[%d] %v vs %v", label, i, a.base[i], b.base[i])
+		}
+	}
+	aw, bw := a.fbits.Words(), b.fbits.Words()
+	if len(aw) != len(bw) {
+		t.Fatalf("%s: fbits %d vs %d words", label, len(aw), len(bw))
+	}
+	for wi := range aw {
+		if aw[wi] != bw[wi] {
+			t.Fatalf("%s: fbits word %d: %x vs %x", label, wi, aw[wi], bw[wi])
+		}
+	}
+	if len(a.groups) != len(b.groups) {
+		t.Fatalf("%s: %d vs %d groups", label, len(a.groups), len(b.groups))
+	}
+	for gi := range a.groups {
+		ga, gb := a.groups[gi], b.groups[gi]
+		if ga.empty != gb.empty || ga.lo != gb.lo || ga.hi != gb.hi {
+			t.Fatalf("%s: group %d span (%d,%d,%v) vs (%d,%d,%v)",
+				label, gi, ga.lo, ga.hi, ga.empty, gb.lo, gb.hi, gb.empty)
+		}
+	}
+	// ε-without on random masks must agree exactly.
+	sa, sb := a.NewScratch(), b.NewScratch()
+	for k := 0; k < 8; k++ {
+		mask := bitset.New(a.nsrc)
+		for r := 0; r < a.nsrc; r++ {
+			if rng.Float64() < 0.3 {
+				mask.Set(r)
+			}
+		}
+		ea, eb := a.EpsWithoutBits(mask, sa), b.EpsWithoutBits(mask, sb)
+		if ea != eb && !(math.IsNaN(ea) && math.IsNaN(eb)) {
+			t.Fatalf("%s: EpsWithoutBits %v vs %v", label, ea, eb)
+		}
+	}
+}
+
+func TestAdvanceScorerDifferential(t *testing.T) {
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed * 977))
+		tbl := testgen.Table(rng, 80+rng.Intn(150))
+		for iter := 0; iter < 6; iter++ {
+			stmt := testgen.DebugStmt(rng)
+			res, err := exec.RunOn(tbl, stmt)
+			if err != nil {
+				continue
+			}
+			metric := testgen.Metric(rng)
+			suspect := testgen.Suspects(rng, res)
+			if len(suspect) == 0 {
+				continue
+			}
+			prev, prevErr := NewScorer(res, suspect, 0, metric)
+			cur := tbl
+			for step := 0; step < 3; step++ {
+				grown, err := cur.AppendBatch(testgen.Batch(rng, 1+rng.Intn(40)))
+				if err != nil {
+					t.Fatalf("seed %d iter %d step %d: AppendBatch: %v", seed, iter, step, err)
+				}
+				adv, err := exec.Advance(res, grown)
+				if err != nil {
+					t.Fatalf("seed %d iter %d step %d: Advance: %v", seed, iter, step, err)
+				}
+				// Re-draw suspects half the time: the carried F union
+				// only applies to an unchanged suspect set, and the
+				// changed-set path must rebuild, not mis-carry.
+				if rng.Intn(2) == 0 {
+					suspect = testgen.Suspects(rng, adv)
+				}
+				label := fmt.Sprintf("seed %d iter %d step %d [%s]", seed, iter, step, stmt.String())
+				fresh, freshErr := NewScorer(adv, suspect, 0, metric)
+				var carried *Scorer
+				var carErr error
+				if prevErr == nil {
+					carried, carErr = AdvanceScorer(prev, adv, suspect, 0, metric)
+				} else {
+					carried, carErr = AdvanceScorer(nil, adv, suspect, 0, metric)
+				}
+				if (freshErr != nil) != (carErr != nil) {
+					t.Fatalf("%s: error disagreement: fresh=%v carried=%v", label, freshErr, carErr)
+				}
+				if freshErr == nil {
+					scorersEqual(t, label, fresh, carried, rng)
+				}
+				prev, prevErr = carried, carErr
+				res, cur = adv, grown
+			}
+			// Next iteration draws a fresh statement (and a fresh result
+			// — the old one was already advanced; chains are linear)
+			// over the grown table.
+			tbl = cur
+		}
+	}
+}
+
+// TestAdvanceScorerNilPrev pins the nil-prev convenience: it must be
+// exactly NewScorer.
+func TestAdvanceScorerNilPrev(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tbl := testgen.Table(rng, 120)
+	stmt := testgen.DebugStmt(rng)
+	res, err := exec.RunOn(tbl, stmt)
+	if err != nil {
+		t.Skip("generated statement rejected")
+	}
+	metric := testgen.Metric(rng)
+	suspect := testgen.Suspects(rng, res)
+	if len(suspect) == 0 {
+		t.Skip("no output rows")
+	}
+	fresh, freshErr := NewScorer(res, suspect, 0, metric)
+	adv, advErr := AdvanceScorer(nil, res, suspect, 0, metric)
+	if (freshErr != nil) != (advErr != nil) {
+		t.Fatalf("error disagreement: %v vs %v", freshErr, advErr)
+	}
+	if freshErr == nil {
+		scorersEqual(t, "nil prev", fresh, adv, rng)
+	}
+}

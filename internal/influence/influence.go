@@ -77,9 +77,7 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 	// suspect) is fine too: the boxed path below re-detects the problem
 	// and reports the error.
 	if sc, scErr := NewScorer(res, suspect, ord, metric); scErr == nil {
-		an := rankFast(sc, opt)
-		an.Scorer = sc
-		return an, nil
+		return RankWithScorer(sc, opt), nil
 	}
 
 	// Current aggregate values for the suspect groups, in suspect order.
@@ -138,6 +136,18 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 	}
 	sortInfluences(an.Influences)
 	return an, nil
+}
+
+// RankWithScorer runs the columnar preprocessor pass over an
+// already-built scoring state — the entry point the incremental Debug
+// path uses after advancing a carried Scorer to a grown table version
+// (AdvanceScorer), so the LOO analysis never rebuilds what the carry
+// preserved. Rank's fast path routes through it too, keeping the two
+// bit-identical.
+func RankWithScorer(sc *Scorer, opt Options) *Analysis {
+	an := rankFast(sc, opt)
+	an.Scorer = sc
+	return an
 }
 
 // sampleRows returns rows, or an evenly spaced sample of max of them

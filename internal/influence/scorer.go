@@ -37,6 +37,11 @@ type Scorer struct {
 	fbits  *bitset.Bitset
 	args   *exec.ArgView
 	nsrc   int
+	// firstRows[i] identifies suspect group i by its first source row —
+	// stable across table versions, so AdvanceScorer can verify that a
+	// carried F union still describes the same groups even when the
+	// materialized output order shifted.
+	firstRows []int
 }
 
 // groupBits is one suspect group's lineage with its non-zero word span.
@@ -58,6 +63,62 @@ type Scratch struct {
 // agg.FloatRemovable (e.g. DISTINCT aggregates) or the argument column
 // cannot be decoded.
 func NewScorer(res *exec.Result, suspect []int, ord int, metric errmetric.Metric) (*Scorer, error) {
+	s, err := newScorerBase(res, suspect, ord, metric)
+	if err != nil {
+		return nil, err
+	}
+	s.buildGroupBits(res, suspect)
+	return s, nil
+}
+
+// AdvanceScorer builds the scoring state for res — an incrementally
+// advanced result over a grown version of prev's source table — by
+// extending prev's carried state by the appended suffix instead of
+// rebuilding it. Per-group lineage bitsets and the argument view come
+// from the advanced result's carried caches (exec.Advance extends both
+// by suffix), the removable aggregate states are the advanced result's
+// own, and the F union reuses prev's words: appended rows can only set
+// bits from the old length on, so the prefix is a word-level copy and
+// only the suffix words are OR-ed. The produced Scorer is bit-identical
+// to NewScorer over the same result.
+//
+// When the suspect groups changed since prev (or prev is nil), the F
+// union is rebuilt from the per-group bitsets — still cheap, since
+// those were carried — so callers can advance unconditionally.
+func AdvanceScorer(prev *Scorer, res *exec.Result, suspect []int, ord int, metric errmetric.Metric) (*Scorer, error) {
+	if prev == nil {
+		return NewScorer(res, suspect, ord, metric)
+	}
+	s, err := newScorerBase(res, suspect, ord, metric)
+	if err != nil {
+		return nil, err
+	}
+	if s.nsrc < prev.nsrc || !sameSuspectGroups(prev, s) {
+		s.buildGroupBits(res, suspect)
+		return s, nil
+	}
+	s.advanceGroupBits(prev, res, suspect)
+	return s, nil
+}
+
+// sameSuspectGroups reports whether next names the same groups, in the
+// same order, as prev — by first source row, the version-stable group
+// identity — so prev's F union is a valid prefix of next's.
+func sameSuspectGroups(prev, next *Scorer) bool {
+	if len(prev.suspect) != len(next.suspect) {
+		return false
+	}
+	for i := range prev.suspect {
+		if prev.firstRows[i] != next.firstRows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newScorerBase builds everything except the lineage bitsets: base
+// aggregate values, removable states, the argument view, and ε.
+func newScorerBase(res *exec.Result, suspect []int, ord int, metric errmetric.Metric) (*Scorer, error) {
 	if len(suspect) == 0 {
 		return nil, fmt.Errorf("influence: no suspect groups")
 	}
@@ -65,16 +126,18 @@ func NewScorer(res *exec.Result, suspect []int, ord int, metric errmetric.Metric
 		return nil, fmt.Errorf("influence: aggregate ordinal %d out of range (%d aggregates)", ord, len(res.AggOrdinals()))
 	}
 	s := &Scorer{
-		suspect: suspect,
-		metric:  metric,
-		base:    make([]float64, len(suspect)),
-		states:  make([]agg.FloatRemovable, len(suspect)),
-		nsrc:    res.Source.NumRows(),
+		suspect:   suspect,
+		metric:    metric,
+		base:      make([]float64, len(suspect)),
+		states:    make([]agg.FloatRemovable, len(suspect)),
+		nsrc:      res.Source.NumRows(),
+		firstRows: make([]int, len(suspect)),
 	}
 	for i, ri := range suspect {
 		if ri < 0 || ri >= res.NumRows() {
 			return nil, fmt.Errorf("influence: suspect row %d out of range", ri)
 		}
+		s.firstRows[i] = res.Groups[ri].FirstRow
 		st, ok := res.AggState(ri, ord)
 		if !ok {
 			return nil, fmt.Errorf("influence: aggregate %d is not removable", ord)
@@ -97,9 +160,29 @@ func NewScorer(res *exec.Result, suspect []int, ord int, metric errmetric.Metric
 		return nil, err
 	}
 	s.args = args
-
-	s.buildGroupBits(res, suspect)
 	return s, nil
+}
+
+// advanceGroupBits extends prev's F union by the appended suffix. The
+// advanced result's per-group bitsets share their prefix words with the
+// ones prev unioned (lineage is append-only and exec.Advance carries
+// the bitsets by prefix copy + suffix sets), so the union over rows
+// [0, prev.nsrc) is exactly prev.fbits; only words that appended rows
+// can touch — from prev.nsrc>>6 on — need OR-ing.
+func (s *Scorer) advanceGroupBits(prev *Scorer, res *exec.Result, suspect []int) {
+	s.groups = make([]groupBits, len(suspect))
+	s.fbits = bitset.SnapshotWords(s.nsrc, prev.fbits.Words())
+	fw := s.fbits.Words()
+	lo0 := prev.nsrc >> 6
+	for i := range suspect {
+		b := res.GroupLineageBitsShared(suspect[i])
+		lo, hi, ok := b.WordRange()
+		s.groups[i] = groupBits{bits: b, lo: lo, hi: hi, empty: !ok}
+		gw := b.Words()
+		for wi := lo0; wi < len(gw); wi++ {
+			fw[wi] |= gw[wi]
+		}
+	}
 }
 
 // buildGroupBits fetches each suspect group's lineage bitset (from the

@@ -63,6 +63,36 @@ func NewIndex(t *engine.Table) *Index {
 	}
 }
 
+// sharedIndexKey keys the table family's shared index in the engine's
+// aux cache.
+type sharedIndexKey struct{}
+
+// Shared returns the table family's shared index, creating it on first
+// request through the engine's aux cache. The index implements
+// engine.RowSynced, so requesting it through a grown copy-on-write
+// version rebases it: cached clause masks then extend by decoding only
+// the appended suffix.
+//
+// The shared index lives as long as the table family and never evicts,
+// so it is only for BOUNDED clause vocabularies — statement-driven
+// WHERE clauses (the executor's filter lowering). Analysis passes whose
+// clause thresholds are data-dependent and churn per run (the ranker's
+// candidate scoring) must own a NewIndex scoped to their own lifetime
+// instead, or every Debug pass would permanently grow this cache.
+func Shared(t *engine.Table) *Index {
+	return t.AuxLoadOrStore(sharedIndexKey{}, func() any {
+		return NewIndex(t)
+	}).(*Index)
+}
+
+// NumClauses reports how many clause masks the index currently caches
+// (capacity accounting for carried indexes).
+func (ix *Index) NumClauses() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.clauses)
+}
+
 // Table returns the newest indexed table version.
 func (ix *Index) Table() *engine.Table {
 	ix.mu.RLock()

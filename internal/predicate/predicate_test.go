@@ -259,7 +259,10 @@ func TestStringRendering(t *testing.T) {
 		Clause{Col: "memo", Op: OpEq, Val: engine.NewString("REATTRIBUTION TO SPOUSE")},
 		Clause{Col: "amount", Op: OpLt, Val: engine.NewFloat(0)},
 	)
-	want := "memo = 'REATTRIBUTION TO SPOUSE' AND amount < 0"
+	// Float literals render with an explicit float marker ("0.0", not
+	// "0") so predicate SQL survives a parse → print → parse round trip
+	// (bare "0" re-parses as an integer literal).
+	want := "memo = 'REATTRIBUTION TO SPOUSE' AND amount < 0.0"
 	if p.String() != want {
 		t.Errorf("String: %q", p.String())
 	}

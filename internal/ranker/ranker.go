@@ -113,6 +113,13 @@ func (ctx *Context) prepare() {
 			ctx.Scorer = sc
 		}
 		if ctx.Index == nil {
+			// Per-context index, collected with the ranking pass.
+			// Callers chaining incremental Debugs (core.DebugAdvance)
+			// pass in a longer-lived index instead, so carried
+			// candidates' masks extend by suffix across batches. The
+			// family-shared predicate.Shared index is deliberately NOT
+			// used here: candidate thresholds are data-dependent and
+			// churn per pass, and that cache never evicts.
 			ctx.Index = predicate.NewIndex(ctx.Res.Source)
 		}
 		n := ctx.Res.Source.NumRows()
@@ -152,6 +159,10 @@ func (ctx *Context) newEnv() *scoreEnv {
 type Scored struct {
 	Pred   predicate.Predicate
 	Origin string
+	// Provenance records how this entry reached the ranking: "fresh"
+	// (produced by the learners in this pass) or "carried" (rescored
+	// from a previous pass's RankerState by an incremental Debug).
+	Provenance string
 	// ErrImprovement is (ε − ε_after)/ε, clamped to [0, 1] (0 when ε=0).
 	ErrImprovement float64
 	// EpsAfter is ε after removing the predicate's tuples.
@@ -536,6 +547,9 @@ func MergeAdjacent(scored []Scored, targets map[string]map[int]bool, ctx *Contex
 				dead[i] = true
 				dead[j] = true
 				added = append(added, sc)
+				// Record the merged predicate's target so the carry
+				// state (RankerState) can rescore it next batch.
+				targets[sc.Pred.Key()] = target
 			}
 		}
 	}
@@ -573,6 +587,26 @@ func sortScored(out []Scored) {
 // candidate is independent. Results are collected by slot index, keeping
 // the final ranking deterministic.
 func RankAll(cands []Candidate, ctx *Context) []Scored {
+	out, _ := RankAllCarry(cands, ctx)
+	return out
+}
+
+// RankAllCarry is RankAll plus the carryable state of the survivors:
+// the returned RankerState holds every ranked predicate with its frozen
+// target set and score, ready for an incremental Debug over a grown
+// table to rescore without re-running the learners.
+func RankAllCarry(cands []Candidate, ctx *Context) ([]Scored, *RankerState) {
+	out, targets, _ := rankCore(cands, ctx, "fresh")
+	return out, newRankerState(out, targets)
+}
+
+// rankCore is the shared ranking pass behind RankAll, RankAllCarry and
+// RankerState.Rescore: worker-pool scoring + pruning, key dedup, sort,
+// pairwise merging. It additionally returns the target set per final
+// predicate key and, aligned with cands, each candidate's raw
+// (pre-prune) score — NaN for candidates that scored vacuous or
+// tautological — which Rescore turns into the drift signal.
+func rankCore(cands []Candidate, ctx *Context, provenance string) ([]Scored, map[string]map[int]bool, []float64) {
 	ctx.prepare()
 	if ctx.fastOK {
 		// Populate target bitsets up front so pruning variants and
@@ -590,6 +624,7 @@ func RankAll(cands []Candidate, ctx *Context) []Scored {
 		ok bool
 	}
 	slots := make([]slot, len(cands))
+	raw := make([]float64, len(cands))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cands) {
 		workers = len(cands)
@@ -607,6 +642,11 @@ func RankAll(cands []Candidate, ctx *Context) []Scored {
 			for i := range jobs {
 				c := cands[i]
 				sc, ok := scoreWith(c, ctx, env)
+				if ok {
+					raw[i] = sc.Score
+				} else {
+					raw[i] = math.NaN()
+				}
 				if ok && !ctx.DisablePrune {
 					c, sc = pruneWith(c, sc, ctx, env)
 				}
@@ -644,8 +684,72 @@ func RankAll(cands []Candidate, ctx *Context) []Scored {
 		out = append(out, byKey[k])
 	}
 	sortScored(out)
-	if ctx.DisableMerge {
-		return out
+	if !ctx.DisableMerge {
+		out = MergeAdjacent(out, targets, ctx)
 	}
-	return MergeAdjacent(out, targets, ctx)
+	for i := range out {
+		out[i].Provenance = provenance
+	}
+	return out, targets, raw
+}
+
+// RankerState carries one ranking pass's survivors — predicates, their
+// frozen target sets, and the scores they were reported with — so a
+// following incremental Debug over a grown table can rescore exactly
+// these candidates against the advanced scoring state instead of
+// re-running the learners. The state is immutable; Rescore returns a
+// fresh state for the next step of the chain.
+type RankerState struct {
+	cands  []Candidate
+	scores []float64
+}
+
+// newRankerState snapshots the full ranked list (pre-truncation).
+func newRankerState(scored []Scored, targets map[string]map[int]bool) *RankerState {
+	st := &RankerState{
+		cands:  make([]Candidate, len(scored)),
+		scores: make([]float64, len(scored)),
+	}
+	for i, s := range scored {
+		st.cands[i] = Candidate{Pred: s.Pred, Origin: s.Origin, Target: targets[s.Pred.Key()]}
+		st.scores[i] = s.Score
+	}
+	return st
+}
+
+// Len returns the number of carried candidates.
+func (st *RankerState) Len() int {
+	if st == nil {
+		return 0
+	}
+	return len(st.cands)
+}
+
+// Rescore scores the carried candidates against ctx — typically the
+// advanced context of a grown table — through the same worker pool,
+// pruning, dedup and merge mechanics as RankAll, and reports how far
+// the carried predicates' raw scores moved since the previous pass:
+// drift is the largest |new−old| over the carried candidates, +Inf when
+// a previously-ranked predicate scored vacuous or tautological under
+// the new data (its anomaly dissolved — a material change no score
+// delta can bound). The caller compares drift against its threshold to
+// decide whether the carried ranking stands or the learners must
+// re-expand.
+func (st *RankerState) Rescore(ctx *Context) ([]Scored, *RankerState, float64) {
+	// Work on copies: the state's candidates stay clean (targetBits are
+	// sized to a specific table version and must be rebuilt here).
+	cands := make([]Candidate, len(st.cands))
+	copy(cands, st.cands)
+	out, targets, raw := rankCore(cands, ctx, "carried")
+	drift := 0.0
+	for i := range raw {
+		if math.IsNaN(raw[i]) {
+			drift = math.Inf(1)
+			break
+		}
+		if d := math.Abs(raw[i] - st.scores[i]); d > drift {
+			drift = d
+		}
+	}
+	return out, newRankerState(out, targets), drift
 }

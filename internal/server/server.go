@@ -297,7 +297,9 @@ func (s *Server) runWithCleaning(sess *session, sql string) error {
 			if res, err := exec.Advance(sess.res, src); err == nil {
 				sess.sql = sql
 				sess.res = res
-				sess.lastDbg = nil
+				// lastDbg survives: its carried analysis advances with
+				// the result (core.DebugAdvance), closing the
+				// append → advance → re-debug monitoring loop.
 				return nil
 			}
 			// Any Advance error (already-advanced result, unexpected
@@ -489,6 +491,57 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
 		return
 	}
+	// Streaming sessions: when the source table grew since the cached
+	// result (an /api/append landed), advance the result first so the
+	// debug sees the appended rows — runWithCleaning folds in only the
+	// appended batch and keeps lastDbg's carried analysis alive.
+	//
+	// The client's suspect indexes point into the result it SAW; after
+	// the refresh re-materializes HAVING/ORDER BY/LIMIT over the grown
+	// table, the same output row number can be a different group. The
+	// indexes are therefore remapped by group identity (first source
+	// row) across the refresh; a selected group that no longer
+	// materializes is an error asking the client to re-query, never a
+	// silent answer about a different group.
+	if sess.sql != "" {
+		if src, err := s.db.Table(sess.res.Stmt.From); err == nil &&
+			src.SameFamily(sess.res.Source) && src.NumRows() > sess.res.Source.NumRows() {
+			var firstRows []int
+			if oldRes := sess.res; len(req.Suspect) > 0 {
+				firstRows = make([]int, 0, len(req.Suspect))
+				for _, ri := range req.Suspect {
+					if ri < 0 || ri >= len(oldRes.Groups) {
+						firstRows = nil // let Debug report the bad index
+						break
+					}
+					firstRows = append(firstRows, oldRes.Groups[ri].FirstRow)
+				}
+			}
+			if err := s.runWithCleaning(sess, sess.sql); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			if firstRows != nil {
+				byFirst := make(map[int]int, len(sess.res.Groups))
+				for ri, g := range sess.res.Groups {
+					if _, dup := byFirst[g.FirstRow]; !dup {
+						byFirst[g.FirstRow] = ri
+					}
+				}
+				remapped := make([]int, len(firstRows))
+				for i, fr := range firstRows {
+					ri, ok := byFirst[fr]
+					if !ok {
+						writeErr(w, http.StatusConflict, fmt.Errorf(
+							"the result changed while ingesting: suspect group %d is no longer in the output; re-run the query", req.Suspect[i]))
+						return
+					}
+					remapped[i] = ri
+				}
+				req.Suspect = remapped
+			}
+		}
+	}
 	metric, err := errmetric.New(req.Metric, req.MetricParams)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -506,7 +559,10 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	if aggItem == 0 {
 		aggItem = -1
 	}
-	dr, err := core.Debug(core.DebugRequest{
+	// DebugAdvance carries the previous debug's analysis forward when
+	// the session's result advanced incrementally (nil lastDbg or any
+	// incompatibility falls back to a full Debug internally).
+	dr, err := core.DebugAdvance(sess.lastDbg, core.DebugRequest{
 		Result:   sess.res,
 		AggItem:  aggItem,
 		Suspect:  req.Suspect,
@@ -521,8 +577,10 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	out := struct {
 		Eps          float64           `json:"eps"`
 		LineageSize  int               `json:"lineageSize"`
+		Incremental  bool              `json:"incremental"`
+		Mode         string            `json:"mode"`
 		Explanations []explanationJSON `json:"explanations"`
-	}{Eps: dr.Eps, LineageSize: len(dr.F)}
+	}{Eps: dr.Eps, LineageSize: len(dr.F), Incremental: dr.Plan.Incremental, Mode: dr.Plan.Mode}
 	for _, e := range dr.Explanations {
 		out.Explanations = append(out.Explanations, explanationJSON{
 			Predicate:      e.Pred.String(),

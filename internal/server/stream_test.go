@@ -154,6 +154,193 @@ func TestConcurrentQueryCleanRace(t *testing.T) {
 	wg.Wait()
 }
 
+// TestDebugAdvanceAfterAppend walks the full monitoring loop over the
+// API: query → debug → append → debug. The second debug must see the
+// appended rows (the handler refreshes the stale session result
+// incrementally) and must advance the carried analysis rather than
+// rebuild it.
+func TestDebugAdvanceAfterAppend(t *testing.T) {
+	db := streamDB(t)
+	srv := New(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	sql := "SELECT mote, sum(temp) AS total FROM readings GROUP BY mote"
+	var q struct {
+		Rows [][]any `json:"rows"`
+	}
+	post(t, ts, "/api/query", map[string]any{"session": "s", "sql": sql}, &q)
+
+	debugReq := map[string]any{
+		"session": "s", "suspect": []int{0, 1}, "aggItem": -1,
+		"metric": "toohigh", "metricParams": map[string]float64{"c": 100},
+	}
+	var d1 struct {
+		Eps         float64 `json:"eps"`
+		LineageSize int     `json:"lineageSize"`
+		Incremental bool    `json:"incremental"`
+		Mode        string  `json:"mode"`
+	}
+	if resp := post(t, ts, "/api/debug", debugReq, &d1); resp.StatusCode != 200 {
+		t.Fatalf("first debug: status %d", resp.StatusCode)
+	}
+	if d1.Mode != "full" || d1.Incremental {
+		t.Fatalf("first debug plan: %+v", d1)
+	}
+
+	// Ingest a batch, then debug again WITHOUT re-querying: the handler
+	// must advance the session result and the carried analysis itself.
+	rows := make([][]any, 40)
+	for i := range rows {
+		rows[i] = []any{fmt.Sprintf("m%d", i%4), 50.0}
+	}
+	if resp := post(t, ts, "/api/append", map[string]any{"table": "readings", "rows": rows}, nil); resp.StatusCode != 200 {
+		t.Fatalf("append: status %d", resp.StatusCode)
+	}
+	var d2 struct {
+		Eps         float64 `json:"eps"`
+		LineageSize int     `json:"lineageSize"`
+		Incremental bool    `json:"incremental"`
+		Mode        string  `json:"mode"`
+	}
+	if resp := post(t, ts, "/api/debug", debugReq, &d2); resp.StatusCode != 200 {
+		t.Fatalf("second debug: status %d", resp.StatusCode)
+	}
+	if !d2.Incremental {
+		t.Fatalf("debug after append did not advance: %+v", d2)
+	}
+	if d2.Mode != "carried" && d2.Mode != "reexpanded" {
+		t.Fatalf("debug after append mode %q", d2.Mode)
+	}
+	if d2.LineageSize <= d1.LineageSize {
+		t.Fatalf("debug after append is blind to the batch: lineage %d → %d", d1.LineageSize, d2.LineageSize)
+	}
+	srv.mu.Lock()
+	sess := srv.sessions["s"]
+	srv.mu.Unlock()
+	sess.mu.Lock()
+	n := sess.res.Source.NumRows()
+	sess.mu.Unlock()
+	if n != 240 {
+		t.Fatalf("session result not refreshed: %d rows", n)
+	}
+}
+
+// TestDebugSuspectRemapAcrossAppend: the client picks suspects by
+// output row index against the result it saw; when an append lands
+// before the debug and the refreshed result re-orders (ORDER BY over
+// shifted totals), the handler must remap the indexes by group
+// identity — the debug answers about the group the client pointed at,
+// not whatever now occupies that row number.
+func TestDebugSuspectRemapAcrossAppend(t *testing.T) {
+	db := streamDB(t)
+	srv := New(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	sql := "SELECT mote, sum(temp) AS total FROM readings GROUP BY mote ORDER BY total DESC"
+	var q struct {
+		Rows [][]any `json:"rows"`
+	}
+	post(t, ts, "/api/query", map[string]any{"session": "s", "sql": sql}, &q)
+	// Suspect the current top row (50 lineage rows), then boost two
+	// OTHER motes past it, so after the refresh row 0 is a different,
+	// bigger group (80 rows) — a debug without the remap would answer
+	// about that one instead.
+	suspect := 0
+	topMote := q.Rows[0][0].(string)
+	var boost []string
+	for _, m := range []string{"m0", "m1", "m2", "m3"} {
+		if m != topMote && len(boost) < 2 {
+			boost = append(boost, m)
+		}
+	}
+	rows := make([][]any, 60)
+	for i := range rows {
+		rows[i] = []any{boost[i%2], 500.0}
+	}
+	post(t, ts, "/api/append", map[string]any{"table": "readings", "rows": rows}, nil)
+
+	var d struct {
+		LineageSize int    `json:"lineageSize"`
+		Incremental bool   `json:"incremental"`
+		Error       string `json:"error"`
+	}
+	resp := post(t, ts, "/api/debug", map[string]any{
+		"session": "s", "suspect": []int{suspect}, "aggItem": -1,
+		"metric": "toohigh", "metricParams": map[string]float64{"c": 0},
+	}, &d)
+	if resp.StatusCode != 200 {
+		t.Fatalf("debug: status %d (%s)", resp.StatusCode, d.Error)
+	}
+	if d.LineageSize != 50 {
+		t.Fatalf("debugged the wrong group after the refresh: lineage %d, want %s's 50", d.LineageSize, topMote)
+	}
+}
+
+// TestConcurrentAppendDebugRace fires /api/append and /api/debug at ONE
+// session concurrently — the streaming monitoring loop's two halves.
+// Appends publish copy-on-write table versions while debugs advance the
+// cached result and carried analysis; under -race this pins the
+// engine's snapshot isolation and the per-session mutex across the
+// whole carry chain. Responses may legitimately be 400 (e.g. a suspect
+// index out of range after a re-query) but never 5xx, and the server
+// must not deadlock.
+func TestConcurrentAppendDebugRace(t *testing.T) {
+	db := streamDB(t)
+	srv := New(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	sql := "SELECT mote, sum(temp) AS total FROM readings GROUP BY mote"
+	post(t, ts, "/api/query", map[string]any{"session": "race", "sql": sql}, nil)
+
+	var wg sync.WaitGroup
+	iters := 12
+	if testing.Short() {
+		iters = 6
+	}
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var path string
+				var body map[string]any
+				switch w % 3 {
+				case 0:
+					path = "/api/append"
+					body = map[string]any{"table": "readings", "rows": [][]any{
+						{fmt.Sprintf("m%d", i%5), float64(i)},
+						{"m0", 25.5},
+					}}
+				case 1:
+					path = "/api/debug"
+					body = map[string]any{
+						"session": "race", "suspect": []int{0, 1}, "aggItem": -1,
+						"metric": "toohigh", "metricParams": map[string]float64{"c": 100},
+					}
+				default:
+					path = "/api/query"
+					body = map[string]any{"session": "race", "sql": sql}
+				}
+				b, _ := json.Marshal(body)
+				resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // TestSessionEviction pins the session-map bounds: LRU count cap and
 // idle TTL expiry, with the active session never evicted.
 func TestSessionEviction(t *testing.T) {

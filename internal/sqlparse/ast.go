@@ -64,13 +64,11 @@ func (s *SelectItem) String() string {
 	return base
 }
 
+// quoteAliasIfNeeded delegates to the expression layer's identifier
+// quoting so aliases, column references and table names all round-trip
+// under one rule (leading digits and reserved spellings included).
 func quoteAliasIfNeeded(a string) string {
-	for _, r := range a {
-		if !(r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')) {
-			return `"` + a + `"`
-		}
-	}
-	return a
+	return expr.QuoteIdent(a)
 }
 
 // OrderItem is one ORDER BY key.
@@ -143,7 +141,7 @@ func (s *SelectStmt) String() string {
 		b.WriteString(s.Items[i].String())
 	}
 	b.WriteString(" FROM ")
-	b.WriteString(s.From)
+	b.WriteString(expr.QuoteIdent(s.From))
 	if s.Where != nil {
 		b.WriteString(" WHERE ")
 		b.WriteString(s.Where.String())

@@ -35,6 +35,10 @@ type token struct {
 	kind tokenKind
 	text string
 	pos  int
+	// quoted marks a double-quoted identifier: it never matches
+	// keywords and never folds to the NULL/true/false literals, so
+	// columns spelled like reserved words round-trip through SQL text.
+	quoted bool
 }
 
 func (t token) String() string {
@@ -64,7 +68,7 @@ func lex(input string) ([]token, error) {
 			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '.') {
 				i++
 			}
-			toks = append(toks, token{tokIdent, input[start:i], start})
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
 		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
 			start := i
 			seenDot, seenExp := false, false
@@ -87,7 +91,7 @@ func lex(input string) ([]token, error) {
 				}
 				break
 			}
-			toks = append(toks, token{tokNumber, input[start:i], start})
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
 		case c == '\'':
 			i++
 			var b strings.Builder
@@ -109,7 +113,7 @@ func lex(input string) ([]token, error) {
 			if !closed {
 				return nil, fmt.Errorf("sqlparse: unterminated string at %d", i)
 			}
-			toks = append(toks, token{tokString, b.String(), i})
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: i})
 		case c == '"': // quoted identifier
 			start := i
 			i++
@@ -127,7 +131,7 @@ func lex(input string) ([]token, error) {
 			if !closed {
 				return nil, fmt.Errorf("sqlparse: unterminated quoted identifier at %d", start)
 			}
-			toks = append(toks, token{tokIdent, b.String(), start})
+			toks = append(toks, token{kind: tokIdent, text: b.String(), pos: start, quoted: true})
 		default:
 			// multi-char operators first
 			two := ""
@@ -139,19 +143,19 @@ func lex(input string) ([]token, error) {
 				if two == "<>" {
 					two = "!="
 				}
-				toks = append(toks, token{tokSymbol, two, i})
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: i})
 				i += 2
 				continue
 			}
 			switch c {
 			case '(', ')', ',', '+', '-', '*', '/', '%', '=', '<', '>', ';':
-				toks = append(toks, token{tokSymbol, string(c), i})
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
 				i++
 			default:
 				return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, i)
 			}
 		}
 	}
-	toks = append(toks, token{tokEOF, "", n})
+	toks = append(toks, token{kind: tokEOF, pos: n})
 	return toks, nil
 }

@@ -81,6 +81,11 @@ func (p *parser) at(kind tokenKind, text string) bool {
 		return true
 	}
 	if kind == tokIdent {
+		// A double-quoted identifier is always a name: it never matches
+		// a keyword spelling ("where" the column vs WHERE the clause).
+		if t.quoted {
+			return false
+		}
 		return strings.EqualFold(t.text, text)
 	}
 	return t.text == text
@@ -206,8 +211,9 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 
 func (p *parser) parseSelectItem() (*SelectItem, error) {
 	item := &SelectItem{}
-	// Aggregate call? ident '(' with aggregate name.
-	if p.peek().kind == tokIdent && agg.IsAggregate(p.peek().text) &&
+	// Aggregate call? bare ident '(' with aggregate name (a quoted
+	// "count" is a column, never a call).
+	if p.peek().kind == tokIdent && !p.peek().quoted && agg.IsAggregate(p.peek().text) &&
 		p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
 		name := strings.ToLower(p.next().text)
 		p.next() // '('
@@ -242,7 +248,8 @@ func (p *parser) parseSelectItem() (*SelectItem, error) {
 			return nil, fmt.Errorf("sqlparse: expected alias: %w", err)
 		}
 		item.Alias = aliasTok.text
-	} else if p.peek().kind == tokIdent && !reservedAfterExpr[strings.ToLower(p.peek().text)] {
+	} else if p.peek().kind == tokIdent &&
+		(p.peek().quoted || !reservedAfterExpr[strings.ToLower(p.peek().text)]) {
 		item.Alias = p.next().text
 	}
 	return item, nil
@@ -476,19 +483,23 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 		return expr.Str(t.text), nil
 	case tokIdent:
 		lower := strings.ToLower(t.text)
-		switch lower {
-		case "null":
-			p.next()
-			return expr.NewLit(engine.Null), nil
-		case "true":
-			p.next()
-			return expr.NewLit(engine.NewBool(true)), nil
-		case "false":
-			p.next()
-			return expr.NewLit(engine.NewBool(false)), nil
+		// Literal spellings and calls apply to BARE identifiers only; a
+		// quoted "null"/"true"/"count" is a column named that.
+		if !t.quoted {
+			switch lower {
+			case "null":
+				p.next()
+				return expr.NewLit(engine.Null), nil
+			case "true":
+				p.next()
+				return expr.NewLit(engine.NewBool(true)), nil
+			case "false":
+				p.next()
+				return expr.NewLit(engine.NewBool(false)), nil
+			}
 		}
 		// function call?
-		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		if !t.quoted && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
 			if agg.IsAggregate(lower) {
 				// Aggregate calls outside the select list (HAVING,
 				// ORDER BY) parse as references to the output column of
