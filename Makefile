@@ -67,13 +67,14 @@ bench:
 
 # Record the perf trajectory: run the root figure benchmarks and write
 # ns/op + B/op + allocs/op per bench as JSON. Check the file in so each
-# PR's numbers diff against the last.
-BENCH_JSON ?= BENCH_PR4.json
+# PR's numbers diff against the last; override the output name with
+# BENCH_OUT=file.json when recording a new PR's numbers.
+BENCH_OUT ?= BENCH_PR5.json
 bench-json:
 	@out=$$(mktemp); \
 	$(GO) test -run='^$$' -bench=. -benchmem -short . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
-	$(GO) run ./cmd/benchjson < $$out > $(BENCH_JSON); rm -f $$out
-	@echo "wrote $(BENCH_JSON)"
+	$(GO) run ./cmd/benchjson < $$out > $(BENCH_OUT); rm -f $$out
+	@echo "wrote $(BENCH_OUT)"
 
 # Just the scoring hot path: the paper's interactivity claim lives here.
 bench-hot:

@@ -486,3 +486,132 @@ func BenchmarkFullScaleIntel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSegmentedAppend measures the raw ingest path on the
+// segmented store at several base sizes: a batch append touches only
+// the tail segment (worst case one tail reallocation bounded by the
+// segment size), so per-batch cost must stay flat as the table grows —
+// the copy-on-grow cliff the segment refactor removes.
+func BenchmarkSegmentedAppend(b *testing.B) {
+	const batchSize = 1_000
+	const poolBatches = 100
+	for _, base := range []int{50_000, 100_000, 200_000} {
+		full, _ := datasets.Intel(datasets.IntelConfig{Rows: base + poolBatches*batchSize, Seed: 7})
+		pool := make([][][]engine.Value, poolBatches)
+		for bi := range pool {
+			rows := make([][]engine.Value, batchSize)
+			for r := range rows {
+				rows[r] = full.Row(base + bi*batchSize + r)
+			}
+			pool[bi] = rows
+		}
+		setup := func() *engine.Table {
+			ids := make([]int, base)
+			for i := range ids {
+				ids[i] = i
+			}
+			return full.Select(ids)
+		}
+		b.Run(fmt.Sprintf("base=%d", base), func(b *testing.B) {
+			tbl := setup()
+			bi := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bi == len(pool) {
+					b.StopTimer()
+					tbl = setup()
+					bi = 0
+					b.StartTimer()
+				}
+				grown, err := tbl.AppendBatch(pool[bi])
+				if err != nil {
+					b.Fatal(err)
+				}
+				bi++
+				tbl = grown
+			}
+		})
+	}
+}
+
+// BenchmarkRetention measures the bounded-memory streaming loop:
+// append a batch, apply a row-horizon retention policy, advance the
+// carried window query. The reported retained_MB / retained_segs
+// metrics plateau (bounded RSS) while the stream grows, and the cycle
+// cost stays flat — the acceptance numbers for unbounded ingest.
+func BenchmarkRetention(b *testing.B) {
+	const batchSize = 1_000
+	const poolBatches = 200
+	const keepRows = 50_000
+	stmt, err := sqlparse.Parse(datasets.IntelWindowSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, _ := datasets.Intel(datasets.IntelConfig{Rows: keepRows + poolBatches*batchSize, Seed: 7})
+	pool := make([][][]engine.Value, poolBatches)
+	for bi := range pool {
+		rows := make([][]engine.Value, batchSize)
+		for r := range rows {
+			rows[r] = full.Row(keepRows + bi*batchSize + r)
+		}
+		pool[bi] = rows
+	}
+	// 4Ki-row segments so the horizon advances in useful steps at this
+	// scale (the example uses the same geometry).
+	setup := func() (*engine.Table, *exec.Result) {
+		tbl, err := engine.NewTableSeg("readings", full.Schema(), 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := make([][]engine.Value, keepRows)
+		for i := range seed {
+			seed[i] = full.Row(i)
+		}
+		tbl, err = tbl.AppendBatch(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := exec.RunOn(tbl, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tbl, res
+	}
+	tbl, res := setup()
+	bi := 0
+	maxSegs, maxBytes := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bi == len(pool) {
+			b.StopTimer()
+			tbl, res = setup()
+			bi = 0
+			b.StartTimer()
+		}
+		grown, err := tbl.AppendBatch(pool[bi])
+		if err != nil {
+			b.Fatal(err)
+		}
+		bi++
+		retained, _, err := grown.RetainTail(engine.RetentionPolicy{MaxRows: keepRows})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = exec.Advance(res, retained)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = retained
+		if segs, bytes := tbl.MemStats(); true {
+			if segs > maxSegs {
+				maxSegs = segs
+			}
+			if bytes > maxBytes {
+				maxBytes = bytes
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(maxSegs), "retained_segs")
+	b.ReportMetric(float64(maxBytes)/(1<<20), "retained_MB")
+}

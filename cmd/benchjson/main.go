@@ -30,6 +30,9 @@ type Bench struct {
 	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
 	// AllocsPerOp is allocations per operation (-benchmem).
 	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom testing.B.ReportMetric values by unit (e.g.
+	// retained_MB for the retention benchmarks).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Doc is the emitted document.
@@ -100,15 +103,20 @@ func parseBench(line string) (Bench, bool) {
 	}
 	b := Bench{Name: name, Iters: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
+		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
 		switch fields[i+1] {
 		case "B/op":
-			b.BytesPerOp = v
+			b.BytesPerOp = int64(v)
 		case "allocs/op":
-			b.AllocsPerOp = v
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[fields[i+1]] = v
 		}
 	}
 	return b, true

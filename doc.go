@@ -34,8 +34,9 @@
 //     lineage sets, predicate match sets and culpability sets intersect
 //     and count at word granularity.
 //   - internal/engine — per-table typed column views (FloatView,
-//     DictView): each column decoded once to []float64 + NULL bitmap or
-//     dictionary codes, shared by every downstream consumer.
+//     DictView): each column decoded once into per-segment chunks of
+//     float64s + NULL words or dictionary codes, shared by every
+//     downstream consumer.
 //   - internal/exec — Result.AggArgFloats evaluates an aggregate's
 //     argument expression once per source row into an ArgView;
 //     Result.LineageBits/GroupLineageBits expose provenance as bitsets.
@@ -51,11 +52,11 @@
 //     worker pool; the prepared context is read-only shared state.
 //   - internal/dtree — split search streams the same typed views.
 //
-// Future backends plug in underneath this layer: a sharded or
-// multi-table engine only needs to produce the same flat views
-// (argument columns, lineage bitsets, clause masks) per shard, and the
-// scoring algebra above composes by OR-ing bitsets and merging
-// removable states.
+// Future backends plug in underneath this layer: the segmented engine
+// below already demonstrates the contract — it produces the same views
+// (argument columns, lineage bitsets, clause masks) as per-segment
+// chunks, and the scoring algebra above composes by concatenating
+// word-aligned chunks, OR-ing bitsets and merging removable states.
 //
 // # The vectorized query executor
 //
@@ -97,21 +98,24 @@
 // over the growing table. Every layer above is therefore maintained
 // incrementally under appends instead of being rebuilt from row 0:
 //
-//   - internal/engine — tables are versioned by a monotonically
-//     increasing row high-water mark. Table.AppendBatch is copy-on-write:
-//     it returns a new table version sharing the column prefix, so
-//     in-flight queries keep an immutable snapshot and never observe a
-//     half-appended batch; DB.Append republishes the grown version
-//     atomically. FloatView/DictView keep one canonical growable decode
-//     per column and extend it by decoding only [built, NumRows) —
-//     dictionary codes are append-stable (first-appearance order) — and
-//     hand out immutable per-length snapshots.
+//   - internal/engine — storage is SEGMENTED (see the next section):
+//     sealed fixed-size segments plus a growable tail. Table.AppendBatch
+//     is copy-on-write: it returns a new table version sharing every
+//     sealed segment by pointer and the tail arrays by aliasing, so
+//     in-flight queries keep an immutable snapshot, never observe a
+//     half-appended batch, and no append ever copies a whole column;
+//     DB.Append republishes the grown version atomically.
+//     FloatView/DictView decode sealed segments once into chunks owned
+//     by the segment and extend only the tail decoder by the appended
+//     suffix — dictionary codes are append-stable (first-appearance
+//     order) — and hand out immutable per-version snapshot windows.
 //   - internal/predicate — Index implements engine.RowSynced (the
 //     row-stamped invalidation hook of Table.AuxLoadOrStore): cached
-//     clause masks and non-NULL masks grow by appending words, existing
-//     bits being immutable, and queries request masks stamped to their
-//     own snapshot's length (ClauseBitsAt), so a scan mid-append never
-//     sees a mask of the wrong size.
+//     clause masks and non-NULL masks are per-segment word arrays
+//     extended independently from the matching view chunks, and queries
+//     request masks stamped to their own snapshot's length and base
+//     (ClauseBitsAtBase), so a scan mid-append — or racing a retention
+//     pass — never sees a mask of the wrong geometry.
 //   - internal/exec — Advance(res, grown) re-executes a statement over a
 //     grown table version by folding only the appended rows into copies
 //     of the previous result's group states (Clone+Merge state copy,
@@ -192,6 +196,65 @@
 // cycle against append + fresh run + fresh Debug: incremental cost
 // stays roughly flat across base table sizes while the rebuild
 // baseline grows with the table.
+//
+// # Segmented storage and retention (bounded-memory streams)
+//
+// The storage spine is built from fixed-size row segments — 64Ki rows
+// by default, any power of two >= 64 (engine.MinSegmentBits), chosen so
+// a segment boundary is ALWAYS a bitset word boundary. A table version
+// is an ordered list of sealed segments (immutable, exactly SegRows
+// rows) plus a growable tail; appends only ever touch the tail, and
+// sealing hands the tail arrays to a new segment by reference. Decoded
+// column chunks (floats + NULL words, dictionary codes) and the
+// predicate index's mask chunks live per segment, so every derived
+// structure shares the segment's lifetime, and the vectorized executor
+// shards its scan on segment boundaries (a shard is a whole number of
+// segments), so shard state aligns with chunk boundaries instead of
+// re-partitioning flat arrays per call.
+//
+// Segments are also the unit of retention. DB.Retain /
+// Table.RetainTail drop whole head segments past a row-count or
+// age-column horizon and republish the retained version, giving an
+// unbounded append stream a bounded resident window
+// (examples/sensor_stream runs the monitoring loop forever at a
+// retained-segment plateau; Table.MemStats and the server's /api/stats
+// report the footprint). Dropping k segments rebases every surviving
+// row id down by k*SegRows — a multiple of 64, which is the ROW-ID
+// REBASE CONTRACT carried incremental state relies on:
+//
+//   - structures keyed by value, not row id — aggregate states, group
+//     keys, dictionary codes, per-segment view and mask chunks — carry
+//     unchanged (the predicate index just drops its head chunks);
+//   - row-id-bearing bitmaps (lineage bitsets, argument NULL words, the
+//     scorer's F union) rebase by dropping whole leading words
+//     (bitset.ShiftDownWords) when nothing they reference was dropped:
+//     exec.Advance verifies every carried group's first row and
+//     earliest lineage row sit past the horizon (true whenever the
+//     statement's WHERE excludes the dropped window) and then rebases
+//     by pure id translation, keeping Plan.Incremental;
+//   - otherwise the carried state is unusable and Advance re-runs the
+//     statement over the retained window, recording why in
+//     Plan.Fallback ("retention: ..."). core.DebugAdvance never carries
+//     a RANKING across a horizon — the fingerprints that prove "same
+//     question" are written in row ids — so it re-expands (or falls
+//     back) with the reason recorded, while the scorer and result
+//     caches underneath still rebase where legal
+//     (influence.AdvanceScorer word-shifts its carried F union when the
+//     suspect groups' identities survive the shift).
+//
+// Stale snapshots taken before a retention pass stay readable (their
+// segments are alive until the last reader drops them), but their
+// dictionary views degrade to the boxed path and lowered filters
+// refuse their base — correctness never depends on a superseded
+// window. The differential harnesses drive append chains with batch
+// sizes landing exactly on, one under and one over segment boundaries,
+// interleaved with randomized retention, at the minimum segment size —
+// segmented executor, Scorer and DebugAdvance results stay
+// bit-identical to the flat scalar oracle at every step.
+//
+// BenchmarkSegmentedAppend shows flat per-batch append cost across
+// base sizes; BenchmarkRetention shows the bounded retained footprint
+// (retained_MB / retained_segs plateau) under an unbounded stream.
 //
 // The benchmarks in bench_test.go regenerate the data behaviour behind
 // each figure of the paper; run them with

@@ -1,6 +1,7 @@
 // Sensor stream walkthrough — the paper's continuous-monitoring
 // scenario: readings keep arriving from the motes and the analyst
-// re-runs the Figure 4 window query and Debug over the growing table.
+// re-runs the Figure 4 window query and Debug over the growing table,
+// forever, at bounded memory.
 //
 // This is the streaming counterpart of examples/sensor_anomaly. Each
 // cycle appends one batch through the engine's copy-on-write ingest
@@ -9,10 +10,17 @@
 // the previous Debug analysis the same way (core.DebugAdvance): the
 // carried scorer, lineage bitsets, argument view and scored predicates
 // all extend by the appended suffix, and the learners only re-run when
-// a carried predicate's score drifts. The printed per-batch latency
-// stays flat as the table grows: the whole
-// append → requery → re-debug cycle costs O(batch + lineage), not
-// O(table).
+// a carried predicate's score drifts.
+//
+// On top of the streaming loop, a retention policy (engine.DB.Retain)
+// drops whole head segments past a row horizon every few batches, so
+// the retained segment count — and with it resident memory — plateaus
+// while the stream keeps growing. Crossing a retention horizon rebases
+// row ids; carried results either rebase (the WHERE-bounded case) or
+// re-run over the retained window with the reason recorded in the
+// plan, and the loop keeps advancing either way. The printed per-batch
+// latency stays flat as the STREAM grows because the WINDOW doesn't:
+// the cycle costs O(batch + window), not O(stream).
 //
 //	go run ./examples/sensor_stream
 package main
@@ -31,30 +39,45 @@ import (
 
 const (
 	baseRows  = 60_000
-	batches   = 10
+	batches   = 14
 	batchRows = 2_000
+	// retainRows keeps roughly the newest 40k readings: segments wholly
+	// before the horizon are dropped every retainEvery batches.
+	retainRows  = 40_000
+	retainEvery = 3
+	// segBits sizes segments at 4Ki rows so the demo's modest stream
+	// spans many segments; production streams keep the 64Ki default.
+	segBits = 12
 )
 
 func main() {
 	// Generate the whole trace once, then replay its tail as live
 	// batches against a table seeded with the first baseRows readings.
 	full, _ := datasets.Intel(datasets.IntelConfig{Rows: baseRows + batches*batchRows, Seed: 11})
-	ids := make([]int, baseRows)
-	for i := range ids {
-		ids[i] = i
+	seed := make([][]engine.Value, baseRows)
+	for i := range seed {
+		seed[i] = full.Row(i)
+	}
+	tbl, err := engine.NewTableSeg("readings", full.Schema(), segBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err = tbl.AppendBatch(seed)
+	if err != nil {
+		log.Fatal(err)
 	}
 	db := engine.NewDB()
-	db.Register(full.Select(ids))
+	db.Register(tbl)
 
-	fmt.Printf("monitoring %d motes; base trace %d rows; query:\n  %s\n\n",
-		54, baseRows, datasets.IntelWindowSQL)
+	fmt.Printf("monitoring %d motes; base trace %d rows; %d-row segments, retain ~%d rows; query:\n  %s\n\n",
+		54, baseRows, 1<<segBits, retainRows, datasets.IntelWindowSQL)
 
 	res, err := core.Run(db, datasets.IntelWindowSQL)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var dbg *core.DebugResult
-	dbg = report(res, dbg, 0, 0)
+	dbg = report(res, dbg, 0, 0, "")
 
 	for b := 0; b < batches; b++ {
 		batch := make([][]engine.Value, 0, batchRows)
@@ -66,22 +89,37 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		note := ""
+		if (b+1)%retainEvery == 0 {
+			retained, stats, err := db.Retain("readings", engine.RetentionPolicy{MaxRows: retainRows})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if stats.DroppedSegments > 0 {
+				note = fmt.Sprintf("dropped %d segs", stats.DroppedSegments)
+			}
+			grown = retained
+		}
 		res, err = exec.Advance(res, grown)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !res.Plan.Incremental {
-			log.Fatalf("batch %d did not advance incrementally: %+v", b, res.Plan)
+		// Between horizons every batch must advance incrementally;
+		// crossing one may rebase or re-run (reason recorded).
+		if !res.Plan.Incremental && res.Plan.Fallback == "" {
+			log.Fatalf("batch %d fell back without a reason: %+v", b, res.Plan)
 		}
-		dbg = report(res, dbg, b+1, time.Since(start))
+		dbg = report(res, dbg, b+1, time.Since(start), note)
 	}
 }
 
 // report re-runs the monitoring check on the current result: highlight
 // high-stddev windows, advance the previous Debug analysis (or run a
-// fresh one on the first batch), and print the top suspect predicate.
-// It returns the analysis so the next batch can advance it again.
-func report(res *exec.Result, prev *core.DebugResult, batch int, cycle time.Duration) *core.DebugResult {
+// fresh one on the first batch), and print the top suspect predicate
+// plus the retained-storage footprint. It returns the analysis so the
+// next batch can advance it again.
+func report(res *exec.Result, prev *core.DebugResult, batch int, cycle time.Duration, note string) *core.DebugResult {
+	segs, bytes := res.Source.MemStats()
 	suspect, err := core.SuspectWhere(res, "std_temp", func(v engine.Value) bool {
 		return !v.IsNull() && v.Float() > 10
 	})
@@ -89,8 +127,8 @@ func report(res *exec.Result, prev *core.DebugResult, batch int, cycle time.Dura
 		log.Fatal(err)
 	}
 	if len(suspect) == 0 {
-		fmt.Printf("batch %2d: %7d rows, %4d windows, no suspect windows yet\n",
-			batch, res.Source.NumRows(), res.NumRows())
+		fmt.Printf("batch %2d: stream %7d window %6d rows, %3d segs %5.1f MB, no suspect windows yet\n",
+			batch, res.Source.Version(), res.Source.NumRows(), segs, float64(bytes)/(1<<20))
 		return prev
 	}
 	// No explicit D' examples: the high-influence set stands in,
@@ -112,8 +150,8 @@ func report(res *exec.Result, prev *core.DebugResult, batch int, cycle time.Dura
 	if len(dr.Explanations) > 0 {
 		top = dr.Explanations[0].Pred.String()
 	}
-	fmt.Printf("batch %2d: %7d rows, %4d windows, %2d suspect  append+requery %s  debug %s [%s]  top: %s\n",
-		batch, res.Source.NumRows(), res.NumRows(), len(suspect),
-		cycle.Round(time.Microsecond), time.Since(t0).Round(time.Millisecond), dr.Plan.Mode, top)
+	fmt.Printf("batch %2d: stream %7d window %6d rows, %3d segs %5.1f MB, %2d suspect  cycle %s  debug %s [%s] %s  top: %s\n",
+		batch, res.Source.Version(), res.Source.NumRows(), segs, float64(bytes)/(1<<20), len(suspect),
+		cycle.Round(time.Microsecond), time.Since(t0).Round(time.Millisecond), dr.Plan.Mode, note, top)
 	return dr
 }

@@ -302,3 +302,60 @@ func (b *Bitset) WordRange() (lo, hi int, ok bool) {
 	}
 	return lo, hi, true
 }
+
+// ---- Segment-aligned views ----------------------------------------
+//
+// The storage engine chunks rows into fixed-size segments of at least
+// 64 rows (a power of two), so a segment boundary is always a word
+// boundary in every bitmap over row ids. These helpers exploit that:
+// a flat bitset decomposes into per-segment word windows, per-segment
+// word blocks concatenate into a flat bitset, and dropping whole head
+// segments (retention) becomes a word-shift.
+
+// ConcatWords stamps a length-n bitset out of per-segment word blocks:
+// block k covers bits [k*segWords*64, ...), and each block may be
+// shorter than segWords only if it is the last. Ghost bits past n are
+// cleared. The blocks are not retained — this is the
+// compose-by-concatenation constructor for segment-chunked masks.
+func ConcatWords(n int, segWords int, blocks [][]uint64) *Bitset {
+	nw := (n + wordBits - 1) / wordBits
+	words := make([]uint64, nw)
+	at := 0
+	for _, blk := range blocks {
+		if at >= nw {
+			break
+		}
+		at += copy(words[at:], blk)
+		if rem := at % segWords; rem != 0 && at < nw {
+			at += segWords - rem // short (partial) block: pad to the segment
+		}
+	}
+	return FromWords(n, words)
+}
+
+// SegWords returns the word window of segment k in a flat bitset
+// (read-only) — the inverse of ConcatWords. The last segment's window
+// may be short.
+func (b *Bitset) SegWords(k, segWords int) []uint64 {
+	lo := k * segWords
+	hi := lo + segWords
+	if hi > len(b.words) {
+		hi = len(b.words)
+	}
+	return b.words[lo:hi]
+}
+
+// ShiftDownWords stamps a length-n bitset whose bit i is words'
+// bit i + drop, where drop is a multiple of 64 — the row-id rebase of
+// a carried bitmap after retention dropped drop head rows. The input
+// is not retained.
+func ShiftDownWords(n int, words []uint64, drop int) *Bitset {
+	if drop%wordBits != 0 {
+		panic("bitset: ShiftDownWords drop not word-aligned")
+	}
+	dw := drop / wordBits
+	if dw >= len(words) {
+		return New(n)
+	}
+	return SnapshotWords(n, words[dw:])
+}

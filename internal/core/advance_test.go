@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/testgen"
 )
@@ -117,7 +118,7 @@ func TestDebugAdvanceDifferential(t *testing.T) {
 	compared, advanced := 0, 0
 	for seed := int64(1); seed <= seeds; seed++ {
 		rng := rand.New(rand.NewSource(seed * 313))
-		tbl := testgen.Table(rng, 100+rng.Intn(150))
+		tbl := testgen.TableSeg(rng, 100+rng.Intn(150), engine.MinSegmentBits)
 		for iter := 0; iter < iters; iter++ {
 			stmt := testgen.DebugStmt(rng)
 			advRes, err := exec.RunOn(tbl, stmt)
@@ -130,7 +131,7 @@ func TestDebugAdvanceDifferential(t *testing.T) {
 			steps := 3 + rng.Intn(3)
 			cur := tbl
 			for step := 0; step < steps; step++ {
-				grown, err := cur.AppendBatch(testgen.Batch(rng, 1+rng.Intn(40)))
+				grown, err := cur.AppendBatch(testgen.Batch(rng, testgen.BoundaryBatchSize(rng, cur)))
 				if err != nil {
 					t.Fatalf("seed %d iter %d step %d: AppendBatch: %v", seed, iter, step, err)
 				}

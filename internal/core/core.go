@@ -726,8 +726,13 @@ func DebugAdvance(prev *DebugResult, req DebugRequest) (*DebugResult, error) {
 		return fall("statement changed")
 	case !res.Source.SameFamily(st.src):
 		return fall("source table changed")
-	case res.Source.NumRows() < st.src.NumRows():
+	case res.Source.Version() < st.src.Version():
+		// Version is the stream high-water mark, unchanged by retention;
+		// fewer LOCAL rows with an advanced base is a retained window,
+		// not a shrink.
 		return fall("source table shrank")
+	case res.Source.Base() < st.src.Base():
+		return fall("source retention base regressed")
 	case st.ord != ord:
 		return fall("debugged aggregate changed")
 	case st.metricKey != metricKey(req.Metric):
@@ -763,8 +768,16 @@ func DebugAdvance(prev *DebugResult, req DebugRequest) (*DebugResult, error) {
 	// selection's lineage, so a changed selection re-expands (rescoring
 	// alone could silently miss selection-specific predicates even when
 	// the carried ones drift little). Same for a changed pipeline
-	// configuration, and there must be candidates to rescore.
-	carry := st.rstate.Len() > 0 && optionsCompatible(st.opt, opt) &&
+	// configuration, and there must be candidates to rescore. A moved
+	// retention base rebases every row id the fingerprints are written
+	// in, so the carried ranking never stands across a horizon: the
+	// scorer/result caches rebase (word-shift) but the ranking re-expands,
+	// with the reason recorded.
+	drop := res.Source.Base() - st.src.Base()
+	if drop > 0 {
+		out.Plan.Fallback = "retention: row ids rebased, carried ranking re-expands"
+	}
+	carry := drop == 0 && st.rstate.Len() > 0 && optionsCompatible(st.opt, opt) &&
 		st.suspectKey == suspectKeyOf(res, req.Suspect) &&
 		st.examplesKey == rowsKey(req.Examples)
 

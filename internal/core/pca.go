@@ -38,9 +38,8 @@ func PCAGroups(res *exec.Result) ([][2]float64, [2]float64, error) {
 	for i, c := range cols {
 		var sum, sumsq float64
 		var cnt int
-		col := res.Table.Column(c)
 		for r := 0; r < n; r++ {
-			v := col[r]
+			v := res.Table.Value(r, c)
 			if v.IsNull() {
 				continue
 			}

@@ -164,7 +164,7 @@ func (t *Tree) bindViews() {
 			t.dviews[ai] = dv
 			if dv != nil {
 				codes := make([]int32, len(attr.Values))
-				slots := make([]int32, len(dv.Values))
+				slots := make([]int32, dv.NumValues())
 				for i := range slots {
 					slots[i] = -1
 				}
@@ -239,16 +239,15 @@ func (t *Tree) bucketize(rows []int) {
 		if fv := t.fviews[ai]; fv != nil {
 			for i, r := range rows {
 				k := len(ths)
-				if f := fv.Vals[r]; !math.IsNaN(f) {
+				if f := fv.V(r); !math.IsNaN(f) {
 					k = sort.SearchFloat64s(ths, f)
 				}
 				b[i] = int16(k)
 			}
 		} else {
-			col := sp.Table.Column(attr.Col)
 			for i, r := range rows {
 				k := len(ths)
-				if v := col[r]; !v.IsNull() {
+				if v := sp.Table.Value(r, attr.Col); !v.IsNull() {
 					if f := v.Float(); !math.IsNaN(f) {
 						k = sort.SearchFloat64s(ths, f)
 					}
@@ -403,7 +402,7 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 				for _, i := range idx {
 					r := rows[i]
 					k := len(ths)
-					if f := fv.Vals[r]; !math.IsNaN(f) {
+					if f := fv.V(r); !math.IsNaN(f) {
 						k = sort.SearchFloat64s(ths, f) // first th >= f
 					}
 					bTot[k] += weights[i]
@@ -412,9 +411,8 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 					}
 				}
 			} else {
-				col := t.Space.Table.Column(attr.Col)
 				for _, i := range idx {
-					v := col[rows[i]]
+					v := t.Space.Table.Value(rows[i], attr.Col)
 					k := len(ths)
 					if !v.IsNull() {
 						f := v.Float()
@@ -446,7 +444,7 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 				cTot := make([]float64, len(attr.Values))
 				cPos := make([]float64, len(attr.Values))
 				for _, i := range idx {
-					code := dv.Codes[rows[i]]
+					code := dv.CodeAt(rows[i])
 					if code < 0 {
 						continue
 					}
@@ -468,11 +466,10 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 				}
 				continue
 			}
-			col := t.Space.Table.Column(attr.Col)
 			cTot := make(map[string]float64, len(attr.Values))
 			cPos := make(map[string]float64, len(attr.Values))
 			for _, i := range idx {
-				v := col[rows[i]]
+				v := t.Space.Table.Value(rows[i], attr.Col)
 				if v.IsNull() {
 					continue
 				}
@@ -513,12 +510,12 @@ func (t *Tree) goesLeft(s Split, row int) bool {
 	// Views are bound at Train time; a row appended to the table since
 	// then is past their length and falls back to the live column read.
 	if s.Numeric {
-		if fv := t.fviews[s.AttrIdx]; fv != nil && row < len(fv.Vals) {
-			f := fv.Vals[row] // NULL is stored as NaN and routes right
+		if fv := t.fviews[s.AttrIdx]; fv != nil && row < fv.Len() {
+			f := fv.V(row) // NULL is stored as NaN and routes right
 			return !math.IsNaN(f) && f <= s.Threshold
 		}
-	} else if dv := t.dviews[s.AttrIdx]; dv != nil && row < len(dv.Codes) {
-		code := dv.Codes[row]
+	} else if dv := t.dviews[s.AttrIdx]; dv != nil && row < dv.Len() {
+		code := dv.CodeAt(row)
 		return code >= 0 && code == s.code
 	}
 	return splitGoesLeft(t.Space, s, row)

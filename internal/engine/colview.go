@@ -2,56 +2,128 @@ package engine
 
 import (
 	"math"
+	"sort"
 	"sync"
-
-	"repro/internal/bitset"
 )
 
 var nan = math.NaN()
 
 // This file implements the typed column views behind DBWipes' columnar
-// scoring fast path, and — since the streaming-append work — their
-// *incremental* maintenance. A Table stores boxed Values; the hot paths
-// (vectorized predicate evaluation, decision-tree split search) want a
-// flat []float64 or a dictionary-coded []int32 they can stream over
-// without per-row type dispatch.
+// scoring fast path, maintained incrementally and — since the
+// segmented-storage work — chunked on the same fixed-size row segments
+// as the storage itself. A sealed segment's decode (floatChunk /
+// dictChunk, see segment.go) is built once, whole-segment-at-a-time,
+// and lives ON the segment: every table version that contains the
+// segment shares the chunk by pointer, and when retention drops the
+// segment the decode memory goes with it. The growable tail has one
+// incremental decoder per column (tailFloat / the dictState's tail
+// codes), extended by exactly the appended suffix; sealing the tail
+// migrates the finished decode into the new segment's chunks.
 //
-// Tables are append-only, so a decoded prefix never changes: when rows
-// have been appended since the last build, only the suffix
-// [built, NumRows) is decoded and appended to the canonical decode
-// state. Callers receive immutable per-length *snapshots* of that
-// state: the value slices alias the canonical arrays (append-extension
-// writes only indexes >= every published snapshot's length, so aliasing
-// is race-free), while NULL bitmaps copy the canonical words (an
-// n/64-word memcpy — 64x smaller than the data and the price of
-// keeping bitset word boundaries immutable per snapshot).
+// Callers receive immutable per-version *snapshots* (FloatView /
+// DictView): a window of per-segment chunk slices. Sealed chunks are
+// aliased (immutable once built); the tail's value slice is aliased
+// with a capacity clamp (extension writes only past every published
+// snapshot's length) while tail NULL words are copied — a ≤
+// segWords memcpy, the price of keeping bitset word boundaries
+// immutable per snapshot. Segment sizes are ≥ 64 rows, so every
+// segment's NULL words align with global bitset words: word w of
+// segment k covers rows k*SegRows + [64w, 64w+64).
 //
-// The same cache structure carries the table family's row high-water
-// mark: every copy-on-write append snapshot (Table.AppendBatch) shares
-// this struct, and hw is what detects appends to a stale snapshot.
+// Dictionary codes are family-global and assigned in first-appearance
+// (row) order, which requires decoding string columns sequentially;
+// the dictState tracks the contiguous decode frontier in stream rows.
+// The dictionary itself (values, byStr) never shrinks — strings whose
+// rows were all dropped by retention keep their codes.
 
-// FloatView is a decoded numeric column: Vals[i] holds row i's value
-// coerced to float64 (NaN for NULL — consult Null to distinguish a
-// stored NaN from a NULL), and Null marks the NULL rows.
+// FloatView is a decoded numeric column over one table version: a
+// window of per-segment chunks. V(i) is row i's value coerced to
+// float64 (NaN for NULL — consult IsNull to distinguish a stored NaN
+// from a NULL).
 type FloatView struct {
-	Vals []float64
-	Null *bitset.Bitset
+	segs  [][]float64
+	nulls [][]uint64
+	n     int
+	bits  uint
+	mask  int
 }
 
-// DictView is a dictionary-encoded string column: Codes[i] indexes
-// Values, or is -1 for NULL. Values lists the distinct strings in
-// first-appearance order — which makes codes append-stable: a string's
-// code never changes as rows are appended, so views of different table
-// versions agree on every shared code.
+// Len returns the number of rows the view covers.
+func (f *FloatView) Len() int { return f.n }
+
+// V returns row i's float64 value (NaN when NULL).
+func (f *FloatView) V(i int) float64 { return f.segs[i>>f.bits][i&f.mask] }
+
+// IsNull reports whether row i is NULL.
+func (f *FloatView) IsNull(i int) bool {
+	off := i & f.mask
+	return f.nulls[i>>f.bits][off>>6]&(1<<(uint(off)&63)) != 0
+}
+
+// NumSegs returns the number of segment chunks in the window (the last
+// may be partial).
+func (f *FloatView) NumSegs() int { return len(f.segs) }
+
+// Seg returns segment k's value slice (read-only); its length is the
+// number of view rows in the segment.
+func (f *FloatView) Seg(k int) []float64 { return f.segs[k] }
+
+// NullSeg returns segment k's NULL bitmap words (read-only). Word w
+// covers rows SegStart(k) + [64w, 64w+64); segments are word-aligned,
+// so these concatenate into the view-global NULL bitmap.
+func (f *FloatView) NullSeg(k int) []uint64 { return f.nulls[k] }
+
+// SegStart returns the first view row of segment k.
+func (f *FloatView) SegStart(k int) int { return k << f.bits }
+
+// SegRows returns the rows-per-segment of the view's geometry.
+func (f *FloatView) SegRows() int { return 1 << f.bits }
+
+// DictView is a dictionary-encoded string column over one table
+// version: per-segment code chunks plus the family dictionary.
+// CodeAt(i) indexes Values, or is -1 for NULL. Values lists the
+// distinct strings in first-appearance order — which makes codes
+// append-stable: a string's code never changes as rows are appended,
+// so views of different table versions agree on every shared code.
 type DictView struct {
-	Codes  []int32
-	Values []string
+	segs [][]int32
+	n    int
+	bits uint
+	mask int
+	// values is the dictionary bounded to this snapshot's rows.
+	values []string
 	byStr  map[string]int32
 	// nvals bounds Code lookups: the shared byStr map may contain
 	// strings that first appear after this snapshot's last row (their
 	// codes are >= nvals), and those must read as absent here.
 	nvals int32
 }
+
+// Len returns the number of rows the view covers.
+func (d *DictView) Len() int { return d.n }
+
+// CodeAt returns row i's dictionary code (-1 for NULL).
+func (d *DictView) CodeAt(i int) int32 { return d.segs[i>>d.bits][i&d.mask] }
+
+// NumSegs returns the number of segment chunks in the window.
+func (d *DictView) NumSegs() int { return len(d.segs) }
+
+// Seg returns segment k's code slice (read-only).
+func (d *DictView) Seg(k int) []int32 { return d.segs[k] }
+
+// SegStart returns the first view row of segment k.
+func (d *DictView) SegStart(k int) int { return k << d.bits }
+
+// Values returns the distinct strings in first-appearance order,
+// bounded to this snapshot's rows. Read-only.
+func (d *DictView) Values() []string { return d.values }
+
+// NumValues returns the number of distinct strings within this
+// snapshot's rows.
+func (d *DictView) NumValues() int { return int(d.nvals) }
+
+// Value returns the string of a code returned by CodeAt.
+func (d *DictView) Value(code int32) string { return d.values[code] }
 
 // Code returns the dictionary code of s, or -1 when s does not occur in
 // the column (within this snapshot's rows).
@@ -63,40 +135,65 @@ func (d *DictView) Code(s string) int32 {
 }
 
 // tableViews is the per-table-family view cache and version state. It
-// lives behind a pointer so Rename's and AppendBatch's shallow copies
-// share it (shared storage, shared cache) and so the Table struct stays
-// copyable without copying a lock.
+// lives behind a pointer so Rename's, AppendBatch's and RetainTail's
+// shallow copies share it (shared storage, shared cache) and so the
+// Table struct stays copyable without copying a lock.
 type tableViews struct {
 	mu sync.Mutex
-	// hw is the family's row high-water mark: the row count of the
-	// newest table version sharing this cache. Appends are only legal on
-	// the version whose NumRows equals hw — appending to an older
-	// snapshot would clobber rows a newer version already published.
-	hw    int
-	float map[int]*floatEntry
-	dict  map[int]*dictEntry
+	// pub is the family's publication counter: each AppendBatch or
+	// RetainTail bumps it, and mutations require the acting version to
+	// carry the current stamp — the linear-history check.
+	pub uint64
+	// hw is the family's stream high-water mark (rows ever appended);
+	// curBase the newest version's retention base.
+	hw      int
+	curBase int
+	// epoch is the stream segment index of the current tail: the number
+	// of segments ever sealed (retention never decrements it).
+	epoch   int
+	segBits uint
+	// tailF holds the incremental float decoders of the current tail
+	// epoch, dict the per-column family dictionary state.
+	tailF map[int]*tailFloat
+	dict  map[int]*dictState
+	// fsnap/dsnap cache the most recently built snapshot per column.
+	fsnap map[int]*FloatView
+	dsnap map[int]*DictView
 	aux   map[any]any
 }
 
-// floatEntry is one numeric column's canonical growable decode state.
-type floatEntry struct {
-	vals  []float64 // decoded rows [0, built)
-	nullW []uint64  // NULL bitmap words covering [0, built)
+// tailFloat incrementally decodes the current tail epoch of one
+// numeric column: rows [0, built) of the tail are decoded into vals
+// and the NULL words (sized for a full segment up front, so extension
+// never reallocates them).
+type tailFloat struct {
+	vals  []float64
+	null  []uint64
 	built int
-	snap  *FloatView // cached snapshot at the newest built length
 }
 
-// dictMark records the dictionary size right after a new string's first
-// appearance: after row rows-1, nvals strings had been seen. Snapshots
-// at older lengths use the marks to bound Values/Code exactly.
+func (tf *tailFloat) decodeOne(v Value) {
+	if v.IsNull() {
+		tf.vals = append(tf.vals, nan)
+		tf.null[tf.built>>6] |= 1 << (uint(tf.built) & 63)
+	} else {
+		tf.vals = append(tf.vals, v.Float())
+	}
+	tf.built++
+}
+
+// dictMark records the dictionary size right after a new string's
+// first appearance: after stream row rows-1, nvals strings had been
+// seen. Snapshots at older lengths use the marks to bound Values/Code
+// exactly.
 type dictMark struct {
 	rows  int
 	nvals int32
 }
 
-// dictEntry is one string column's canonical growable decode state.
-type dictEntry struct {
-	codes  []int32
+// dictState is one string column's family-level dictionary plus its
+// sequential decode frontier.
+type dictState struct {
 	values []string
 	byStr  map[string]int32
 	// shared is true once byStr has been handed to a snapshot; the next
@@ -104,15 +201,61 @@ type dictEntry struct {
 	// snapshots never observe a map write.
 	shared bool
 	marks  []dictMark
-	built  int
-	snap   *DictView
+	// decoded is the contiguous stream-row decode frontier.
+	decoded int
+	// tailCodes holds the decoded codes of the current tail epoch.
+	tailCodes []int32
+}
+
+// code interns v (stream row r) and returns its dictionary code.
+func (ds *dictState) code(v Value, r int) int32 {
+	if v.IsNull() {
+		return -1
+	}
+	c, ok := ds.byStr[v.S]
+	if !ok {
+		if ds.shared {
+			clone := make(map[string]int32, len(ds.byStr)+1)
+			for k, cv := range ds.byStr {
+				clone[k] = cv
+			}
+			ds.byStr = clone
+			ds.shared = false
+		}
+		c = int32(len(ds.values))
+		ds.byStr[v.S] = c
+		ds.values = append(ds.values, v.S)
+		ds.marks = append(ds.marks, dictMark{rows: r + 1, nvals: c + 1})
+	}
+	return c
+}
+
+// decodeOne interns one tail value at stream row r, advancing the
+// frontier.
+func (ds *dictState) decodeOne(v Value, r int) {
+	ds.tailCodes = append(ds.tailCodes, ds.code(v, r))
+	ds.decoded = r + 1
+}
+
+// nvalsAt bounds the dictionary to the strings that had appeared by
+// stream row end (marks record each first appearance).
+func (ds *dictState) nvalsAt(end int) int32 {
+	i := sort.Search(len(ds.marks), func(i int) bool { return ds.marks[i].rows > end })
+	if i == 0 {
+		return 0
+	}
+	return ds.marks[i-1].nvals
 }
 
 func (t *Table) viewCache() *tableViews {
 	if t.views == nil {
 		// Zero-value / legacy tables: allocate on first use. NewTable
 		// initializes views, so this path is single-goroutine setup code.
-		t.views = &tableViews{hw: t.nrows}
+		if t.bits == 0 {
+			t.bits = DefaultSegmentBits
+			t.mask = 1<<t.bits - 1
+		}
+		t.views = &tableViews{segBits: t.bits, hw: t.nrows}
 	}
 	return t.views
 }
@@ -121,7 +264,8 @@ func (t *Table) viewCache() *tableViews {
 // maintain per-row derived state — e.g. the executor's predicate index
 // with its cached clause masks. AuxLoadOrStore calls SyncRows with the
 // requesting table version on every access, so the value can extend
-// itself to a grown snapshot (decoding only the appended suffix)
+// itself to a grown snapshot (decoding only the appended suffix) — or
+// rebase itself after retention by dropping whole head segments —
 // instead of being rebuilt from row 0.
 type RowSynced interface {
 	SyncRows(t *Table)
@@ -129,12 +273,13 @@ type RowSynced interface {
 
 // AuxLoadOrStore returns the per-table auxiliary cache entry for key,
 // building it with build on first request. Entries share the table
-// family's lifetime (and its Rename/AppendBatch copies), which lets
-// higher layers — the executor's predicate index, for instance — cache
-// derived structures per table without a process-global map that
-// outlives the table. build may run more than once under a race;
-// exactly one result wins. Values implementing RowSynced are notified
-// of the requesting table version before being returned.
+// family's lifetime (and its Rename/AppendBatch/RetainTail copies),
+// which lets higher layers — the executor's predicate index, for
+// instance — cache derived structures per table without a
+// process-global map that outlives the table. build may run more than
+// once under a race; exactly one result wins. Values implementing
+// RowSynced are notified of the requesting table version before being
+// returned.
 func (t *Table) AuxLoadOrStore(key any, build func() any) any {
 	v := t.auxLoadOrStore(key, build)
 	if rs, ok := v.(RowSynced); ok {
@@ -164,120 +309,214 @@ func (t *Table) auxLoadOrStore(key any, build func() any) any {
 	return v
 }
 
+// ensureFloat builds (once) the whole-segment float decode of column c.
+// Caller holds the family views lock.
+func (s *segment) ensureFloat(c int, segWords int) *floatChunk {
+	if ch := s.fchunk[c]; ch != nil {
+		return ch
+	}
+	col := s.cols[c]
+	vals := make([]float64, len(col))
+	null := make([]uint64, segWords)
+	for i, v := range col {
+		if v.IsNull() {
+			vals[i] = nan
+			null[i>>6] |= 1 << (uint(i) & 63)
+		} else {
+			vals[i] = v.Float()
+		}
+	}
+	ch := &floatChunk{vals: vals, null: null}
+	s.fchunk[c] = ch
+	return ch
+}
+
+// liveTail reports whether this version's tail is the family's current
+// tail epoch (no newer version has sealed it yet).
+func (t *Table) liveTailLocked() bool {
+	return t.base>>t.bits+len(t.sealed) == t.views.epoch
+}
+
 // FloatView returns the float64 decoding of numeric column c at this
-// table version's length, or nil when the column is not numeric. The
-// returned view is an immutable snapshot, shared across callers at the
-// same length; appended rows extend the canonical decode in place
-// (suffix-only work) rather than rebuilding it.
+// table version's window, or nil when the column is not numeric. The
+// returned view is an immutable snapshot; sealed-segment chunks are
+// shared across all versions containing the segment, and appended rows
+// extend only the tail decoder.
 func (t *Table) FloatView(c int) *FloatView {
 	if c < 0 || c >= len(t.schema) || !t.schema[c].Type.IsNumeric() {
 		return nil
 	}
-	n := t.nrows
 	vc := t.viewCache()
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
-	if vc.float == nil {
-		vc.float = make(map[int]*floatEntry)
+	// The cache only ever holds the newest window at the current base
+	// (RetainTail clears it); within one base, equal length pins it to
+	// exactly this version's window.
+	if s := vc.fsnap[c]; s != nil && s.n == t.nrows && vc.curBase == t.base {
+		return s
 	}
-	e, ok := vc.float[c]
-	if !ok {
-		e = &floatEntry{}
-		vc.float[c] = e
+	segWords := segWordsOf(t.bits)
+	nsegs := len(t.sealed)
+	tailLen := t.nrows - nsegs<<t.bits
+	fv := &FloatView{n: t.nrows, bits: t.bits, mask: t.mask}
+	fv.segs = make([][]float64, 0, nsegs+1)
+	fv.nulls = make([][]uint64, 0, nsegs+1)
+	for _, seg := range t.sealed {
+		ch := seg.ensureFloat(c, segWords)
+		fv.segs = append(fv.segs, ch.vals)
+		fv.nulls = append(fv.nulls, ch.null)
 	}
-	if e.built < n {
-		col := t.cols[c]
-		for i := e.built; i < n; i++ {
-			v := col[i]
-			if v.IsNull() {
-				e.vals = append(e.vals, nan)
-				bitset.SetInWords(&e.nullW, i)
-				continue
+	if tailLen > 0 {
+		var vals []float64
+		null := make([]uint64, (tailLen+63)>>6)
+		if t.liveTailLocked() {
+			if vc.tailF == nil {
+				vc.tailF = make(map[int]*tailFloat)
 			}
-			e.vals = append(e.vals, v.Float())
+			tf := vc.tailF[c]
+			if tf == nil {
+				tf = &tailFloat{null: make([]uint64, segWords)}
+				vc.tailF[c] = tf
+			}
+			for tf.built < tailLen {
+				tf.decodeOne(t.tail[c][tf.built])
+			}
+			vals = tf.vals[:tailLen:tailLen]
+			copy(null, tf.null)
+			if rem := tailLen & 63; rem != 0 {
+				null[len(null)-1] &= 1<<uint(rem) - 1
+			}
+		} else {
+			// Superseded tail (the family has sealed past this version):
+			// decode the partial window directly, uncached. Rare — only
+			// versions already straddled by later appends land here.
+			vals = make([]float64, tailLen)
+			for i := 0; i < tailLen; i++ {
+				if v := t.tail[c][i]; v.IsNull() {
+					vals[i] = nan
+					null[i>>6] |= 1 << (uint(i) & 63)
+				} else {
+					vals[i] = v.Float()
+				}
+			}
 		}
-		e.built = n
-		e.snap = nil
+		fv.segs = append(fv.segs, vals)
+		fv.nulls = append(fv.nulls, null)
 	}
-	if e.snap != nil && len(e.snap.Vals) == n {
-		return e.snap
-	}
-	fv := &FloatView{Vals: e.vals[:n:n], Null: bitset.SnapshotWords(n, e.nullW)}
-	if n == e.built {
-		e.snap = fv
+	if t.base == vc.curBase && t.base+t.nrows == vc.hw {
+		if vc.fsnap == nil {
+			vc.fsnap = make(map[int]*FloatView)
+		}
+		vc.fsnap[c] = fv
 	}
 	return fv
 }
 
 // DictView returns the dictionary encoding of string column c at this
-// table version's length, or nil when the column is not a string
-// column. The returned view is an immutable snapshot; appended rows
-// extend the canonical dictionary in place, and codes are append-stable
-// (first-appearance order).
+// table version's window, or nil when the column is not a string
+// column — or when the version predates the family's current retention
+// base (callers then fall back to the boxed value path; such stale
+// snapshots are already superseded). Codes are append-stable
+// (first-appearance order), which requires sequential decode: the
+// family decodes string columns in stream-row order regardless of
+// which version asks first.
 func (t *Table) DictView(c int) *DictView {
 	if c < 0 || c >= len(t.schema) || t.schema[c].Type != TString {
 		return nil
 	}
-	n := t.nrows
 	vc := t.viewCache()
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
+	if t.base != vc.curBase {
+		return nil
+	}
+	if s := vc.dsnap[c]; s != nil && s.n == t.nrows {
+		return s
+	}
 	if vc.dict == nil {
-		vc.dict = make(map[int]*dictEntry)
+		vc.dict = make(map[int]*dictState)
 	}
-	e, ok := vc.dict[c]
-	if !ok {
-		e = &dictEntry{byStr: make(map[string]int32)}
-		vc.dict[c] = e
+	ds := vc.dict[c]
+	if ds == nil {
+		ds = &dictState{byStr: make(map[string]int32)}
+		vc.dict[c] = ds
 	}
-	if e.built < n {
-		col := t.cols[c]
-		for i := e.built; i < n; i++ {
-			v := col[i]
-			if v.IsNull() {
-				e.codes = append(e.codes, -1)
-				continue
+	if ds.decoded < t.base {
+		ds.decoded = t.base // rows dropped before first decode never intern
+	}
+	end := t.base + t.nrows
+	nsegs := len(t.sealed)
+	tailLen := t.nrows - nsegs<<t.bits
+	segRows := 1 << t.bits
+	live := t.liveTailLocked()
+	// Advance the contiguous decode frontier to this version's end.
+	for ds.decoded < end {
+		sk := ds.decoded >> t.bits // stream segment of the frontier
+		k := sk - t.base>>t.bits   // local segment index in t
+		if k < nsegs {
+			seg := t.sealed[k]
+			codes := make([]int32, segRows)
+			for i, v := range seg.cols[c] {
+				codes[i] = ds.code(v, sk<<t.bits+i)
 			}
-			code, ok := e.byStr[v.S]
-			if !ok {
-				if e.shared {
-					clone := make(map[string]int32, len(e.byStr)+1)
-					for k, cv := range e.byStr {
-						clone[k] = cv
-					}
-					e.byStr = clone
-					e.shared = false
-				}
-				code = int32(len(e.values))
-				e.byStr[v.S] = code
-				e.values = append(e.values, v.S)
-				e.marks = append(e.marks, dictMark{rows: i + 1, nvals: code + 1})
-			}
-			e.codes = append(e.codes, code)
+			seg.dchunk[c] = &dictChunk{codes: codes}
+			ds.decoded = (sk + 1) << t.bits
+			continue
 		}
-		e.built = n
-		e.snap = nil
+		if !live {
+			// The rows live in a segment sealed by a newer version,
+			// unreachable from this one; the caller falls back to boxed
+			// values. The frontier is untouched, so a newer version's
+			// request decodes them in order.
+			return nil
+		}
+		off := ds.decoded - vc.epoch<<t.bits
+		ds.decodeOne(t.tail[c][off], ds.decoded)
 	}
-	if e.snap != nil && len(e.snap.Codes) == n {
-		return e.snap
-	}
-	nvals := int32(len(e.values))
-	if e.built > n {
-		// Older snapshot: bound the dictionary to the strings that had
-		// appeared by row n (marks record each first appearance).
-		nvals = 0
-		for _, m := range e.marks {
-			if m.rows <= n {
-				nvals = m.nvals
-			} else {
-				break
+	dv := &DictView{n: t.nrows, bits: t.bits, mask: t.mask}
+	dv.segs = make([][]int32, 0, nsegs+1)
+	for _, seg := range t.sealed {
+		if seg.dchunk[c] == nil {
+			// Decoded before this version's base moved (pre-retention
+			// frontier skips): decode directly — all codes exist.
+			codes := make([]int32, segRows)
+			for i, v := range seg.cols[c] {
+				codes[i] = ds.lookup(v)
 			}
+			seg.dchunk[c] = &dictChunk{codes: codes}
+		}
+		dv.segs = append(dv.segs, seg.dchunk[c].codes)
+	}
+	if tailLen > 0 {
+		if live {
+			dv.segs = append(dv.segs, ds.tailCodes[:tailLen:tailLen])
+		} else {
+			codes := make([]int32, tailLen)
+			for i := 0; i < tailLen; i++ {
+				codes[i] = ds.lookup(t.tail[c][i])
+			}
+			dv.segs = append(dv.segs, codes)
 		}
 	}
-	dv := &DictView{Codes: e.codes[:n:n], Values: e.values[:nvals:nvals], byStr: e.byStr, nvals: nvals}
-	e.shared = true
-	if n == e.built {
-		e.snap = dv
+	nvals := ds.nvalsAt(end)
+	dv.values = ds.values[:nvals:nvals]
+	dv.byStr = ds.byStr
+	dv.nvals = nvals
+	ds.shared = true
+	if end == vc.hw {
+		if vc.dsnap == nil {
+			vc.dsnap = make(map[int]*DictView)
+		}
+		vc.dsnap[c] = dv
 	}
 	return dv
+}
+
+// lookup returns the code of an already-interned value (every row at or
+// below the decode frontier has one); NULL is -1.
+func (ds *dictState) lookup(v Value) int32 {
+	if v.IsNull() {
+		return -1
+	}
+	return ds.byStr[v.S]
 }

@@ -40,10 +40,10 @@ func TestFloatView(t *testing.T) {
 	if fv == nil {
 		t.Fatal("nil FloatView for float column")
 	}
-	if fv.Vals[0] != 1.5 || fv.Vals[2] != -2 {
-		t.Errorf("Vals = %v", fv.Vals)
+	if fv.V(0) != 1.5 || fv.V(2) != -2 {
+		t.Errorf("Vals = %v, %v", fv.V(0), fv.V(2))
 	}
-	if !math.IsNaN(fv.Vals[1]) || !fv.Null.Get(1) || fv.Null.Get(0) {
+	if !math.IsNaN(fv.V(1)) || !fv.IsNull(1) || fv.IsNull(0) {
 		t.Error("NULL row not marked")
 	}
 	if tbl.FloatView(1) != nil {
@@ -59,8 +59,8 @@ func TestFloatView(t *testing.T) {
 	if fv2 == fv {
 		t.Error("stale view returned after append")
 	}
-	if len(fv2.Vals) != 4 || fv2.Vals[3] != 7 {
-		t.Errorf("rebuilt view = %v", fv2.Vals)
+	if fv2.Len() != 4 || fv2.V(3) != 7 {
+		t.Errorf("rebuilt view len=%d", fv2.Len())
 	}
 }
 
@@ -75,16 +75,16 @@ func TestDictView(t *testing.T) {
 	if dv == nil {
 		t.Fatal("nil DictView for string column")
 	}
-	if len(dv.Values) != 4 { // a, b, "", c
-		t.Fatalf("Values = %v", dv.Values)
+	if dv.NumValues() != 4 { // a, b, "", c
+		t.Fatalf("Values = %v", dv.Values())
 	}
-	if dv.Codes[0] != dv.Codes[2] || dv.Codes[0] == dv.Codes[1] {
-		t.Errorf("Codes = %v", dv.Codes)
+	if dv.CodeAt(0) != dv.CodeAt(2) || dv.CodeAt(0) == dv.CodeAt(1) {
+		t.Errorf("codes = %v %v %v", dv.CodeAt(0), dv.CodeAt(1), dv.CodeAt(2))
 	}
-	if dv.Codes[5] != -1 {
+	if dv.CodeAt(5) != -1 {
 		t.Error("NULL row should code as -1")
 	}
-	if dv.Code("a") != dv.Codes[0] || dv.Code("zzz") != -1 {
+	if dv.Code("a") != dv.CodeAt(0) || dv.Code("zzz") != -1 {
 		t.Error("Code lookup mismatch")
 	}
 	if tbl.DictView(1) != nil {
@@ -93,35 +93,40 @@ func TestDictView(t *testing.T) {
 }
 
 // TestFloatViewExtendsIncrementally pins the streaming tentpole at the
-// engine layer: appending rows must extend the canonical decode state
-// in place (suffix-only work), not discard and rebuild it, and views
-// handed out earlier must stay immutable.
+// engine layer: appending rows must extend the tail decoder in place
+// (suffix-only work), not discard and rebuild it, and views handed out
+// earlier must stay immutable.
 func TestFloatViewExtendsIncrementally(t *testing.T) {
 	tbl := MustNewTable("t", NewSchema("x", TFloat))
 	for i := 0; i < 100; i++ {
 		tbl.MustAppendRow(NewFloat(float64(i)))
 	}
 	fv1 := tbl.FloatView(0)
-	e := tbl.views.float[0]
+	e := tbl.views.tailF[0]
 	if e == nil || e.built != 100 {
-		t.Fatalf("entry built = %v", e)
+		t.Fatalf("tail decoder = %+v", e)
 	}
 	tbl.MustAppendRow(Null)
 	tbl.MustAppendRow(NewFloat(42))
 
 	fv2 := tbl.FloatView(0)
-	if tbl.views.float[0] != e {
-		t.Fatal("append replaced the canonical entry instead of extending it")
+	if tbl.views.tailF[0] != e {
+		t.Fatal("append replaced the tail decoder instead of extending it")
 	}
 	if e.built != 102 {
-		t.Fatalf("entry.built = %d, want 102", e.built)
+		t.Fatalf("decoder built = %d, want 102", e.built)
 	}
-	if len(fv2.Vals) != 102 || fv2.Vals[101] != 42 || !fv2.Null.Get(100) || !math.IsNaN(fv2.Vals[100]) {
-		t.Fatalf("extended view wrong: len=%d", len(fv2.Vals))
+	if fv2.Len() != 102 || fv2.V(101) != 42 || !fv2.IsNull(100) || !math.IsNaN(fv2.V(100)) {
+		t.Fatalf("extended view wrong: len=%d", fv2.Len())
 	}
 	// The old snapshot is immutable: same length, same bits.
-	if len(fv1.Vals) != 100 || fv1.Null.Len() != 100 || fv1.Null.Any() {
-		t.Fatal("old snapshot changed after append")
+	if fv1.Len() != 100 {
+		t.Fatal("old snapshot changed length after append")
+	}
+	for i := 0; i < 100; i++ {
+		if fv1.IsNull(i) {
+			t.Fatal("old snapshot gained a NULL bit after append")
+		}
 	}
 	// Same-length requests hit the snapshot cache.
 	if tbl.FloatView(0) != fv2 {
@@ -139,24 +144,24 @@ func TestDictViewExtendsIncrementally(t *testing.T) {
 	}
 	dv1 := tbl.DictView(0)
 	e := tbl.views.dict[0]
-	if len(dv1.Values) != 2 {
-		t.Fatalf("Values = %v", dv1.Values)
+	if dv1.NumValues() != 2 {
+		t.Fatalf("Values = %v", dv1.Values())
 	}
 	tbl.MustAppendRow(NewString("zz")) // new string: first appearance at row 3
 	tbl.MustAppendRow(NewString("b"))
 
 	dv2 := tbl.DictView(0)
-	if tbl.views.dict[0] != e || e.built != 5 {
-		t.Fatal("append replaced the canonical dict entry instead of extending it")
+	if tbl.views.dict[0] != e || e.decoded != 5 {
+		t.Fatal("append replaced the canonical dict state instead of extending it")
 	}
-	if dv2.Codes[0] != dv1.Codes[0] || dv2.Codes[4] != dv1.Codes[1] {
+	if dv2.CodeAt(0) != dv1.CodeAt(0) || dv2.CodeAt(4) != dv1.CodeAt(1) {
 		t.Fatal("dictionary codes not append-stable")
 	}
-	if dv2.Code("zz") != 2 || len(dv2.Values) != 3 {
-		t.Fatalf("new string not coded: %v", dv2.Values)
+	if dv2.Code("zz") != 2 || dv2.NumValues() != 3 {
+		t.Fatalf("new string not coded: %v", dv2.Values())
 	}
 	// The old snapshot must not see the new string (length-bounded Code).
-	if dv1.Code("zz") != -1 || len(dv1.Values) != 2 {
+	if dv1.Code("zz") != -1 || dv1.NumValues() != 2 {
 		t.Fatal("old snapshot sees a string first appearing after its last row")
 	}
 }
@@ -187,17 +192,17 @@ func TestAppendBatchCopyOnWrite(t *testing.T) {
 		t.Fatalf("version not monotone: %d vs %d", nt.Version(), tbl.Version())
 	}
 	nfv := nt.FloatView(0)
-	if len(nfv.Vals) != 12 || nfv.Vals[10] != 100 {
-		t.Fatalf("grown view = %v", nfv.Vals)
+	if nfv.Len() != 12 || nfv.V(10) != 100 {
+		t.Fatalf("grown view len=%d", nfv.Len())
 	}
-	if len(fv.Vals) != 10 {
+	if fv.Len() != 10 {
 		t.Fatal("old snapshot grew")
 	}
-	if e := tbl.views.float[0]; e.built != 12 {
-		t.Fatalf("canonical decode not extended through the shared cache: built=%d", e.built)
+	if e := tbl.views.tailF[0]; e.built != 12 {
+		t.Fatalf("tail decoder not extended through the shared cache: built=%d", e.built)
 	}
 	// Old view still servable at its own length.
-	if ofv := tbl.FloatView(0); len(ofv.Vals) != 10 || ofv.Vals[9] != 9 {
+	if ofv := tbl.FloatView(0); ofv.Len() != 10 || ofv.V(9) != 9 {
 		t.Fatal("old version's view wrong after family growth")
 	}
 

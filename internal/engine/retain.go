@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unsafe"
+)
+
+// Retention drops whole head segments from a table family so an
+// unbounded append stream runs at bounded memory. Only sealed segments
+// are droppable (the tail always survives), and drops are whole
+// segments, so the dropped row count is a multiple of SegRows — and,
+// because SegRows >= 64, of the bitset word size. That is the row-id
+// rebase contract the incremental layers build on: local row id r of
+// the retained version corresponds to id r + dropped of the old
+// version, and any carried bitmap (lineage bitsets, clause masks,
+// argument NULL words) rebases by dropping whole leading words.
+// Carried state that still references dropped rows cannot rebase;
+// those consumers (exec.Advance, core.DebugAdvance) detect the base
+// change and fall back to a full recompute with a recorded plan
+// reason.
+
+// RetentionPolicy selects how many head segments RetainTail may drop.
+// The zero policy drops nothing. Both bounds may be combined; a
+// segment is dropped only when every configured bound allows it.
+type RetentionPolicy struct {
+	// MaxRows, when > 0, keeps at least the newest MaxRows rows: a head
+	// segment is dropped only if at least MaxRows rows remain after it.
+	MaxRows int
+	// TimeCol/Cutoff, when TimeCol is non-empty, drop a head segment
+	// only if every non-NULL value of the (numeric) column is below
+	// Cutoff — the age horizon, with the caller mapping wall-clock age
+	// to the column's unit (e.g. unix seconds).
+	TimeCol string
+	Cutoff  float64
+}
+
+// RetainStats reports what a retention pass did and what remains.
+type RetainStats struct {
+	DroppedSegments  int
+	DroppedRows      int
+	RetainedSegments int // sealed segments still held (tail excluded)
+	RetainedRows     int
+	Base             int // the new version's Base()
+}
+
+// RetainTail applies the policy to this table version, returning a new
+// version with the dropped head segments removed and row ids rebased
+// (see Base). Like AppendBatch it is copy-on-write and linear: the
+// receiver and everything derived from it stay valid, and only the
+// newest version may be retained (ErrStaleAppend otherwise). When the
+// policy drops nothing the receiver itself is returned.
+func (t *Table) RetainTail(pol RetentionPolicy) (*Table, RetainStats, error) {
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if t.pub != vc.pub {
+		return nil, RetainStats{}, fmt.Errorf("engine: table %s: %w (retention on superseded version)", t.name, ErrStaleAppend)
+	}
+	drop := t.dropCountLocked(pol)
+	stats := RetainStats{
+		DroppedSegments:  drop,
+		DroppedRows:      drop << t.bits,
+		RetainedSegments: len(t.sealed) - drop,
+		RetainedRows:     t.nrows - drop<<t.bits,
+		Base:             t.base + drop<<t.bits,
+	}
+	if drop == 0 {
+		return t, stats, nil
+	}
+	nt := &Table{
+		name: t.name, schema: t.schema,
+		sealed: t.sealed[drop:], tail: t.tail,
+		nrows: stats.RetainedRows, base: stats.Base,
+		bits: t.bits, mask: t.mask,
+		views: vc,
+	}
+	vc.pub++
+	nt.pub = vc.pub
+	vc.curBase = nt.base
+	// Snapshot caches are windows of the old base; drop them (they
+	// rebuild cheaply from the per-segment chunks, which survive).
+	vc.fsnap = nil
+	vc.dsnap = nil
+	return nt, stats, nil
+}
+
+// dropCountLocked computes how many head segments the policy allows
+// dropping. Caller holds views.mu.
+func (t *Table) dropCountLocked(pol RetentionPolicy) int {
+	if pol.MaxRows <= 0 && pol.TimeCol == "" {
+		return 0 // the zero policy drops nothing
+	}
+	max := len(t.sealed)
+	if pol.MaxRows > 0 {
+		byRows := (t.nrows - pol.MaxRows) >> t.bits
+		if byRows < max {
+			max = byRows
+		}
+	}
+	if max < 0 {
+		max = 0
+	}
+	if pol.TimeCol == "" {
+		return max
+	}
+	ci := t.schema.ColIndex(pol.TimeCol)
+	if ci < 0 || !t.schema[ci].Type.IsNumeric() {
+		return 0
+	}
+	segWords := segWordsOf(t.bits)
+	drop := 0
+	for drop < max {
+		ch := t.sealed[drop].ensureFloat(ci, segWords)
+		old := true
+		for i, f := range ch.vals {
+			if ch.null[i>>6]&(1<<(uint(i)&63)) != 0 {
+				continue
+			}
+			if !(f < pol.Cutoff) { // NaN keeps the segment, conservatively
+				old = false
+				break
+			}
+		}
+		if !old {
+			break
+		}
+		drop++
+	}
+	return drop
+}
+
+// Retain applies a retention policy to the named table and atomically
+// republishes the retained version under the same name — the
+// catalog-level counterpart of DB.Append. In-flight queries keep their
+// immutable snapshots of the old version (whose segments stay alive
+// until those readers finish); queries started after Retain returns
+// see the rebased window.
+func (db *DB) Retain(name string, pol RetentionPolicy) (*Table, RetainStats, error) {
+	key := strings.ToLower(name)
+	for {
+		db.mu.RLock()
+		t, ok := db.tables[key]
+		db.mu.RUnlock()
+		if !ok {
+			return nil, RetainStats{}, fmt.Errorf("engine: no table %q", name)
+		}
+		nt, stats, err := t.RetainTail(pol)
+		if errors.Is(err, ErrStaleAppend) {
+			// A concurrent DB.Append/Retain republished a newer version;
+			// retry against it (same recovery as DB.Append). If the
+			// registered pointer is unchanged, the family was mutated
+			// outside the catalog — surface the error, retrying would
+			// never converge.
+			db.mu.RLock()
+			cur := db.tables[key]
+			db.mu.RUnlock()
+			if cur == t {
+				return nil, RetainStats{}, err
+			}
+			continue
+		}
+		if err != nil {
+			return nil, RetainStats{}, err
+		}
+		if nt == t {
+			return t, stats, nil
+		}
+		db.mu.Lock()
+		if db.tables[key] == t {
+			db.tables[key] = nt
+			db.mu.Unlock()
+			return nt, stats, nil
+		}
+		db.mu.Unlock()
+		// Lost a race with a concurrent Append/Retain republish; the
+		// family moved on, so retry against the newest version.
+	}
+}
+
+// valueBytes is the in-memory size of one boxed Value.
+const valueBytes = int(unsafe.Sizeof(Value{}))
+
+// MemStats approximates this version's resident storage: boxed segment
+// and tail values plus whatever decode chunks have been built. It is
+// an estimate (string bodies and map overhead are not traversed), but
+// it moves faithfully with segment count, which is what retention
+// monitoring needs.
+func (t *Table) MemStats() (segments int, bytes int) {
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	ncols := len(t.schema)
+	segRows := 1 << t.bits
+	segments = len(t.sealed)
+	tailRows := t.nrows - segments<<t.bits
+	for _, seg := range t.sealed {
+		bytes += segRows * ncols * valueBytes
+		for c := 0; c < ncols; c++ {
+			if ch := seg.fchunk[c]; ch != nil {
+				bytes += len(ch.vals)*8 + len(ch.null)*8
+			}
+			if ch := seg.dchunk[c]; ch != nil {
+				bytes += len(ch.codes) * 4
+			}
+		}
+	}
+	bytes += tailRows * ncols * valueBytes
+	if tailRows > 0 {
+		segments++
+	}
+	return segments, bytes
+}

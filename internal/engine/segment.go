@@ -1,0 +1,141 @@
+package engine
+
+// This file defines the fixed-size row segment that the storage spine
+// is built from. A table version is an ordered list of SEALED segments
+// (each exactly SegRows rows, immutable once sealed) plus a growable
+// TAIL holding the newest < SegRows rows. Appends only ever touch the
+// tail: a batch fills the tail arrays in place (writes land past every
+// published version's row count, so older snapshots never observe
+// them), and when the tail reaches SegRows rows it is sealed — its
+// arrays become a segment shared by reference — and a fresh tail
+// starts. Copy-on-write versions therefore share all sealed segments
+// and the tail arrays; the per-version state is just the segment
+// pointer list, the tail slice headers, and the row count. No append
+// ever copies a whole column again: the worst-case copy is one tail
+// reallocation, bounded by the segment size.
+//
+// Segments are also the unit of RETENTION (retain.go): dropping the
+// oldest k sealed segments produces a new version whose row ids are
+// rebased down by k*SegRows. Segment sizes are powers of two and at
+// least 64 rows, so a segment boundary is always a bitset word
+// boundary — dropped head rows correspond to whole []uint64 words in
+// every lineage bitset and clause mask, which is what lets carried
+// incremental state rebase by word-shift instead of rebuilding.
+//
+// Decoded column chunks (float values + NULL words, dictionary codes)
+// live ON the segment, so their memory is dropped together with the
+// segment when retention lets go of it.
+
+const (
+	// DefaultSegmentBits sizes segments at 64Ki rows: large enough that
+	// per-segment bookkeeping is negligible, small enough that a
+	// retention pass reclaims memory in useful steps.
+	DefaultSegmentBits = 16
+	// MinSegmentBits is the smallest legal segment size: 64 rows = one
+	// bitset word, the invariant that keeps segment boundaries
+	// word-aligned in every bitmap. Tests force this size so short
+	// append chains straddle many segment boundaries.
+	MinSegmentBits = 6
+)
+
+// segment is one sealed run of exactly segRows rows. cols holds the
+// boxed values; fchunk/dchunk hold the lazily built typed decodings
+// (guarded by the family's views.mu). All fields are immutable once
+// built — a chunk is decoded whole-segment-at-once, so readers outside
+// the lock only ever see nil or a complete chunk.
+type segment struct {
+	cols   [][]Value
+	fchunk []*floatChunk
+	dchunk []*dictChunk
+}
+
+// floatChunk is one numeric column's decode of one sealed segment:
+// vals[i] is row i's float64 coercion (NaN for NULL), null the NULL
+// bitmap words (exactly segWords of them).
+type floatChunk struct {
+	vals []float64
+	null []uint64
+}
+
+// dictChunk is one string column's dictionary codes over one sealed
+// segment (codes index the family-level dictionary; -1 is NULL).
+type dictChunk struct {
+	codes []int32
+}
+
+// SegmentBits returns log2 of the table family's segment row count.
+func (t *Table) SegmentBits() uint { return t.bits }
+
+// SegRows returns the family's rows-per-segment (a power of two ≥ 64).
+func (t *Table) SegRows() int { return 1 << t.bits }
+
+// Base returns the number of stream rows dropped from the head of this
+// version by retention — always a multiple of SegRows. Local row id r
+// of this version is stream row r + Base(); carried state from an
+// older version rebases ids down by the base delta.
+func (t *Table) Base() int { return t.base }
+
+// Version returns this version's stream high-water mark: Base() +
+// NumRows(), the total number of rows ever appended up to this
+// version. It is monotone under appends and unchanged by retention
+// (which moves Base, not the stream end); two versions of one family
+// with equal Version are distinguished by Base.
+func (t *Table) Version() int { return t.base + t.nrows }
+
+// NumSegments reports the version's sealed segment count and whether a
+// partial tail is present — the retained-memory figure retention and
+// the server's stats endpoint report.
+func (t *Table) NumSegments() (sealed int, tailRows int) {
+	return len(t.sealed), t.nrows - len(t.sealed)<<t.bits
+}
+
+// sealTailLocked seals the current tail into a segment appended to
+// nt.sealed and starts a fresh tail. Caller holds views.mu and has
+// verified the tail is exactly full. nt must be the newest version (the
+// one being grown); older versions keep their own tail headers, which
+// alias the sealed arrays and stay valid.
+func (nt *Table) sealTailLocked() {
+	vc := nt.views
+	ncols := len(nt.schema)
+	segRows := 1 << nt.bits
+	seg := &segment{
+		cols:   make([][]Value, ncols),
+		fchunk: make([]*floatChunk, ncols),
+		dchunk: make([]*dictChunk, ncols),
+	}
+	for c := 0; c < ncols; c++ {
+		seg.cols[c] = nt.tail[c][:segRows:segRows]
+	}
+	// Migrate the tail's incremental decode state into the segment's
+	// chunks so the decode work done so far is kept, then reset the
+	// tail decoders for the new epoch. An untouched decoder (no view
+	// ever requested) migrates nothing; the chunk builds lazily later.
+	for c, tf := range vc.tailF {
+		if tf == nil || tf.built == 0 {
+			continue
+		}
+		for i := tf.built; i < segRows; i++ {
+			tf.decodeOne(seg.cols[c][i])
+		}
+		null := make([]uint64, segWordsOf(nt.bits))
+		copy(null, tf.null)
+		seg.fchunk[c] = &floatChunk{vals: tf.vals[:segRows:segRows], null: null}
+	}
+	for c, ds := range vc.dict {
+		tailStart := vc.epoch << nt.bits
+		if ds.decoded <= tailStart {
+			continue
+		}
+		for r := ds.decoded; r < tailStart+segRows; r++ {
+			ds.decodeOne(seg.cols[c][r-tailStart], r)
+		}
+		seg.dchunk[c] = &dictChunk{codes: ds.tailCodes[:segRows:segRows]}
+		ds.tailCodes = nil
+	}
+	vc.tailF = nil
+	vc.epoch++
+	nt.sealed = append(nt.sealed, seg)
+	nt.tail = make([][]Value, ncols)
+}
+
+func segWordsOf(bits uint) int { return 1 << (bits - 6) }

@@ -6,34 +6,73 @@ import (
 	"sort"
 )
 
-// ErrStaleAppend reports an append against a superseded table snapshot:
-// a newer version of the family has already published more rows.
-// Callers that lost an append race (engine.DB.Append) match on it to
-// retry against the newest version.
+// ErrStaleAppend reports a mutation against a superseded table snapshot:
+// a newer version of the family has already been published (by an
+// append or a retention pass). Callers that lost a publish race
+// (engine.DB.Append, DB.Retain) match on it to retry against the
+// newest version.
 var ErrStaleAppend = errors.New("append to stale snapshot")
 
-// Table is an append-only, in-memory columnar relation. Row identifiers
-// are stable: row i is always the i'th appended row. Stable identifiers
+// Table is an append-only, in-memory columnar relation stored as
+// fixed-size row segments (see segment.go): sealed segments of exactly
+// SegRows rows plus a growable tail. Row identifiers are stable under
+// appends: row i is always the i'th appended row. Stable identifiers
 // are load-bearing for the provenance machinery — lineage sets and
 // ground-truth labels are both expressed as row ids into the source
-// table.
+// table. Retention (retain.go) is the one operation that moves ids:
+// dropping k head segments rebases every surviving id down by
+// k*SegRows, recorded in Base().
 type Table struct {
 	name   string
 	schema Schema
-	cols   [][]Value
+	// sealed are the full segments; segs[k] covers local rows
+	// [k<<bits, (k+1)<<bits). tail holds the remaining newest rows,
+	// one slice header per column (headers are per-version; the
+	// backing arrays are shared with newer versions, which only ever
+	// write past this version's nrows).
+	sealed []*segment
+	tail   [][]Value
 	nrows  int
-	// views caches typed column decodings (see colview.go). Behind a
-	// pointer so shallow table copies share it instead of a lock.
+	// base counts stream rows dropped by retention before sealed[0];
+	// always a multiple of SegRows.
+	base int
+	// bits/mask cache the family segment geometry (immutable).
+	bits uint
+	mask int
+	// pub is this version's publication stamp; mutations require it to
+	// match the family's counter (linear history).
+	pub uint64
+	// views caches typed column decodings and family state (see
+	// colview.go). Behind a pointer so shallow table copies share it.
 	views *tableViews
 }
 
-// NewTable creates an empty table with the given name and schema. The
-// schema must validate.
+// NewTable creates an empty table with the given name and schema and
+// the default segment size. The schema must validate.
 func NewTable(name string, schema Schema) (*Table, error) {
+	return NewTableSeg(name, schema, DefaultSegmentBits)
+}
+
+// NewTableSeg is NewTable with an explicit segment size of 1<<segBits
+// rows. segBits must be at least MinSegmentBits (64 rows — one bitset
+// word), the invariant that keeps segment boundaries word-aligned in
+// every mask and lineage bitmap. Tests force small sizes so append
+// chains straddle segment boundaries constantly.
+func NewTableSeg(name string, schema Schema, segBits uint) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{name: name, schema: schema.Clone(), cols: make([][]Value, len(schema)), views: &tableViews{}}
+	if segBits < MinSegmentBits {
+		return nil, fmt.Errorf("engine: segment bits %d below minimum %d (segments must cover whole bitset words)", segBits, MinSegmentBits)
+	}
+	t := &Table{
+		name:   name,
+		schema: schema.Clone(),
+		tail:   make([][]Value, len(schema)),
+		bits:   segBits,
+		mask:   1<<segBits - 1,
+		views:  &tableViews{segBits: segBits},
+	}
 	return t, nil
 }
 
@@ -58,13 +97,20 @@ func (t *Table) NumRows() int { return t.nrows }
 // NumCols returns the number of columns.
 func (t *Table) NumCols() int { return len(t.schema) }
 
-// Grow pre-allocates capacity for n additional rows.
+// Grow pre-allocates tail capacity for n additional rows (capped at
+// the segment size — sealed segments are allocated as they fill).
 func (t *Table) Grow(n int) {
-	for i := range t.cols {
-		if cap(t.cols[i])-len(t.cols[i]) < n {
-			grown := make([]Value, len(t.cols[i]), len(t.cols[i])+n)
-			copy(grown, t.cols[i])
-			t.cols[i] = grown
+	segRows := 1 << t.bits
+	tailLen := t.nrows - len(t.sealed)<<t.bits
+	want := tailLen + n
+	if want > segRows {
+		want = segRows
+	}
+	for i := range t.tail {
+		if cap(t.tail[i]) < want {
+			grown := make([]Value, tailLen, want)
+			copy(grown, t.tail[i])
+			t.tail[i] = grown
 		}
 	}
 }
@@ -104,43 +150,50 @@ func (t *Table) coerceRow(row []Value) ([]Value, error) {
 	return out, nil
 }
 
+// appendCoercedLocked writes one already-coerced row into the tail,
+// sealing first when the tail is full. Caller holds views.mu and has
+// verified t is the newest version.
+func (t *Table) appendCoercedLocked(row []Value) {
+	if t.nrows-len(t.sealed)<<t.bits == 1<<t.bits {
+		t.sealTailLocked()
+	}
+	for i, v := range row {
+		t.tail[i] = append(t.tail[i], v)
+	}
+	t.nrows++
+}
+
 // AppendRow appends a row in place and returns its row id. The row
 // length must match the schema and each value must be type-compatible
 // with its column. AppendRow is the single-owner build-phase mutator;
 // it refuses to append to a stale snapshot (one superseded by
-// AppendBatch), since that would clobber rows a newer version already
-// published. For concurrent ingest while queries are in flight, use
-// AppendBatch (copy-on-write) instead.
+// AppendBatch or RetainTail), since that would clobber rows a newer
+// version already published. For concurrent ingest while queries are
+// in flight, use AppendBatch (copy-on-write) instead.
 func (t *Table) AppendRow(row []Value) (int, error) {
-	if len(row) != len(t.schema) {
-		return 0, fmt.Errorf("engine: table %s: row has %d values, schema has %d columns", t.name, len(row), len(t.schema))
+	coerced, err := t.coerceRow(row)
+	if err != nil {
+		return 0, err
 	}
 	vc := t.viewCache()
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
-	if vc.hw > t.nrows {
-		return 0, fmt.Errorf("engine: table %s: %w (%d rows, family has %d)", t.name, ErrStaleAppend, t.nrows, vc.hw)
+	if t.pub != vc.pub {
+		return 0, fmt.Errorf("engine: table %s: %w (%d rows, family has %d)", t.name, ErrStaleAppend, t.nrows, vc.hw-t.base)
 	}
-	for i, v := range row {
-		cv, ok := typeCompatible(v, t.schema[i].Type)
-		if !ok {
-			return 0, fmt.Errorf("engine: table %s: column %s is %s, got %s", t.name, t.schema[i].Name, t.schema[i].Type, v.T)
-		}
-		t.cols[i] = append(t.cols[i], cv)
-	}
-	t.nrows++
-	vc.hw = t.nrows
+	t.appendCoercedLocked(coerced)
+	vc.hw = t.base + t.nrows
 	return t.nrows - 1, nil
 }
 
 // AppendBatch appends rows copy-on-write: it returns a NEW table
 // version containing the appended batch, leaving the receiver — and
 // every view, mask, or query result derived from it — untouched and
-// valid. The two versions share column storage for the common prefix
-// (the batch lands in spare slice capacity or a reallocated array, so
-// readers of the old version never observe the new rows), and they
-// share the incremental view cache, so FloatView/DictView/clause masks
-// extend by decoding only the appended suffix.
+// valid. The two versions share every sealed segment by pointer and
+// the tail arrays by aliasing (the batch lands past the receiver's row
+// count, which its readers never index), so appends touch only the
+// tail segment: no whole-column copy-on-grow, worst case one tail
+// reallocation bounded by the segment size.
 //
 // Appends are linear: only the newest version of a family may be
 // appended to. A batch against a superseded snapshot returns an error,
@@ -161,30 +214,28 @@ func (t *Table) AppendBatch(rows [][]Value) (*Table, error) {
 	vc := t.viewCache()
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
-	if vc.hw > t.nrows {
-		return nil, fmt.Errorf("engine: table %s: %w (%d rows, family has %d)", t.name, ErrStaleAppend, t.nrows, vc.hw)
+	if t.pub != vc.pub {
+		return nil, fmt.Errorf("engine: table %s: %w (%d rows, family has %d)", t.name, ErrStaleAppend, t.nrows, vc.hw-t.base)
 	}
-	nt := &Table{name: t.name, schema: t.schema, cols: make([][]Value, len(t.cols)), nrows: t.nrows, views: vc}
-	copy(nt.cols, t.cols)
+	nt := &Table{
+		name: t.name, schema: t.schema,
+		sealed: t.sealed, tail: make([][]Value, len(t.tail)),
+		nrows: t.nrows, base: t.base, bits: t.bits, mask: t.mask,
+		views: vc,
+	}
+	copy(nt.tail, t.tail)
 	for _, row := range coerced {
-		for i, v := range row {
-			nt.cols[i] = append(nt.cols[i], v)
-		}
+		nt.appendCoercedLocked(row)
 	}
-	nt.nrows += len(coerced)
-	vc.hw = nt.nrows
+	vc.pub++
+	nt.pub = vc.pub
+	vc.hw = nt.base + nt.nrows
 	return nt, nil
 }
 
-// Version returns this table version's row high-water mark. Tables are
-// append-only, so the row count is a monotonically increasing version
-// stamp: two versions of one family are ordered by it, and rows below
-// the smaller version are bit-identical in both.
-func (t *Table) Version() int { return t.nrows }
-
 // SameFamily reports whether o is a version of the same underlying
 // table (they share storage and the incremental view cache — the
-// relationship AppendBatch and Rename establish).
+// relationship AppendBatch, RetainTail and Rename establish).
 func (t *Table) SameFamily(o *Table) bool {
 	return t != nil && o != nil && t.views != nil && t.views == o.views
 }
@@ -201,49 +252,72 @@ func (t *Table) MustAppendRow(row ...Value) int {
 
 // Value returns the value at (row, col). It panics when out of range,
 // like a slice index.
-func (t *Table) Value(row, col int) Value { return t.cols[col][row] }
+func (t *Table) Value(row, col int) Value {
+	if k := row >> t.bits; k >= 0 && k < len(t.sealed) {
+		return t.sealed[k].cols[col][row&t.mask]
+	}
+	return t.tail[col][row-len(t.sealed)<<t.bits]
+}
 
 // Row materializes row i into a fresh slice.
 func (t *Table) Row(i int) []Value {
-	out := make([]Value, len(t.cols))
-	for c := range t.cols {
-		out[c] = t.cols[c][i]
-	}
+	out := make([]Value, len(t.schema))
+	t.RowInto(i, out)
 	return out
 }
 
 // RowInto copies row i into dst, which must have len == NumCols. It
 // avoids per-row allocation in scan loops.
 func (t *Table) RowInto(i int, dst []Value) {
-	for c := range t.cols {
-		dst[c] = t.cols[c][i]
+	if k := i >> t.bits; k >= 0 && k < len(t.sealed) {
+		cols := t.sealed[k].cols
+		off := i & t.mask
+		for c := range cols {
+			dst[c] = cols[c][off]
+		}
+		return
+	}
+	off := i - len(t.sealed)<<t.bits
+	for c := range t.tail {
+		dst[c] = t.tail[c][off]
 	}
 }
 
-// Column returns the backing slice for column c. Callers must treat it
-// as read-only.
-func (t *Table) Column(c int) []Value { return t.cols[c] }
-
-// ColumnByName returns the backing slice for the named column, or nil.
-func (t *Table) ColumnByName(name string) []Value {
-	i := t.schema.ColIndex(name)
-	if i < 0 {
-		return nil
+// forEachColValue streams column c's values of rows [0, nrows) in row
+// order — the segment-aware replacement for iterating a flat column
+// slice.
+func (t *Table) forEachColValue(c int, fn func(r int, v Value)) {
+	r := 0
+	for _, seg := range t.sealed {
+		for _, v := range seg.cols[c] {
+			fn(r, v)
+			r++
+		}
 	}
-	return t.cols[i]
+	for off := 0; r < t.nrows; off++ {
+		fn(r, t.tail[c][off])
+		r++
+	}
 }
 
 // Select materializes a new table containing the given rows (in order),
-// preserving the schema. Useful for building candidate datasets.
+// preserving the schema and segment size. Useful for building candidate
+// datasets. The new table is a fresh family with ids rebased to 0.
 func (t *Table) Select(rows []int) *Table {
-	out := MustNewTable(t.name, t.schema)
-	out.Grow(len(rows))
-	for _, r := range rows {
-		for c := range t.cols {
-			out.cols[c] = append(out.cols[c], t.cols[c][r])
-		}
+	out, err := NewTableSeg(t.name, t.schema, t.bits)
+	if err != nil {
+		panic(err)
 	}
-	out.nrows = len(rows)
+	out.Grow(len(rows))
+	buf := make([]Value, len(t.schema))
+	out.views.mu.Lock()
+	defer out.views.mu.Unlock()
+	for _, r := range rows {
+		t.RowInto(r, buf)
+		row := make([]Value, len(buf))
+		copy(row, buf)
+		out.appendCoercedLocked(row)
+	}
 	out.views.hw = out.nrows
 	return out
 }
@@ -275,9 +349,9 @@ func (t *Table) DistinctValues(c int) ([]Value, []int) {
 	}
 	byKey := make(map[string]*entry)
 	var order []string
-	for _, v := range t.cols[c] {
+	t.forEachColValue(c, func(_ int, v Value) {
 		if v.IsNull() {
-			continue
+			return
 		}
 		k := v.Key()
 		e, ok := byKey[k]
@@ -287,7 +361,7 @@ func (t *Table) DistinctValues(c int) ([]Value, []int) {
 			order = append(order, k)
 		}
 		e.n++
-	}
+	})
 	entries := make([]*entry, 0, len(order))
 	for _, k := range order {
 		entries = append(entries, byKey[k])
@@ -312,9 +386,9 @@ func (t *Table) DistinctValues(c int) ([]Value, []int) {
 // numeric column. ok is false when the column has no non-NULL values.
 func (t *Table) NumericStats(c int) (min, max, mean float64, n int, ok bool) {
 	var sum float64
-	for _, v := range t.cols[c] {
+	t.forEachColValue(c, func(_ int, v Value) {
 		if v.IsNull() {
-			continue
+			return
 		}
 		f := v.Float()
 		if n == 0 {
@@ -329,7 +403,7 @@ func (t *Table) NumericStats(c int) (min, max, mean float64, n int, ok bool) {
 		}
 		sum += f
 		n++
-	}
+	})
 	if n == 0 {
 		return 0, 0, 0, 0, false
 	}

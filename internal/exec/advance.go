@@ -47,11 +47,45 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 	if !res.Source.SameFamily(grown) {
 		return nil, fmt.Errorf("exec: Advance target is not a version of the result's source table")
 	}
-	oldN, newN := res.Source.NumRows(), grown.NumRows()
+	// drop is the retention delta: stream rows removed from the head of
+	// the window since the carried result was computed. Surviving old
+	// rows occupy [0, oldN) in the NEW version's (rebased) ids.
+	drop := grown.Base() - res.Source.Base()
+	if drop < 0 {
+		return nil, fmt.Errorf("exec: Advance target's retention base %d predates the result's %d", grown.Base(), res.Source.Base())
+	}
+	oldN, newN := res.Source.NumRows()-drop, grown.NumRows()
 	if newN < oldN {
-		return nil, fmt.Errorf("exec: Advance target has %d rows, result's source has %d", newN, oldN)
+		return nil, fmt.Errorf("exec: Advance target has %d rows, result's source has %d surviving", newN, oldN)
 	}
 	stmt := res.Stmt
+	if drop > 0 {
+		// The rebase contract (engine retention): carried group states
+		// survive id translation only when nothing they reference was
+		// dropped — every group's first row and earliest lineage row
+		// must be at or past the horizon — and the horizon must be
+		// word-aligned so carried bitmaps rebase by word-shift (always
+		// true for whole-segment drops). Otherwise the carried state is
+		// unusable and the statement re-runs over the retained window,
+		// with the reason recorded in the plan.
+		reason := rebaseBlocker(res, drop)
+		if oldN < 0 {
+			// The horizon moved past the carried result's whole window
+			// (every row it saw was dropped) — nothing to rebase, and the
+			// group checks above are vacuous for a groupless result.
+			reason = "retention: horizon beyond carried window"
+		}
+		if reason != "" {
+			out, err := RunOn(grown, stmt)
+			if err != nil {
+				return nil, err
+			}
+			if out.Plan.Fallback == "" {
+				out.Plan.Fallback = reason
+			}
+			return out, nil
+		}
+	}
 	if !stmt.HasAggregates() && len(stmt.GroupBy) == 0 {
 		// Projection: every output row is one source row; a re-run is
 		// already O(n) output materialization, nothing to reuse.
@@ -106,6 +140,18 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 		if !ok {
 			return RunOn(grown, stmt)
 		}
+		if drop > 0 {
+			// Rebase the carried ids: rebaseBlocker proved every
+			// reference is past the horizon, so this is pure
+			// translation — aggregate states are id-free and carry
+			// unchanged.
+			vg.g.FirstRow -= drop
+			nl := make([]int, len(vg.g.Lineage))
+			for i, r := range vg.g.Lineage {
+				nl[i] = r - drop
+			}
+			vg.g.Lineage = nl
+		}
 		switch {
 		case ss.dense != nil:
 			ss.dense[key[0]] = int32(len(ss.groups)) + 1
@@ -151,8 +197,27 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 	if err := out.materialize(); err != nil {
 		return nil, err
 	}
-	carryCaches(res, out, ss, oldLens, oldN, newN)
+	carryCaches(res, out, ss, oldLens, oldN, newN, drop)
 	return out, nil
+}
+
+// rebaseBlocker reports why a carried result cannot rebase across a
+// retention horizon of drop rows ("" when it can): a group still
+// references dropped rows, or the horizon is not bitset-word-aligned
+// (impossible for whole-segment drops, kept as a guard).
+func rebaseBlocker(res *Result, drop int) string {
+	if drop%64 != 0 {
+		return "retention: horizon not word-aligned"
+	}
+	for _, g := range res.allGroups {
+		if g.FirstRow < drop {
+			return "retention: carried group first row below horizon"
+		}
+		if len(g.Lineage) > 0 && g.Lineage[0] < drop {
+			return "retention: carried lineage references dropped rows"
+		}
+	}
+	return ""
 }
 
 // reconstructKey rebuilds a group's packed key slots from its boxed key
@@ -221,7 +286,10 @@ func copyGroup(g *Group, p *vectorPlan, key vKey) (*vGroup, bool) {
 // unchanged prefix instead of rebuilding it: the prefix is a word-level
 // memcpy plus amortized slice growth, and only the appended suffix is
 // decoded or set bit-by-bit.
-func carryCaches(res, out *Result, ss *shardScan, oldLens []int, oldN, newN int) {
+// When drop > 0 the carried bitmaps rebase by word-shift and the
+// argument values by re-slicing — the dropped head words/values are
+// exactly the dropped segments.
+func carryCaches(res, out *Result, ss *shardScan, oldLens []int, oldN, newN, drop int) {
 	// Snapshot the cache maps under the lock: concurrent readers of the
 	// old result (a Debug in flight calls GroupLineageBitsShared /
 	// AggArgFloats, which insert) may grow them while we carry.
@@ -244,7 +312,12 @@ func carryCaches(res, out *Result, ss *shardScan, oldLens []int, oldN, newN int)
 				continue
 			}
 			ng := ss.groups[gi].g
-			nb := bitset.SnapshotWords(newN, b.Words())
+			var nb *bitset.Bitset
+			if drop > 0 {
+				nb = bitset.ShiftDownWords(newN, b.Words(), drop)
+			} else {
+				nb = bitset.SnapshotWords(newN, b.Words())
+			}
 			for _, r := range ng.Lineage[oldLens[gi]:] {
 				nb.Set(r)
 			}
@@ -256,8 +329,16 @@ func carryCaches(res, out *Result, ss *shardScan, oldLens []int, oldN, newN int)
 		out.argViews = make(map[int]*ArgView, len(oldAVs))
 		row := make([]engine.Value, out.Source.NumCols())
 		for ord, av := range oldAVs {
-			vals := av.Vals // len oldN; appends stay past published lengths
-			nb := bitset.SnapshotWords(newN, av.Null.Words())
+			vals := av.Vals // len oldN+drop; appends stay past published lengths
+			var nb *bitset.Bitset
+			if drop > 0 {
+				// Rebase: drop the head values (fresh slice — the carried
+				// one belongs to the old window) and word-shift the NULLs.
+				vals = append(make([]float64, 0, newN), av.Vals[drop:]...)
+				nb = bitset.ShiftDownWords(newN, av.Null.Words(), drop)
+			} else {
+				nb = bitset.SnapshotWords(newN, av.Null.Words())
+			}
 			arg := out.aggArgs[ord]
 			ok := true
 			for src := oldN; src < newN; src++ {

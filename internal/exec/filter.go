@@ -43,19 +43,25 @@ func tableIndex(t *engine.Table) *predicate.Index {
 
 // lowerCtx carries the index together with the exact table version the
 // statement is executing against. Masks are always requested at
-// src.NumRows(), never at the index's own (possibly newer) length, so a
-// query running mid-append sees masks of exactly its snapshot's length.
+// src.NumRows() AND src.Base(), never at the index's own (possibly
+// newer) geometry, so a query running mid-append sees masks of exactly
+// its snapshot's length — and a query racing a retention pass (whose
+// base the index has already rebased past) refuses the lowered path
+// instead of reading masks of a different row-id window. ok=false from
+// either accessor aborts lowering; the executor then evaluates WHERE
+// per row, which is always correct.
 type lowerCtx struct {
-	ix  *predicate.Index
-	src *engine.Table
+	ix   *predicate.Index
+	src  *engine.Table
+	base int
 }
 
-func (lc lowerCtx) clauseBits(c predicate.Clause) *bitset.Bitset {
-	return lc.ix.ClauseBitsAt(c, lc.src.NumRows())
+func (lc lowerCtx) clauseBits(c predicate.Clause) (*bitset.Bitset, bool) {
+	return lc.ix.ClauseBitsAtBase(c, lc.base, lc.src.NumRows())
 }
 
-func (lc lowerCtx) nonNullBits(ci int) *bitset.Bitset {
-	return lc.ix.NonNullBitsAt(ci, lc.src.NumRows())
+func (lc lowerCtx) nonNullBits(ci int) (*bitset.Bitset, bool) {
+	return lc.ix.NonNullBitsAtBase(ci, lc.base, lc.src.NumRows())
 }
 
 // tfMask is a node's three-valued result: t holds the rows where it is
@@ -137,7 +143,10 @@ func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
 		if ci < 0 {
 			return tfMask{}, false
 		}
-		nonNull := lc.nonNullBits(ci)
+		nonNull, ok := lc.nonNullBits(ci)
+		if !ok {
+			return tfMask{}, false
+		}
 		isNull := bitset.New(n)
 		isNull.Fill()
 		isNull.AndNot(nonNull)
@@ -168,12 +177,15 @@ func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
 		if !literalComparable(colType, lo.Val) || !literalComparable(colType, hi.Val) {
 			return tfMask{}, false // scalar path would error; keep it
 		}
+		geBits, okGe := lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpGe, Val: lo.Val})
+		leBits, okLe := lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpLe, Val: hi.Val})
+		nn, okNN := lc.nonNullBits(ci)
+		if !okGe || !okLe || !okNN {
+			return tfMask{}, false
+		}
 		t := bitset.New(n)
-		t.IntersectOf(
-			lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpGe, Val: lo.Val}),
-			lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpLe, Val: hi.Val}),
-		)
-		f := lc.nonNullBits(ci).Clone()
+		t.IntersectOf(geBits, leBits)
+		f := nn.Clone()
 		f.AndNot(t)
 		if node.Invert {
 			return tfMask{t: f, f: t}, true
@@ -204,13 +216,21 @@ func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
 			// nothing in both paths (engine.Equal treats incomparable as
 			// unequal, the clause mask stays empty), so every literal
 			// lowers.
-			t.Or(lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpEq, Val: lit.Val}))
+			eq, ok := lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpEq, Val: lit.Val})
+			if !ok {
+				return tfMask{}, false
+			}
+			t.Or(eq)
 		}
 		f := bitset.New(n)
 		if !sawNull {
 			// With a NULL in the list, non-matching rows are NULL (x
 			// might equal the NULL), so F stays empty.
-			f.CopyFrom(lc.nonNullBits(ci))
+			nn, ok := lc.nonNullBits(ci)
+			if !ok {
+				return tfMask{}, false
+			}
+			f.CopyFrom(nn)
 			f.AndNot(t)
 		}
 		if node.Invert {
@@ -245,8 +265,12 @@ func lowerComparison(node *expr.Bin, lc lowerCtx) (tfMask, bool) {
 		// operands; don't lower, so the error surfaces identically.
 		return tfMask{}, false
 	}
-	t := lc.clauseBits(predicate.Clause{Col: col.Name, Op: op, Val: lit.Val})
-	f := lc.nonNullBits(ci).Clone()
+	t, okT := lc.clauseBits(predicate.Clause{Col: col.Name, Op: op, Val: lit.Val})
+	nn, okNN := lc.nonNullBits(ci)
+	if !okT || !okNN {
+		return tfMask{}, false
+	}
+	f := nn.Clone()
 	f.AndNot(t)
 	return tfMask{t: t, f: f}, true
 }
@@ -328,7 +352,8 @@ func buildFilter(src *engine.Table, where expr.Expr, noLowering bool, from int) 
 		return nil, true, nil
 	}
 	if !noLowering {
-		if pass, ok := lowerWhere(where, lowerCtx{ix: tableIndex(src), src: src}); ok {
+		lc := lowerCtx{ix: tableIndex(src), src: src, base: src.Base()}
+		if pass, ok := lowerWhere(where, lc); ok {
 			return pass, true, nil
 		}
 	}

@@ -124,12 +124,10 @@ const (
 
 // keySrc is one group-by column's per-row key source.
 type keySrc struct {
-	kind  keyKind
-	codes []int32          // kindDict
-	dict  *engine.DictView // kindDict: Code lookups for Advance's key reconstruction
-	vals  []float64        // kindFloat
-	null  *bitset.Bitset   // kindFloat
-	node  expr.Expr        // kindComputed (compiled per shard)
+	kind keyKind
+	dict *engine.DictView  // kindDict: segment code chunks + Code lookups
+	fv   *engine.FloatView // kindFloat: segment value/NULL chunks
+	node expr.Expr         // kindComputed (compiled per shard)
 }
 
 type argKind int
@@ -144,11 +142,10 @@ const (
 // argSrc is one aggregate's per-row argument source.
 type argSrc struct {
 	kind     argKind
-	vals     []float64      // argFloat
-	null     *bitset.Bitset // argFloat
-	col      int            // argFloat, argBoxedCol
-	node     expr.Expr      // argEval (compiled per shard)
-	floatFed bool           // state implements agg.FloatAdder and the source is float
+	fv       *engine.FloatView // argFloat
+	col      int               // argFloat, argBoxedCol
+	node     expr.Expr         // argEval (compiled per shard)
+	floatFed bool              // state implements agg.FloatAdder and the source is float
 }
 
 // vectorPlan is the analyzed statement: everything the shard workers
@@ -190,14 +187,14 @@ func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Exp
 	for i, g := range stmt.GroupBy {
 		if col, ok := g.(*expr.Col); ok && col.Index >= 0 {
 			if dv := src.DictView(col.Index); dv != nil {
-				p.keys[i] = keySrc{kind: kindDict, codes: dv.Codes, dict: dv}
+				p.keys[i] = keySrc{kind: kindDict, dict: dv}
 				if len(stmt.GroupBy) == 1 {
-					p.denseSize = len(dv.Values) + 1
+					p.denseSize = dv.NumValues() + 1
 				}
 				continue
 			}
 			if fv := src.FloatView(col.Index); fv != nil {
-				p.keys[i] = keySrc{kind: kindFloat, vals: fv.Vals, null: fv.Null}
+				p.keys[i] = keySrc{kind: kindFloat, fv: fv}
 				continue
 			}
 			return nil, "group-by column has no typed view", nil
@@ -217,7 +214,7 @@ func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Exp
 		default:
 			if col, ok := arg.(*expr.Col); ok && col.Index >= 0 {
 				if fv := src.FloatView(col.Index); fv != nil {
-					p.args[ai] = argSrc{kind: argFloat, vals: fv.Vals, null: fv.Null, col: col.Index, floatFed: isFA}
+					p.args[ai] = argSrc{kind: argFloat, fv: fv, col: col.Index, floatFed: isFA}
 					continue
 				}
 				p.args[ai] = argSrc{kind: argBoxedCol, col: col.Index}
@@ -336,12 +333,12 @@ func (ss *shardScan) scanRow(r int) error {
 		k := &p.keys[i]
 		switch k.kind {
 		case kindDict:
-			key[i] = uint64(k.codes[r] + 1) // NULL code -1 → slot 0
+			key[i] = uint64(k.dict.CodeAt(r) + 1) // NULL code -1 → slot 0
 		case kindFloat:
-			if k.null.Get(r) {
+			if k.fv.IsNull(r) {
 				key[i] = nullSlot
 			} else {
-				key[i] = canonSlot(k.vals[r])
+				key[i] = canonSlot(k.fv.V(r))
 			}
 		default: // kindComputed
 			v, err := ss.keyEvals[i](r)
@@ -373,11 +370,11 @@ func (ss *shardScan) scanRow(r int) error {
 				grp.Aggs[ai].Add(engine.NewInt(1))
 			}
 		case argFloat:
-			if a.null.Get(r) {
+			if a.fv.IsNull(r) {
 				continue // Add ignores NULLs; so does skipping
 			}
 			if fa := vg.fas[ai]; fa != nil {
-				fa.AddFloat(a.vals[r])
+				fa.AddFloat(a.fv.V(r))
 			} else {
 				grp.Aggs[ai].Add(p.src.Value(r, a.col))
 			}
@@ -487,9 +484,9 @@ func mergeShards(p *vectorPlan, states []*shardScan) ([]*vGroup, error) {
 }
 
 // shardCount picks the scan partition count. An explicit Options.Shards
-// is honored as given (capped at one row per shard); the automatic
-// choice additionally keeps every shard above minShardRows so setup and
-// merge never dominate.
+// is honored as given (capped at one bitset word — 64 rows — per
+// shard, the alignment floor); the automatic choice additionally keeps
+// every shard above minShardRows so setup and merge never dominate.
 func shardCount(p *vectorPlan, n int, opts Options) int {
 	if !p.mergeable {
 		return 1
@@ -501,13 +498,45 @@ func shardCount(p *vectorPlan, n int, opts Options) int {
 			shards = max
 		}
 	}
-	if shards > n {
-		shards = n
+	if max := (n + 63) / 64; shards > max {
+		shards = max
 	}
 	if shards < 1 {
 		shards = 1
 	}
 	return shards
+}
+
+// shardRanges splits [0, n) into nshards contiguous ranges aligned to
+// segment boundaries when there are enough segments to go around —
+// each shard then owns a whole number of segments, so its filter
+// words, view chunks and mask chunks never straddle another shard's
+// cache lines and per-shard state is reusable across batches of the
+// same geometry. A table with fewer segments than shards (small tables
+// under the 64Ki default geometry) splits on bitset-word boundaries
+// instead: every invariant the scan relies on is word-level, so
+// 64-row-aligned sub-segment shards keep the pool busy without
+// straddling any mask word.
+func shardRanges(n, segRows, nshards int) [][2]int {
+	unit := segRows
+	if nsegs := (n + segRows - 1) / segRows; nsegs < nshards {
+		unit = 64
+	}
+	nunits := (n + unit - 1) / unit
+	if nshards > nunits {
+		nshards = nunits
+	}
+	per := (nunits + nshards - 1) / nshards
+	out := make([][2]int, 0, nshards)
+	for s := 0; s < nunits; s += per {
+		lo := s * unit
+		hi := (s + per) * unit
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
 }
 
 // runVector executes a grouped statement through the vectorized
@@ -523,6 +552,7 @@ func runVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr
 	}
 
 	n := src.NumRows()
+	segRows := src.SegRows()
 	nshards := shardCount(p, n, opts)
 	states := make([]*shardScan, 0, nshards)
 	if nshards == 1 {
@@ -530,13 +560,8 @@ func runVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr
 		ss.run()
 		states = append(states, ss)
 	} else {
-		per := (n + nshards - 1) / nshards
-		for lo := 0; lo < n; lo += per {
-			hi := lo + per
-			if hi > n {
-				hi = n
-			}
-			states = append(states, newShardScan(p, lo, hi))
+		for _, r := range shardRanges(n, segRows, nshards) {
+			states = append(states, newShardScan(p, r[0], r[1]))
 		}
 		nshards = len(states)
 		var wg sync.WaitGroup

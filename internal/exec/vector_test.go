@@ -138,7 +138,24 @@ func TestProjectionUsesLoweredFilter(t *testing.T) {
 }
 
 func TestVectorShardedMatchesSingleShard(t *testing.T) {
-	tbl := vectorTestTable(t)
+	// Shards are whole segments now, so a multi-shard scan needs a
+	// table spanning several segments: force the minimum segment size
+	// and enough rows for five of them.
+	tbl, err := engine.NewTableSeg("v", vectorTestTable(t).Schema(), engine.MinSegmentBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := vectorTestTable(t)
+	rows := make([][]engine.Value, 0, 6*tbl.SegRows())
+	for len(rows) < 6*tbl.SegRows() {
+		for r := 0; r < src.NumRows(); r++ {
+			rows = append(rows, src.Row(r))
+		}
+	}
+	tbl, err = tbl.AppendBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sql := `SELECT city, sum(pop) AS s, min(temp) AS m FROM v GROUP BY city`
 	one, err := RunOnWith(tbl, mustParse(t, sql), Options{Shards: 1})
 	if err != nil {

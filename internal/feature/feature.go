@@ -143,11 +143,10 @@ func NewSpace(t *engine.Table, opt Options) *Space {
 }
 
 func numericAttr(t *engine.Table, c int, name string, rows []int, nThresh int) (Attr, bool) {
-	col := t.Column(c)
 	vals := make([]float64, 0, len(rows))
 	var sum, sumsq float64
 	for _, r := range rows {
-		v := col[r]
+		v := t.Value(r, c)
 		if v.IsNull() {
 			continue
 		}
@@ -195,9 +194,8 @@ func numericAttr(t *engine.Table, c int, name string, rows []int, nThresh int) (
 func categoricalAttr(t *engine.Table, c int, name string, rows []int, maxCats int) (Attr, bool) {
 	counts := make(map[string]int)
 	repr := make(map[string]engine.Value)
-	col := t.Column(c)
 	for _, r := range rows {
-		v := col[r]
+		v := t.Value(r, c)
 		if v.IsNull() {
 			continue
 		}

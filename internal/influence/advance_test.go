@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/testgen"
 )
@@ -72,7 +73,7 @@ func TestAdvanceScorerDifferential(t *testing.T) {
 	}
 	for seed := int64(1); seed <= seeds; seed++ {
 		rng := rand.New(rand.NewSource(seed * 977))
-		tbl := testgen.Table(rng, 80+rng.Intn(150))
+		tbl := testgen.TableSeg(rng, 80+rng.Intn(150), engine.MinSegmentBits)
 		for iter := 0; iter < 6; iter++ {
 			stmt := testgen.DebugStmt(rng)
 			res, err := exec.RunOn(tbl, stmt)
@@ -87,7 +88,7 @@ func TestAdvanceScorerDifferential(t *testing.T) {
 			prev, prevErr := NewScorer(res, suspect, 0, metric)
 			cur := tbl
 			for step := 0; step < 3; step++ {
-				grown, err := cur.AppendBatch(testgen.Batch(rng, 1+rng.Intn(40)))
+				grown, err := cur.AppendBatch(testgen.Batch(rng, testgen.BoundaryBatchSize(rng, cur)))
 				if err != nil {
 					t.Fatalf("seed %d iter %d step %d: AppendBatch: %v", seed, iter, step, err)
 				}

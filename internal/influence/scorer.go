@@ -37,6 +37,10 @@ type Scorer struct {
 	fbits  *bitset.Bitset
 	args   *exec.ArgView
 	nsrc   int
+	// srcBase is the source table's retention base: carried F words
+	// rebase by word-shift when the base moved (whole-segment drops are
+	// always word-aligned).
+	srcBase int
 	// firstRows[i] identifies suspect group i by its first source row —
 	// stable across table versions, so AdvanceScorer can verify that a
 	// carried F union still describes the same groups even when the
@@ -82,9 +86,14 @@ func NewScorer(res *exec.Result, suspect []int, ord int, metric errmetric.Metric
 // only the suffix words are OR-ed. The produced Scorer is bit-identical
 // to NewScorer over the same result.
 //
-// When the suspect groups changed since prev (or prev is nil), the F
-// union is rebuilt from the per-group bitsets — still cheap, since
-// those were carried — so callers can advance unconditionally.
+// When the source table's retention base moved since prev, the carried
+// F union rebases by a word-shift (dropped head segments are whole
+// words) as long as the suspect groups' identities survive the id
+// translation; group first rows are compared with the drop offset
+// applied. When the suspect groups changed since prev (or prev is nil,
+// or the rebase precondition fails), the F union is rebuilt from the
+// per-group bitsets — still cheap, since those were carried — so
+// callers can advance unconditionally.
 func AdvanceScorer(prev *Scorer, res *exec.Result, suspect []int, ord int, metric errmetric.Metric) (*Scorer, error) {
 	if prev == nil {
 		return NewScorer(res, suspect, ord, metric)
@@ -93,23 +102,29 @@ func AdvanceScorer(prev *Scorer, res *exec.Result, suspect []int, ord int, metri
 	if err != nil {
 		return nil, err
 	}
-	if s.nsrc < prev.nsrc || !sameSuspectGroups(prev, s) {
+	drop := s.srcBase - prev.srcBase
+	prevLocal := prev.nsrc - drop
+	if drop < 0 || drop%64 != 0 || s.nsrc < prevLocal || !sameSuspectGroups(prev, s, drop) {
 		s.buildGroupBits(res, suspect)
 		return s, nil
 	}
-	s.advanceGroupBits(prev, res, suspect)
+	s.advanceGroupBits(prev, res, suspect, drop)
 	return s, nil
 }
 
 // sameSuspectGroups reports whether next names the same groups, in the
 // same order, as prev — by first source row, the version-stable group
-// identity — so prev's F union is a valid prefix of next's.
-func sameSuspectGroups(prev, next *Scorer) bool {
+// identity (shifted by the retention drop) — so prev's F union is a
+// valid prefix of next's after rebase. A suspect group whose first row
+// fell below the retention horizon can never match, so a shifted match
+// also proves every suspect lineage survived the drop (a group's first
+// row is its earliest lineage row).
+func sameSuspectGroups(prev, next *Scorer, drop int) bool {
 	if len(prev.suspect) != len(next.suspect) {
 		return false
 	}
 	for i := range prev.suspect {
-		if prev.firstRows[i] != next.firstRows[i] {
+		if prev.firstRows[i]-drop != next.firstRows[i] {
 			return false
 		}
 	}
@@ -131,6 +146,7 @@ func newScorerBase(res *exec.Result, suspect []int, ord int, metric errmetric.Me
 		base:      make([]float64, len(suspect)),
 		states:    make([]agg.FloatRemovable, len(suspect)),
 		nsrc:      res.Source.NumRows(),
+		srcBase:   res.Source.Base(),
 		firstRows: make([]int, len(suspect)),
 	}
 	for i, ri := range suspect {
@@ -163,17 +179,23 @@ func newScorerBase(res *exec.Result, suspect []int, ord int, metric errmetric.Me
 	return s, nil
 }
 
-// advanceGroupBits extends prev's F union by the appended suffix. The
-// advanced result's per-group bitsets share their prefix words with the
-// ones prev unioned (lineage is append-only and exec.Advance carries
-// the bitsets by prefix copy + suffix sets), so the union over rows
-// [0, prev.nsrc) is exactly prev.fbits; only words that appended rows
-// can touch — from prev.nsrc>>6 on — need OR-ing.
-func (s *Scorer) advanceGroupBits(prev *Scorer, res *exec.Result, suspect []int) {
+// advanceGroupBits extends prev's F union by the appended suffix,
+// first rebasing it across a retention horizon when drop > 0. The
+// advanced result's per-group bitsets share their (shifted) prefix
+// with the ones prev unioned (lineage is append-only; exec.Advance
+// carries the bitsets by prefix copy — or word-shift — plus suffix
+// sets), so the union over the surviving prefix is exactly prev.fbits
+// rebased: the word-block concatenation is prefix words ++ suffix
+// words, and only words appended rows can touch need OR-ing.
+func (s *Scorer) advanceGroupBits(prev *Scorer, res *exec.Result, suspect []int, drop int) {
 	s.groups = make([]groupBits, len(suspect))
-	s.fbits = bitset.SnapshotWords(s.nsrc, prev.fbits.Words())
+	if drop > 0 {
+		s.fbits = bitset.ShiftDownWords(s.nsrc, prev.fbits.Words(), drop)
+	} else {
+		s.fbits = bitset.SnapshotWords(s.nsrc, prev.fbits.Words())
+	}
 	fw := s.fbits.Words()
-	lo0 := prev.nsrc >> 6
+	lo0 := (prev.nsrc - drop) >> 6
 	for i := range suspect {
 		b := res.GroupLineageBitsShared(suspect[i])
 		lo, hi, ok := b.WordRange()

@@ -17,15 +17,17 @@ import (
 // ranker's pruning re-scores one-clause-removed variants — so the cache
 // hit rate is high and steady-state matching allocates nothing.
 //
-// The index is maintained *incrementally* across appends: each cached
-// mask keeps a canonical growable word array plus the row count it
-// covers. When the table grows (in place via AppendRow, or as a
-// copy-on-write version via AppendBatch — the index tracks the newest
-// version through engine.Table's RowSynced aux hook), only the appended
-// suffix [built, n) is decoded into the existing words; prefix bits are
-// immutable. Callers receive immutable per-length snapshots, so queries
-// running against an older table version keep masks of exactly their
-// length even while newer versions extend the canonical state.
+// Masks are stored the way the engine stores rows: as per-segment word
+// arrays, each extended independently from the matching column-view
+// chunk. Appends extend only the tail segment's chunk (suffix decode,
+// prefix bits immutable); retention rebases the index by dropping
+// whole head chunks — no mask is ever rebuilt or shifted, because
+// segment boundaries are bitset-word-aligned (engine.MinSegmentBits).
+// Callers receive immutable flat snapshots stamped by concatenating
+// the chunk words (bitset.ConcatWords), at exactly the requested
+// length, so queries running against an older same-base table version
+// keep masks of their length even while newer versions extend the
+// canonical chunks.
 //
 // Evaluation semantics are bit-for-bit identical to MatchesRow: NULL
 // never matches, comparisons follow engine.Compare (numeric coercion
@@ -35,7 +37,8 @@ import (
 type Index struct {
 	mu sync.RWMutex
 	// t is the newest table version the index has been synced to; suffix
-	// decodes read from it (its rows cover every requested length).
+	// decodes read from it (its rows cover every requested length at the
+	// current base).
 	t *engine.Table
 	// clauses caches canonical match masks keyed by the clause value
 	// itself (Clause is comparable), so cache hits allocate nothing.
@@ -46,12 +49,25 @@ type Index struct {
 	nonNull map[int]*maskEntry
 }
 
-// maskEntry is one mask's canonical growable state: bits for rows
-// [0, built) in words, plus the snapshot cache at the newest length.
+// maskEntry is one mask's canonical chunked state: chunks[k] covers the
+// current window's segment k, all chunks before the last fully built.
 type maskEntry struct {
+	chunks []*maskChunk
+	snap   *bitset.Bitset
+}
+
+// maskChunk is one segment's worth of mask words.
+type maskChunk struct {
 	words []uint64
-	built int
-	snap  *bitset.Bitset
+	built int // rows decoded within this segment
+}
+
+// built returns the contiguous row count the entry covers.
+func (e *maskEntry) built(segRows int) int {
+	if len(e.chunks) == 0 {
+		return 0
+	}
+	return (len(e.chunks)-1)*segRows + e.chunks[len(e.chunks)-1].built
 }
 
 // NewIndex returns an index over t.
@@ -71,7 +87,7 @@ type sharedIndexKey struct{}
 // request through the engine's aux cache. The index implements
 // engine.RowSynced, so requesting it through a grown copy-on-write
 // version rebases it: cached clause masks then extend by decoding only
-// the appended suffix.
+// the appended suffix (or drop whole head chunks after retention).
 //
 // The shared index lives as long as the table family and never evicts,
 // so it is only for BOUNDED clause vocabularies — statement-driven
@@ -101,14 +117,38 @@ func (ix *Index) Table() *engine.Table {
 }
 
 // SyncRows implements engine.RowSynced: it rebases the index onto t
-// when t is a newer (longer) version of the indexed table family.
-// Cached masks extend lazily, on their next request.
+// when t is a newer version of the indexed table family — longer, or
+// equal-length with a larger retention base. Appends extend cached
+// masks lazily on their next request; retention drops whole head
+// chunks eagerly (the dropped words are exactly the dropped segments).
 func (ix *Index) SyncRows(t *engine.Table) {
 	ix.mu.Lock()
-	if t.NumRows() > ix.t.NumRows() {
-		ix.t = t
+	defer ix.mu.Unlock()
+	newer := t.Version() > ix.t.Version() ||
+		(t.Version() == ix.t.Version() && t.Base() > ix.t.Base())
+	if !newer {
+		return
 	}
-	ix.mu.Unlock()
+	dropSegs := (t.Base() - ix.t.Base()) >> t.SegmentBits()
+	ix.t = t
+	if dropSegs <= 0 {
+		return
+	}
+	for _, e := range ix.clauses {
+		e.dropHead(dropSegs)
+	}
+	for _, e := range ix.nonNull {
+		e.dropHead(dropSegs)
+	}
+}
+
+func (e *maskEntry) dropHead(segs int) {
+	if segs >= len(e.chunks) {
+		e.chunks = nil
+	} else {
+		e.chunks = e.chunks[segs:]
+	}
+	e.snap = nil
 }
 
 // ClauseBits returns the match mask of one clause at the newest synced
@@ -118,42 +158,58 @@ func (ix *Index) ClauseBits(c Clause) *bitset.Bitset {
 }
 
 // ClauseBitsAt returns the match mask of one clause over the first n
-// rows — the form queries use so a statement executing against an older
-// table version gets masks of exactly its length, even while newer
-// versions have already extended the canonical bits. The returned
-// bitset is shared and read-only.
+// rows of the current base window — the form queries use so a statement
+// executing against an older same-base table version gets masks of
+// exactly its length, even while newer versions have already extended
+// the canonical bits. The returned bitset is shared and read-only.
 func (ix *Index) ClauseBitsAt(c Clause, n int) *bitset.Bitset {
+	b, _ := ix.ClauseBitsAtBase(c, -1, n)
+	return b
+}
+
+// ClauseBitsAtBase is ClauseBitsAt with a base check: it returns
+// ok=false (and a nil mask) when base >= 0 and the index's window does
+// not start at base — the caller's table version predates a retention
+// pass and the head chunks its mask would need are gone. Callers then
+// fall back to per-row evaluation.
+func (ix *Index) ClauseBitsAtBase(c Clause, base, n int) (*bitset.Bitset, bool) {
 	if c.Val.T == engine.TFloat && math.IsNaN(c.Val.F) {
 		// NaN keys never hit a map; build uncached rather than leak an
 		// entry per call.
 		e := &maskEntry{}
-		ix.mu.RLock()
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		if base >= 0 && ix.t.Base() != base {
+			return nil, false
+		}
 		ix.extendClause(e, c, n)
-		ix.mu.RUnlock()
-		return bitset.FromWords(n, e.words)
+		return e.stamp(n, ix.t), true
 	}
 	ix.mu.RLock()
+	if base >= 0 && ix.t.Base() != base {
+		ix.mu.RUnlock()
+		return nil, false
+	}
 	e, ok := ix.clauses[c]
-	if ok && e.built >= n {
+	if ok && e.built(ix.t.SegRows()) >= n {
 		if s := e.snap; s != nil && s.Len() == n {
 			ix.mu.RUnlock()
-			return s
+			return s, true
 		}
 	}
 	ix.mu.RUnlock()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if base >= 0 && ix.t.Base() != base {
+		return nil, false
+	}
 	e, ok = ix.clauses[c]
 	if !ok {
 		e = &maskEntry{}
 		ix.clauses[c] = e
 	}
-	if e.built < n {
-		ix.extendClause(e, c, n)
-		e.built = n
-		e.snap = nil
-	}
-	return e.snapshot(n)
+	ix.extendClause(e, c, n)
+	return e.snapshot(n, ix.t), true
 }
 
 // NonNullBits returns the mask of rows where column ci is not NULL at
@@ -165,46 +221,66 @@ func (ix *Index) NonNullBits(ci int) *bitset.Bitset {
 
 // NonNullBitsAt is NonNullBits over the first n rows; see ClauseBitsAt.
 func (ix *Index) NonNullBitsAt(ci int, n int) *bitset.Bitset {
+	b, _ := ix.NonNullBitsAtBase(ci, -1, n)
+	return b
+}
+
+// NonNullBitsAtBase is NonNullBitsAt with the same base check as
+// ClauseBitsAtBase.
+func (ix *Index) NonNullBitsAtBase(ci, base, n int) (*bitset.Bitset, bool) {
 	ix.mu.RLock()
+	if base >= 0 && ix.t.Base() != base {
+		ix.mu.RUnlock()
+		return nil, false
+	}
 	e, ok := ix.nonNull[ci]
-	if ok && e.built >= n {
+	if ok && e.built(ix.t.SegRows()) >= n {
 		if s := e.snap; s != nil && s.Len() == n {
 			ix.mu.RUnlock()
-			return s
+			return s, true
 		}
 	}
 	ix.mu.RUnlock()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if base >= 0 && ix.t.Base() != base {
+		return nil, false
+	}
 	e, ok = ix.nonNull[ci]
 	if !ok {
 		e = &maskEntry{}
 		ix.nonNull[ci] = e
 	}
-	if e.built < n {
-		if ci >= 0 && ci < len(ix.t.Schema()) {
-			ix.extendNonNull(e, ci, n)
-		}
-		e.built = n
-		e.snap = nil
+	if ci >= 0 && ci < len(ix.t.Schema()) {
+		ix.extendNonNull(e, ci, n)
 	}
-	return e.snapshot(n)
+	return e.snapshot(n, ix.t), true
 }
 
-// snapshot stamps an immutable length-n bitset out of the canonical
-// words: the newest length is cached, older lengths (in-flight queries
-// against a superseded table version) are copied on demand. The copy is
-// n/64 words — bits below built never change, so the prefix memcpy plus
-// a ghost-bit trim is all a shorter view needs.
-func (e *maskEntry) snapshot(n int) *bitset.Bitset {
+// snapshot stamps an immutable length-n bitset by concatenating the
+// chunk words: the newest length is cached, older lengths (in-flight
+// queries against a superseded same-base version) are copied on
+// demand. The copy is n/64 words — bits below the built frontier never
+// change, so the chunk memcpys plus a ghost-bit trim are all a shorter
+// view needs.
+func (e *maskEntry) snapshot(n int, t *engine.Table) *bitset.Bitset {
 	if s := e.snap; s != nil && s.Len() == n {
 		return s
 	}
-	b := bitset.SnapshotWords(n, e.words)
-	if n == e.built {
+	b := e.stamp(n, t)
+	if n == e.built(t.SegRows()) {
 		e.snap = b
 	}
 	return b
+}
+
+func (e *maskEntry) stamp(n int, t *engine.Table) *bitset.Bitset {
+	segWords := t.SegRows() >> 6
+	blocks := make([][]uint64, len(e.chunks))
+	for i, ch := range e.chunks {
+		blocks[i] = ch.words
+	}
+	return bitset.ConcatWords(n, segWords, blocks)
 }
 
 // opMatchesCmp reports whether comparison outcome cmp satisfies op —
@@ -228,17 +304,41 @@ func opMatchesCmp(op Op, cmp int) bool {
 	return false
 }
 
-// extendClause decodes rows [e.built, n) of clause c into e.words.
-// Caller holds ix.mu (read lock suffices only for the uncached NaN
-// path, which owns its entry).
-func (ix *Index) extendClause(e *maskEntry, c Clause, n int) {
-	lo := e.built
-	if lo >= n {
-		return
+// forEachSegSpan walks the per-segment row spans the entry must decode
+// to cover n rows: for each segment k it hands the chunk plus the
+// [lo, hi) row range (segment-local) still missing. Chunks are
+// allocated as needed. Caller holds ix.mu.
+func (ix *Index) forEachSegSpan(e *maskEntry, n int, fn func(k int, ch *maskChunk, lo, hi int)) {
+	segRows := ix.t.SegRows()
+	segWords := segRows >> 6
+	for start := 0; start < n; start += segRows {
+		k := start / segRows
+		hi := n - start
+		if hi > segRows {
+			hi = segRows
+		}
+		for len(e.chunks) <= k {
+			e.chunks = append(e.chunks, &maskChunk{words: make([]uint64, segWords)})
+		}
+		ch := e.chunks[k]
+		if ch.built >= hi {
+			continue
+		}
+		fn(k, ch, ch.built, hi)
+		ch.built = hi
+		e.snap = nil
 	}
+}
+
+// extendClause decodes the missing rows of clause c's mask up to n.
+// Caller holds ix.mu.
+func (ix *Index) extendClause(e *maskEntry, c Clause, n int) {
 	ci := ix.t.Schema().ColIndex(c.Col)
 	if ci < 0 {
-		return // unknown column matches nothing
+		// Unknown column matches nothing, but the chunks must still
+		// cover n so built() reflects the decoded length.
+		ix.forEachSegSpan(e, n, func(int, *maskChunk, int, int) {})
+		return
 	}
 	colType := ix.t.Schema()[ci].Type
 
@@ -247,54 +347,80 @@ func (ix *Index) extendClause(e *maskEntry, c Clause, n int) {
 	if c.Val.IsNull() {
 		if opMatchesCmp(c.Op, 1) {
 			ix.extendNonNull(e, ci, n)
+		} else {
+			ix.forEachSegSpan(e, n, func(int, *maskChunk, int, int) {})
 		}
 		return
 	}
 
 	switch {
 	case colType.IsNumeric() && c.Val.T.IsNumeric():
-		ix.extendNumeric(e, ci, c, lo, n)
+		ix.extendNumeric(e, ci, c, n)
 	case colType == engine.TString && c.Val.T == engine.TString:
-		ix.extendString(e, ci, c, lo, n)
+		ix.extendString(e, ci, c, n)
 	default:
 		// Incomparable column/value types: engine.Compare errors, the
 		// clause matches nothing.
+		ix.forEachSegSpan(e, n, func(int, *maskChunk, int, int) {})
 	}
 }
 
-// extendNonNull sets every non-NULL row of column ci in [e.built, n).
+// extendNonNull sets every missing non-NULL row of column ci up to n.
 func (ix *Index) extendNonNull(e *maskEntry, ci, n int) {
-	lo := e.built
 	if fv := ix.t.FloatView(ci); fv != nil {
-		// Word-level Fill+AndNot over the suffix: ~64x fewer operations
-		// than per-bit sets on the initial full-table build.
-		bitset.OrRangeAndNot(&e.words, lo, n, fv.Null.Words())
+		ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
+			// Word-level Fill+AndNot over the segment span: ~64x fewer
+			// operations than per-bit sets on a full-segment build.
+			orRangeAndNot(ch.words, lo, hi, fv.NullSeg(k))
+		})
 		return
 	}
 	if dv := ix.t.DictView(ci); dv != nil {
-		for r := lo; r < n; r++ {
-			if dv.Codes[r] >= 0 {
-				bitset.SetInWords(&e.words, r)
+		ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
+			codes := dv.Seg(k)
+			for i := lo; i < hi; i++ {
+				if codes[i] >= 0 {
+					ch.words[i>>6] |= 1 << (uint(i) & 63)
+				}
 			}
-		}
+		})
 		return
 	}
-	col := ix.t.Column(ci)
-	for r := lo; r < n; r++ {
-		if !col[r].IsNull() {
-			bitset.SetInWords(&e.words, r)
+	segRows := ix.t.SegRows()
+	ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !ix.t.Value(k*segRows+i, ci).IsNull() {
+				ch.words[i>>6] |= 1 << (uint(i) & 63)
+			}
 		}
+	})
+}
+
+// orRangeAndNot sets bits [lo, hi) of words to the complement of not's
+// corresponding bits, word-at-a-time.
+func orRangeAndNot(words []uint64, lo, hi int, not []uint64) {
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	for wi := loWord; wi <= hiWord; wi++ {
+		m := ^uint64(0)
+		if wi == loWord {
+			m &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == hiWord {
+			if rem := hi - wi*64; rem < 64 {
+				m &= 1<<uint(rem) - 1
+			}
+		}
+		words[wi] |= m &^ not[wi]
 	}
 }
 
-// extendNumeric evaluates a numeric clause against rows [lo, n) of the
-// float view. The comparisons are written so NaN values yield cmp==0
-// (both f<cv and f>cv false), matching engine.Compare's behavior
+// extendNumeric evaluates a numeric clause against the missing rows of
+// the float view. The comparisons are written so NaN values yield
+// cmp==0 (both f<cv and f>cv false), matching engine.Compare's behavior
 // exactly.
-func (ix *Index) extendNumeric(e *maskEntry, ci int, c Clause, lo, n int) {
+func (ix *Index) extendNumeric(e *maskEntry, ci int, c Clause, n int) {
 	fv := ix.t.FloatView(ci)
 	cv := c.Val.Float()
-	nulls := fv.Null
 	var match func(f float64) bool
 	switch c.Op {
 	case OpEq:
@@ -312,27 +438,38 @@ func (ix *Index) extendNumeric(e *maskEntry, ci int, c Clause, lo, n int) {
 	default:
 		return
 	}
-	for r := lo; r < n; r++ {
-		if match(fv.Vals[r]) && !nulls.Get(r) {
-			bitset.SetInWords(&e.words, r)
+	ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
+		vals := fv.Seg(k)
+		null := fv.NullSeg(k)
+		for i := lo; i < hi; i++ {
+			if match(vals[i]) && null[i>>6]&(1<<(uint(i)&63)) == 0 {
+				ch.words[i>>6] |= 1 << (uint(i) & 63)
+			}
 		}
-	}
+	})
 }
 
-// extendString evaluates a string clause against rows [lo, n) of the
-// dictionary view: the comparison runs once per distinct value, then
-// fans out by code.
-func (ix *Index) extendString(e *maskEntry, ci int, c Clause, lo, n int) {
+// extendString evaluates a string clause against the missing rows of
+// the dictionary view: the comparison runs once per distinct value,
+// then fans out by code.
+func (ix *Index) extendString(e *maskEntry, ci int, c Clause, n int) {
 	dv := ix.t.DictView(ci)
-	verdict := make([]bool, len(dv.Values))
-	for code, s := range dv.Values {
+	if dv == nil {
+		ix.forEachSegSpan(e, n, func(int, *maskChunk, int, int) {})
+		return
+	}
+	verdict := make([]bool, len(dv.Values()))
+	for code, s := range dv.Values() {
 		verdict[code] = opMatchesCmp(c.Op, strings.Compare(s, c.Val.S))
 	}
-	for r := lo; r < n; r++ {
-		if code := dv.Codes[r]; code >= 0 && verdict[code] {
-			bitset.SetInWords(&e.words, r)
+	ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
+		codes := dv.Seg(k)
+		for i := lo; i < hi; i++ {
+			if code := codes[i]; code >= 0 && verdict[code] {
+				ch.words[i>>6] |= 1 << (uint(i) & 63)
+			}
 		}
-	}
+	})
 }
 
 // MatchInto writes the rows matching p (within subset, or the whole

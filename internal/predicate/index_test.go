@@ -216,8 +216,8 @@ func TestIndexExtendsOnAppend(t *testing.T) {
 	for k, c := range clauses {
 		old[k] = ix.ClauseBits(c)
 		entries[k] = ix.clauses[c]
-		if entries[k].built != 150 {
-			t.Fatalf("clause %d built = %d", k, entries[k].built)
+		if entries[k].built(tbl.SegRows()) != 150 {
+			t.Fatalf("clause %d built = %d", k, entries[k].built(tbl.SegRows()))
 		}
 	}
 	oldNonNull := ix.NonNullBits(1)
@@ -235,8 +235,8 @@ func TestIndexExtendsOnAppend(t *testing.T) {
 		if ix.clauses[c] != entries[k] {
 			t.Fatalf("clause %d: canonical entry rebuilt instead of extended", k)
 		}
-		if entries[k].built != 210 || nb.Len() != 210 {
-			t.Fatalf("clause %d: built=%d len=%d", k, entries[k].built, nb.Len())
+		if entries[k].built(tbl.SegRows()) != 210 || nb.Len() != 210 {
+			t.Fatalf("clause %d: built=%d len=%d", k, entries[k].built(tbl.SegRows()), nb.Len())
 		}
 		// Parity with the scalar evaluator over the grown table.
 		ci := tbl.Schema().ColIndex(c.Col)

@@ -152,7 +152,7 @@ func TestRescoreAdvancedContext(t *testing.T) {
 	}
 	for seed := int64(1); seed <= seeds; seed++ {
 		rng := rand.New(rand.NewSource(seed * 131))
-		tbl := testgen.Table(rng, 150+rng.Intn(100))
+		tbl := testgen.TableSeg(rng, 150+rng.Intn(100), engine.MinSegmentBits)
 		for iter := 0; iter < 5; iter++ {
 			stmt := testgen.DebugStmt(rng)
 			res, err := exec.RunOn(tbl, stmt)
@@ -177,7 +177,7 @@ func TestRescoreAdvancedContext(t *testing.T) {
 				continue
 			}
 
-			grown, err := tbl.AppendBatch(testgen.Batch(rng, 1+rng.Intn(60)))
+			grown, err := tbl.AppendBatch(testgen.Batch(rng, testgen.BoundaryBatchSize(rng, tbl)))
 			if err != nil {
 				t.Fatal(err)
 			}

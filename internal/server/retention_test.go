@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// segServer builds a server over one minimum-segment table so the
+// retention endpoint has segments to drop without megarow fixtures.
+func segServer(t *testing.T, rows int) (*httptest.Server, *engine.DB) {
+	t.Helper()
+	tbl, err := engine.NewTableSeg("m", engine.NewSchema("x", engine.TFloat, "j", engine.TInt), engine.MinSegmentBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]engine.Value, rows)
+	for i := range batch {
+		batch[i] = []engine.Value{engine.NewFloat(float64(i)), engine.NewInt(int64(i % 3))}
+	}
+	tbl, err = tbl.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDB()
+	db.Register(tbl)
+	ts := httptest.NewServer(New(db).Handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func TestRetentionEndpoint(t *testing.T) {
+	ts, db := segServer(t, 5*64+10)
+
+	var out struct {
+		DroppedSegments  int `json:"dropped_segments"`
+		DroppedRows      int `json:"dropped_rows"`
+		RetainedSegments int `json:"retained_segments"`
+		Rows             int `json:"rows"`
+		Base             int `json:"base"`
+	}
+	resp := post(t, ts, "/api/retention", map[string]any{"table": "m", "max_rows": 2 * 64}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retention status %d", resp.StatusCode)
+	}
+	if out.DroppedSegments != 3 || out.DroppedRows != 3*64 || out.Base != 3*64 {
+		t.Fatalf("retention response %+v", out)
+	}
+	cur, err := db.Table("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Base() != 3*64 || cur.NumRows() != 2*64+10 {
+		t.Fatalf("catalog table not republished: base %d rows %d", cur.Base(), cur.NumRows())
+	}
+
+	// Policy-free requests are rejected.
+	resp = post(t, ts, "/api/retention", map[string]any{"table": "m"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty policy status %d", resp.StatusCode)
+	}
+	// Unknown tables are rejected.
+	resp = post(t, ts, "/api/retention", map[string]any{"table": "nope", "max_rows": 1}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown table status %d", resp.StatusCode)
+	}
+}
+
+// TestStatsEndpoint pins the storage accounting: per-table and
+// per-session retained segment counts and approximate bytes, with a
+// session pinning a pre-retention window showing the larger footprint.
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := segServer(t, 5*64+10)
+
+	// A session caches a result over the full window.
+	post(t, ts, "/api/query", map[string]any{
+		"session": "pinner",
+		"sql":     "SELECT j, sum(x) AS s FROM m GROUP BY j",
+	}, nil)
+
+	// Retain: the catalog table shrinks; the session still pins the old
+	// version until its next request.
+	post(t, ts, "/api/retention", map[string]any{"table": "m", "max_rows": 2 * 64}, nil)
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Tables map[string]struct {
+			Rows     int `json:"rows"`
+			Base     int `json:"base"`
+			Segments int `json:"segments"`
+			Bytes    int `json:"approx_bytes"`
+		} `json:"tables"`
+		Sessions []struct {
+			Session  string `json:"session"`
+			Table    string `json:"table"`
+			Rows     int    `json:"rows"`
+			Base     int    `json:"base"`
+			Segments int    `json:"segments"`
+			Bytes    int    `json:"approx_bytes"`
+		} `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	mt, ok := stats.Tables["m"]
+	if !ok {
+		t.Fatalf("table m missing from stats: %+v", stats.Tables)
+	}
+	if mt.Base != 3*64 || mt.Rows != 2*64+10 || mt.Segments == 0 || mt.Bytes == 0 {
+		t.Fatalf("table stats %+v", mt)
+	}
+	if len(stats.Sessions) != 1 || stats.Sessions[0].Session != "pinner" {
+		t.Fatalf("sessions %+v", stats.Sessions)
+	}
+	ss := stats.Sessions[0]
+	if ss.Table != "m" || ss.Base != 0 || ss.Rows != 5*64+10 {
+		t.Fatalf("session pins wrong window: %+v", ss)
+	}
+	if ss.Segments <= mt.Segments || ss.Bytes <= mt.Bytes {
+		t.Fatalf("pinned window should be larger than retained table: session %+v vs table %+v", ss, mt)
+	}
+
+	// Re-query: the session advances across the horizon and the pinned
+	// window is released.
+	post(t, ts, "/api/query", map[string]any{
+		"session": "pinner",
+		"sql":     "SELECT j, sum(x) AS s FROM m GROUP BY j",
+	}, nil)
+	resp2, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Sessions) != 1 || stats.Sessions[0].Base != 3*64 {
+		t.Fatalf("session did not advance across the horizon: %+v", stats.Sessions)
+	}
+}
+
+// TestAppendQueryRetentionLoop drives the full streaming loop over the
+// HTTP surface: append → re-query (incremental advance) → retention →
+// re-query, checking the cached result follows the retained window.
+func TestAppendQueryRetentionLoop(t *testing.T) {
+	ts, db := segServer(t, 3*64)
+	sql := "SELECT j, count(*) AS c FROM m GROUP BY j"
+	post(t, ts, "/api/query", map[string]any{"session": "s", "sql": sql}, nil)
+
+	next := 3 * 64
+	for step := 0; step < 4; step++ {
+		rows := make([][]any, 64)
+		for i := range rows {
+			rows[i] = []any{float64(next), float64(next % 3)}
+			next++
+		}
+		resp := post(t, ts, "/api/append", map[string]any{"table": "m", "rows": rows}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append status %d", resp.StatusCode)
+		}
+		resp = post(t, ts, "/api/retention", map[string]any{"table": "m", "max_rows": 3 * 64}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("retention status %d", resp.StatusCode)
+		}
+		var q struct {
+			Rows [][]any `json:"rows"`
+		}
+		resp = post(t, ts, "/api/query", map[string]any{"session": "s", "sql": sql}, &q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+		cur, err := db.Table("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, row := range q.Rows {
+			c, ok := row[len(row)-1].(float64)
+			if !ok {
+				t.Fatalf("unexpected count cell %v", row)
+			}
+			total += c
+		}
+		if int(total) != cur.NumRows() {
+			t.Fatalf("step %d: counts sum to %v, table has %d rows (%s)", step, total, cur.NumRows(), fmt.Sprintf("base %d", cur.Base()))
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -90,6 +91,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/clean", s.handleClean)
 	mux.HandleFunc("POST /api/reset", s.handleReset)
 	mux.HandleFunc("POST /api/append", s.handleAppend)
+	mux.HandleFunc("POST /api/retention", s.handleRetention)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
 	return mux
 }
 
@@ -704,6 +707,110 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		"rows":     nt.NumRows(),
 		"version":  nt.Version(),
 	})
+}
+
+// handleRetention applies a retention policy to a table through the
+// engine's whole-segment drop path (engine.DB.Retain) and atomically
+// republishes the retained version. In-flight queries keep their
+// snapshots; session results cached over the old window advance across
+// the horizon on their next request (rebasing when the carried state
+// allows it, re-running otherwise — see exec.Advance).
+func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Table   string  `json:"table"`
+		MaxRows int     `json:"max_rows"`
+		TimeCol string  `json:"time_col"`
+		Cutoff  float64 `json:"cutoff"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Table == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("retention needs a table"))
+		return
+	}
+	if req.MaxRows <= 0 && req.TimeCol == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("retention needs max_rows or time_col+cutoff"))
+		return
+	}
+	nt, stats, err := s.db.Retain(req.Table, engine.RetentionPolicy{
+		MaxRows: req.MaxRows, TimeCol: req.TimeCol, Cutoff: req.Cutoff,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":             nt.Name(),
+		"dropped_segments":  stats.DroppedSegments,
+		"dropped_rows":      stats.DroppedRows,
+		"retained_segments": stats.RetainedSegments,
+		"rows":              nt.NumRows(),
+		"base":              nt.Base(),
+		"version":           nt.Version(),
+	})
+}
+
+// sessionStats is one session's storage footprint in /api/stats.
+type sessionStats struct {
+	Session  string `json:"session"`
+	Table    string `json:"table,omitempty"`
+	Rows     int    `json:"rows"`
+	Base     int    `json:"base"`
+	Segments int    `json:"segments"`
+	Bytes    int    `json:"approx_bytes"`
+}
+
+// handleStats reports the storage footprint retention is managing: per
+// registered table and per live session (the table version its cached
+// result still pins — the number that shows whether old windows are
+// being held alive), as retained segment counts and approximate
+// resident bytes.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	type tableStats struct {
+		Rows     int `json:"rows"`
+		Base     int `json:"base"`
+		Segments int `json:"segments"`
+		Bytes    int `json:"approx_bytes"`
+	}
+	tables := make(map[string]tableStats)
+	for _, name := range s.db.Names() {
+		t, err := s.db.Table(name)
+		if err != nil {
+			continue
+		}
+		segs, bytes := t.MemStats()
+		tables[name] = tableStats{Rows: t.NumRows(), Base: t.Base(), Segments: segs, Bytes: bytes}
+	}
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	sesss := make([]*session, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		ids = append(ids, id)
+		sesss = append(sesss, sess)
+	}
+	s.mu.Unlock()
+
+	out := make([]sessionStats, 0, len(ids))
+	for i, sess := range sesss {
+		sess.mu.Lock()
+		st := sessionStats{Session: ids[i]}
+		if sess.res != nil && sess.res.Source != nil {
+			src := sess.res.Source
+			segs, bytes := src.MemStats()
+			st.Table = src.Name()
+			st.Rows = src.NumRows()
+			st.Base = src.Base()
+			st.Segments = segs
+			st.Bytes = bytes
+		}
+		sess.mu.Unlock()
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	writeJSON(w, http.StatusOK, map[string]any{"tables": tables, "sessions": out})
 }
 
 // jsonValue converts one decoded JSON cell to an engine value of the

@@ -331,7 +331,6 @@ func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, []*bitset.Bi
 	for si := range selectors {
 		ai := selectors[si].AttrIdx
 		attr := &sp.Attrs[ai]
-		col := sp.Table.Column(attr.Col)
 		switch attr.Kind {
 		case feature.Numeric:
 			if _, ok := numVals[ai]; ok {
@@ -339,7 +338,7 @@ func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, []*bitset.Bi
 			}
 			vals := make([]float64, len(rows))
 			for i, r := range rows {
-				v := col[r]
+				v := sp.Table.Value(r, attr.Col)
 				if v.IsNull() {
 					vals[i] = math.NaN()
 				} else {
@@ -353,7 +352,7 @@ func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, []*bitset.Bi
 			}
 			keys := make([]string, len(rows))
 			for i, r := range rows {
-				v := col[r]
+				v := sp.Table.Value(r, attr.Col)
 				if v.IsNull() {
 					keys[i] = "\x00null"
 				} else {

@@ -230,3 +230,57 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+// TableSeg builds a random table named "p" with nrows rows and a
+// forced segment size of 1<<segBits rows — harnesses pass
+// engine.MinSegmentBits so short append chains straddle many segment
+// boundaries and retention drops land mid-test.
+func TableSeg(rng *rand.Rand, nrows int, segBits uint) *engine.Table {
+	t, err := engine.NewTableSeg("p", Schema(), segBits)
+	if err != nil {
+		panic(err)
+	}
+	for r := 0; r < nrows; r++ {
+		if _, err := t.AppendRow(Row(rng)); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// BoundaryBatchSize draws an append batch size biased to land exactly
+// on, one under, or one over the table's next segment boundary —
+// where every off-by-one in the seal/rebase plumbing would live — and
+// otherwise a small random size.
+func BoundaryBatchSize(rng *rand.Rand, t *engine.Table) int {
+	segRows := t.SegRows()
+	toBoundary := segRows - t.NumRows()%segRows // rows until the next seal
+	switch rng.Intn(6) {
+	case 0:
+		return toBoundary // lands exactly on the boundary
+	case 1:
+		if toBoundary > 1 {
+			return toBoundary - 1 // one under
+		}
+		return 1
+	case 2:
+		return toBoundary + 1 // one over
+	case 3:
+		return toBoundary + segRows // straddles two boundaries
+	default:
+		return 1 + rng.Intn(2*segRows)
+	}
+}
+
+// RetainStep applies a randomized row-bound retention policy to the
+// newest version, returning it (possibly unchanged) plus the stream
+// rows dropped. Harnesses interleave it with append batches to
+// exercise the carried-state rebase/fallback paths.
+func RetainStep(rng *rand.Rand, t *engine.Table) (*engine.Table, int) {
+	keep := t.SegRows() * (1 + rng.Intn(4))
+	nt, stats, err := t.RetainTail(engine.RetentionPolicy{MaxRows: keep})
+	if err != nil {
+		panic(err)
+	}
+	return nt, stats.DroppedRows
+}
