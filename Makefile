@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short test-race vet fmt-check check bench bench-hot bench-json fuzz-smoke cover
+.PHONY: all build test short test-race test-crash vet fmt-check check bench bench-hot bench-json fuzz-smoke cover
 
 all: build test
 
@@ -20,6 +20,15 @@ short:
 # per-session state. CI runs this as its own job.
 test-race:
 	$(GO) test -race -short ./...
+
+# Durability fault suite: the crash-at-every-failpoint recovery matrix,
+# corruption/quarantine detection, and fail-stop behavior in
+# internal/store, under the race detector. GOMAXPROCS=1 pins the
+# single-core schedule; GOMAXPROCS=4 lets recovered tables publish to
+# genuinely concurrent readers.
+test-crash:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/store/
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/store/
 
 vet:
 	$(GO) vet ./...
@@ -57,9 +66,9 @@ cover:
 		echo "cover: $$pkg $$pct% (ratchet $$min%)"; \
 	done
 
-# The CI gate: build, vet, formatting, the short test suite, and a
-# fuzz smoke pass.
-check: build vet fmt-check short fuzz-smoke
+# The CI gate: build, vet, formatting, the short test suite, a fuzz
+# smoke pass, and the durability fault suite.
+check: build vet fmt-check short fuzz-smoke test-crash
 
 # Full benchmark sweep with allocation counts.
 bench:
@@ -69,7 +78,7 @@ bench:
 # ns/op + B/op + allocs/op per bench as JSON. Check the file in so each
 # PR's numbers diff against the last; override the output name with
 # BENCH_OUT=file.json when recording a new PR's numbers.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 bench-json:
 	@out=$$(mktemp); \
 	$(GO) test -run='^$$' -bench=. -benchmem -short . > $$out || { cat $$out; rm -f $$out; exit 1; }; \

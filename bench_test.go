@@ -29,6 +29,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/influence"
 	"repro/internal/sqlparse"
+	"repro/internal/store"
 )
 
 // intelEnv caches one synthetic trace + executed query per size so the
@@ -614,4 +615,99 @@ func BenchmarkRetention(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(maxSegs), "retained_segs")
 	b.ReportMetric(float64(maxBytes)/(1<<20), "retained_MB")
+}
+
+// BenchmarkDurableAppend prices durability: the same 1k-row batch
+// append as BenchmarkSegmentedAppend, but acknowledged through
+// internal/store's crash-safe path. mem is the in-RAM PR 5 baseline;
+// nowal spills sealed segments but skips the tail log; wal/sync=1
+// fsyncs the WAL per batch (the acked⇒durable contract); wal/sync=64
+// amortizes the fsync over 64 batches (may lose a bounded acked
+// suffix, never a torn batch). Two base sizes pin the flatness claim:
+// per-batch cost must not grow with what is already on disk.
+func BenchmarkDurableAppend(b *testing.B) {
+	const batchSize = 1_000
+	const poolBatches = 64
+	modes := []struct {
+		name string
+		opts *store.Options // nil = in-memory engine baseline
+	}{
+		{"mem", nil},
+		{"nowal", &store.Options{DisableWAL: true}},
+		{"wal-sync=1", &store.Options{SyncEvery: 1}},
+		{"wal-sync=64", &store.Options{SyncEvery: 64}},
+	}
+	for _, base := range []int{50_000, 200_000} {
+		full, _ := datasets.Intel(datasets.IntelConfig{Rows: base + poolBatches*batchSize, Seed: 7})
+		pool := make([][][]engine.Value, poolBatches)
+		for bi := range pool {
+			rows := make([][]engine.Value, batchSize)
+			for r := range rows {
+				rows[r] = full.Row(base + bi*batchSize + r)
+			}
+			pool[bi] = rows
+		}
+		baseChunks := func(emit func(rows [][]engine.Value)) {
+			const chunk = 8192
+			for lo := 0; lo < base; lo += chunk {
+				hi := lo + chunk
+				if hi > base {
+					hi = base
+				}
+				rows := make([][]engine.Value, 0, hi-lo)
+				for r := lo; r < hi; r++ {
+					rows = append(rows, full.Row(r))
+				}
+				emit(rows)
+			}
+		}
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s/base=%d", mode.name, base), func(b *testing.B) {
+				var appendBatch func(rows [][]engine.Value)
+				if mode.opts == nil {
+					tbl, err := engine.NewTableSeg("readings", full.Schema(), engine.DefaultSegmentBits)
+					if err != nil {
+						b.Fatal(err)
+					}
+					baseChunks(func(rows [][]engine.Value) {
+						if tbl, err = tbl.AppendBatch(rows); err != nil {
+							b.Fatal(err)
+						}
+					})
+					appendBatch = func(rows [][]engine.Value) {
+						if tbl, err = tbl.AppendBatch(rows); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					opts := *mode.opts
+					opts.Logf = func(string, ...any) {}
+					st, err := store.Open(b.TempDir(), opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { st.Close() })
+					if err := st.CreateTable("readings", full.Schema(), engine.DefaultSegmentBits); err != nil {
+						b.Fatal(err)
+					}
+					baseChunks(func(rows [][]engine.Value) {
+						if _, err := st.Append("readings", rows); err != nil {
+							b.Fatal(err)
+						}
+					})
+					appendBatch = func(rows [][]engine.Value) {
+						if _, err := st.Append("readings", rows); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				bi := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					appendBatch(pool[bi])
+					bi = (bi + 1) % len(pool)
+				}
+			})
+		}
+	}
 }

@@ -16,6 +16,12 @@
 //	datagen -dataset intel -rows 100000 -batches 20 -batch-rows 1000 -out readings.csv
 //	datagen -dataset intel -rows 100000 -batches 20 -batch-rows 1000 -out readings.csv \
 //	        -post http://localhost:8080/api/append -table readings -interval 500ms
+//
+// With -data the rows are instead ingested into a durable segment
+// store directory (WAL + sealed segment files) ready for
+// `dbwipes -data`:
+//
+//	datagen -dataset intel -rows 100000 -batches 20 -data ./data -table readings
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/engine"
+	"repro/internal/store"
 )
 
 func main() {
@@ -43,10 +50,11 @@ func main() {
 	batches := flag.Int("batches", 0, "streaming: number of append batches to generate after the base rows")
 	batchRows := flag.Int("batch-rows", 1000, "streaming: rows per append batch")
 	post := flag.String("post", "", "streaming: POST batches to this /api/append URL instead of writing CSVs")
-	table := flag.String("table", "readings", "streaming: table name for -post")
+	table := flag.String("table", "readings", "streaming: table name for -post/-data")
 	interval := flag.Duration("interval", 0, "streaming: pause between posted batches")
+	dataPath := flag.String("data", "", "ingest into a durable store directory instead of writing CSVs")
 	flag.Parse()
-	if *out == "" {
+	if *out == "" && *dataPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -64,6 +72,13 @@ func main() {
 		t, truth = datasets.FEC(datasets.FECConfig{Rows: total, Seed: *seed})
 	default:
 		log.Fatalf("unknown dataset %q (want intel or fec)", *dataset)
+	}
+
+	if *dataPath != "" {
+		ingestStore(*dataPath, *table, t, *rows, *batches, *batchRows)
+		if *out == "" {
+			return
+		}
 	}
 
 	base := t
@@ -125,6 +140,47 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d anomalous rows)\n", *truthPath, n)
+	}
+}
+
+// ingestStore writes the base rows and every append batch of t into a
+// durable segment store at dir: the WAL-then-ack path dbwipes itself
+// uses, so the directory can be handed straight to `dbwipes -data`.
+func ingestStore(dir, table string, t *engine.Table, baseRows, batches, batchRows int) {
+	st, err := store.Open(dir, store.Options{SyncEvery: 64})
+	if err != nil {
+		log.Fatalf("open store %s: %v", dir, err)
+	}
+	if err := st.CreateTable(table, t.Schema(), engine.DefaultSegmentBits); err != nil {
+		log.Fatalf("create %s: %v", table, err)
+	}
+	appendRange := func(lo, hi int) {
+		const chunk = 8192
+		for ; lo < hi; lo += chunk {
+			end := lo + chunk
+			if end > hi {
+				end = hi
+			}
+			rows := make([][]engine.Value, 0, end-lo)
+			for r := lo; r < end; r++ {
+				rows = append(rows, t.Row(r))
+			}
+			if _, err := st.Append(table, rows); err != nil {
+				log.Fatalf("ingest %s rows [%d,%d): %v", table, lo, end, err)
+			}
+		}
+	}
+	appendRange(0, baseRows)
+	fmt.Printf("ingested %s base (%d rows) into %s\n", table, baseRows, dir)
+	for b := 0; b < batches; b++ {
+		lo := baseRows + b*batchRows
+		appendRange(lo, lo+batchRows)
+		fmt.Printf("ingested batch %d (%d rows)\n", b, batchRows)
+	}
+	// Close flushes any batched WAL syncs; an error here means the tail
+	// may not be on the platter, so it must not exit 0.
+	if err := st.Close(); err != nil {
+		log.Fatalf("close store: %v", err)
 	}
 }
 

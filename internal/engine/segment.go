@@ -89,6 +89,16 @@ func (t *Table) NumSegments() (sealed int, tailRows int) {
 	return len(t.sealed), t.nrows - len(t.sealed)<<t.bits
 }
 
+// SegmentCols exposes sealed segment k's column value slices — the
+// spill hook a durability layer (internal/store) encodes segment files
+// from. Sealed segments are immutable, so the returned slices are safe
+// to read without holding any lock, and callers must not mutate them.
+// k indexes this version's sealed segments (stream segment index =
+// Base()/SegRows + k).
+func (t *Table) SegmentCols(k int) [][]Value {
+	return t.sealed[k].cols
+}
+
 // sealTailLocked seals the current tail into a segment appended to
 // nt.sealed and starts a fresh tail. Caller holds views.mu and has
 // verified the tail is exactly full. nt must be the newest version (the

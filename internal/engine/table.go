@@ -76,6 +76,28 @@ func NewTableSeg(name string, schema Schema, segBits uint) (*Table, error) {
 	return t, nil
 }
 
+// NewTableSegBase is NewTableSeg for restart recovery: the empty table
+// starts with its retention base already advanced to base stream rows,
+// as if a retention pass had dropped base/SegRows head segments. Row
+// ids appended to it continue the original stream's numbering (local
+// row r is stream row r+base), so carried provenance and the
+// Base()/Version() contract survive a stop/start cycle. base must be a
+// non-negative multiple of the segment size.
+func NewTableSegBase(name string, schema Schema, segBits uint, base int) (*Table, error) {
+	t, err := NewTableSeg(name, schema, segBits)
+	if err != nil {
+		return nil, err
+	}
+	if base < 0 || base&(1<<segBits-1) != 0 {
+		return nil, fmt.Errorf("engine: recovery base %d is not a multiple of the segment size %d", base, 1<<segBits)
+	}
+	t.base = base
+	t.views.hw = base
+	t.views.curBase = base
+	t.views.epoch = base >> segBits
+	return t, nil
+}
+
 // MustNewTable is NewTable for static declarations; it panics on error.
 func MustNewTable(name string, schema Schema) *Table {
 	t, err := NewTable(name, schema)
@@ -150,6 +172,25 @@ func (t *Table) coerceRow(row []Value) ([]Value, error) {
 	return out, nil
 }
 
+// CoerceBatch type-checks a whole batch against the schema, returning
+// the column-coerced rows without appending anything. It is the
+// validation half of AppendBatch, exposed so a durability layer
+// (internal/store) can encode exactly the rows that will be published
+// into its write-ahead log BEFORE the in-memory publish: coercion is
+// deterministic, so the logged rows and the published rows cannot
+// diverge. The input rows are not retained.
+func (t *Table) CoerceBatch(rows [][]Value) ([][]Value, error) {
+	coerced := make([][]Value, len(rows))
+	for ri, row := range rows {
+		cr, err := t.coerceRow(row)
+		if err != nil {
+			return nil, err
+		}
+		coerced[ri] = cr
+	}
+	return coerced, nil
+}
+
 // appendCoercedLocked writes one already-coerced row into the tail,
 // sealing first when the tail is full. Caller holds views.mu and has
 // verified t is the newest version.
@@ -203,13 +244,9 @@ func (t *Table) AppendRow(row []Value) (int, error) {
 // type-checked before anything is published, so no version ever exposes
 // a half-appended batch.
 func (t *Table) AppendBatch(rows [][]Value) (*Table, error) {
-	coerced := make([][]Value, len(rows))
-	for ri, row := range rows {
-		cr, err := t.coerceRow(row)
-		if err != nil {
-			return nil, err
-		}
-		coerced[ri] = cr
+	coerced, err := t.CoerceBatch(rows)
+	if err != nil {
+		return nil, err
 	}
 	vc := t.viewCache()
 	vc.mu.Lock()

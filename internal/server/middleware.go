@@ -1,0 +1,35 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// withRecovery converts a handler panic into a logged JSON 500 instead
+// of killing the connection (and, under http.Server's default
+// per-connection recover, silently dropping the response). A panic in
+// one request must not look like a network blip to the client or take
+// the ingest loop down with it. http.ErrAbortHandler is re-raised: it
+// is the sanctioned way to abort a response mid-stream.
+func withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// If the handler already wrote a header this is a no-op
+			// superfluous-WriteHeader; the client still sees a torn
+			// body, which is the best that can be done post-panic.
+			writeJSON(w, http.StatusInternalServerError, map[string]string{
+				"error": "internal server error",
+			})
+		}()
+		h.ServeHTTP(w, r)
+	})
+}

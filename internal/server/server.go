@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -22,25 +23,34 @@ import (
 	"repro/internal/expr"
 	"repro/internal/predicate"
 	"repro/internal/sqlparse"
+	"repro/internal/store"
 )
 
 // Server serves the DBWipes dashboard over one engine database.
 type Server struct {
 	db *engine.DB
+	// st, when attached, routes ingest-side mutations (/api/append,
+	// /api/retention) through the durable store so they are crash-safe;
+	// queries keep reading the engine catalog directly.
+	st *store.DB
 
 	// maxSessions and sessionTTL bound the session map (LRU count cap
 	// and idle expiry); zero values take the defaults below.
 	maxSessions int
 	sessionTTL  time.Duration
-	now         func() time.Time // test hook; defaults to time.Now
+	// maxBodyBytes caps POST request bodies (413 beyond it); zero takes
+	// the default below.
+	maxBodyBytes int64
+	now          func() time.Time // test hook; defaults to time.Now
 
 	mu       sync.Mutex
 	sessions map[string]*session
 }
 
 const (
-	defaultMaxSessions = 1024
-	defaultSessionTTL  = 2 * time.Hour
+	defaultMaxSessions  = 1024
+	defaultSessionTTL   = 2 * time.Hour
+	defaultMaxBodyBytes = 8 << 20 // generous for row batches, stops runaways
 )
 
 // session is one browser's interactive state. Handlers hold mu across
@@ -63,6 +73,32 @@ type session struct {
 // New creates a server over db.
 func New(db *engine.DB) *Server {
 	return &Server{db: db, sessions: make(map[string]*session)}
+}
+
+// AttachStore routes ingest mutations through st: /api/append and
+// /api/retention become durable (WAL'd, crash-recoverable), /api/stats
+// gains the store's durability report, and Close closes the store.
+// Tables registered in the engine but not managed by the store (e.g.
+// in-memory demo data) keep the plain engine path.
+func (s *Server) AttachStore(st *store.DB) { s.st = st }
+
+// Close flushes and closes the attached store, surfacing fsync/close
+// failures — an error here means an acknowledged batch may not be
+// durable, which callers must report, not swallow. Without an attached
+// store it is a no-op.
+func (s *Server) Close() error {
+	if s.st != nil {
+		return s.st.Close()
+	}
+	return nil
+}
+
+// SetMaxBodyBytes overrides the POST body cap; zero or negative keeps
+// the current value.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n > 0 {
+		s.maxBodyBytes = n
+	}
 }
 
 // SetSessionLimits overrides the session-map bounds (count cap and idle
@@ -93,7 +129,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/append", s.handleAppend)
 	mux.HandleFunc("POST /api/retention", s.handleRetention)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
-	return mux
+	return withRecovery(mux)
+}
+
+// decodeJSON decodes a POST body into v under the server's size cap,
+// writing the error response (413 on an oversized body, 400 otherwise)
+// and returning false when the request cannot proceed.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	limit := s.maxBodyBytes
+	if limit <= 0 {
+		limit = defaultMaxBodyBytes
+	}
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d byte limit", tooBig.Limit))
+		} else {
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return false
+	}
+	return true
 }
 
 // session returns (creating if needed) the session for id, stamping its
@@ -332,8 +390,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Session string `json:"session"`
 		SQL     string `json:"sql"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	sess := s.session(req.Session)
@@ -356,8 +413,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		Suspect []int  `json:"suspect"`
 		AggItem int    `json:"aggItem"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	sess := s.session(req.Session)
@@ -416,8 +472,7 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 		Suspect []int  `json:"suspect"`
 		Limit   int    `json:"limit"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	sess := s.session(req.Session)
@@ -483,8 +538,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		// ExampleRows lists explicit D' row ids (from /api/zoom).
 		ExampleRows []int `json:"exampleRows"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	sess := s.session(req.Session)
@@ -604,8 +658,7 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		// Explanation indexes into the last /api/debug response.
 		Explanation *int `json:"explanation"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	sess := s.session(req.Session)
@@ -633,8 +686,7 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Session string `json:"session"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	sess := s.session(req.Session)
@@ -665,8 +717,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Table string  `json:"table"`
 		Rows  [][]any `json:"rows"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Table == "" || len(req.Rows) == 0 {
@@ -696,7 +747,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		rows[ri] = row
 	}
-	nt, err := s.db.Append(req.Table, rows)
+	nt, durable, err := s.appendRows(req.Table, rows)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -706,6 +757,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		"appended": len(rows),
 		"rows":     nt.NumRows(),
 		"version":  nt.Version(),
+		"durable":  durable,
 	})
 }
 
@@ -722,8 +774,7 @@ func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
 		TimeCol string  `json:"time_col"`
 		Cutoff  float64 `json:"cutoff"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Table == "" {
@@ -734,7 +785,7 @@ func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("retention needs max_rows or time_col+cutoff"))
 		return
 	}
-	nt, stats, err := s.db.Retain(req.Table, engine.RetentionPolicy{
+	nt, stats, err := s.retainRows(req.Table, engine.RetentionPolicy{
 		MaxRows: req.MaxRows, TimeCol: req.TimeCol, Cutoff: req.Cutoff,
 	})
 	if err != nil {
@@ -750,6 +801,35 @@ func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
 		"base":              nt.Base(),
 		"version":           nt.Version(),
 	})
+}
+
+// appendRows routes an ingest batch through the durable store when one
+// is attached (falling back to the plain engine path for tables the
+// store does not manage), reporting whether the append was durable.
+func (s *Server) appendRows(table string, rows [][]engine.Value) (*engine.Table, bool, error) {
+	if s.st != nil {
+		nt, err := s.st.Append(table, rows)
+		if err == nil {
+			return nt, true, nil
+		}
+		if !errors.Is(err, store.ErrUnknownTable) {
+			return nil, false, err
+		}
+	}
+	nt, err := s.db.Append(table, rows)
+	return nt, false, err
+}
+
+// retainRows is appendRows' retention twin: durable (manifested,
+// segment files unlinked) through the store, in-memory otherwise.
+func (s *Server) retainRows(table string, pol engine.RetentionPolicy) (*engine.Table, engine.RetainStats, error) {
+	if s.st != nil {
+		nt, stats, err := s.st.Retain(table, pol)
+		if err == nil || !errors.Is(err, store.ErrUnknownTable) {
+			return nt, stats, err
+		}
+	}
+	return s.db.Retain(table, pol)
 }
 
 // sessionStats is one session's storage footprint in /api/stats.
@@ -810,7 +890,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
-	writeJSON(w, http.StatusOK, map[string]any{"tables": tables, "sessions": out})
+	payload := map[string]any{"tables": tables, "sessions": out}
+	if s.st != nil {
+		// Durability report: per-table on-disk segment counts plus any
+		// quarantined files, recovery gaps or fail-stops — the operator's
+		// view of whether the disk still matches what was acknowledged.
+		payload["store"] = s.st.Stats()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // jsonValue converts one decoded JSON cell to an engine value of the

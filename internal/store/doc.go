@@ -1,0 +1,72 @@
+// Package store is the crash-safe durability layer under the engine's
+// segmented tables: checksummed on-disk segment files for sealed
+// segments, a write-ahead log for the growable tail, and a recovery
+// path that rebuilds the exact acknowledged state after a crash.
+//
+// # Layout
+//
+// One directory per table (lower-cased name) under the store root:
+//
+//	manifest.json  CRC32C-wrapped JSON: name, schema, segment size, base
+//	seg-%08d.seg   one immutable file per sealed stream segment
+//	dict.log       append-only string dictionary (interning order)
+//	wal.log        length-prefixed, CRC'd records for the tail rows
+//
+// Sealed segment files are written with the atomic protocol
+// (write-temp → fsync → rename → dir-fsync) so each is either whole or
+// absent; every section carries a CRC32C and the file ends with a
+// whole-file checksum and footer magic. The manifest is replaced
+// atomically and changes only at creation and retention.
+//
+// # Durability contract
+//
+// DB.Append logs the coerced batch to the WAL BEFORE publishing it to
+// the engine. With Options.SyncEvery = 1 (default) the WAL is fsync'd
+// per batch: an acknowledged Append is durable. With SyncEvery = N > 1
+// a crash may lose up to the most recent N-1 acknowledged batches, but
+// recovery always restores a clean batch PREFIX of the acknowledged
+// sequence — never a torn, reordered, or partially applied batch.
+// With Options.DisableWAL only sealed segments are durable and a crash
+// loses the in-memory tail (bounded by one segment of rows).
+//
+// Any I/O error during Append or Retain fail-stops the table: the
+// error is recorded, subsequent mutations are refused, and reads keep
+// serving the last published version until a restart re-runs recovery.
+// Acknowledging a write the disk may not hold would silently break the
+// contract above, so the store refuses instead.
+//
+// # Recovery
+//
+// Open re-lists every table directory, removes interrupted temp files,
+// verifies every checksum, and rebuilds each table from the longest
+// recoverable SUFFIX of its stream: sealed segment files where they
+// survive, WAL records where the crash hit between segment write and
+// WAL rewrite, plus the WAL tail. A torn final WAL record is the crash
+// point, not corruption — the file is truncated there. A segment file
+// that fails validation (bit rot, truncation) is QUARANTINED: renamed
+// to <name>.quarantined, logged, reported in Stats, never silently
+// served and never deleted. Valid segments stranded below a
+// quarantined gap stay on disk untouched and the served range starts
+// above the gap (Stats.GapSegments reports the loss) — graceful
+// degradation in preference to refusing to start. A corrupt manifest
+// is rebuilt from the schema echo carried in every segment header;
+// only a table with neither a manifest nor one valid segment header is
+// skipped (Stats.Skipped).
+//
+// After the in-memory rebuild, Open finishes whatever the crash
+// interrupted — re-spilling sealed segments whose files were lost and
+// rewriting the WAL to exactly the current tail — so a second Open of
+// the same directory performs no repair at all.
+//
+// # Fault injection
+//
+// All I/O goes through the FS interface. fault.go provides MemFS (an
+// in-memory filesystem with an explicit crash-durability model: file
+// contents survive only up to the last Sync plus an arbitrary torn
+// prefix of later writes; namespace operations survive only after the
+// parent directory's SyncDir, each with probability ½ on crash) and
+// FaultFS (injects a short write, fsync error, or full crash at the
+// n'th mutating operation). The recovery tests crash a workload at
+// EVERY failpoint, reopen, and require the recovered table to match an
+// oracle that holds exactly the acknowledged batches.
+package store

@@ -1,0 +1,585 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/engine"
+)
+
+// On-disk formats. All integers are little-endian and fixed-width; all
+// checksums are CRC32-C (Castagnoli). Three file kinds share the
+// discipline "every byte is covered by a checksum, every file ends in
+// a recognizable footer":
+//
+// Sealed segment file (seg-<idx>.seg), written once via
+// write-temp → fsync → rename → dir-fsync so it is either whole or
+// absent:
+//
+//	magic "DWSEG01\n"
+//	u32 headerLen | header | u32 crc(header)
+//	  header: u32 formatVersion, u32 segBits, u64 segIdx (stream
+//	  segment index), u32 nrows, u32 ncols, then per column
+//	  {u16 nameLen, name, u8 type, u32 dictHW} — the schema echo lets
+//	  recovery rebuild a lost manifest, and dictHW is the number of
+//	  dictionary entries (per column) the code section requires.
+//	per column: u32 sectionLen | section | u32 crc(section)
+//	  section: NULL bitmap (segRows/64 u64 words, bit i = row i NULL),
+//	  then segRows fixed-width cells: int64 payload for bool/int/time,
+//	  IEEE bits for float, i32 dictionary code (-1 = NULL) for string.
+//	u32 crc(whole file so far) | magic "DWSEGEND"
+//
+// Dictionary file (dict.log), append-only, one record per newly
+// interned string, fsync'd before any segment file that references it:
+//
+//	magic "DWDIC01\n"
+//	record: u16 col | u32 strLen | bytes | u32 crc(record body)
+//
+// WAL (wal.log): see wal.go. Manifest (manifest.json): JSON payload
+// wrapped with a crc32c of its raw bytes, replaced atomically.
+
+const (
+	formatVersion = 1
+
+	segMagic    = "DWSEG01\n"
+	segEndMagic = "DWSEGEND"
+	dictMagic   = "DWDIC01\n"
+	walMagic    = "DWWAL01\n"
+
+	manifestName = "manifest.json"
+	dictFileName = "dict.log"
+	walFileName  = "wal.log"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// segFileName names sealed stream segment idx.
+func segFileName(idx int) string { return fmt.Sprintf("seg-%08d.seg", idx) }
+
+// parseSegFileName extracts the stream segment index, or -1.
+func parseSegFileName(name string) int {
+	var idx int
+	if n, err := fmt.Sscanf(name, "seg-%d.seg", &idx); n == 1 && err == nil && name == segFileName(idx) {
+		return idx
+	}
+	return -1
+}
+
+// ---- little-endian append/read helpers ----
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// byteReader is a bounds-checked sequential reader over one buffer;
+// after any out-of-bounds read ok() is false and every later read
+// returns zero, so decoders can validate once at the end.
+type byteReader struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (r *byteReader) ok() bool       { return !r.fail }
+func (r *byteReader) remaining() int { return len(r.b) - r.off }
+func (r *byteReader) take(n int) []byte {
+	if r.fail || n < 0 || r.off+n > len(r.b) {
+		r.fail = true
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+func (r *byteReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// ---- store-level dictionary ----
+
+// storeDict is the persisted family dictionary: per string column, the
+// distinct strings in on-disk interning order. It is the store's OWN
+// mapping — engine dictionary codes are process-local and never touch
+// disk — and, like the engine's, it only ever grows: strings whose
+// rows were all dropped by retention keep their codes, so old segment
+// files never need rewriting.
+type storeDict struct {
+	cols map[int]*colDict
+}
+
+type colDict struct {
+	values []string
+	byStr  map[string]int32
+}
+
+func newStoreDict() *storeDict { return &storeDict{cols: make(map[int]*colDict)} }
+
+func (d *storeDict) col(c int) *colDict {
+	cd := d.cols[c]
+	if cd == nil {
+		cd = &colDict{byStr: make(map[string]int32)}
+		d.cols[c] = cd
+	}
+	return cd
+}
+
+// intern returns s's code in column c, appending it if new.
+func (d *storeDict) intern(c int, s string) int32 {
+	cd := d.col(c)
+	if code, ok := cd.byStr[s]; ok {
+		return code
+	}
+	code := int32(len(cd.values))
+	cd.byStr[s] = code
+	cd.values = append(cd.values, s)
+	return code
+}
+
+// count returns the number of interned strings of column c.
+func (d *storeDict) count(c int) int {
+	if cd := d.cols[c]; cd != nil {
+		return len(cd.values)
+	}
+	return 0
+}
+
+// lookup returns the string for code in column c.
+func (d *storeDict) lookup(c int, code int32) (string, bool) {
+	cd := d.cols[c]
+	if cd == nil || code < 0 || int(code) >= len(cd.values) {
+		return "", false
+	}
+	return cd.values[code], true
+}
+
+// encodeDictRecord frames one new dictionary entry.
+func encodeDictRecord(col int, s string) []byte {
+	body := appendU16(nil, uint16(col))
+	body = appendU32(body, uint32(len(s)))
+	body = append(body, s...)
+	return appendU32(body, crc(body))
+}
+
+// decodeDict parses a dict.log image. It returns the per-column string
+// lists, the byte offset of the first undecodable record (== len(data)
+// when the file is wholly valid), and whether the leading magic was
+// valid at all. Parsing stops at the first bad record: everything
+// after an undetected-length corruption is unreliable, and segment
+// files whose dictHW exceeds the surviving entry count are quarantined
+// by the caller.
+func decodeDict(data []byte) (dict *storeDict, goodOff int, magicOK bool) {
+	dict = newStoreDict()
+	if len(data) < len(dictMagic) || string(data[:len(dictMagic)]) != dictMagic {
+		return dict, 0, false
+	}
+	off := len(dictMagic)
+	for off < len(data) {
+		r := &byteReader{b: data, off: off}
+		col := r.u16()
+		slen := r.u32()
+		str := r.take(int(slen))
+		recCRC := r.u32()
+		if !r.ok() || crc(data[off:r.off-4]) != recCRC {
+			return dict, off, true
+		}
+		dict.intern(int(col), string(str))
+		off = r.off
+	}
+	return dict, off, true
+}
+
+// ---- cell codecs shared by segment and WAL encodings ----
+
+// cellBits returns the fixed-width payload of a non-NULL numeric cell.
+func cellBits(v engine.Value) uint64 {
+	if v.T == engine.TFloat {
+		return math.Float64bits(v.F)
+	}
+	return uint64(v.I)
+}
+
+// cellFromBits rebuilds a non-NULL cell of type t from its payload.
+func cellFromBits(t engine.Type, bits uint64) engine.Value {
+	if t == engine.TFloat {
+		return engine.Value{T: engine.TFloat, F: math.Float64frombits(bits)}
+	}
+	return engine.Value{T: t, I: int64(bits)}
+}
+
+// ---- sealed segment files ----
+
+// encodeSegment serializes one sealed segment (cols from
+// engine.Table.SegmentCols) into a whole-file byte image. String cells
+// are interned into dict; the caller persists dict's new entries
+// BEFORE writing the returned image, so a durable segment never
+// references a lost dictionary entry.
+func encodeSegment(schema engine.Schema, segBits uint, segIdx int, cols [][]engine.Value, dict *storeDict) []byte {
+	segRows := 1 << segBits
+	segWords := segRows / 64
+
+	// Intern all strings first so the header's dictHW is final.
+	codes := make(map[int][]int32)
+	for c, col := range schema {
+		if col.Type != engine.TString {
+			continue
+		}
+		cc := make([]int32, segRows)
+		for i, v := range cols[c] {
+			if v.IsNull() {
+				cc[i] = -1
+			} else {
+				cc[i] = dict.intern(c, v.S)
+			}
+		}
+		codes[c] = cc
+	}
+
+	header := appendU32(nil, formatVersion)
+	header = appendU32(header, uint32(segBits))
+	header = appendU64(header, uint64(segIdx))
+	header = appendU32(header, uint32(segRows))
+	header = appendU32(header, uint32(len(schema)))
+	for c, col := range schema {
+		header = appendU16(header, uint16(len(col.Name)))
+		header = append(header, col.Name...)
+		header = append(header, byte(col.Type))
+		hw := 0
+		if col.Type == engine.TString {
+			hw = dict.count(c)
+		}
+		header = appendU32(header, uint32(hw))
+	}
+
+	out := []byte(segMagic)
+	out = appendU32(out, uint32(len(header)))
+	out = append(out, header...)
+	out = appendU32(out, crc(header))
+
+	for c, col := range schema {
+		// NULL bitmap words (make zeroes them), then fixed-width cells.
+		section := make([]byte, segWords*8, segWords*8+segRows*8)
+		for i, v := range cols[c] {
+			if v.IsNull() {
+				w := i >> 6
+				bit := uint(i) & 63
+				binary.LittleEndian.PutUint64(section[w*8:], binary.LittleEndian.Uint64(section[w*8:])|1<<bit)
+			}
+		}
+		// Cells.
+		if col.Type == engine.TString {
+			for _, code := range codes[c] {
+				section = appendU32(section, uint32(code))
+			}
+		} else {
+			for _, v := range cols[c] {
+				if v.IsNull() {
+					section = appendU64(section, 0)
+				} else {
+					section = appendU64(section, cellBits(v))
+				}
+			}
+		}
+		out = appendU32(out, uint32(len(section)))
+		out = append(out, section...)
+		out = appendU32(out, crc(section))
+	}
+
+	out = appendU32(out, crc(out))
+	return append(out, segEndMagic...)
+}
+
+// decodeSegment validates a segment file image end to end (magic,
+// header CRC, per-section CRCs, whole-file CRC, footer magic, schema
+// echo, geometry, stream index, dictionary coverage) and reconstructs
+// the boxed column values. Any failure returns an error describing the
+// first mismatch — the caller quarantines the file.
+func decodeSegment(data []byte, schema engine.Schema, segBits uint, wantIdx int, dict *storeDict) ([][]engine.Value, error) {
+	segRows := 1 << segBits
+	segWords := segRows / 64
+	if len(data) < len(segMagic)+4 || string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	if len(data) < len(segEndMagic)+4 || string(data[len(data)-len(segEndMagic):]) != segEndMagic {
+		return nil, fmt.Errorf("bad footer magic (truncated?)")
+	}
+	body := data[:len(data)-len(segEndMagic)]
+	fileCRC := binary.LittleEndian.Uint32(body[len(body)-4:])
+	if crc(body[:len(body)-4]) != fileCRC {
+		return nil, fmt.Errorf("file checksum mismatch")
+	}
+
+	r := &byteReader{b: body, off: len(segMagic)}
+	headerLen := r.u32()
+	header := r.take(int(headerLen))
+	headerCRC := r.u32()
+	if !r.ok() || crc(header) != headerCRC {
+		return nil, fmt.Errorf("header checksum mismatch")
+	}
+	h := &byteReader{b: header}
+	if v := h.u32(); v != formatVersion {
+		return nil, fmt.Errorf("format version %d (want %d)", v, formatVersion)
+	}
+	if sb := h.u32(); sb != uint32(segBits) {
+		return nil, fmt.Errorf("segment bits %d (want %d)", sb, segBits)
+	}
+	if idx := h.u64(); idx != uint64(wantIdx) {
+		return nil, fmt.Errorf("stream segment index %d (want %d)", idx, wantIdx)
+	}
+	if nr := h.u32(); nr != uint32(segRows) {
+		return nil, fmt.Errorf("row count %d (want %d)", nr, segRows)
+	}
+	ncols := h.u32()
+	if !h.ok() || ncols != uint32(len(schema)) {
+		return nil, fmt.Errorf("column count %d (want %d)", ncols, len(schema))
+	}
+	dictHW := make([]uint32, len(schema))
+	for c, col := range schema {
+		nameLen := h.u16()
+		name := h.take(int(nameLen))
+		typ := h.u8()
+		dictHW[c] = h.u32()
+		if !h.ok() || string(name) != col.Name || engine.Type(typ) != col.Type {
+			return nil, fmt.Errorf("schema mismatch at column %d (%q %d, want %q %s)", c, name, typ, col.Name, col.Type)
+		}
+		if col.Type == engine.TString && int(dictHW[c]) > dict.count(c) {
+			return nil, fmt.Errorf("column %s needs %d dictionary entries, only %d survive", col.Name, dictHW[c], dict.count(c))
+		}
+	}
+
+	out := make([][]engine.Value, len(schema))
+	for c, col := range schema {
+		sectionLen := r.u32()
+		section := r.take(int(sectionLen))
+		sectionCRC := r.u32()
+		if !r.ok() || crc(section) != sectionCRC {
+			return nil, fmt.Errorf("column %s section checksum mismatch", col.Name)
+		}
+		cellW := 8
+		if col.Type == engine.TString {
+			cellW = 4
+		}
+		if len(section) != segWords*8+segRows*cellW {
+			return nil, fmt.Errorf("column %s section is %d bytes, want %d", col.Name, len(section), segWords*8+segRows*cellW)
+		}
+		nulls := section[:segWords*8]
+		cells := section[segWords*8:]
+		vals := make([]engine.Value, segRows)
+		for i := 0; i < segRows; i++ {
+			if binary.LittleEndian.Uint64(nulls[(i>>6)*8:])&(1<<(uint(i)&63)) != 0 {
+				continue // NULL: zero Value
+			}
+			if col.Type == engine.TString {
+				code := int32(binary.LittleEndian.Uint32(cells[i*4:]))
+				s, ok := dict.lookup(c, code)
+				if !ok || code >= int32(dictHW[c]) {
+					return nil, fmt.Errorf("column %s row %d: dictionary code %d out of range", col.Name, i, code)
+				}
+				vals[i] = engine.Value{T: engine.TString, S: s}
+			} else {
+				vals[i] = cellFromBits(col.Type, binary.LittleEndian.Uint64(cells[i*8:]))
+			}
+		}
+		out[c] = vals
+	}
+	if r.off != len(body)-4 {
+		return nil, fmt.Errorf("%d trailing bytes", len(body)-4-r.off)
+	}
+	return out, nil
+}
+
+// readSegHeader extracts just the schema echo from a segment image —
+// the manifest-rebuild path when manifest.json itself is corrupt. It
+// validates the header checksum but not the sections.
+func readSegHeader(data []byte) (schema engine.Schema, segBits uint, err error) {
+	if len(data) < len(segMagic)+4 || string(data[:len(segMagic)]) != segMagic {
+		return nil, 0, fmt.Errorf("bad magic")
+	}
+	r := &byteReader{b: data, off: len(segMagic)}
+	headerLen := r.u32()
+	header := r.take(int(headerLen))
+	headerCRC := r.u32()
+	if !r.ok() || crc(header) != headerCRC {
+		return nil, 0, fmt.Errorf("header checksum mismatch")
+	}
+	h := &byteReader{b: header}
+	if v := h.u32(); v != formatVersion {
+		return nil, 0, fmt.Errorf("format version %d", v)
+	}
+	sb := h.u32()
+	h.u64() // segIdx
+	h.u32() // nrows
+	ncols := h.u32()
+	if !h.ok() || ncols > 4096 {
+		return nil, 0, fmt.Errorf("implausible column count")
+	}
+	schema = make(engine.Schema, 0, ncols)
+	for c := uint32(0); c < ncols; c++ {
+		nameLen := h.u16()
+		name := h.take(int(nameLen))
+		typ := h.u8()
+		h.u32() // dictHW
+		if !h.ok() {
+			return nil, 0, fmt.Errorf("truncated header")
+		}
+		schema = append(schema, engine.Column{Name: string(name), Type: engine.Type(typ)})
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return schema, uint(sb), nil
+}
+
+// ---- manifest ----
+
+// manifest is a table's durable identity: everything recovery needs
+// before it can trust a single segment file. It changes rarely — at
+// table creation and at each retention pass (Base moves) — and is
+// replaced atomically, so it is either the old or the new version,
+// never torn.
+type manifest struct {
+	Format  int           `json:"format"`
+	Name    string        `json:"name"`
+	SegBits uint          `json:"seg_bits"`
+	Base    int           `json:"base"`
+	Schema  []manifestCol `json:"schema"`
+}
+
+type manifestCol struct {
+	Name string `json:"name"`
+	Type int    `json:"type"`
+}
+
+// manifestEnvelope wraps the payload with a checksum of its raw bytes
+// so a bit flip inside an intact-looking JSON file is still detected.
+type manifestEnvelope struct {
+	Payload json.RawMessage `json:"payload"`
+	CRC32C  uint32          `json:"crc32c"`
+}
+
+func manifestFor(name string, schema engine.Schema, segBits uint, base int) manifest {
+	m := manifest{Format: formatVersion, Name: name, SegBits: segBits, Base: base}
+	for _, c := range schema {
+		m.Schema = append(m.Schema, manifestCol{Name: c.Name, Type: int(c.Type)})
+	}
+	return m
+}
+
+func (m manifest) engineSchema() engine.Schema {
+	s := make(engine.Schema, 0, len(m.Schema))
+	for _, c := range m.Schema {
+		s = append(s, engine.Column{Name: c.Name, Type: engine.Type(c.Type)})
+	}
+	return s
+}
+
+func encodeManifest(m manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(manifestEnvelope{Payload: payload, CRC32C: crc(payload)})
+}
+
+func decodeManifest(data []byte) (manifest, error) {
+	var env manifestEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return manifest{}, fmt.Errorf("manifest envelope: %w", err)
+	}
+	if crc(env.Payload) != env.CRC32C {
+		return manifest{}, fmt.Errorf("manifest checksum mismatch")
+	}
+	var m manifest
+	if err := json.Unmarshal(env.Payload, &m); err != nil {
+		return manifest{}, fmt.Errorf("manifest payload: %w", err)
+	}
+	if m.Format != formatVersion {
+		return manifest{}, fmt.Errorf("manifest format %d (want %d)", m.Format, formatVersion)
+	}
+	if err := m.engineSchema().Validate(); err != nil {
+		return manifest{}, fmt.Errorf("manifest schema: %w", err)
+	}
+	if m.SegBits < engine.MinSegmentBits || m.SegBits > 30 {
+		return manifest{}, fmt.Errorf("manifest segment bits %d out of range", m.SegBits)
+	}
+	if m.Base < 0 || m.Base&(1<<m.SegBits-1) != 0 {
+		return manifest{}, fmt.Errorf("manifest base %d not segment-aligned", m.Base)
+	}
+	return m, nil
+}
+
+// writeFileAtomic writes data to name via the temp → fsync → rename →
+// dir-fsync protocol: after it returns nil the file is durably whole
+// under name; after a crash at any interior point the old file (or
+// absence) survives intact.
+func writeFileAtomic(fs FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, name); err != nil {
+		return err
+	}
+	return fs.SyncDir(dirOf(name))
+}
+
+func dirOf(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			return name[:i]
+		}
+	}
+	return "."
+}
+
+// readFileAll slurps a file through the FS.
+func readFileAll(fs FS, name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

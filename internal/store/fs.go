@@ -1,0 +1,102 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the store performs ALL its I/O
+// through. Production code uses OSFS; tests swap in MemFS/FaultFS
+// (fault.go) to inject short writes, fsync failures and
+// crash-at-every-syscall without touching a real disk. The methods
+// mirror the POSIX durability model the store's protocols are written
+// against: file contents become crash-durable only on File.Sync, and
+// namespace operations (Create/Rename/Remove) become crash-durable
+// only on SyncDir of the parent directory.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists dir's entries.
+	ReadDir(dir string) ([]DirEnt, error)
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate shrinks name to size bytes (the WAL torn-tail repair).
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making its namespace ops durable.
+	SyncDir(dir string) error
+}
+
+// DirEnt is one directory entry.
+type DirEnt struct {
+	Name string
+	Dir  bool
+}
+
+// File is the store's handle abstraction: sequential reads, appending
+// writes, fsync, close. The store never seeks or overwrites in place —
+// every on-disk structure is append-only or whole-file-replaced — so
+// the interface stays small enough to fault-inject exhaustively.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OSFS is the production FS over the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]DirEnt, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEnt, len(ents))
+	for i, e := range ents {
+		out[i] = DirEnt{Name: e.Name(), Dir: e.IsDir()}
+	}
+	return out, nil
+}
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// join builds FS paths; all store paths go through it so the FS
+// implementations see consistent separators.
+func join(elem ...string) string { return filepath.Join(elem...) }

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/testgen"
+)
+
+// quietOpts returns Options that log nowhere and use fs.
+func quietOpts(fs FS, syncEvery int) Options {
+	return Options{FS: fs, SyncEvery: syncEvery, Logf: func(string, ...any) {}}
+}
+
+// valueEq is bit-identical Value equality: float cells compare by IEEE
+// bits (NaN == NaN, -0.0 != +0.0), everything else by exact payload.
+func valueEq(a, b engine.Value) bool {
+	if a.T != b.T {
+		return false
+	}
+	switch a.T {
+	case engine.TFloat:
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	case engine.TString:
+		return a.S == b.S
+	default:
+		return a.I == b.I
+	}
+}
+
+// requireRowsMatch asserts every row of the recovered table is
+// bit-identical to the stream-indexed oracle rows.
+func requireRowsMatch(t *testing.T, tab *engine.Table, oracle [][]engine.Value) {
+	t.Helper()
+	for r := 0; r < tab.NumRows(); r++ {
+		id := tab.Base() + r
+		if id >= len(oracle) {
+			t.Fatalf("recovered stream row %d beyond oracle end %d", id, len(oracle))
+		}
+		for c := 0; c < tab.NumCols(); c++ {
+			got, want := tab.Value(r, c), oracle[id][c]
+			if !valueEq(got, want) {
+				t.Fatalf("stream row %d col %d: got %v want %v", id, c, got, want)
+			}
+		}
+	}
+}
+
+func TestStoreRoundtripOSFS(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("P", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var oracle [][]engine.Value
+	for i := 0; i < 9; i++ {
+		batch := testgen.Batch(rng, 40+rng.Intn(60))
+		if _, err := st.Append("p", batch); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, batch...)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := st2.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "P" {
+		t.Fatalf("recovered name %q, want original case P", tab.Name())
+	}
+	if tab.Version() != len(oracle) {
+		t.Fatalf("recovered %d rows, want %d", tab.Version(), len(oracle))
+	}
+	requireRowsMatch(t, tab, oracle)
+	stats := st2.Stats()
+	ts := stats.Tables["p"]
+	if len(ts.Quarantined) != 0 || ts.GapSegments != 0 || ts.Failed != "" || len(stats.Skipped) != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", stats)
+	}
+
+	// Keep appending after recovery, reopen once more.
+	batch := testgen.Batch(rng, 100)
+	if _, err := st2.Append("p", batch); err != nil {
+		t.Fatal(err)
+	}
+	oracle = append(oracle, batch...)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir, Options{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	tab, err = st3.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() != len(oracle) {
+		t.Fatalf("second recovery: %d rows, want %d", tab.Version(), len(oracle))
+	}
+	requireRowsMatch(t, tab, oracle)
+}
+
+func TestStoreRetentionDurable(t *testing.T) {
+	mem := NewMemFS()
+	st, err := Open("/db", quietOpts(mem, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("p", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var oracle [][]engine.Value
+	for i := 0; i < 6; i++ {
+		batch := testgen.Batch(rng, 64)
+		if _, err := st.Append("p", batch); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, batch...)
+	}
+	nt, stats, err := st.Retain("p", engine.RetentionPolicy{MaxRows: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedSegments == 0 {
+		t.Fatal("retention dropped nothing")
+	}
+	wantBase := nt.Base()
+	for _, f := range mem.Files() {
+		if idx := parseSegFileName(f[len("/db/p/"):]); idx >= 0 && idx < wantBase>>engine.MinSegmentBits {
+			t.Fatalf("retained-out segment file %s still present", f)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open("/db", quietOpts(mem, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tab, err := st2.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Base() != wantBase || tab.Version() != len(oracle) {
+		t.Fatalf("recovered base/version %d/%d, want %d/%d", tab.Base(), tab.Version(), wantBase, len(oracle))
+	}
+	requireRowsMatch(t, tab, oracle)
+}
+
+func TestStoreDisableWAL(t *testing.T) {
+	mem := NewMemFS()
+	opts := quietOpts(mem, 1)
+	opts.DisableWAL = true
+	st, err := Open("/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("p", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var oracle [][]engine.Value
+	for i := 0; i < 3; i++ {
+		batch := testgen.Batch(rng, 64) // seals exactly one segment each
+		if _, err := st.Append("p", batch); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, batch...)
+	}
+	if _, err := st.Append("p", testgen.Batch(rng, 10)); err != nil { // tail, volatile
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open("/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tab, err := st2.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() != 192 {
+		t.Fatalf("DisableWAL recovery has %d rows, want the 192 sealed ones", tab.Version())
+	}
+	requireRowsMatch(t, tab, oracle)
+}
+
+func TestStoreSyncEveryBatching(t *testing.T) {
+	mem := NewMemFS()
+	st, err := Open("/db", quietOpts(mem, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("p", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var oracle [][]engine.Value
+	for i := 0; i < 3; i++ { // 3 batches of 5: under SyncEvery, no seal
+		batch := testgen.Batch(rng, 5)
+		if _, err := st.Append("p", batch); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, batch...)
+	}
+	// A crash now may lose all three unsynced batches — but recovery
+	// must still yield a clean batch prefix (here: the empty one).
+	mem.Crash(rand.New(rand.NewSource(1)))
+	st2, err := Open("/db", quietOpts(mem, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tab, err := st2.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tab.Version(); v != 0 && v != 5 && v != 10 && v != 15 {
+		t.Fatalf("recovered %d rows: not a batch prefix of 3x5", v)
+	}
+	requireRowsMatch(t, tab, oracle)
+}
+
+func TestStoreFailStop(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	st, err := Open("/db", quietOpts(ffs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("p", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var oracle [][]engine.Value
+	for i := 0; i < 2; i++ {
+		batch := testgen.Batch(rng, 64)
+		if _, err := st.Append("p", batch); err != nil {
+			t.Fatal(err)
+		}
+		oracle = append(oracle, batch...)
+	}
+	acked, err := st.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the very next mutating operation (the WAL append write).
+	ffs.FailAt(1, FaultError, rand.New(rand.NewSource(2)))
+	if _, err := st.Append("p", testgen.Batch(rng, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append with injected fault returned %v", err)
+	}
+	// Fail-stop: later mutations refuse without touching the disk...
+	if _, err := st.Append("p", testgen.Batch(rng, 8)); err == nil {
+		t.Fatal("append after fail-stop succeeded")
+	}
+	if _, _, err := st.Retain("p", engine.RetentionPolicy{MaxRows: 64}); err == nil {
+		t.Fatal("retain after fail-stop succeeded")
+	}
+	if got := st.Stats().Tables["p"].Failed; got == "" {
+		t.Fatal("stats do not report the fail-stop")
+	}
+	// ...while reads keep serving the last published version.
+	cur, err := st.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version() != acked.Version() {
+		t.Fatalf("published version moved across fail-stop: %d -> %d", acked.Version(), cur.Version())
+	}
+
+	// A restart (no crash — the disk is intact) recovers everything
+	// acknowledged before the fault.
+	_ = st.Close()
+	st2, err := Open("/db", quietOpts(mem, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tab, err := st2.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Version() < len(oracle) {
+		t.Fatalf("recovery lost acknowledged rows: %d < %d", tab.Version(), len(oracle))
+	}
+	requireRowsMatch(t, tab, oracle)
+	if _, err := st2.Append("p", testgen.Batch(rng, 8)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	mem := NewMemFS()
+	st, err := Open("/db", quietOpts(mem, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("nope", testgen.Batch(rand.New(rand.NewSource(1)), 1)); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("append to unknown table: %v", err)
+	}
+	if err := st.CreateTable("p", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("P", testgen.Schema(), engine.MinSegmentBits); err == nil {
+		t.Fatal("duplicate CreateTable succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := st.Append("p", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on closed store: %v", err)
+	}
+	if err := st.CreateTable("q", testgen.Schema(), engine.MinSegmentBits); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create on closed store: %v", err)
+	}
+}
+
+func TestStoreCloseSurfacesSyncError(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	st, err := Open("/db", quietOpts(ffs, 100)) // keep batches unsynced
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("p", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append("p", testgen.Batch(rand.New(rand.NewSource(1)), 5)); err != nil {
+		t.Fatal(err)
+	}
+	// The next mutating op is Close's flush of the pending WAL batch.
+	ffs.FailAt(1, FaultError, rand.New(rand.NewSource(2)))
+	if err := st.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("close with failing fsync returned %v, want ErrInjected", err)
+	}
+}
