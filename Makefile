@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short test-race test-crash vet fmt-check check bench bench-hot bench-json fuzz-smoke cover
+.PHONY: all build test short test-race test-crash test-chaos vet fmt-check check bench bench-hot bench-json fuzz-smoke cover
 
 all: build test
 
@@ -29,6 +29,17 @@ test-race:
 test-crash:
 	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/store/
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/store/
+
+# Request-lifecycle fault suite: the cancel-at-every-failpoint matrix
+# over scans, advances, debug carries and the store's append gate, the
+# deadline storm (every request classified exactly once), and the
+# concurrent chaos soak with FaultFS faults — under the race detector,
+# short mode (the full soak runs in the plain test suite). GOMAXPROCS=1
+# pins the single-core schedule; GOMAXPROCS=4 gives the storm and soak
+# genuine parallelism.
+test-chaos:
+	GOMAXPROCS=1 $(GO) test -race -short -count=1 ./internal/chaos/
+	GOMAXPROCS=4 $(GO) test -race -short -count=1 ./internal/chaos/
 
 vet:
 	$(GO) vet ./...
@@ -67,8 +78,8 @@ cover:
 	done
 
 # The CI gate: build, vet, formatting, the short test suite, a fuzz
-# smoke pass, and the durability fault suite.
-check: build vet fmt-check short fuzz-smoke test-crash
+# smoke pass, and the durability and request-lifecycle fault suites.
+check: build vet fmt-check short fuzz-smoke test-crash test-chaos
 
 # Full benchmark sweep with allocation counts.
 bench:

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -52,6 +53,7 @@ func main() {
 	post := flag.String("post", "", "streaming: POST batches to this /api/append URL instead of writing CSVs")
 	table := flag.String("table", "readings", "streaming: table name for -post/-data")
 	interval := flag.Duration("interval", 0, "streaming: pause between posted batches")
+	retries := flag.Int("retries", 8, "streaming: retry budget per posted batch when the server sheds (429/503)")
 	dataPath := flag.String("data", "", "ingest into a durable store directory instead of writing CSVs")
 	flag.Parse()
 	if *out == "" && *dataPath == "" {
@@ -94,11 +96,13 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d rows)\n", *out, base.NumRows())
 
+	p := &poster{budget: *retries, sleep: time.Sleep, logf: log.Printf,
+		rng: rand.New(rand.NewSource(*seed))}
 	for b := 0; b < *batches; b++ {
 		lo := *rows + b**batchRows
 		hi := lo + *batchRows
 		if *post != "" {
-			if err := postBatch(*post, *table, t, lo, hi); err != nil {
+			if err := p.postBatch(*post, *table, t, lo, hi); err != nil {
 				log.Fatalf("post batch %d: %v", b, err)
 			}
 			fmt.Printf("posted batch %d (%d rows) to %s\n", b, hi-lo, *post)
@@ -184,10 +188,56 @@ func ingestStore(dir, table string, t *engine.Table, baseRows, batches, batchRow
 	}
 }
 
+// poster ships append batches to a dashboard with jittered exponential
+// backoff: a live server under load sheds ingest with 429 (admission
+// queue full) or 503 (store fail-stopped), both carrying a Retry-After
+// hint. Those are invitations to come back, not failures — the poster
+// honors the hint (using it as the floor for the next delay), doubles a
+// jittered base delay on every consecutive shed, and only gives up once
+// the retry budget for a batch is spent. Non-retryable statuses (4xx
+// schema errors and the like) fail immediately.
+type poster struct {
+	budget int                 // retries per batch after the first attempt
+	sleep  func(time.Duration) // injectable for tests
+	logf   func(string, ...any)
+	rng    *rand.Rand
+}
+
+// backoffBase is the first retry delay; it doubles per consecutive
+// shed up to backoffCap, with ±50% jitter so restarted feeders don't
+// re-synchronize into thundering herds.
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffCap  = 10 * time.Second
+)
+
+// delay computes the jittered exponential delay for the given attempt
+// (0-based), floored by the server's Retry-After hint when present.
+func (p *poster) delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := backoffBase << attempt
+	if d > backoffCap || d <= 0 {
+		d = backoffCap
+	}
+	// Jitter into [d/2, 3d/2): desynchronizes concurrent feeders.
+	d = d/2 + time.Duration(p.rng.Int63n(int64(d)))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryable reports whether a shed status is worth retrying: 429 means
+// the admission queue was full, 503 means the table is fail-stopped or
+// the server is otherwise briefly unavailable. Both send Retry-After.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
 // postBatch ships rows [lo, hi) of t to a dashboard's /api/append
 // endpoint as JSON cells (null / bool / number / string; timestamps as
-// RFC 3339 strings, which the server parses per column type).
-func postBatch(url, table string, t *engine.Table, lo, hi int) error {
+// RFC 3339 strings, which the server parses per column type), retrying
+// shed responses under the poster's budget.
+func (p *poster) postBatch(url, table string, t *engine.Table, lo, hi int) error {
 	rows := make([][]any, 0, hi-lo)
 	for r := lo; r < hi; r++ {
 		row := t.Row(r)
@@ -214,15 +264,48 @@ func postBatch(url, table string, t *engine.Table, lo, hi int) error {
 	if err != nil {
 		return err
 	}
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, respBody, err := p.postOnce(url, body)
+		if err == nil {
+			switch {
+			case status == http.StatusOK:
+				return nil
+			case !retryable(status):
+				return fmt.Errorf("status %d: %s", status, respBody)
+			}
+		}
+		if attempt >= p.budget {
+			if err != nil {
+				return fmt.Errorf("retry budget (%d) exhausted: %w", p.budget, err)
+			}
+			return fmt.Errorf("retry budget (%d) exhausted: server still shedding with %d: %s",
+				p.budget, status, respBody)
+		}
+		d := p.delay(attempt, retryAfter)
+		if err != nil {
+			p.logf("post failed (%v); retry %d/%d in %v", err, attempt+1, p.budget, d)
+		} else {
+			p.logf("server shed with %d (Retry-After %v); retry %d/%d in %v",
+				status, retryAfter, attempt+1, p.budget, d)
+		}
+		p.sleep(d)
+	}
+}
+
+// postOnce performs a single POST, returning the status, any parsed
+// Retry-After hint, and the response body. A transport error
+// (connection refused, reset) returns err != nil and is retried like a
+// shed — feeders outlive server restarts.
+func (p *poster) postOnce(url string, body []byte) (status int, retryAfter time.Duration, respBody string, err error) {
 	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, 0, "", err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var buf bytes.Buffer
-		_, _ = buf.ReadFrom(resp.Body)
-		return fmt.Errorf("status %d: %s", resp.StatusCode, buf.String())
+	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
 	}
-	return nil
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, retryAfter, buf.String(), nil
 }

@@ -49,6 +49,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
 	syncEvery := flag.Int("sync-every", 1, "with -data: fsync the WAL every N append batches")
+	queryTimeout := flag.Duration("query-timeout", 0, "default deadline for query-class requests (0 = built-in default, negative = none)")
+	debugTimeout := flag.Duration("debug-timeout", 0, "default deadline for /api/debug (0 = built-in default, negative = none)")
+	maxHeavy := flag.Int("max-heavy", 0, "concurrent heavy operations (query/debug); 0 = built-in default")
+	maxQueue := flag.Int("max-queue", 0, "heavy requests queued beyond -max-heavy before shedding with 429; 0 = built-in default, negative = no queue")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "extra table as name=path.csv (repeatable)")
 	flag.Parse()
@@ -114,6 +118,12 @@ func main() {
 	if st != nil {
 		srv.AttachStore(st)
 	}
+	srv.SetLimits(server.Limits{
+		QueryTimeout: *queryTimeout,
+		DebugTimeout: *debugTimeout,
+		MaxHeavy:     *maxHeavy,
+		MaxQueue:     *maxQueue,
+	})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

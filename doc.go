@@ -256,6 +256,56 @@
 // base sizes; BenchmarkRetention shows the bounded retained footprint
 // (retained_MB / retained_segs plateau) under an unbounded stream.
 //
+// # Request lifecycle: cancellation, deadlines, admission control
+//
+// Interactive debugging lives or dies on tail latency, so every
+// long-running layer is cancellable and the server degrades gracefully
+// under load instead of stalling. A context.Context threads from the
+// HTTP request down through the whole stack, polled at bounded
+// granularity (every 4096 rows per scan shard, per candidate in the
+// ranker's scoring pool, per group in the LOO influence pass, at every
+// stage boundary of core.Debug/DebugAdvance, and before — never after —
+// the store's WAL write acknowledges an append).
+//
+// The CANCELLATION CONTRACT is that cancellation never corrupts carried
+// state: an operation interrupted at any checkpoint leaves the state it
+// was fed (cached exec results, debug analyses, the published table
+// version) either untouched or fully published, so an uncancelled retry
+// is bit-identical to a from-scratch run. Concretely, exec.AdvanceCtx
+// un-claims its input result on every post-claim error; store.AppendCtx
+// checks the context only before the WAL write, so an acknowledged
+// batch is never half-durable (cancel-before-publish-or-not-at-all);
+// core.DebugAdvance leaves the previous analysis reusable; and
+// ranker.Rescore leaves the carried ranking untouched on error.
+//
+// internal/chaos pins the contract the same way internal/store pins
+// durability: not by sampling timings but by enumerating failpoints.
+// chaos.CancelAfter(n) is a context whose Err() trips Canceled on the
+// nth poll — the cancellation twin of FaultFS.FailAt — and the matrix
+// tests replay each carried operation once per failpoint, asserting the
+// retry matches a from-scratch oracle bit for bit. A deadline storm and
+// a concurrent chaos soak (ingest + queries + debug + retention under
+// filesystem faults, tight deadlines and client aborts) add the
+// system-level pins: every request classified exactly once, no
+// goroutine leaks (internal/leakcheck), bounded memory, and
+// oracle-identical re-queries afterwards (`make test-chaos`).
+//
+// On top, internal/server enforces per-request deadlines (class
+// defaults via server.Limits, per-request `?timeout=` capped by
+// MaxTimeout) and admission control: heavy operations (query, debug,
+// clean, reset) pass a bounded semaphore with a bounded wait queue,
+// and overload sheds with 429 + Retry-After rather than queuing
+// without bound; a fail-stopped durable table sheds ingest with 503 +
+// Retry-After while queries keep serving. Deadline expiry maps to 504,
+// client disconnect to 499, and per-endpoint counters
+// (in-flight/completed/shed/deadline-exceeded/cancelled, exposed at
+// /api/stats) classify every request exactly once. Session locks are
+// acquired with the request context, so a slow session holder turns
+// into a 504 for the next request, not a pile-up. The knobs surface as
+// dbwipes flags (-query-timeout, -debug-timeout, -max-heavy,
+// -max-queue); cmd/datagen's feeder honors the shed responses with
+// jittered exponential backoff under a retry budget.
+//
 // The benchmarks in bench_test.go regenerate the data behaviour behind
 // each figure of the paper; run them with
 //

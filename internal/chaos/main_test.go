@@ -1,0 +1,11 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain pins the harness's own hygiene: cancelled scans, debugs and
+// soak clients must not strand a single goroutine.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

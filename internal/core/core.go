@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -126,6 +127,14 @@ func (o *Options) defaults() {
 // DebugRequest is one provenance query: "why do these groups look
 // wrong?".
 type DebugRequest struct {
+	// Ctx cancels the pipeline between stages and inside every
+	// long-running one (the LOO loop, the per-tree learner pool, the
+	// ranker's worker pool). A cancelled Debug/DebugAdvance returns an
+	// error wrapping the context error and publishes nothing: carried
+	// state from a previous pass stays exactly as usable as before, so
+	// retrying the same request (or falling back to a from-scratch run)
+	// yields bit-identical results. Nil means context.Background.
+	Ctx context.Context
 	// Result is the executed query (with provenance).
 	Result *exec.Result
 	// AggItem is the select-item index of the aggregate under scrutiny;
@@ -270,6 +279,14 @@ func Run(db *engine.DB, sql string) (*exec.Result, error) {
 	return exec.RunSQL(db, sql)
 }
 
+// ctx returns the request's context, Background when unset.
+func (req DebugRequest) ctx() context.Context {
+	if req.Ctx != nil {
+		return req.Ctx
+	}
+	return context.Background()
+}
+
 // resolveDebug validates the request shape shared by Debug and
 // DebugAdvance and resolves the aggregate ordinal.
 func resolveDebug(req DebugRequest) (int, error) {
@@ -319,6 +336,16 @@ type debugRun struct {
 	// fresh for a from-scratch Debug, carried (suffix-extending) for an
 	// advanced one.
 	index *predicate.Index
+}
+
+// checkCtx is the between-stages cancellation point: every pipeline
+// stage boundary polls the request context so a cancelled Debug stops
+// before starting the next learner stage.
+func (d *debugRun) checkCtx() error {
+	if err := d.req.ctx().Err(); err != nil {
+		return fmt.Errorf("core: debug cancelled: %w", err)
+	}
+	return nil
 }
 
 // preprocess records the influence analysis and derives the example and
@@ -521,6 +548,7 @@ func (d *debugRun) enumerate() []ranker.Candidate {
 		}
 	}
 	perJob := make([][]ranker.Candidate, len(jobs))
+	cctx := d.req.ctx()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for ji := range jobs {
@@ -529,6 +557,11 @@ func (d *debugRun) enumerate() []ranker.Candidate {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Cancellation check per tree training job; the caller's next
+			// stage boundary discards the partial pool.
+			if cctx.Err() != nil {
+				return
+			}
 			j := jobs[ji]
 			candLabels := make([]bool, len(learnPop))
 			for i, r := range learnPop {
@@ -591,6 +624,7 @@ func (d *debugRun) context() *ranker.Context {
 		culpable[r] = true
 	}
 	ctx := &ranker.Context{
+		Ctx: d.req.Ctx,
 		Res: d.req.Result, Suspect: d.req.Suspect, Ord: d.ord,
 		Metric: d.req.Metric, F: d.an.F, Population: d.learnPop, Culpable: culpable,
 		Eps: d.an.Eps, Weights: d.opt.Weights,
@@ -660,7 +694,7 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 
 	// --- Preprocessor: lineage + leave-one-out influence. ---
 	start := time.Now()
-	an, err := influence.Rank(req.Result, req.Suspect, ord, req.Metric, influence.Options{MaxTuples: opt.MaxLOOTuples})
+	an, err := influence.RankCtx(req.ctx(), req.Result, req.Suspect, ord, req.Metric, influence.Options{MaxTuples: opt.MaxLOOTuples})
 	if err != nil {
 		return nil, err
 	}
@@ -668,14 +702,26 @@ func Debug(req DebugRequest) (*DebugResult, error) {
 	if err := d.preprocess(an); err != nil {
 		return nil, err
 	}
+	if err := d.checkCtx(); err != nil {
+		return nil, err
+	}
 	if err := d.featurize(); err != nil {
 		return nil, err
 	}
 	d.cleanExamples()
+	if err := d.checkCtx(); err != nil {
+		return nil, err
+	}
 	rcands := d.enumerate()
+	if err := d.checkCtx(); err != nil {
+		return nil, err
+	}
 
 	start = time.Now()
-	scored, rstate := ranker.RankAllCarry(rcands, d.context())
+	scored, rstate, err := ranker.RankAllCarry(rcands, d.context())
+	if err != nil {
+		return nil, err
+	}
 	d.finish(scored, rstate, start)
 	return out, nil
 }
@@ -746,7 +792,10 @@ func DebugAdvance(prev *DebugResult, req DebugRequest) (*DebugResult, error) {
 	if err != nil {
 		return fall("scorer not advanceable: " + err.Error())
 	}
-	an := influence.RankWithScorer(sc, influence.Options{MaxTuples: opt.MaxLOOTuples})
+	an, err := influence.RankWithScorerCtx(req.ctx(), sc, influence.Options{MaxTuples: opt.MaxLOOTuples})
+	if err != nil {
+		return nil, err
+	}
 
 	out := &DebugResult{Timings: make(map[string]time.Duration), Plan: DebugPlan{Incremental: true}}
 	d := &debugRun{req: req, opt: opt, ord: ord, out: out}
@@ -760,6 +809,9 @@ func DebugAdvance(prev *DebugResult, req DebugRequest) (*DebugResult, error) {
 	}
 	out.Timings["preprocess"] = time.Since(start)
 	if err := d.preprocess(an); err != nil {
+		return nil, err
+	}
+	if err := d.checkCtx(); err != nil {
 		return nil, err
 	}
 
@@ -796,7 +848,12 @@ func DebugAdvance(prev *DebugResult, req DebugRequest) (*DebugResult, error) {
 	var rstate *ranker.RankerState
 	start = time.Now()
 	if carry {
-		s2, ns, drift := st.rstate.Rescore(ctx)
+		s2, ns, drift, err := st.rstate.Rescore(ctx)
+		if err != nil {
+			// Cancellation mid-rescore: st.rstate is untouched (Rescore
+			// works on copies), so prev carries forward for a retry.
+			return nil, err
+		}
 		out.Plan.Drift = drift
 		if opt.DriftThreshold >= 0 && drift <= opt.DriftThreshold {
 			scored, rstate = s2, ns
@@ -811,9 +868,19 @@ func DebugAdvance(prev *DebugResult, req DebugRequest) (*DebugResult, error) {
 				return nil, err
 			}
 		}
+		if err := d.checkCtx(); err != nil {
+			return nil, err
+		}
 		rcands := d.enumerate()
+		if err := d.checkCtx(); err != nil {
+			return nil, err
+		}
 		start = time.Now()
-		scored, rstate = ranker.RankAllCarry(rcands, ctx)
+		var err error
+		scored, rstate, err = ranker.RankAllCarry(rcands, ctx)
+		if err != nil {
+			return nil, err
+		}
 		out.Plan.Mode = "reexpanded"
 	}
 	d.finish(scored, rstate, start)

@@ -1,0 +1,11 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain pins the suite-wide no-stranded-goroutines contract:
+// cancelled work must release its workers, not park them forever.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,8 +42,24 @@ import (
 // projections fall back to a full RunOn; Plan.Incremental reports
 // whether the incremental path ran.
 func Advance(res *Result, grown *engine.Table) (*Result, error) {
+	return AdvanceCtx(context.Background(), res, grown)
+}
+
+// AdvanceCtx is Advance under a cancellable context, with the
+// cancellation-safety contract the serving layer depends on: a
+// cancelled advance returns a context error, publishes nothing, and
+// leaves res exactly as usable as before — the claim is released, and
+// any suffix rows the aborted scan appended sit past res's published
+// slice lengths, where no reader indexes and where a retry overwrites
+// them (the suffix scan is synchronous, so no writer outlives the
+// call). Retrying AdvanceCtx on the same res, or re-running the
+// statement from scratch, must yield bit-identical results.
+func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (*Result, error) {
 	if res == nil || res.Stmt == nil {
 		return nil, fmt.Errorf("exec: Advance of nil result")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
 	}
 	if !res.Source.SameFamily(grown) {
 		return nil, fmt.Errorf("exec: Advance target is not a version of the result's source table")
@@ -76,7 +93,7 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 			reason = "retention: horizon beyond carried window"
 		}
 		if reason != "" {
-			out, err := RunOn(grown, stmt)
+			out, err := RunOnCtx(ctx, grown, stmt)
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +106,7 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 	if !stmt.HasAggregates() && len(stmt.GroupBy) == 0 {
 		// Projection: every output row is one source row; a re-run is
 		// already O(n) output materialization, nothing to reuse.
-		return RunOn(grown, stmt)
+		return RunOnCtx(ctx, grown, stmt)
 	}
 
 	// Prototype aggregates; anything non-mergeable cannot state-copy.
@@ -110,12 +127,12 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 	// for non-lowerable trees evaluates just [oldN, newN) — otherwise a
 	// non-lowerable WHERE would silently reinstate the O(table)-per-batch
 	// rescan this path exists to avoid.
-	p, reason, err := planVector(grown, stmt, res.aggArgs, protos, Options{}, oldN)
+	p, reason, err := planVector(ctx, grown, stmt, res.aggArgs, protos, Options{}, oldN)
 	if err != nil {
 		return nil, err
 	}
 	if reason != "" || !p.mergeable {
-		return RunOn(grown, stmt)
+		return RunOnCtx(ctx, grown, stmt)
 	}
 
 	// Claim the result for advancing before touching any shared slice.
@@ -126,6 +143,26 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 	}
 	res.advanced = true
 	res.argMu.Unlock()
+	// Any error past this point publishes nothing, so the claim must be
+	// released for the caller to retry: partial suffix appends from the
+	// aborted attempt live past res's published slice lengths and are
+	// overwritten by the next attempt.
+	unclaim := func() {
+		res.argMu.Lock()
+		res.advanced = false
+		res.argMu.Unlock()
+	}
+
+	// full re-runs the statement from scratch (mid-advance fallback); a
+	// failed full run releases the claim so the caller can retry.
+	full := func() (*Result, error) {
+		out, err := RunOnCtx(ctx, grown, stmt)
+		if err != nil {
+			unclaim()
+			return nil, err
+		}
+		return out, nil
+	}
 
 	// Seed a suffix scan with copies of every old group, in scan order.
 	ss := newShardScan(p, oldN, newN)
@@ -134,11 +171,11 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 		oldLens[gi] = len(g.Lineage)
 		key, ok := reconstructKey(g, p)
 		if !ok {
-			return RunOn(grown, stmt)
+			return full()
 		}
 		vg, ok := copyGroup(g, p, key)
 		if !ok {
-			return RunOn(grown, stmt)
+			return full()
 		}
 		if drop > 0 {
 			// Rebase the carried ids: rebaseBlocker proved every
@@ -166,8 +203,9 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 	ss.run()
 	if ss.err != nil {
 		if errors.Is(ss.err, errVectorAbort) {
-			return RunOn(grown, stmt)
+			return full()
 		}
+		unclaim()
 		return nil, ss.err
 	}
 
@@ -181,6 +219,7 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 			for k, g := range stmt.GroupBy {
 				v, err := g.Eval(row)
 				if err != nil {
+					unclaim()
 					return nil, err
 				}
 				vg.g.Key[k] = v
@@ -195,6 +234,7 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 		Plan: PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: 1, Incremental: true},
 	}
 	if err := out.materialize(); err != nil {
+		unclaim()
 		return nil, err
 	}
 	carryCaches(res, out, ss, oldLens, oldN, newN, drop)

@@ -13,6 +13,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,6 +25,17 @@ import (
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
 )
+
+// ctxCheckRows is the cancellation-check granularity of every per-row
+// scan loop: ctx.Err() is polled once per this many rows (an atomic
+// load on cancellable contexts, a nil return on Background), so the
+// checks cost nothing measurable on the uncontended hot path while a
+// cancelled giant scan still stops within tens of microseconds.
+const ctxCheckRows = 4096
+
+// ctxErr wraps a cancellation surfaced mid-scan so callers can still
+// errors.Is it against context.Canceled / context.DeadlineExceeded.
+func ctxErr(err error) error { return fmt.Errorf("exec: cancelled: %w", err) }
 
 // Group is one output group: its key values, the aggregate states
 // accumulated over its input, and the lineage (source row ids).
@@ -79,11 +91,18 @@ type Result struct {
 
 // Run executes stmt against db, capturing provenance.
 func Run(db *engine.DB, stmt *sqlparse.SelectStmt) (*Result, error) {
+	return RunCtx(context.Background(), db, stmt)
+}
+
+// RunCtx is Run under a cancellable context: scan loops poll ctx at
+// ctxCheckRows granularity and return a context error (wrapping
+// context.Canceled / DeadlineExceeded) without publishing anything.
+func RunCtx(ctx context.Context, db *engine.DB, stmt *sqlparse.SelectStmt) (*Result, error) {
 	src, err := db.Table(stmt.From)
 	if err != nil {
 		return nil, err
 	}
-	return RunOn(src, stmt)
+	return RunOnWithCtx(ctx, src, stmt, Options{})
 }
 
 // RunSQL parses and executes sql against db.
@@ -101,13 +120,23 @@ func RunSQL(db *engine.DB, sql string) (*Result, error) {
 // vectorized shard-parallel pipeline (vector.go) when they can, and the
 // boxed reference scan otherwise; Result.Plan records the choice.
 func RunOn(src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
-	return RunOnWith(src, stmt, Options{})
+	return RunOnWithCtx(context.Background(), src, stmt, Options{})
+}
+
+// RunOnCtx is RunOn under a cancellable context (see RunCtx).
+func RunOnCtx(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt) (*Result, error) {
+	return RunOnWithCtx(ctx, src, stmt, Options{})
 }
 
 // RunOnWith is RunOn with explicit strategy options (shard count,
 // forced scalar execution). Tests and benchmarks use it to pin paths;
 // normal callers want RunOn.
 func RunOnWith(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
+	return RunOnWithCtx(context.Background(), src, stmt, opts)
+}
+
+// RunOnWithCtx is RunOnWith under a cancellable context (see RunCtx).
+func RunOnWithCtx(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
 	if len(stmt.Items) == 0 {
 		return nil, fmt.Errorf("exec: empty select list")
 	}
@@ -144,7 +173,7 @@ func RunOnWith(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Res
 	}
 	grouped := stmt.HasAggregates() || len(stmt.GroupBy) > 0
 	if !grouped {
-		return runProjection(src, stmt, opts)
+		return runProjection(ctx, src, stmt, opts)
 	}
 	if err := checkPlainItemsGrouped(stmt); err != nil {
 		return nil, err
@@ -164,16 +193,16 @@ func RunOnWith(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Res
 	}
 
 	if !opts.ForceScalar {
-		res, fallback, err := runVector(src, stmt, aggArgs, aggItems, protos, opts)
+		res, fallback, err := runVector(ctx, src, stmt, aggArgs, aggItems, protos, opts)
 		if err != nil {
 			return nil, err
 		}
 		if res != nil {
 			return res, nil
 		}
-		return runScalarGrouped(src, stmt, aggArgs, aggItems, protos, fallback)
+		return runScalarGrouped(ctx, src, stmt, aggArgs, aggItems, protos, fallback)
 	}
-	return runScalarGrouped(src, stmt, aggArgs, aggItems, protos, "forced scalar")
+	return runScalarGrouped(ctx, src, stmt, aggArgs, aggItems, protos, "forced scalar")
 }
 
 // runScalarGrouped is the boxed reference scan: row-at-a-time WHERE
@@ -181,7 +210,7 @@ func RunOnWith(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Res
 // the oracle the vectorized pipeline is property-tested against, and
 // the fallback for statements the pipeline cannot express (recorded in
 // Plan.Fallback).
-func runScalarGrouped(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, aggItems []int, protos []agg.Func, fallback string) (*Result, error) {
+func runScalarGrouped(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, aggItems []int, protos []agg.Func, fallback string) (*Result, error) {
 	groupsByKey := make(map[string]*Group)
 	var groups []*Group
 	row := make([]engine.Value, src.NumCols())
@@ -189,6 +218,11 @@ func runScalarGrouped(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []ex
 	keyVals := make([]engine.Value, len(stmt.GroupBy))
 
 	for r := 0; r < src.NumRows(); r++ {
+		if r%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, ctxErr(err)
+			}
+		}
 		src.RowInto(r, row)
 		if stmt.Where != nil {
 			ok, err := expr.EvalBool(stmt.Where, row)
@@ -273,14 +307,19 @@ func checkPlainItemsGrouped(stmt *sqlparse.SelectStmt) error {
 // the same compiled clause-mask path as the grouped pipeline (with the
 // same per-row fallback), so projections over predicate-shaped filters
 // never interpret the WHERE tree per row.
-func runProjection(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
-	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering || opts.ForceScalar, 0)
+func runProjection(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
+	filter, lowered, err := buildFilter(ctx, src, stmt.Where, opts.NoFilterLowering || opts.ForceScalar, 0)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Stmt: stmt, Source: src, Plan: PlanInfo{WhereLowered: lowered}}
 	if filter == nil {
 		for r := 0; r < src.NumRows(); r++ {
+			if r%ctxCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, ctxErr(err)
+				}
+			}
 			res.Groups = append(res.Groups, &Group{Lineage: []int{r}, FirstRow: r})
 		}
 		return res, res.materialize()

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/engine"
 	"repro/internal/expr"
@@ -347,7 +349,7 @@ func literalComparable(colType engine.Type, lit engine.Value) bool {
 // may be left unset: callers that only consume a suffix (exec.Advance)
 // pass the first row they will read, which keeps the scalar fallback
 // O(suffix) instead of O(table); full scans pass 0.
-func buildFilter(src *engine.Table, where expr.Expr, noLowering bool, from int) (pass *bitset.Bitset, lowered bool, err error) {
+func buildFilter(ctx context.Context, src *engine.Table, where expr.Expr, noLowering bool, from int) (pass *bitset.Bitset, lowered bool, err error) {
 	if where == nil {
 		return nil, true, nil
 	}
@@ -363,6 +365,11 @@ func buildFilter(src *engine.Table, where expr.Expr, noLowering bool, from int) 
 	pass = bitset.New(n)
 	row := make([]engine.Value, src.NumCols())
 	for r := from; r < n; r++ {
+		if (r-from)%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, ctxErr(err)
+			}
+		}
 		src.RowInto(r, row)
 		ok, err := expr.EvalBool(where, row)
 		if err != nil {

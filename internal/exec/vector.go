@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/bits"
@@ -151,6 +152,7 @@ type argSrc struct {
 // vectorPlan is the analyzed statement: everything the shard workers
 // share read-only.
 type vectorPlan struct {
+	ctx       context.Context
 	src       *engine.Table
 	stmt      *sqlparse.SelectStmt
 	protos    []agg.Func
@@ -168,11 +170,11 @@ type vectorPlan struct {
 // filterFrom is the first row the caller will consume from the WHERE
 // mask: fresh runs pass 0, Advance passes the old row count so the
 // per-row fallback for non-lowerable trees touches only the suffix.
-func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, protos []agg.Func, opts Options, filterFrom int) (*vectorPlan, string, error) {
+func planVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, protos []agg.Func, opts Options, filterFrom int) (*vectorPlan, string, error) {
 	if len(stmt.GroupBy) > maxVectorGroupCols {
 		return nil, "more than 4 group-by columns", nil
 	}
-	p := &vectorPlan{src: src, stmt: stmt, protos: protos, mergeable: true}
+	p := &vectorPlan{ctx: ctx, src: src, stmt: stmt, protos: protos, mergeable: true}
 
 	for _, proto := range protos {
 		if _, ok := proto.(*agg.Distinct); ok {
@@ -227,7 +229,7 @@ func planVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Exp
 		}
 	}
 
-	filter, lowered, err := buildFilter(src, stmt.Where, opts.NoFilterLowering, filterFrom)
+	filter, lowered, err := buildFilter(ctx, src, stmt.Where, opts.NoFilterLowering, filterFrom)
 	if err != nil {
 		return nil, "", err
 	}
@@ -392,13 +394,27 @@ func (ss *shardScan) scanRow(r int) error {
 }
 
 // run scans the shard's row range, restricted to the filter bitmap.
+// Each shard polls the plan's ctx once per ctxCheckRows rows (once per
+// 64 filter words on the bitmap path), so a cancelled query stops all
+// shards promptly; the first shard to observe cancellation records the
+// context error and runVector surfaces it.
 func (ss *shardScan) run() {
 	p := ss.plan
 	if ss.hi <= ss.lo {
 		return
 	}
+	ctx := p.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.filter == nil {
 		for r := ss.lo; r < ss.hi; r++ {
+			if r%ctxCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					ss.err = ctxErr(err)
+					return
+				}
+			}
 			if err := ss.scanRow(r); err != nil {
 				ss.err = err
 				return
@@ -409,6 +425,12 @@ func (ss *shardScan) run() {
 	words := p.filter.Words()
 	loWord, hiWord := ss.lo/64, (ss.hi-1)/64
 	for wi := loWord; wi <= hiWord; wi++ {
+		if wi%(ctxCheckRows/64) == 0 {
+			if err := ctx.Err(); err != nil {
+				ss.err = ctxErr(err)
+				return
+			}
+		}
 		w := words[wi]
 		if wi == loWord {
 			w &= ^uint64(0) << (uint(ss.lo) % 64)
@@ -542,8 +564,8 @@ func shardRanges(n, segRows, nshards int) [][2]int {
 // runVector executes a grouped statement through the vectorized
 // pipeline. A non-empty reason (with nil Result and error) means the
 // caller should run the boxed reference scan instead.
-func runVector(src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, aggItems []int, protos []agg.Func, opts Options) (*Result, string, error) {
-	p, reason, err := planVector(src, stmt, aggArgs, protos, opts, 0)
+func runVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt, aggArgs []expr.Expr, aggItems []int, protos []agg.Func, opts Options) (*Result, string, error) {
+	p, reason, err := planVector(ctx, src, stmt, aggArgs, protos, opts, 0)
 	if err != nil {
 		return nil, "", err
 	}

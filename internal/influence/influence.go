@@ -10,6 +10,7 @@
 package influence
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -20,6 +21,11 @@ import (
 	"repro/internal/errmetric"
 	"repro/internal/exec"
 )
+
+// ctxCheckRows is the cancellation-check granularity of the LOO loops
+// (same batch size as exec's scan loops): ctx is polled once per this
+// many analyzed tuples, free on the uncancelled path.
+const ctxCheckRows = 4096
 
 // TupleInfluence records one tuple's leave-one-out effect on ε.
 type TupleInfluence struct {
@@ -63,6 +69,13 @@ type Analysis struct {
 // Rank computes ε and per-tuple LOO influence for the ord'th aggregate
 // of res over the suspect output rows.
 func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt Options) (*Analysis, error) {
+	return RankCtx(context.Background(), res, suspect, ord, metric, opt)
+}
+
+// RankCtx is Rank under a cancellable context: the O(|F|) LOO loop
+// polls ctx per ctxCheckRows tuples and returns an error wrapping the
+// context error on cancellation, leaving res untouched.
+func RankCtx(ctx context.Context, res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt Options) (*Analysis, error) {
 	if len(suspect) == 0 {
 		return nil, fmt.Errorf("influence: no suspect groups")
 	}
@@ -77,7 +90,7 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 	// suspect) is fine too: the boxed path below re-detects the problem
 	// and reports the error.
 	if sc, scErr := NewScorer(res, suspect, ord, metric); scErr == nil {
-		return RankWithScorer(sc, opt), nil
+		return RankWithScorerCtx(ctx, sc, opt)
 	}
 
 	// Current aggregate values for the suspect groups, in suspect order.
@@ -113,7 +126,12 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 
 	scratch := append([]float64(nil), vals...)
 	an.Influences = make([]TupleInfluence, 0, len(rows))
-	for _, src := range rows {
+	for i, src := range rows {
+		if i%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("influence: cancelled: %w", err)
+			}
+		}
 		gi, ok := rowGroup[src]
 		if !ok {
 			continue
@@ -145,9 +163,19 @@ func Rank(res *exec.Result, suspect []int, ord int, metric errmetric.Metric, opt
 // preserved. Rank's fast path routes through it too, keeping the two
 // bit-identical.
 func RankWithScorer(sc *Scorer, opt Options) *Analysis {
-	an := rankFast(sc, opt)
-	an.Scorer = sc
+	an, _ := RankWithScorerCtx(context.Background(), sc, opt)
 	return an
+}
+
+// RankWithScorerCtx is RankWithScorer under a cancellable context; the
+// only possible error wraps the context error.
+func RankWithScorerCtx(ctx context.Context, sc *Scorer, opt Options) (*Analysis, error) {
+	an, err := rankFast(ctx, sc, opt)
+	if err != nil {
+		return nil, err
+	}
+	an.Scorer = sc
+	return an, nil
 }
 
 // sampleRows returns rows, or an evenly spaced sample of max of them

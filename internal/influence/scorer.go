@@ -1,6 +1,7 @@
 package influence
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -316,8 +317,10 @@ func (s *Scorer) EpsWithoutBits(matched *bitset.Bitset, sc *Scratch) float64 {
 }
 
 // rankFast is Rank's columnar path: per-tuple leave-one-out influence
-// without boxed argument evaluation or per-row map lookups.
-func rankFast(s *Scorer, opt Options) *Analysis {
+// without boxed argument evaluation or per-row map lookups. It polls
+// ctx per ctxCheckRows tuples; the only possible error wraps the
+// context error, and the scorer stays valid for a retry.
+func rankFast(ctx context.Context, s *Scorer, opt Options) (*Analysis, error) {
 	an := &Analysis{Eps: s.eps, F: s.fbits.Rows()}
 
 	// rowPos[src] is the suspect position of src's group (-1 outside F;
@@ -344,7 +347,12 @@ func rankFast(s *Scorer, opt Options) *Analysis {
 	scratch := append([]float64(nil), s.base...)
 	var buf1 [1]float64
 	an.Influences = make([]TupleInfluence, 0, len(rows))
-	for _, src := range rows {
+	for i, src := range rows {
+		if i%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("influence: cancelled: %w", err)
+			}
+		}
 		pos := rowPos[src]
 		if pos < 0 {
 			continue
@@ -368,5 +376,5 @@ func rankFast(s *Scorer, opt Options) *Analysis {
 		an.Influences = append(an.Influences, TupleInfluence{Row: src, GroupRow: gi, Delta: delta})
 	}
 	sortInfluences(an.Influences)
-	return an
+	return an, nil
 }

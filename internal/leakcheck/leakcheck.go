@@ -1,0 +1,70 @@
+// Package leakcheck fails a test binary whose goroutine count does not
+// settle back to its starting level — the cheap, dependency-free way to
+// pin "cancellation never strands a worker" across whole test suites.
+//
+// Usage, in any package's test file:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// The check is count-based rather than stack-matching: it snapshots the
+// goroutine count before the suite runs and requires the count to drop
+// back to that level (plus the runtime's own background goroutines that
+// may start lazily) once the suite finishes. Keep-alive HTTP client
+// connections are explicitly closed first, since the shared transport
+// parks a reader goroutine per idle connection by design.
+package leakcheck
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout is how long Main waits for stragglers: goroutines
+// legitimately finishing (timer fires, semaphore releases, connection
+// teardown) need a moment after the last test returns.
+const settleTimeout = 10 * time.Second
+
+// Main runs the suite and exits nonzero when goroutines leaked. It
+// replaces os.Exit(m.Run()) in TestMain.
+func Main(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		// Idle keep-alive connections of the default client park a
+		// read-loop goroutine each; they are pooling, not leaks.
+		http.DefaultClient.CloseIdleConnections()
+		if transport, ok := http.DefaultTransport.(*http.Transport); ok {
+			transport.CloseIdleConnections()
+		}
+		if err := Settle(before, settleTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "leakcheck: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Settle waits up to timeout for the goroutine count to drop to target
+// or below, returning an error carrying every live stack when it never
+// does. Exported for tests that want a mid-suite barrier (the chaos
+// soak checks after every round, not only at exit).
+func Settle(target int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Errorf("%d goroutines alive, want <= %d; stacks:\n%s", n, target, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+}

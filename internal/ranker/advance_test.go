@@ -121,11 +121,11 @@ func TestRescoreStableContext(t *testing.T) {
 		ctx := &Context{Res: res, Suspect: suspect, Ord: 0, Metric: metric,
 			F: an.F, Eps: an.Eps, DisableMerge: true}
 		ctx.Scorer = an.Scorer
-		scored, st := RankAllCarry(randCands(rng, an.F, 6), ctx)
+		scored, st, _ := RankAllCarry(randCands(rng, an.F, 6), ctx)
 		if st.Len() == 0 {
 			continue
 		}
-		re, st2, drift := st.Rescore(ctx)
+		re, st2, drift, _ := st.Rescore(ctx)
 		if drift != 0 {
 			t.Fatalf("iter %d: drift %v on unchanged context", iter, drift)
 		}
@@ -172,7 +172,7 @@ func TestRescoreAdvancedContext(t *testing.T) {
 				F: an.F, Eps: an.Eps, DisableMerge: true}
 			ctx.Scorer = an.Scorer
 			cands := randCands(rng, an.F, 6)
-			_, st := RankAllCarry(cands, ctx)
+			_, st, _ := RankAllCarry(cands, ctx)
 			if st.Len() == 0 {
 				continue
 			}
@@ -194,7 +194,7 @@ func TestRescoreAdvancedContext(t *testing.T) {
 			carriedCtx := &Context{Res: adv, Suspect: suspect, Ord: 0, Metric: metric,
 				F: advAn.F, Eps: advAn.Eps, DisableMerge: true}
 			carriedCtx.Scorer = advAn.Scorer
-			got, _, _ := st.Rescore(carriedCtx)
+			got, _, _, _ := st.Rescore(carriedCtx)
 
 			// The oracle: from-scratch result, scorer and candidates.
 			fresh, err := exec.RunOnWith(grown, stmt, exec.Options{Shards: 4})
@@ -212,7 +212,7 @@ func TestRescoreAdvancedContext(t *testing.T) {
 			for i := range st.cands {
 				oracleCands[i] = Candidate{Pred: st.cands[i].Pred, Origin: st.cands[i].Origin, Target: st.cands[i].Target}
 			}
-			want, _ := RankAllCarry(oracleCands, freshCtx)
+			want, _, _ := RankAllCarry(oracleCands, freshCtx)
 			scoredListsEqual(t, fmt.Sprintf("seed %d iter %d [%s]", seed, iter, stmt.String()), want, got)
 			tbl = grown
 		}
@@ -246,7 +246,7 @@ func TestRescoreVacuousDrift(t *testing.T) {
 			target[r] = true
 		}
 	}
-	scored, st := RankAllCarry([]Candidate{{Pred: pred, Origin: "test", Target: target}}, ctx0)
+	scored, st, _ := RankAllCarry([]Candidate{{Pred: pred, Origin: "test", Target: target}}, ctx0)
 	if len(scored) != 1 || st.Len() != 1 {
 		t.Fatalf("seed ranking: %d scored, %d carried", len(scored), st.Len())
 	}
@@ -257,7 +257,7 @@ func TestRescoreVacuousDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx1, _ := rankerCtx(t, res2, []int{1}, metric)
-	_, _, drift := st.Rescore(ctx1)
+	_, _, drift, _ := st.Rescore(ctx1)
 	if !math.IsInf(drift, 1) {
 		t.Fatalf("vacuous carried predicate: drift %v, want +Inf", drift)
 	}

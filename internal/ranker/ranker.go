@@ -6,6 +6,7 @@
 package ranker
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -58,6 +59,11 @@ func DefaultWeights() Weights {
 
 // Context carries everything scoring needs.
 type Context struct {
+	// Ctx cancels a ranking pass: the worker pool polls it before every
+	// candidate, and RankAllCarry/Rescore return an error wrapping the
+	// context error instead of a truncated ranking. Nil means
+	// context.Background (never cancelled).
+	Ctx     context.Context
 	Res     *exec.Result
 	Suspect []int
 	Ord     int // aggregate ordinal
@@ -587,17 +593,21 @@ func sortScored(out []Scored) {
 // candidate is independent. Results are collected by slot index, keeping
 // the final ranking deterministic.
 func RankAll(cands []Candidate, ctx *Context) []Scored {
-	out, _ := RankAllCarry(cands, ctx)
+	out, _, _ := RankAllCarry(cands, ctx)
 	return out
 }
 
 // RankAllCarry is RankAll plus the carryable state of the survivors:
 // the returned RankerState holds every ranked predicate with its frozen
 // target set and score, ready for an incremental Debug over a grown
-// table to rescore without re-running the learners.
-func RankAllCarry(cands []Candidate, ctx *Context) ([]Scored, *RankerState) {
-	out, targets, _ := rankCore(cands, ctx, "fresh")
-	return out, newRankerState(out, targets)
+// table to rescore without re-running the learners. The only possible
+// error wraps ctx.Ctx's cancellation; nothing is published on error.
+func RankAllCarry(cands []Candidate, ctx *Context) ([]Scored, *RankerState, error) {
+	out, targets, _, err := rankCore(cands, ctx, "fresh")
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, newRankerState(out, targets), nil
 }
 
 // rankCore is the shared ranking pass behind RankAll, RankAllCarry and
@@ -606,7 +616,11 @@ func RankAllCarry(cands []Candidate, ctx *Context) ([]Scored, *RankerState) {
 // predicate key and, aligned with cands, each candidate's raw
 // (pre-prune) score — NaN for candidates that scored vacuous or
 // tautological — which Rescore turns into the drift signal.
-func rankCore(cands []Candidate, ctx *Context, provenance string) ([]Scored, map[string]map[int]bool, []float64) {
+func rankCore(cands []Candidate, ctx *Context, provenance string) ([]Scored, map[string]map[int]bool, []float64, error) {
+	cctx := ctx.Ctx
+	if cctx == nil {
+		cctx = context.Background()
+	}
 	ctx.prepare()
 	if ctx.fastOK {
 		// Populate target bitsets up front so pruning variants and
@@ -640,6 +654,13 @@ func rankCore(cands []Candidate, ctx *Context, provenance string) ([]Scored, map
 			defer wg.Done()
 			env := ctx.newEnv()
 			for i := range jobs {
+				// Cancellation check per candidate: remaining jobs drain
+				// unscored so the producer never blocks, and rankCore
+				// discards everything after the pool joins.
+				if cctx.Err() != nil {
+					raw[i] = math.NaN()
+					continue
+				}
 				c := cands[i]
 				sc, ok := scoreWith(c, ctx, env)
 				if ok {
@@ -659,6 +680,9 @@ func rankCore(cands []Candidate, ctx *Context, provenance string) ([]Scored, map
 	}
 	close(jobs)
 	wg.Wait()
+	if err := cctx.Err(); err != nil {
+		return nil, nil, nil, fmt.Errorf("ranker: cancelled: %w", err)
+	}
 
 	byKey := make(map[string]Scored)
 	targets := make(map[string]map[int]bool)
@@ -690,7 +714,7 @@ func rankCore(cands []Candidate, ctx *Context, provenance string) ([]Scored, map
 	for i := range out {
 		out[i].Provenance = provenance
 	}
-	return out, targets, raw
+	return out, targets, raw, nil
 }
 
 // RankerState carries one ranking pass's survivors — predicates, their
@@ -734,13 +758,17 @@ func (st *RankerState) Len() int {
 // the new data (its anomaly dissolved — a material change no score
 // delta can bound). The caller compares drift against its threshold to
 // decide whether the carried ranking stands or the learners must
-// re-expand.
-func (st *RankerState) Rescore(ctx *Context) ([]Scored, *RankerState, float64) {
+// re-expand. A cancellation (ctx.Ctx) returns an error and leaves st
+// untouched and reusable — rankCore works on copies throughout.
+func (st *RankerState) Rescore(ctx *Context) ([]Scored, *RankerState, float64, error) {
 	// Work on copies: the state's candidates stay clean (targetBits are
 	// sized to a specific table version and must be rebuilt here).
 	cands := make([]Candidate, len(st.cands))
 	copy(cands, st.cands)
-	out, targets, raw := rankCore(cands, ctx, "carried")
+	out, targets, raw, err := rankCore(cands, ctx, "carried")
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	drift := 0.0
 	for i := range raw {
 		if math.IsNaN(raw[i]) {
@@ -751,5 +779,5 @@ func (st *RankerState) Rescore(ctx *Context) ([]Scored, *RankerState, float64) {
 			drift = d
 		}
 	}
-	return out, newRankerState(out, targets), drift
+	return out, newRankerState(out, targets), drift, nil
 }

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// getStats fetches the per-endpoint lifecycle counters.
+func getStats(t *testing.T, ts *httptest.Server) map[string]endpointStats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Endpoints map[string]endpointStats `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Endpoints
+}
+
+// checkAccounted asserts the lifecycle invariant on one endpoint's
+// counters: every arrival is classified exactly once. The "stats"
+// endpoint observes itself mid-request (its own arrival is counted but
+// not yet classified in the snapshot it returns), so callers skip it.
+func checkAccounted(t *testing.T, name string, c endpointStats) {
+	t.Helper()
+	if name == "stats" {
+		return
+	}
+	if c.Total != c.Completed+c.Shed+c.Deadline+c.Cancelled {
+		t.Errorf("%s: total %d != completed %d + shed %d + deadline %d + cancelled %d",
+			name, c.Total, c.Completed, c.Shed, c.Deadline, c.Cancelled)
+	}
+	if c.InFlight != 0 {
+		t.Errorf("%s: %d requests still in flight at quiescence", name, c.InFlight)
+	}
+}
+
+// TestAppendFailStop503 pins the shedding contract for wedged tables:
+// once the store fail-stops a table, /api/append answers 503 with a
+// Retry-After hint and a machine-readable reason — the batch was never
+// acknowledged, so the client should back off and retry, not drop it.
+func TestAppendFailStop503(t *testing.T) {
+	mem := store.NewMemFS()
+	ffs := store.NewFaultFS(mem)
+	st, err := store.Open("/db", store.Options{SyncEvery: 1, FS: ffs, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.CreateTable("p", engine.NewSchema("k", engine.TInt, "v", engine.TFloat), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st.Eng())
+	srv.AttachStore(st)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := map[string]any{"table": "p", "rows": [][]any{{1, 2.5}}}
+	if resp := post(t, ts, "/api/append", batch, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy append: status %d", resp.StatusCode)
+	}
+
+	// Fail the next mutating filesystem operation (the WAL write): the
+	// append that hits it wedges the table.
+	ffs.FailAt(1, store.FaultError, rand.New(rand.NewSource(7)))
+	for i := 0; i < 2; i++ { // the faulted append, then one against the wedged table
+		resp := post(t, ts, "/api/append", batch, nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("append %d on fail-stopped table: status %d, want 503", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("append %d: 503 without Retry-After", i)
+		}
+		var body struct {
+			Error     string `json:"error"`
+			Reason    string `json:"reason"`
+			Retryable bool   `json:"retryable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Reason != "fail-stopped" || !body.Retryable || body.Error == "" {
+			t.Fatalf("append %d: reason JSON %+v", i, body)
+		}
+	}
+	// Reads still serve the last acknowledged version.
+	var q struct {
+		Rows [][]any `json:"rows"`
+	}
+	if resp := post(t, ts, "/api/query", map[string]any{"sql": "SELECT k, avg(v) AS a FROM p GROUP BY k"}, &q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after fail-stop: status %d", resp.StatusCode)
+	}
+	if len(q.Rows) != 1 {
+		t.Fatalf("query after fail-stop: %d groups", len(q.Rows))
+	}
+}
+
+// TestDeadline504 pins ?timeout=: a request whose deadline fires
+// mid-execution returns 504 and is classified deadline_exceeded, never
+// double-counted.
+func TestDeadline504(t *testing.T) {
+	ts := testServer(t)
+	resp := post(t, ts, "/api/query?timeout=1ns",
+		map[string]any{"sql": "SELECT memo, avg(amount) AS a FROM donations GROUP BY memo"}, nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("1ns query: status %d, want 504", resp.StatusCode)
+	}
+	// A healthy query still works (the deadline is per-request).
+	if resp := post(t, ts, "/api/query",
+		map[string]any{"sql": "SELECT memo, avg(amount) AS a FROM donations GROUP BY memo"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up query: status %d", resp.StatusCode)
+	}
+	eps := getStats(t, ts)
+	q := eps["query"]
+	if q.Deadline < 1 || q.Completed < 1 || q.Total != 2 {
+		t.Fatalf("query counters %+v", q)
+	}
+	for name, c := range eps {
+		checkAccounted(t, name, c)
+	}
+}
+
+// TestAdmissionShed429 pins load shedding: with every heavy slot busy
+// and no queue, new heavy requests are rejected immediately with 429 +
+// Retry-After and counted as shed.
+func TestAdmissionShed429(t *testing.T) {
+	db, _ := datasets.FECDB(datasets.FECConfig{Rows: 30_000, Seed: 2})
+	srv := New(db)
+	srv.SetLimits(Limits{MaxHeavy: 1, MaxQueue: -1, RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.lc.sem <- struct{}{} // occupy the only heavy slot
+	resp := post(t, ts, "/api/query",
+		map[string]any{"sql": "SELECT memo, avg(amount) AS a FROM donations GROUP BY memo"}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated query: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", ra)
+	}
+	<-srv.lc.sem
+	if resp := post(t, ts, "/api/query",
+		map[string]any{"sql": "SELECT memo, avg(amount) AS a FROM donations GROUP BY memo"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after slot freed: status %d", resp.StatusCode)
+	}
+	eps := getStats(t, ts)
+	q := eps["query"]
+	if q.Shed != 1 || q.Completed != 1 || q.Total != 2 {
+		t.Fatalf("query counters %+v", q)
+	}
+	for name, c := range eps {
+		checkAccounted(t, name, c)
+	}
+}
+
+// TestSessionLockBounded pins timed lock acquisition: a request whose
+// session is held by another in-flight request gives up when its
+// deadline fires instead of queueing forever, and /api/stats reports
+// the session busy rather than blocking behind it.
+func TestSessionLockBounded(t *testing.T) {
+	db, _ := datasets.FECDB(datasets.FECConfig{Rows: 30_000, Seed: 2})
+	s := New(db)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sess := s.session("locked")
+	sess.lockCh <- struct{}{} // simulate a long-running request holding the session
+
+	resp := post(t, ts, "/api/suggest?timeout=30ms",
+		map[string]any{"session": "locked", "suspect": []int{0}}, nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("request on held session: status %d, want 504", resp.StatusCode)
+	}
+
+	var stats struct {
+		Sessions []sessionStats `json:"sessions"`
+	}
+	sresp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range stats.Sessions {
+		if st.Session == "locked" {
+			found = true
+			if !st.Busy {
+				t.Fatal("held session not reported busy")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("held session missing from stats")
+	}
+
+	<-sess.lockCh // release; the session must be usable again
+	if resp := post(t, ts, "/api/query",
+		map[string]any{"session": "locked", "sql": "SELECT memo, avg(amount) AS a FROM donations GROUP BY memo"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after lock released: status %d", resp.StatusCode)
+	}
+}

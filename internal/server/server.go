@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +44,10 @@ type Server struct {
 	maxBodyBytes int64
 	now          func() time.Time // test hook; defaults to time.Now
 
+	// lc is the request-lifecycle layer: deadlines, admission control,
+	// shedding and per-endpoint counters (lifecycle.go).
+	lc *lifecycle
+
 	mu       sync.Mutex
 	sessions map[string]*session
 }
@@ -53,12 +58,16 @@ const (
 	defaultMaxBodyBytes = 8 << 20 // generous for row batches, stops runaways
 )
 
-// session is one browser's interactive state. Handlers hold mu across
-// their whole body: two concurrent requests on one session id would
-// otherwise race on sql/res/applied/lastDbg (e.g. handleClean's
-// append-then-rollback truncation against a concurrent query).
+// session is one browser's interactive state. Handlers hold the
+// session lock across their whole body: two concurrent requests on one
+// session id would otherwise race on sql/res/applied/lastDbg (e.g.
+// handleClean's append-then-rollback truncation against a concurrent
+// query). The lock is a one-slot channel rather than a mutex so
+// acquisition is bounded by the request's context (see acquire in
+// lifecycle.go): a fired deadline returns 504 instead of queueing on
+// a wedged session forever.
 type session struct {
-	mu      sync.Mutex
+	lockCh  chan struct{}
 	sql     string
 	res     *exec.Result
 	resKey  string                // sql + applied predicates res was computed under
@@ -70,9 +79,11 @@ type session struct {
 	lastUsed time.Time
 }
 
+func newSession() *session { return &session{lockCh: make(chan struct{}, 1)} }
+
 // New creates a server over db.
 func New(db *engine.DB) *Server {
-	return &Server{db: db, sessions: make(map[string]*session)}
+	return &Server{db: db, sessions: make(map[string]*session), lc: newLifecycle(Limits{})}
 }
 
 // AttachStore routes ingest mutations through st: /api/append and
@@ -114,21 +125,26 @@ func (s *Server) SetSessionLimits(max int, ttl time.Duration) {
 	}
 }
 
-// Handler returns the HTTP handler (mountable under any mux).
+// Handler returns the HTTP handler (mountable under any mux). Every
+// /api route runs inside the lifecycle layer: query/debug/clean/reset
+// are heavy (admission-controlled, sheddable), suggest/zoom and the
+// GET endpoints are light, append/retention are ingest (deadline but
+// never queued — shedding a batch the client already buffered would
+// just move the retry upstream).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("GET /api/tables", s.handleTables)
-	mux.HandleFunc("GET /api/metrics", s.handleMetrics)
-	mux.HandleFunc("POST /api/query", s.handleQuery)
-	mux.HandleFunc("POST /api/suggest", s.handleSuggest)
-	mux.HandleFunc("POST /api/zoom", s.handleZoom)
-	mux.HandleFunc("POST /api/debug", s.handleDebug)
-	mux.HandleFunc("POST /api/clean", s.handleClean)
-	mux.HandleFunc("POST /api/reset", s.handleReset)
-	mux.HandleFunc("POST /api/append", s.handleAppend)
-	mux.HandleFunc("POST /api/retention", s.handleRetention)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/tables", s.withLifecycle("tables", classLight, s.handleTables))
+	mux.HandleFunc("GET /api/metrics", s.withLifecycle("metrics", classLight, s.handleMetrics))
+	mux.HandleFunc("POST /api/query", s.withLifecycle("query", classHeavy, s.handleQuery))
+	mux.HandleFunc("POST /api/suggest", s.withLifecycle("suggest", classLight, s.handleSuggest))
+	mux.HandleFunc("POST /api/zoom", s.withLifecycle("zoom", classLight, s.handleZoom))
+	mux.HandleFunc("POST /api/debug", s.withLifecycle("debug", classHeavy, s.handleDebug))
+	mux.HandleFunc("POST /api/clean", s.withLifecycle("clean", classHeavy, s.handleClean))
+	mux.HandleFunc("POST /api/reset", s.withLifecycle("reset", classHeavy, s.handleReset))
+	mux.HandleFunc("POST /api/append", s.withLifecycle("append", classIngest, s.handleAppend))
+	mux.HandleFunc("POST /api/retention", s.withLifecycle("retention", classIngest, s.handleRetention))
+	mux.HandleFunc("GET /api/stats", s.withLifecycle("stats", classLight, s.handleStats))
 	return withRecovery(mux)
 }
 
@@ -178,7 +194,7 @@ func (s *Server) session(id string) *session {
 	}
 	sess, ok := s.sessions[id]
 	if !ok {
-		sess = &session{}
+		sess = newSession()
 		s.sessions[id] = sess
 	}
 	sess.lastUsed = now
@@ -350,12 +366,13 @@ func cleanKey(sql string, applied []predicate.Predicate) string {
 // cleaning set are unchanged and the source table has only grown (the
 // streaming /api/append path), the cached result is advanced by folding
 // in just the appended rows (exec.Advance) instead of rescanning.
-func (s *Server) runWithCleaning(sess *session, sql string) error {
+func (s *Server) runWithCleaning(ctx context.Context, sess *session, sql string) error {
 	key := cleanKey(sql, sess.applied)
 	if sess.res != nil && sess.resKey == key {
 		if src, err := s.db.Table(sess.res.Stmt.From); err == nil &&
 			src.SameFamily(sess.res.Source) && src.NumRows() >= sess.res.Source.NumRows() {
-			if res, err := exec.Advance(sess.res, src); err == nil {
+			res, err := exec.AdvanceCtx(ctx, sess.res, src)
+			if err == nil {
 				sess.sql = sql
 				sess.res = res
 				// lastDbg survives: its carried analysis advances with
@@ -363,8 +380,14 @@ func (s *Server) runWithCleaning(sess *session, sql string) error {
 				// append → advance → re-debug monitoring loop.
 				return nil
 			}
-			// Any Advance error (already-advanced result, unexpected
-			// shape) falls through to the full run below.
+			if ctx.Err() != nil {
+				// A cancelled Advance leaves sess.res valid and
+				// unclaimed (see exec.AdvanceCtx); don't burn a full
+				// rescan on a request that is already dead.
+				return err
+			}
+			// Any other Advance error (already-advanced result,
+			// unexpected shape) falls through to the full run below.
 		}
 	}
 	stmt, err := sqlparse.Parse(sql)
@@ -374,7 +397,7 @@ func (s *Server) runWithCleaning(sess *session, sql string) error {
 	for _, p := range sess.applied {
 		stmt.Where = expr.And(stmt.Where, p.NegationExpr())
 	}
-	res, err := exec.Run(s.db, stmt)
+	res, err := exec.RunCtx(ctx, s.db, stmt)
 	if err != nil {
 		return err
 	}
@@ -394,10 +417,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	if err := s.runWithCleaning(sess, req.SQL); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err := sess.acquire(r.Context()); err != nil {
+		writeReqErr(s, w, err)
+		return
+	}
+	defer sess.release()
+	if err := s.runWithCleaning(r.Context(), sess, req.SQL); err != nil {
+		writeReqErr(s, w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.buildPayload(sess))
@@ -417,8 +443,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	if err := sess.acquire(r.Context()); err != nil {
+		writeReqErr(s, w, err)
+		return
+	}
+	defer sess.release()
 	if sess.res == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
 		return
@@ -476,8 +505,11 @@ func (s *Server) handleZoom(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	if err := sess.acquire(r.Context()); err != nil {
+		writeReqErr(s, w, err)
+		return
+	}
+	defer sess.release()
 	if sess.res == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
 		return
@@ -542,8 +574,11 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	if err := sess.acquire(r.Context()); err != nil {
+		writeReqErr(s, w, err)
+		return
+	}
+	defer sess.release()
 	if sess.res == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("no query executed yet"))
 		return
@@ -574,8 +609,8 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 					firstRows = append(firstRows, oldRes.Groups[ri].FirstRow)
 				}
 			}
-			if err := s.runWithCleaning(sess, sess.sql); err != nil {
-				writeErr(w, http.StatusBadRequest, err)
+			if err := s.runWithCleaning(r.Context(), sess, sess.sql); err != nil {
+				writeReqErr(s, w, err)
 				return
 			}
 			if firstRows != nil {
@@ -620,6 +655,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	// the session's result advanced incrementally (nil lastDbg or any
 	// incompatibility falls back to a full Debug internally).
 	dr, err := core.DebugAdvance(sess.lastDbg, core.DebugRequest{
+		Ctx:      r.Context(),
 		Result:   sess.res,
 		AggItem:  aggItem,
 		Suspect:  req.Suspect,
@@ -627,7 +663,9 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		Metric:   metric,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		// A cancelled debug leaves sess.lastDbg untouched: the carried
+		// analysis stays valid for the retry (core.DebugAdvance).
+		writeReqErr(s, w, err)
 		return
 	}
 	sess.lastDbg = dr
@@ -662,8 +700,11 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	if err := sess.acquire(r.Context()); err != nil {
+		writeReqErr(s, w, err)
+		return
+	}
+	defer sess.release()
 	if sess.res == nil || sess.lastDbg == nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("debug first, then clean"))
 		return
@@ -674,9 +715,9 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 	}
 	pred := sess.lastDbg.Explanations[*req.Explanation].Pred
 	sess.applied = append(sess.applied, pred)
-	if err := s.runWithCleaning(sess, sess.sql); err != nil {
+	if err := s.runWithCleaning(r.Context(), sess, sess.sql); err != nil {
 		sess.applied = sess.applied[:len(sess.applied)-1]
-		writeErr(w, http.StatusBadRequest, err)
+		writeReqErr(s, w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.buildPayload(sess))
@@ -690,13 +731,16 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.session(req.Session)
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	if err := sess.acquire(r.Context()); err != nil {
+		writeReqErr(s, w, err)
+		return
+	}
+	defer sess.release()
 	sess.applied = nil
 	sess.lastDbg = nil
 	if sess.sql != "" {
-		if err := s.runWithCleaning(sess, sess.sql); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		if err := s.runWithCleaning(r.Context(), sess, sess.sql); err != nil {
+			writeReqErr(s, w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, s.buildPayload(sess))
@@ -747,9 +791,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		rows[ri] = row
 	}
-	nt, durable, err := s.appendRows(req.Table, rows)
+	nt, durable, err := s.appendRows(r.Context(), req.Table, rows)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		// Fail-stopped tables answer 503 + Retry-After here (the batch
+		// is safe to retry: nothing was acknowledged), deadline/cancel
+		// map to 504/499 — see writeReqErr.
+		writeReqErr(s, w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -785,11 +832,11 @@ func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("retention needs max_rows or time_col+cutoff"))
 		return
 	}
-	nt, stats, err := s.retainRows(req.Table, engine.RetentionPolicy{
+	nt, stats, err := s.retainRows(r.Context(), req.Table, engine.RetentionPolicy{
 		MaxRows: req.MaxRows, TimeCol: req.TimeCol, Cutoff: req.Cutoff,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeReqErr(s, w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -806,9 +853,9 @@ func (s *Server) handleRetention(w http.ResponseWriter, r *http.Request) {
 // appendRows routes an ingest batch through the durable store when one
 // is attached (falling back to the plain engine path for tables the
 // store does not manage), reporting whether the append was durable.
-func (s *Server) appendRows(table string, rows [][]engine.Value) (*engine.Table, bool, error) {
+func (s *Server) appendRows(ctx context.Context, table string, rows [][]engine.Value) (*engine.Table, bool, error) {
 	if s.st != nil {
-		nt, err := s.st.Append(table, rows)
+		nt, err := s.st.AppendCtx(ctx, table, rows)
 		if err == nil {
 			return nt, true, nil
 		}
@@ -816,18 +863,26 @@ func (s *Server) appendRows(table string, rows [][]engine.Value) (*engine.Table,
 			return nil, false, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		// Mirror the store's contract on the in-memory path: cancel
+		// before publishing or not at all.
+		return nil, false, fmt.Errorf("server: append %s: %w", table, err)
+	}
 	nt, err := s.db.Append(table, rows)
 	return nt, false, err
 }
 
 // retainRows is appendRows' retention twin: durable (manifested,
 // segment files unlinked) through the store, in-memory otherwise.
-func (s *Server) retainRows(table string, pol engine.RetentionPolicy) (*engine.Table, engine.RetainStats, error) {
+func (s *Server) retainRows(ctx context.Context, table string, pol engine.RetentionPolicy) (*engine.Table, engine.RetainStats, error) {
 	if s.st != nil {
-		nt, stats, err := s.st.Retain(table, pol)
+		nt, stats, err := s.st.RetainCtx(ctx, table, pol)
 		if err == nil || !errors.Is(err, store.ErrUnknownTable) {
 			return nt, stats, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, engine.RetainStats{}, fmt.Errorf("server: retain %s: %w", table, err)
 	}
 	return s.db.Retain(table, pol)
 }
@@ -840,6 +895,9 @@ type sessionStats struct {
 	Base     int    `json:"base"`
 	Segments int    `json:"segments"`
 	Bytes    int    `json:"approx_bytes"`
+	// Busy marks a session whose lock was held by an in-flight request
+	// when stats ran; its footprint is omitted rather than blocking.
+	Busy bool `json:"busy,omitempty"`
 }
 
 // handleStats reports the storage footprint retention is managing: per
@@ -875,22 +933,31 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 	out := make([]sessionStats, 0, len(ids))
 	for i, sess := range sesss {
-		sess.mu.Lock()
 		st := sessionStats{Session: ids[i]}
-		if sess.res != nil && sess.res.Source != nil {
-			src := sess.res.Source
-			segs, bytes := src.MemStats()
-			st.Table = src.Name()
-			st.Rows = src.NumRows()
-			st.Base = src.Base()
-			st.Segments = segs
-			st.Bytes = bytes
+		if sess.tryAcquire() {
+			if sess.res != nil && sess.res.Source != nil {
+				src := sess.res.Source
+				segs, bytes := src.MemStats()
+				st.Table = src.Name()
+				st.Rows = src.NumRows()
+				st.Base = src.Base()
+				st.Segments = segs
+				st.Bytes = bytes
+			}
+			sess.release()
+		} else {
+			st.Busy = true
 		}
-		sess.mu.Unlock()
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
-	payload := map[string]any{"tables": tables, "sessions": out}
+	payload := map[string]any{
+		"tables":   tables,
+		"sessions": out,
+		// Lifecycle accounting: per endpoint, total == completed + shed
+		// + deadline_exceeded + cancelled at any quiescent point.
+		"endpoints": s.lc.endpointStats(),
+	}
 	if s.st != nil {
 		// Durability report: per-table on-disk segment counts plus any
 		// quarantined files, recovery gaps or fail-stops — the operator's

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -73,10 +74,10 @@ func TestAppendEndpointAndIncrementalRequery(t *testing.T) {
 	srv.mu.Lock()
 	sess := srv.sessions["s"]
 	srv.mu.Unlock()
-	sess.mu.Lock()
+	sess.acquire(context.Background())
 	incremental := sess.res.Plan.Incremental
 	n := sess.res.Source.NumRows()
-	sess.mu.Unlock()
+	sess.release()
 	if !incremental {
 		t.Fatal("re-query after append did not take the incremental path")
 	}
@@ -218,9 +219,9 @@ func TestDebugAdvanceAfterAppend(t *testing.T) {
 	srv.mu.Lock()
 	sess := srv.sessions["s"]
 	srv.mu.Unlock()
-	sess.mu.Lock()
+	sess.acquire(context.Background())
 	n := sess.res.Source.NumRows()
-	sess.mu.Unlock()
+	sess.release()
 	if n != 240 {
 		t.Fatalf("session result not refreshed: %d rows", n)
 	}

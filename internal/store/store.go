@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -30,6 +31,12 @@ import (
 // ErrUnknownTable reports an operation on a table this store does not
 // manage (e.g. one registered directly with the engine catalog).
 var ErrUnknownTable = errors.New("store: table not managed by this store")
+
+// ErrFailStopped marks errors caused by a table being (or becoming)
+// fail-stopped. Callers distinguish "this table refuses writes until
+// restart" (retryable against a recovered process, worth a 503) from
+// bad input with errors.Is(err, ErrFailStopped).
+var ErrFailStopped = errors.New("fail-stopped")
 
 // ErrClosed reports an operation on a closed store.
 var ErrClosed = errors.New("store: closed")
@@ -205,6 +212,17 @@ func createLogFile(fs FS, name, magic string) (File, error) {
 // not hold would break the recovery contract. Reads keep serving the
 // last published version.
 func (s *DB) Append(name string, rows [][]engine.Value) (*engine.Table, error) {
+	return s.AppendCtx(context.Background(), name, rows)
+}
+
+// AppendCtx is Append with a cancellation point strictly BEFORE the
+// WAL write. Once the record is handed to the WAL the append runs to
+// completion regardless of ctx: abandoning between the WAL write and
+// the engine publish would leave the WAL ahead of the published table,
+// and replay after restart would re-apply a batch the client was told
+// failed — breaking the acked-batch-prefix recovery contract. A
+// cancelled append therefore either happened entirely or not at all.
+func (s *DB) AppendCtx(ctx context.Context, name string, rows [][]engine.Value) (*engine.Table, error) {
 	ts, err := s.table(name)
 	if err != nil {
 		return nil, err
@@ -212,7 +230,7 @@ func (s *DB) Append(name string, rows [][]engine.Value) (*engine.Table, error) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	if ts.failed != nil {
-		return nil, fmt.Errorf("store: table %s is fail-stopped: %w", ts.name, ts.failed)
+		return nil, fmt.Errorf("store: table %s is %w: %w", ts.name, ErrFailStopped, ts.failed)
 	}
 	cur, err := s.eng.Table(name)
 	if err != nil {
@@ -221,6 +239,11 @@ func (s *DB) Append(name string, rows [][]engine.Value) (*engine.Table, error) {
 	coerced, err := cur.CoerceBatch(rows)
 	if err != nil {
 		return nil, err // bad input, not an I/O fault
+	}
+	// Last cancellation point: nothing has been written yet, so bailing
+	// here leaves the table exactly as it was.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("store: append %s: %w", ts.name, err)
 	}
 	if ts.walF != nil {
 		rec := encodeWALRecord(ts.schema, cur.Version(), coerced)
@@ -249,7 +272,7 @@ func (s *DB) Append(name string, rows [][]engine.Value) (*engine.Table, error) {
 
 func (ts *tableStore) fail(err error) error {
 	ts.failed = err
-	return fmt.Errorf("store: table %s fail-stopped: %w", ts.name, err)
+	return fmt.Errorf("store: table %s %w: %w", ts.name, ErrFailStopped, err)
 }
 
 // spillLocked writes segment files for every sealed segment not yet on
@@ -379,6 +402,14 @@ func (s *DB) rewriteWALLocked(ts *tableStore, nt *engine.Table, nsealed, tailRow
 // manifest and unlink leaves stale files below base, which the next
 // Open removes.
 func (s *DB) Retain(name string, pol engine.RetentionPolicy) (*engine.Table, engine.RetainStats, error) {
+	return s.RetainCtx(context.Background(), name, pol)
+}
+
+// RetainCtx is Retain with a cancellation point strictly before the
+// engine drop: once segments are dropped from the published version
+// the manifest write and unlinks run to completion regardless of ctx,
+// so the on-disk base can never lag a published drop.
+func (s *DB) RetainCtx(ctx context.Context, name string, pol engine.RetentionPolicy) (*engine.Table, engine.RetainStats, error) {
 	ts, err := s.table(name)
 	if err != nil {
 		return nil, engine.RetainStats{}, err
@@ -386,7 +417,10 @@ func (s *DB) Retain(name string, pol engine.RetentionPolicy) (*engine.Table, eng
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	if ts.failed != nil {
-		return nil, engine.RetainStats{}, fmt.Errorf("store: table %s is fail-stopped: %w", ts.name, ts.failed)
+		return nil, engine.RetainStats{}, fmt.Errorf("store: table %s is %w: %w", ts.name, ErrFailStopped, ts.failed)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, engine.RetainStats{}, fmt.Errorf("store: retain %s: %w", ts.name, err)
 	}
 	nt, stats, err := s.eng.Retain(name, pol)
 	if err != nil {
