@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short test-race test-crash test-chaos vet fmt-check check bench bench-hot bench-json fuzz-smoke cover
+.PHONY: all build test short test-race test-crash test-chaos test-memcap vet fmt-check check bench bench-hot bench-json fuzz-smoke cover
 
 all: build test
 
@@ -41,6 +41,14 @@ test-chaos:
 	GOMAXPROCS=1 $(GO) test -race -short -count=1 ./internal/chaos/
 	GOMAXPROCS=4 $(GO) test -race -short -count=1 ./internal/chaos/
 
+# Out-of-core suite under a hard memory cap: the store and exec tests
+# (including the bigger-than-cache differential and bounded-heap
+# checks) run with GOMEMLIMIT far below the decoded size of their
+# fixtures. A regression to eager residency fails the heap-growth
+# assertions — or stalls visibly in GC thrash under the limit.
+test-memcap:
+	GOMEMLIMIT=128MiB $(GO) test -count=1 ./internal/store/ ./internal/exec/
+
 vet:
 	$(GO) vet ./...
 
@@ -79,7 +87,7 @@ cover:
 
 # The CI gate: build, vet, formatting, the short test suite, a fuzz
 # smoke pass, and the durability and request-lifecycle fault suites.
-check: build vet fmt-check short fuzz-smoke test-crash test-chaos
+check: build vet fmt-check short fuzz-smoke test-crash test-chaos test-memcap
 
 # Full benchmark sweep with allocation counts.
 bench:
@@ -89,7 +97,7 @@ bench:
 # ns/op + B/op + allocs/op per bench as JSON. Check the file in so each
 # PR's numbers diff against the last; override the output name with
 # BENCH_OUT=file.json when recording a new PR's numbers.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
 bench-json:
 	@out=$$(mktemp); \
 	$(GO) test -run='^$$' -bench=. -benchmem -short . > $$out || { cat $$out; rm -f $$out; exit 1; }; \

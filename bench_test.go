@@ -711,3 +711,124 @@ func BenchmarkDurableAppend(b *testing.B) {
 		}
 	}
 }
+
+// oocBenchFixture builds a durable table of nrows (4096-row segments,
+// so point predicates have many segments to prune) and returns its
+// directory. Values: k is segment-monotonic (disjoint zone ranges), v
+// and w are cheap numerics, s draws from a small dictionary.
+func oocBenchFixture(b *testing.B, nrows int) string {
+	b.Helper()
+	dir := b.TempDir()
+	opts := store.Options{SyncEvery: 256, Logf: func(string, ...any) {}}
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := engine.NewSchema("k", engine.TInt, "v", engine.TFloat, "w", engine.TFloat, "s", engine.TString)
+	if err := st.CreateTable("big", schema, 12); err != nil {
+		b.Fatal(err)
+	}
+	strs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for lo := 0; lo < nrows; lo += 4096 {
+		rows := make([][]engine.Value, 4096)
+		for i := range rows {
+			r := lo + i
+			rows[i] = []engine.Value{
+				engine.NewInt(int64((lo / 4096) * 1000)),
+				engine.NewFloat(float64(r%977) * 0.25),
+				engine.NewFloat(float64(r%131) * 0.5),
+				engine.NewString(strs[r%len(strs)]),
+			}
+		}
+		if _, err := st.Append("big", rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+func oocOpen(b *testing.B, dir string, cacheBytes int64) (*store.DB, *engine.Table) {
+	b.Helper()
+	st, err := store.Open(dir, store.Options{SyncEvery: 256, Logf: func(string, ...any) {}, MaxResidentBytes: cacheBytes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	tbl, err := st.Eng().Table("big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, tbl
+}
+
+// BenchmarkColdScan measures a full aggregation scan over an
+// out-of-core table served through a pool ~1/10 its decoded size —
+// every iteration re-faults most chunks from disk (cold) — against the
+// same table fully resident. The chunks-faulted/resident extras make
+// the fault traffic visible in BENCH json.
+func BenchmarkColdScan(b *testing.B) {
+	const nrows = 98_304 // 24 sealed 4096-row segments
+	dir := oocBenchFixture(b, nrows)
+	stmt, err := sqlparse.Parse("SELECT s, sum(v) AS a, avg(w) AS m, count(*) AS n FROM big GROUP BY s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		cache int64
+	}{{"resident", 0}, {"cold/cache=256KiB", 256 << 10}} {
+		b.Run(mode.name, func(b *testing.B) {
+			_, tbl := oocOpen(b, dir, mode.cache)
+			var faulted, resident int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunOn(tbl, stmt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				faulted += res.Plan.ChunksFaulted
+				resident += res.Plan.ChunksResident
+			}
+			b.SetBytes(nrows)
+			b.ReportMetric(float64(faulted)/float64(b.N), "faulted/op")
+			b.ReportMetric(float64(resident)/float64(b.N), "resident/op")
+		})
+	}
+}
+
+// BenchmarkZoneMapSkip measures a selective point query over the same
+// fixture: k is constant per segment, so the zone maps prove all but
+// one segment empty and the scan must skip them without touching disk.
+// The bench fails if the skip rate ever drops to half or below — the
+// optimization, not just the timing, is pinned.
+func BenchmarkZoneMapSkip(b *testing.B) {
+	const nrows = 98_304
+	const nsegs = nrows / 4096
+	dir := oocBenchFixture(b, nrows)
+	stmt, err := sqlparse.Parse("SELECT s, sum(v) AS a, count(*) AS n FROM big WHERE k = 11000 GROUP BY s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, tbl := oocOpen(b, dir, 256<<10)
+	var skipped, faulted int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec.RunOn(tbl, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		skipped += res.Plan.SegsSkipped
+		faulted += res.Plan.ChunksFaulted
+	}
+	b.SetBytes(nrows)
+	skipRate := float64(skipped) / float64(b.N) / float64(nsegs)
+	if skipRate <= 0.5 {
+		b.Fatalf("zone maps skipped only %.0f%% of %d segments", skipRate*100, nsegs)
+	}
+	b.ReportMetric(float64(skipped)/float64(b.N), "skipped/op")
+	b.ReportMetric(float64(faulted)/float64(b.N), "faulted/op")
+	b.ReportMetric(skipRate*100, "skip%")
+}

@@ -30,10 +30,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -55,10 +57,18 @@ func main() {
 	interval := flag.Duration("interval", 0, "streaming: pause between posted batches")
 	retries := flag.Int("retries", 8, "streaming: retry budget per posted batch when the server sheds (429/503)")
 	dataPath := flag.String("data", "", "ingest into a durable store directory instead of writing CSVs")
+	fixtureBytes := flag.Int64("fixture-bytes", 0, "with -data: ignore -rows and keep appending synthetic rows until the store directory holds at least this many on-disk bytes — bigger-than-cache fixtures for `dbwipes -cache-bytes` out-of-core serving")
 	flag.Parse()
 	if *out == "" && *dataPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *fixtureBytes > 0 {
+		if *dataPath == "" {
+			log.Fatal("-fixture-bytes requires -data")
+		}
+		fixtureStore(*dataPath, *table, *dataset, *seed, *fixtureBytes)
+		return
 	}
 
 	total := *rows
@@ -186,6 +196,84 @@ func ingestStore(dir, table string, t *engine.Table, baseRows, batches, batchRow
 	if err := st.Close(); err != nil {
 		log.Fatalf("close store: %v", err)
 	}
+}
+
+// fixtureStore grows a durable table until the store directory's
+// on-disk footprint reaches target bytes, generating dataset rows in
+// rounds (a fresh seed per round, so values stay varied). The row
+// count is adaptive — encoded bytes per row depend on the dataset — so
+// the caller asks for a size, not a count. Meant for out-of-core
+// testing: build a fixture ~10x the pool you plan to serve it with.
+func fixtureStore(dir, table, dataset string, seed, target int64) {
+	st, err := store.Open(dir, store.Options{SyncEvery: 64})
+	if err != nil {
+		log.Fatalf("open store %s: %v", dir, err)
+	}
+	const roundRows = 32768
+	created := false
+	for round := 0; ; round++ {
+		size, err := dirBytes(dir)
+		if err != nil {
+			log.Fatalf("size %s: %v", dir, err)
+		}
+		if size >= target {
+			if err := st.Close(); err != nil {
+				log.Fatalf("close store: %v", err)
+			}
+			fmt.Printf("fixture %s: %d bytes on disk (target %d); serve with dbwipes -data %s -cache-bytes %d for ~10x-cache out-of-core load\n",
+				dir, size, target, dir, target/10)
+			return
+		}
+		var t *engine.Table
+		switch dataset {
+		case "intel":
+			t, _ = datasets.Intel(datasets.IntelConfig{Rows: roundRows, Seed: seed + int64(round)})
+		case "fec":
+			t, _ = datasets.FEC(datasets.FECConfig{Rows: roundRows, Seed: seed + int64(round)})
+		default:
+			log.Fatalf("unknown dataset %q (want intel or fec)", dataset)
+		}
+		if !created {
+			if err := st.CreateTable(table, t.Schema(), engine.DefaultSegmentBits); err != nil {
+				log.Fatalf("create %s: %v", table, err)
+			}
+			created = true
+		}
+		const chunk = 8192
+		for lo := 0; lo < t.NumRows(); lo += chunk {
+			end := lo + chunk
+			if end > t.NumRows() {
+				end = t.NumRows()
+			}
+			rows := make([][]engine.Value, 0, end-lo)
+			for r := lo; r < end; r++ {
+				rows = append(rows, t.Row(r))
+			}
+			if _, err := st.Append(table, rows); err != nil {
+				log.Fatalf("ingest %s rows [%d,%d): %v", table, lo, end, err)
+			}
+		}
+		fmt.Printf("fixture round %d: %d rows appended (%d bytes on disk so far)\n", round, t.NumRows(), size)
+	}
+}
+
+// dirBytes sums the sizes of all regular files under dir.
+func dirBytes(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			total += info.Size()
+		}
+		return nil
+	})
+	return total, err
 }
 
 // poster ships append batches to a dashboard with jittered exponential

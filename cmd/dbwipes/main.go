@@ -49,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
 	syncEvery := flag.Int("sync-every", 1, "with -data: fsync the WAL every N append batches")
+	cacheBytes := flag.Int64("cache-bytes", 0, "with -data: serve sealed segments out-of-core through a buffer pool of about this many bytes (0 = fully resident)")
 	queryTimeout := flag.Duration("query-timeout", 0, "default deadline for query-class requests (0 = built-in default, negative = none)")
 	debugTimeout := flag.Duration("debug-timeout", 0, "default deadline for /api/debug (0 = built-in default, negative = none)")
 	maxHeavy := flag.Int("max-heavy", 0, "concurrent heavy operations (query/debug); 0 = built-in default")
@@ -61,7 +62,7 @@ func main() {
 	var db *engine.DB
 	if *dataDir != "" {
 		var err error
-		st, err = store.Open(*dataDir, store.Options{SyncEvery: *syncEvery})
+		st, err = store.Open(*dataDir, store.Options{SyncEvery: *syncEvery, MaxResidentBytes: *cacheBytes})
 		if err != nil {
 			log.Fatalf("open store %s: %v", *dataDir, err)
 		}

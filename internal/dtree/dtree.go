@@ -144,6 +144,15 @@ type Tree struct {
 	// A row's bucket never changes across nodes, so it is computed once
 	// per training run instead of once per node visit.
 	buckets [][]int16
+	// Per-tree segment readers over the views, live only while Train
+	// runs: on out-of-core tables the views' per-row V/CodeAt pin a
+	// chunk transiently per call, which degrades to re-decoding the
+	// chunk per row once it exceeds the pool budget. The readers hold
+	// one pin per attribute instead. Closed (and nil'd) at the end of
+	// Train so trained trees hold no pins; post-Train routing falls
+	// back to the views.
+	fcur []*engine.FloatReader
+	dcur []*engine.DictReader
 }
 
 // bindViews resolves the typed views of every attribute column once per
@@ -152,17 +161,23 @@ func (t *Tree) bindViews() {
 	sp := t.Space
 	t.fviews = make([]*engine.FloatView, len(sp.Attrs))
 	t.dviews = make([]*engine.DictView, len(sp.Attrs))
+	t.fcur = make([]*engine.FloatReader, len(sp.Attrs))
+	t.dcur = make([]*engine.DictReader, len(sp.Attrs))
 	t.attrCodes = make([][]int32, len(sp.Attrs))
 	t.attrSlots = make([][]int32, len(sp.Attrs))
 	for ai := range sp.Attrs {
 		attr := &sp.Attrs[ai]
 		switch attr.Kind {
 		case feature.Numeric:
-			t.fviews[ai] = sp.Table.FloatView(attr.Col)
+			if fv := sp.Table.FloatView(attr.Col); fv != nil {
+				t.fviews[ai] = fv
+				t.fcur[ai] = fv.NewReader()
+			}
 		case feature.Categorical:
 			dv := sp.Table.DictView(attr.Col)
 			t.dviews[ai] = dv
 			if dv != nil {
+				t.dcur[ai] = dv.NewReader()
 				codes := make([]int32, len(attr.Values))
 				slots := make([]int32, dv.NumValues())
 				for i := range slots {
@@ -179,6 +194,23 @@ func (t *Tree) bindViews() {
 			}
 		}
 	}
+}
+
+// closeReaders releases every training-time segment pin and drops the
+// readers, switching row routing back to the plain views. Deferred
+// from Train so pins release even when a chunk load panics.
+func (t *Tree) closeReaders() {
+	for _, r := range t.fcur {
+		if r != nil {
+			r.Close()
+		}
+	}
+	for _, r := range t.dcur {
+		if r != nil {
+			r.Close()
+		}
+	}
+	t.fcur, t.dcur = nil, nil
 }
 
 // NumNodes returns the node count.
@@ -201,6 +233,7 @@ func Train(sp *feature.Space, rows []int, labels []bool, weights []float64, opt 
 	}
 	tr := &Tree{Space: sp, Opt: opt}
 	tr.bindViews()
+	defer tr.closeReaders()
 	tr.bucketize(rows)
 	idx := make([]int, len(rows))
 	for i := range idx {
@@ -236,10 +269,10 @@ func (t *Tree) bucketize(rows []int) {
 			continue
 		}
 		b := make([]int16, len(rows))
-		if fv := t.fviews[ai]; fv != nil {
+		if fr := t.fcur[ai]; fr != nil {
 			for i, r := range rows {
 				k := len(ths)
-				if f := fv.V(r); !math.IsNaN(f) {
+				if f := fr.V(r); !math.IsNaN(f) {
 					k = sort.SearchFloat64s(ths, f)
 				}
 				b[i] = int16(k)
@@ -397,12 +430,13 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 						bPos[bk[i]] += weights[i]
 					}
 				}
-			} else if fv := t.fviews[ai]; fv != nil {
-				// Typed fast path: stream the flat float column.
+			} else if fr := t.fcur[ai]; fr != nil {
+				// Typed fast path: stream the flat float column through
+				// the segment-pinned reader.
 				for _, i := range idx {
 					r := rows[i]
 					k := len(ths)
-					if f := fv.V(r); !math.IsNaN(f) {
+					if f := fr.V(r); !math.IsNaN(f) {
 						k = sort.SearchFloat64s(ths, f) // first th >= f
 					}
 					bTot[k] += weights[i]
@@ -436,7 +470,7 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 			if len(attr.Values) == 0 {
 				continue
 			}
-			if dv := t.dviews[ai]; dv != nil {
+			if dr := t.dcur[ai]; dr != nil {
 				// Typed fast path: accumulate per attribute-value slot
 				// (≤ MaxCategories), not per full-dictionary code, so
 				// high-cardinality columns don't inflate per-node work.
@@ -444,7 +478,7 @@ func (t *Tree) bestSplit(rows []int, labels []bool, weights []float64, idx []int
 				cTot := make([]float64, len(attr.Values))
 				cPos := make([]float64, len(attr.Values))
 				for _, i := range idx {
-					code := dv.CodeAt(rows[i])
+					code := dr.CodeAt(rows[i])
 					if code < 0 {
 						continue
 					}
@@ -509,13 +543,25 @@ func (t *Tree) goesLeft(s Split, row int) bool {
 	}
 	// Views are bound at Train time; a row appended to the table since
 	// then is past their length and falls back to the live column read.
+	// While Train runs, reads go through the segment-pinned readers;
+	// afterwards (readers closed) they use the views directly.
 	if s.Numeric {
 		if fv := t.fviews[s.AttrIdx]; fv != nil && row < fv.Len() {
-			f := fv.V(row) // NULL is stored as NaN and routes right
+			var f float64
+			if t.fcur != nil && t.fcur[s.AttrIdx] != nil {
+				f = t.fcur[s.AttrIdx].V(row)
+			} else {
+				f = fv.V(row) // NULL is stored as NaN and routes right
+			}
 			return !math.IsNaN(f) && f <= s.Threshold
 		}
 	} else if dv := t.dviews[s.AttrIdx]; dv != nil && row < dv.Len() {
-		code := dv.CodeAt(row)
+		var code int32
+		if t.dcur != nil && t.dcur[s.AttrIdx] != nil {
+			code = t.dcur[s.AttrIdx].CodeAt(row)
+		} else {
+			code = dv.CodeAt(row)
+		}
 		return code >= 0 && code == s.code
 	}
 	return splitGoesLeft(t.Space, s, row)

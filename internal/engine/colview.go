@@ -40,24 +40,49 @@ var nan = math.NaN()
 // window of per-segment chunks. V(i) is row i's value coerced to
 // float64 (NaN for NULL — consult IsNull to distinguish a stored NaN
 // from a NULL).
+//
+// A faultable segment (out-of-core, see fault.go) keeps nil entries in
+// segs/nulls and a segment pointer in fsegs: PinSeg faults its chunk
+// in under a pin, and the per-row accessors (V, IsNull) fall back to a
+// transient pin per call — correct but slow; scan loops should hold a
+// PinSeg pin per segment instead.
 type FloatView struct {
 	segs  [][]float64
 	nulls [][]uint64
 	n     int
 	bits  uint
 	mask  int
+	// fsegs[k] is non-nil iff segment k is faultable; col/tname address
+	// the chunk through the segment's loader.
+	fsegs []*segment
+	col   int
+	tname string
 }
 
 // Len returns the number of rows the view covers.
 func (f *FloatView) Len() int { return f.n }
 
 // V returns row i's float64 value (NaN when NULL).
-func (f *FloatView) V(i int) float64 { return f.segs[i>>f.bits][i&f.mask] }
+func (f *FloatView) V(i int) float64 {
+	if s := f.segs[i>>f.bits]; s != nil {
+		return s[i&f.mask]
+	}
+	vals, _, release, _ := f.fsegs[i>>f.bits].pinFloat(f.tname, f.col)
+	v := vals[i&f.mask]
+	release()
+	return v
+}
 
 // IsNull reports whether row i is NULL.
 func (f *FloatView) IsNull(i int) bool {
 	off := i & f.mask
-	return f.nulls[i>>f.bits][off>>6]&(1<<(uint(off)&63)) != 0
+	if null := f.nulls[i>>f.bits]; null != nil {
+		return null[off>>6]&(1<<(uint(off)&63)) != 0
+	}
+	_, null, release, _ := f.fsegs[i>>f.bits].pinFloat(f.tname, f.col)
+	v := null[off>>6]&(1<<(uint(off)&63)) != 0
+	release()
+	return v
 }
 
 // NumSegs returns the number of segment chunks in the window (the last
@@ -65,13 +90,47 @@ func (f *FloatView) IsNull(i int) bool {
 func (f *FloatView) NumSegs() int { return len(f.segs) }
 
 // Seg returns segment k's value slice (read-only); its length is the
-// number of view rows in the segment.
-func (f *FloatView) Seg(k int) []float64 { return f.segs[k] }
+// number of view rows in the segment. For a faultable segment the
+// chunk is faulted under a transient pin — the slice stays valid (the
+// pool evicting it only drops its reference), but callers that read
+// many segments should prefer PinSeg so residency accounting sees the
+// access.
+func (f *FloatView) Seg(k int) []float64 {
+	if s := f.segs[k]; s != nil {
+		return s
+	}
+	vals, _, release, _ := f.fsegs[k].pinFloat(f.tname, f.col)
+	release()
+	return vals
+}
 
 // NullSeg returns segment k's NULL bitmap words (read-only). Word w
 // covers rows SegStart(k) + [64w, 64w+64); segments are word-aligned,
-// so these concatenate into the view-global NULL bitmap.
-func (f *FloatView) NullSeg(k int) []uint64 { return f.nulls[k] }
+// so these concatenate into the view-global NULL bitmap. Faultable
+// segments behave as in Seg.
+func (f *FloatView) NullSeg(k int) []uint64 {
+	if s := f.nulls[k]; s != nil {
+		return s
+	}
+	_, null, release, _ := f.fsegs[k].pinFloat(f.tname, f.col)
+	release()
+	return null
+}
+
+// SegFaultable reports whether segment k's chunk loads on demand (nil
+// in the resident window).
+func (f *FloatView) SegFaultable(k int) bool { return f.fsegs != nil && f.fsegs[k] != nil }
+
+// PinSeg returns segment k's value slice and NULL words under a pin.
+// release must be called exactly once when the caller stops reading;
+// missed reports a backing-store fault (false = resident or pool hit).
+// Chunk-load failures panic *SegmentLoadError (see CatchSegmentLoad).
+func (f *FloatView) PinSeg(k int) (vals []float64, null []uint64, release func(), missed bool) {
+	if s := f.segs[k]; s != nil {
+		return s, f.nulls[k], releaseNoop, false
+	}
+	return f.fsegs[k].pinFloat(f.tname, f.col)
+}
 
 // SegStart returns the first view row of segment k.
 func (f *FloatView) SegStart(k int) int { return k << f.bits }
@@ -97,19 +156,52 @@ type DictView struct {
 	// strings that first appear after this snapshot's last row (their
 	// codes are >= nvals), and those must read as absent here.
 	nvals int32
+	// dsegs[k] is non-nil iff segment k is faultable (codes pinned on
+	// demand, see FloatView's fsegs).
+	dsegs []*segment
+	col   int
+	tname string
 }
 
 // Len returns the number of rows the view covers.
 func (d *DictView) Len() int { return d.n }
 
 // CodeAt returns row i's dictionary code (-1 for NULL).
-func (d *DictView) CodeAt(i int) int32 { return d.segs[i>>d.bits][i&d.mask] }
+func (d *DictView) CodeAt(i int) int32 {
+	if s := d.segs[i>>d.bits]; s != nil {
+		return s[i&d.mask]
+	}
+	codes, release, _ := d.dsegs[i>>d.bits].pinCodes(d.tname, d.col)
+	c := codes[i&d.mask]
+	release()
+	return c
+}
 
 // NumSegs returns the number of segment chunks in the window.
 func (d *DictView) NumSegs() int { return len(d.segs) }
 
-// Seg returns segment k's code slice (read-only).
-func (d *DictView) Seg(k int) []int32 { return d.segs[k] }
+// Seg returns segment k's code slice (read-only). Faultable segments
+// are faulted under a transient pin (see FloatView.Seg).
+func (d *DictView) Seg(k int) []int32 {
+	if s := d.segs[k]; s != nil {
+		return s
+	}
+	codes, release, _ := d.dsegs[k].pinCodes(d.tname, d.col)
+	release()
+	return codes
+}
+
+// SegFaultable reports whether segment k's codes load on demand.
+func (d *DictView) SegFaultable(k int) bool { return d.dsegs != nil && d.dsegs[k] != nil }
+
+// PinSeg returns segment k's codes under a pin (contract as in
+// FloatView.PinSeg).
+func (d *DictView) PinSeg(k int) (codes []int32, release func(), missed bool) {
+	if s := d.segs[k]; s != nil {
+		return s, releaseNoop, false
+	}
+	return d.dsegs[k].pinCodes(d.tname, d.col)
+}
 
 // SegStart returns the first view row of segment k.
 func (d *DictView) SegStart(k int) int { return k << d.bits }
@@ -315,6 +407,9 @@ func (s *segment) ensureFloat(c int, segWords int) *floatChunk {
 	if ch := s.fchunk[c]; ch != nil {
 		return ch
 	}
+	if s.faultable() {
+		panic("engine: ensureFloat on a faultable segment (pin through the loader instead)")
+	}
 	col := s.cols[c]
 	vals := make([]float64, len(col))
 	null := make([]uint64, segWords)
@@ -358,10 +453,22 @@ func (t *Table) FloatView(c int) *FloatView {
 	segWords := segWordsOf(t.bits)
 	nsegs := len(t.sealed)
 	tailLen := t.nrows - nsegs<<t.bits
-	fv := &FloatView{n: t.nrows, bits: t.bits, mask: t.mask}
+	fv := &FloatView{n: t.nrows, bits: t.bits, mask: t.mask, col: c, tname: t.name}
 	fv.segs = make([][]float64, 0, nsegs+1)
 	fv.nulls = make([][]uint64, 0, nsegs+1)
-	for _, seg := range t.sealed {
+	for k, seg := range t.sealed {
+		if seg.faultable() {
+			// Out-of-core segment: the snapshot records the segment, not
+			// the data — chunks pin in through the loader at read time and
+			// are never cached here (the pool is the only cache).
+			if fv.fsegs == nil {
+				fv.fsegs = make([]*segment, nsegs+1)
+			}
+			fv.fsegs[k] = seg
+			fv.segs = append(fv.segs, nil)
+			fv.nulls = append(fv.nulls, nil)
+			continue
+		}
 		ch := seg.ensureFloat(c, segWords)
 		fv.segs = append(fv.segs, ch.vals)
 		fv.nulls = append(fv.nulls, ch.null)
@@ -455,6 +562,13 @@ func (t *Table) DictView(c int) *DictView {
 		k := sk - t.base>>t.bits   // local segment index in t
 		if k < nsegs {
 			seg := t.sealed[k]
+			if seg.faultable() {
+				// Out-of-core segment: its codes live in the loader's
+				// chunks, assigned by the dictionary this column was
+				// preloaded with — nothing to intern.
+				ds.decoded = (sk + 1) << t.bits
+				continue
+			}
 			codes := make([]int32, segRows)
 			for i, v := range seg.cols[c] {
 				codes[i] = ds.code(v, sk<<t.bits+i)
@@ -473,9 +587,17 @@ func (t *Table) DictView(c int) *DictView {
 		off := ds.decoded - vc.epoch<<t.bits
 		ds.decodeOne(t.tail[c][off], ds.decoded)
 	}
-	dv := &DictView{n: t.nrows, bits: t.bits, mask: t.mask}
+	dv := &DictView{n: t.nrows, bits: t.bits, mask: t.mask, col: c, tname: t.name}
 	dv.segs = make([][]int32, 0, nsegs+1)
-	for _, seg := range t.sealed {
+	for k, seg := range t.sealed {
+		if seg.faultable() {
+			if dv.dsegs == nil {
+				dv.dsegs = make([]*segment, nsegs+1)
+			}
+			dv.dsegs[k] = seg
+			dv.segs = append(dv.segs, nil)
+			continue
+		}
 		if seg.dchunk[c] == nil {
 			// Decoded before this version's base moved (pre-retention
 			// frontier skips): decode directly — all codes exist.

@@ -1,0 +1,267 @@
+package engine
+
+import "fmt"
+
+// This file is the engine half of the out-of-core segment contract.
+// A durability layer (internal/store) can attach SEALED segments to a
+// recovered table WITHOUT decoding them into memory: the segment keeps
+// no boxed values and no chunks, and every read faults the needed
+// column chunk in through a ChunkLoader — typically backed by a shared
+// buffer pool that pins chunks while scans read them and evicts cold
+// ones under a byte budget. In-memory (non-durable) tables never see
+// any of this: their segments stay always-resident and the pin calls
+// degrade to returning the resident slice with a no-op release.
+//
+// The pin/unpin contract: a Pin* call returns chunk data plus a
+// release func. The data stays VALID forever (Go's GC keeps it alive
+// while referenced — eviction only drops the pool's reference), so a
+// forgotten release is an accounting leak, never a use-after-free. But
+// the memory bound only holds if pins are short-lived: scans hold at
+// most one pinned chunk per column per shard (released when the shard
+// cursor moves to the next segment, and unconditionally — via defer —
+// when the shard exits, so cancellation never leaks a pin). Nothing in
+// the engine caches faulted data outside the pool: the view snapshots
+// keep nil slices for faultable segments, which is what makes a table
+// several times larger than the pool budget servable at bounded heap.
+
+// ChunkLoader faults one sealed segment's column chunk in from a
+// backing store. seg is the STREAM segment index (stable across
+// retention rebases), col the schema column index. The returned
+// release must be called exactly once when the caller is done reading;
+// missed reports whether the call hit backing storage (false = served
+// from the pool). Implementations must be safe for concurrent use.
+type ChunkLoader interface {
+	// PinFloat returns the float64 decode of a numeric column: values
+	// (NaN for NULL) and the NULL bitmap words (segRows/64 of them).
+	PinFloat(seg, col int) (vals []float64, null []uint64, release func(), missed bool, err error)
+	// PinCodes returns a string column's dictionary codes (-1 = NULL).
+	// Codes index the dictionary the table was preloaded with
+	// (PreloadDict) — the loader and the engine share one code space.
+	PinCodes(seg, col int) (codes []int32, release func(), missed bool, err error)
+	// PinBoxed returns the boxed values of any column — the slow path
+	// behind Table.Value/RowInto for faultable segments.
+	PinBoxed(seg, col int) (vals []Value, release func(), missed bool, err error)
+}
+
+// ZoneInfo is the per-segment-column zone map written at seal time:
+// enough metadata to prove a predicate clause matches nothing (or
+// everything) in the segment without faulting the chunk in.
+type ZoneInfo struct {
+	// Min/Max bound the non-NULL, non-NaN values of a numeric column.
+	// Valid only when HasRange (false for string columns and for
+	// segments with no finite values).
+	Min, Max float64
+	// NullCount / NaNCount count NULL rows and stored-NaN rows.
+	NullCount int
+	NaNCount  int
+	// Rows is the segment's row count (== SegRows of the table).
+	Rows int
+	// HasRange reports Min/Max are meaningful.
+	HasRange bool
+	// Presence is a 256-bit summary of a dict column's codes: bit
+	// code%256 is set iff some row holds that code. A clear bit proves
+	// the code absent; a set bit proves nothing (collisions). Valid
+	// only when HasPresence.
+	Presence    [4]uint64
+	HasPresence bool
+}
+
+// SegmentLoadError reports a chunk fault failure (I/O error, checksum
+// mismatch, segment quarantined). It travels as a panic from deep
+// inside view accessors — which have no error returns — and is
+// converted back to an error at the executor's entry points via
+// CatchSegmentLoad.
+type SegmentLoadError struct {
+	Table string
+	Seg   int // stream segment index
+	Col   int
+	Err   error
+}
+
+func (e *SegmentLoadError) Error() string {
+	return fmt.Sprintf("engine: table %s: loading segment %d column %d: %v", e.Table, e.Seg, e.Col, e.Err)
+}
+
+func (e *SegmentLoadError) Unwrap() error { return e.Err }
+
+// CatchSegmentLoad converts a SegmentLoadError panic into *errp,
+// re-panicking anything else. Deferred at every public entry point
+// that can reach a faultable segment (exec.Run, exec.Advance, the
+// stats accessors) so a failed chunk load is a query error, not a
+// crash.
+func CatchSegmentLoad(errp *error) {
+	if r := recover(); r != nil {
+		if sle, ok := r.(*SegmentLoadError); ok {
+			*errp = sle
+			return
+		}
+		panic(r)
+	}
+}
+
+// releaseNoop is the shared release for resident chunks.
+var releaseNoop = func() {}
+
+// faultable reports whether this segment's chunks load on demand.
+func (s *segment) faultable() bool { return s.loader != nil }
+
+// pinFloat faults the segment's float chunk (panicking SegmentLoadError
+// on failure).
+func (s *segment) pinFloat(tname string, col int) (vals []float64, null []uint64, release func(), missed bool) {
+	vals, null, release, missed, err := s.loader.PinFloat(s.streamIdx, col)
+	if err != nil {
+		panic(&SegmentLoadError{Table: tname, Seg: s.streamIdx, Col: col, Err: err})
+	}
+	return vals, null, release, missed
+}
+
+// pinCodes faults the segment's dictionary-code chunk.
+func (s *segment) pinCodes(tname string, col int) (codes []int32, release func(), missed bool) {
+	codes, release, missed, err := s.loader.PinCodes(s.streamIdx, col)
+	if err != nil {
+		panic(&SegmentLoadError{Table: tname, Seg: s.streamIdx, Col: col, Err: err})
+	}
+	return codes, release, missed
+}
+
+// pinBoxed faults the segment's boxed values.
+func (s *segment) pinBoxed(tname string, col int) (vals []Value, release func()) {
+	vals, release, _, err := s.loader.PinBoxed(s.streamIdx, col)
+	if err != nil {
+		panic(&SegmentLoadError{Table: tname, Seg: s.streamIdx, Col: col, Err: err})
+	}
+	return vals, release
+}
+
+// boxedAt reads one boxed value out of a faultable segment via a
+// transient pin.
+func (s *segment) boxedAt(tname string, col, off int) Value {
+	vals, release := s.pinBoxed(tname, col)
+	v := vals[off]
+	release()
+	return v
+}
+
+// AttachLoadedSegment appends one sealed, faultable segment to the
+// newest version of the table — the recovery-time counterpart of
+// sealing a tail. The segment's rows are the next SegRows stream rows;
+// its chunks load on demand through loader (stream segment index =
+// Base()/SegRows + sealed count at attach time). zones, when non-nil,
+// carries one ZoneInfo per schema column for predicate pruning; nil
+// means no zone maps (every clause faults). Like AppendBatch it is
+// copy-on-write and linear: it returns a new version and refuses stale
+// snapshots. The tail must be empty (recovery attaches segments before
+// replaying tail rows); a tail that is exactly full is sealed first.
+func (t *Table) AttachLoadedSegment(loader ChunkLoader, zones []ZoneInfo) (*Table, error) {
+	if loader == nil {
+		return nil, fmt.Errorf("engine: table %s: attach with nil loader", t.name)
+	}
+	if zones != nil && len(zones) != len(t.schema) {
+		return nil, fmt.Errorf("engine: table %s: attach with %d zones, schema has %d columns", t.name, len(zones), len(t.schema))
+	}
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if t.pub != vc.pub {
+		return nil, fmt.Errorf("engine: table %s: %w (attach to superseded version)", t.name, ErrStaleAppend)
+	}
+	ncols := len(t.schema)
+	nt := &Table{
+		name: t.name, schema: t.schema,
+		sealed: t.sealed, tail: make([][]Value, ncols),
+		nrows: t.nrows, base: t.base, bits: t.bits, mask: t.mask,
+		views: vc,
+	}
+	copy(nt.tail, t.tail)
+	if nt.nrows-len(nt.sealed)<<nt.bits == 1<<nt.bits {
+		nt.sealTailLocked()
+	}
+	if tailLen := nt.nrows - len(nt.sealed)<<nt.bits; tailLen != 0 {
+		return nil, fmt.Errorf("engine: table %s: attach with %d tail rows (segments attach only at segment boundaries)", t.name, tailLen)
+	}
+	seg := &segment{
+		fchunk:    make([]*floatChunk, ncols),
+		dchunk:    make([]*dictChunk, ncols),
+		loader:    loader,
+		streamIdx: nt.base>>nt.bits + len(nt.sealed),
+		zones:     zones,
+	}
+	nt.sealed = append(nt.sealed, seg)
+	nt.nrows += 1 << nt.bits
+	vc.epoch++
+	vc.pub++
+	nt.pub = vc.pub
+	vc.hw = nt.base + nt.nrows
+	// The attached rows count as dict-decoded: their codes live in the
+	// loader's chunks, assigned by the same first-appearance rule the
+	// preloaded dictionary captured.
+	for _, ds := range vc.dict {
+		if ds.decoded < vc.hw {
+			ds.decoded = vc.hw
+		}
+	}
+	return nt, nil
+}
+
+// PreloadDict seeds string column c's dictionary with values in code
+// order — recovery calls it (on a still-empty table) with the
+// durability layer's persisted dictionary so that the int32 code
+// sections inside attached segment files mean the same strings the
+// engine's dictionary does, with no per-row remapping. The preloaded
+// values are visible to every snapshot (an over-approximation when
+// some value's rows were all lost to retention or quarantine: a code
+// matching zero rows is harmless). Appends after preload keep
+// assigning codes in first-appearance order starting at len(values),
+// which is exactly the order the store's dictionary grows in — the two
+// sides never diverge.
+func (t *Table) PreloadDict(c int, values []string) error {
+	if c < 0 || c >= len(t.schema) || t.schema[c].Type != TString {
+		return fmt.Errorf("engine: table %s: preload dict on non-string column %d", t.name, c)
+	}
+	vc := t.viewCache()
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if t.nrows != 0 || len(t.sealed) != 0 {
+		return fmt.Errorf("engine: table %s: preload dict on non-empty table", t.name)
+	}
+	if vc.dict == nil {
+		vc.dict = make(map[int]*dictState)
+	}
+	if ds := vc.dict[c]; ds != nil && len(ds.values) != 0 {
+		return fmt.Errorf("engine: table %s: column %d dictionary already populated", t.name, c)
+	}
+	ds := &dictState{byStr: make(map[string]int32, len(values)), decoded: t.base}
+	ds.values = append([]string(nil), values...)
+	for i, s := range values {
+		ds.byStr[s] = int32(i)
+	}
+	if len(values) > 0 {
+		// One mark at row 0: every snapshot of this family sees all
+		// preloaded values (their true first-appearance rows predate the
+		// recovered window anyway).
+		ds.marks = []dictMark{{rows: 0, nvals: int32(len(values))}}
+	}
+	vc.dict[c] = ds
+	return nil
+}
+
+// SegmentZone returns sealed segment k's zone map for column c, when
+// one was attached. ok is false for resident segments, segments
+// attached without zones, and out-of-range indexes.
+func (t *Table) SegmentZone(k, c int) (ZoneInfo, bool) {
+	if k < 0 || k >= len(t.sealed) || c < 0 || c >= len(t.schema) {
+		return ZoneInfo{}, false
+	}
+	seg := t.sealed[k]
+	if seg.zones == nil {
+		return ZoneInfo{}, false
+	}
+	return seg.zones[c], true
+}
+
+// SegmentFaultable reports whether sealed segment k's chunks load on
+// demand (attached via AttachLoadedSegment) rather than being memory
+// resident.
+func (t *Table) SegmentFaultable(k int) bool {
+	return k >= 0 && k < len(t.sealed) && t.sealed[k].faultable()
+}

@@ -51,7 +51,10 @@ type RetainStats struct {
 // receiver and everything derived from it stay valid, and only the
 // newest version may be retained (ErrStaleAppend otherwise). When the
 // policy drops nothing the receiver itself is returned.
-func (t *Table) RetainTail(pol RetentionPolicy) (*Table, RetainStats, error) {
+func (t *Table) RetainTail(pol RetentionPolicy) (nt *Table, stats0 RetainStats, err error) {
+	// A TimeCol policy over an out-of-core segment without a zone map
+	// faults its chunk; a load failure surfaces as the retention error.
+	defer CatchSegmentLoad(&err)
 	vc := t.viewCache()
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
@@ -69,7 +72,7 @@ func (t *Table) RetainTail(pol RetentionPolicy) (*Table, RetainStats, error) {
 	if drop == 0 {
 		return t, stats, nil
 	}
-	nt := &Table{
+	nt = &Table{
 		name: t.name, schema: t.schema,
 		sealed: t.sealed[drop:], tail: t.tail,
 		nrows: stats.RetainedRows, base: stats.Base,
@@ -112,23 +115,50 @@ func (t *Table) dropCountLocked(pol RetentionPolicy) int {
 	segWords := segWordsOf(t.bits)
 	drop := 0
 	for drop < max {
-		ch := t.sealed[drop].ensureFloat(ci, segWords)
-		old := true
-		for i, f := range ch.vals {
-			if ch.null[i>>6]&(1<<(uint(i)&63)) != 0 {
-				continue
-			}
-			if !(f < pol.Cutoff) { // NaN keeps the segment, conservatively
-				old = false
-				break
-			}
-		}
-		if !old {
+		if !t.sealed[drop].allBelowCutoff(t.name, ci, segWords, pol.Cutoff) {
 			break
 		}
 		drop++
 	}
 	return drop
+}
+
+// allBelowCutoff reports whether every non-NULL value of numeric
+// column ci in the segment is < cutoff (the TimeCol retention test).
+// NaN keeps the segment, conservatively. A faultable segment answers
+// from its zone map when one is attached — no disk touched — and
+// otherwise faults the chunk under a transient pin.
+func (s *segment) allBelowCutoff(tname string, ci, segWords int, cutoff float64) bool {
+	var vals []float64
+	var null []uint64
+	if s.faultable() {
+		if s.zones != nil {
+			z := s.zones[ci]
+			if z.NaNCount > 0 {
+				return false
+			}
+			if z.NullCount == z.Rows || !z.HasRange {
+				// No finite values (all NULL): vacuously old.
+				return z.NaNCount == 0
+			}
+			return z.Max < cutoff
+		}
+		var release func()
+		vals, null, release, _ = s.pinFloat(tname, ci)
+		defer release()
+	} else {
+		ch := s.ensureFloat(ci, segWords)
+		vals, null = ch.vals, ch.null
+	}
+	for i, f := range vals {
+		if null[i>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		if !(f < cutoff) { // NaN keeps the segment, conservatively
+			return false
+		}
+	}
+	return true
 }
 
 // Retain applies a retention policy to the named table and atomically
@@ -196,6 +226,11 @@ func (t *Table) MemStats() (segments int, bytes int) {
 	segments = len(t.sealed)
 	tailRows := t.nrows - segments<<t.bits
 	for _, seg := range t.sealed {
+		if seg.faultable() {
+			// Out-of-core segment: nothing resident here — its faulted
+			// chunks are accounted by the loader's pool, not the table.
+			continue
+		}
 		bytes += segRows * ncols * valueBytes
 		for c := 0; c < ncols; c++ {
 			if ch := seg.fchunk[c]; ch != nil {

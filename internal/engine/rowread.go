@@ -1,0 +1,214 @@
+package engine
+
+// RowReader serves per-row boxed reads (Value, RowInto) over a scan
+// loop. Table.Value and Table.RowInto are correct on faultable
+// segments but pin the boxed chunk transiently PER ROW — and a chunk
+// larger than the buffer pool's budget is evicted on every release, so
+// a row loop re-decodes the whole chunk each row. A RowReader instead
+// holds one pin per column and swaps it on segment crossings, exactly
+// like the typed views' PinSeg, making sequential row loops O(rows)
+// regardless of chunk and pool size. Resident segments and the tail
+// read straight from memory with no pin at all.
+//
+// A RowReader is NOT safe for concurrent use — create one per
+// goroutine — and MUST be Closed (defer it) so held pins release on
+// every exit path, including panics and cancellation. A chunk-load
+// failure panics SegmentLoadError, like the typed views; loops that
+// surface errors run under CatchSegmentLoad.
+type RowReader struct {
+	t   *Table
+	cur []boxedCursor // one per column, lazily engaged
+
+	faulted  int // pins that missed to disk
+	resident int // pins served from memory (pool hit)
+}
+
+// boxedCursor is one column's pinned-chunk state.
+type boxedCursor struct {
+	seg     int // currently pinned segment (-1 = none)
+	vals    []Value
+	release func()
+}
+
+// NewRowReader returns a reader over the table's current rows.
+func (t *Table) NewRowReader() *RowReader {
+	rr := &RowReader{t: t, cur: make([]boxedCursor, len(t.schema))}
+	for c := range rr.cur {
+		rr.cur[c].seg = -1
+	}
+	return rr
+}
+
+// Value returns the value at (row, col); the RowReader counterpart of
+// Table.Value (and like it, an expr.ColumnSource).
+func (rr *RowReader) Value(row, col int) Value {
+	t := rr.t
+	k := row >> t.bits
+	if k < 0 || k >= len(t.sealed) {
+		return t.tail[col][row-len(t.sealed)<<t.bits]
+	}
+	s := t.sealed[k]
+	if s.cols != nil {
+		return s.cols[col][row&t.mask]
+	}
+	cur := &rr.cur[col]
+	if cur.seg != k {
+		if cur.release != nil {
+			cur.release()
+			cur.release = nil
+		}
+		vals, release, missed, err := s.loader.PinBoxed(s.streamIdx, col)
+		if err != nil {
+			panic(&SegmentLoadError{Table: t.name, Seg: s.streamIdx, Col: col, Err: err})
+		}
+		cur.vals, cur.release, cur.seg = vals, release, k
+		if missed {
+			rr.faulted++
+		} else {
+			rr.resident++
+		}
+	}
+	return cur.vals[row&t.mask]
+}
+
+// RowInto copies row i into dst (len == NumCols); the RowReader
+// counterpart of Table.RowInto.
+func (rr *RowReader) RowInto(i int, dst []Value) {
+	for c := range dst {
+		dst[c] = rr.Value(i, c)
+	}
+}
+
+// Counters reports how many chunk pins missed to disk vs were served
+// resident over the reader's lifetime so far.
+func (rr *RowReader) Counters() (faulted, resident int) {
+	return rr.faulted, rr.resident
+}
+
+// Close releases every held pin. Idempotent.
+func (rr *RowReader) Close() {
+	for c := range rr.cur {
+		if rr.cur[c].release != nil {
+			rr.cur[c].release()
+			rr.cur[c].release = nil
+		}
+		rr.cur[c].seg = -1
+	}
+}
+
+// FloatReader is the typed-view counterpart of RowReader: per-row
+// reads of one FloatView through a pin held per segment instead of per
+// row. Same contract: one per goroutine, Close on every exit path,
+// SegmentLoadError panics on chunk-load failure. On resident chunks it
+// adds only a segment-index compare per read.
+type FloatReader struct {
+	fv          *FloatView
+	shift       uint
+	mask        int
+	seg         int // currently pinned segment (-1 = none)
+	vals        []float64
+	null        []uint64
+	release     func()
+	faulted     int
+	residentHit int
+}
+
+// NewReader returns a per-goroutine reader over the view.
+func (f *FloatView) NewReader() *FloatReader {
+	return &FloatReader{fv: f, shift: f.bits, mask: f.mask, seg: -1}
+}
+
+func (r *FloatReader) load(k int) {
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	vals, null, release, missed := r.fv.PinSeg(k)
+	r.vals, r.null, r.release, r.seg = vals, null, release, k
+	if missed {
+		r.faulted++
+	} else {
+		r.residentHit++
+	}
+}
+
+// At returns row i's value and NULL flag.
+func (r *FloatReader) At(i int) (float64, bool) {
+	if k := i >> r.shift; k != r.seg {
+		r.load(k)
+	}
+	off := i & r.mask
+	return r.vals[off], r.null[off>>6]&(1<<(uint(off)&63)) != 0
+}
+
+// V returns row i's value (NaN when NULL), like FloatView.V.
+func (r *FloatReader) V(i int) float64 {
+	if k := i >> r.shift; k != r.seg {
+		r.load(k)
+	}
+	return r.vals[i&r.mask]
+}
+
+// Counters reports chunk pins that missed to disk vs were resident.
+func (r *FloatReader) Counters() (faulted, resident int) {
+	return r.faulted, r.residentHit
+}
+
+// Close releases the held pin. Idempotent.
+func (r *FloatReader) Close() {
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	r.seg = -1
+}
+
+// DictReader is FloatReader's dictionary-code twin.
+type DictReader struct {
+	dv          *DictView
+	shift       uint
+	mask        int
+	seg         int
+	codes       []int32
+	release     func()
+	faulted     int
+	residentHit int
+}
+
+// NewReader returns a per-goroutine reader over the view.
+func (d *DictView) NewReader() *DictReader {
+	return &DictReader{dv: d, shift: d.bits, mask: d.mask, seg: -1}
+}
+
+// CodeAt returns row i's dictionary code (-1 = NULL), like
+// DictView.CodeAt.
+func (r *DictReader) CodeAt(i int) int32 {
+	if k := i >> r.shift; k != r.seg {
+		if r.release != nil {
+			r.release()
+			r.release = nil
+		}
+		codes, release, missed := r.dv.PinSeg(k)
+		r.codes, r.release, r.seg = codes, release, k
+		if missed {
+			r.faulted++
+		} else {
+			r.residentHit++
+		}
+	}
+	return r.codes[i&r.mask]
+}
+
+// Counters reports chunk pins that missed to disk vs were resident.
+func (r *DictReader) Counters() (faulted, resident int) {
+	return r.faulted, r.residentHit
+}
+
+// Close releases the held pin. Idempotent.
+func (r *DictReader) Close() {
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	r.seg = -1
+}

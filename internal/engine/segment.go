@@ -43,10 +43,22 @@ const (
 // (guarded by the family's views.mu). All fields are immutable once
 // built — a chunk is decoded whole-segment-at-once, so readers outside
 // the lock only ever see nil or a complete chunk.
+//
+// A FAULTABLE segment (attached by AttachLoadedSegment, fault.go) has
+// cols == nil and loader != nil: its chunks are pinned on demand
+// through the loader and are NEVER cached on the segment — the
+// loader's pool is the only cache, so evicting there actually frees
+// the memory. fchunk/dchunk stay all-nil for its lifetime.
 type segment struct {
 	cols   [][]Value
 	fchunk []*floatChunk
 	dchunk []*dictChunk
+	// loader/streamIdx/zones are the out-of-core state (immutable):
+	// loader faults chunks by (streamIdx, col); zones, when present,
+	// holds one per-column zone map for predicate pruning.
+	loader    ChunkLoader
+	streamIdx int
+	zones     []ZoneInfo
 }
 
 // floatChunk is one numeric column's decode of one sealed segment:
@@ -94,7 +106,8 @@ func (t *Table) NumSegments() (sealed int, tailRows int) {
 // from. Sealed segments are immutable, so the returned slices are safe
 // to read without holding any lock, and callers must not mutate them.
 // k indexes this version's sealed segments (stream segment index =
-// Base()/SegRows + k).
+// Base()/SegRows + k). For a faultable segment (one the store itself
+// attached, so one it already holds on disk) it returns nil.
 func (t *Table) SegmentCols(k int) [][]Value {
 	return t.sealed[k].cols
 }

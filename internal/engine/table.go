@@ -288,10 +288,16 @@ func (t *Table) MustAppendRow(row ...Value) int {
 }
 
 // Value returns the value at (row, col). It panics when out of range,
-// like a slice index.
+// like a slice index. Faultable segments (fault.go) are read through a
+// transient pin — correct everywhere, but per-row; bulk readers should
+// go through the typed views' PinSeg.
 func (t *Table) Value(row, col int) Value {
 	if k := row >> t.bits; k >= 0 && k < len(t.sealed) {
-		return t.sealed[k].cols[col][row&t.mask]
+		s := t.sealed[k]
+		if s.cols == nil {
+			return s.boxedAt(t.name, col, row&t.mask)
+		}
+		return s.cols[col][row&t.mask]
 	}
 	return t.tail[col][row-len(t.sealed)<<t.bits]
 }
@@ -307,8 +313,15 @@ func (t *Table) Row(i int) []Value {
 // avoids per-row allocation in scan loops.
 func (t *Table) RowInto(i int, dst []Value) {
 	if k := i >> t.bits; k >= 0 && k < len(t.sealed) {
-		cols := t.sealed[k].cols
+		s := t.sealed[k]
 		off := i & t.mask
+		if s.cols == nil {
+			for c := range t.schema {
+				dst[c] = s.boxedAt(t.name, c, off)
+			}
+			return
+		}
+		cols := s.cols
 		for c := range cols {
 			dst[c] = cols[c][off]
 		}
@@ -326,7 +339,17 @@ func (t *Table) RowInto(i int, dst []Value) {
 func (t *Table) forEachColValue(c int, fn func(r int, v Value)) {
 	r := 0
 	for _, seg := range t.sealed {
-		for _, v := range seg.cols[c] {
+		col := seg.cols
+		if col == nil {
+			vals, release := seg.pinBoxed(t.name, c)
+			for _, v := range vals {
+				fn(r, v)
+				r++
+			}
+			release()
+			continue
+		}
+		for _, v := range col[c] {
 			fn(r, v)
 			r++
 		}
@@ -347,10 +370,12 @@ func (t *Table) Select(rows []int) *Table {
 	}
 	out.Grow(len(rows))
 	buf := make([]Value, len(t.schema))
+	rr := t.NewRowReader()
+	defer rr.Close()
 	out.views.mu.Lock()
 	defer out.views.mu.Unlock()
 	for _, r := range rows {
-		t.RowInto(r, buf)
+		rr.RowInto(r, buf)
 		row := make([]Value, len(buf))
 		copy(row, buf)
 		out.appendCoercedLocked(row)

@@ -54,7 +54,8 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 // them (the suffix scan is synchronous, so no writer outlives the
 // call). Retrying AdvanceCtx on the same res, or re-running the
 // statement from scratch, must yield bit-identical results.
-func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (*Result, error) {
+func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (out *Result, err error) {
+	defer engine.CatchSegmentLoad(&err)
 	if res == nil || res.Stmt == nil {
 		return nil, fmt.Errorf("exec: Advance of nil result")
 	}
@@ -212,9 +213,11 @@ func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (*Result,
 	// Materialize boxed key values for suffix-born groups only.
 	groups := make([]*Group, len(ss.groups))
 	row := make([]engine.Value, grown.NumCols())
+	rr := grown.NewRowReader()
+	defer rr.Close()
 	for gi, vg := range ss.groups {
 		if gi >= len(res.allGroups) && len(stmt.GroupBy) > 0 {
-			grown.RowInto(vg.g.FirstRow, row)
+			rr.RowInto(vg.g.FirstRow, row)
 			vg.g.Key = make([]engine.Value, len(stmt.GroupBy))
 			for k, g := range stmt.GroupBy {
 				v, err := g.Eval(row)
@@ -228,7 +231,7 @@ func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (*Result,
 		groups[gi] = vg.g
 	}
 
-	out := &Result{
+	out = &Result{
 		Stmt: stmt, Source: grown, Groups: groups,
 		aggArgs: res.aggArgs, aggItems: res.aggItems,
 		Plan: PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: 1, Incremental: true},
@@ -368,6 +371,8 @@ func carryCaches(res, out *Result, ss *shardScan, oldLens []int, oldN, newN, dro
 	if len(oldAVs) > 0 {
 		out.argViews = make(map[int]*ArgView, len(oldAVs))
 		row := make([]engine.Value, out.Source.NumCols())
+		avr := out.Source.NewRowReader()
+		defer avr.Close()
 		for ord, av := range oldAVs {
 			vals := av.Vals // len oldN+drop; appends stay past published lengths
 			var nb *bitset.Bitset
@@ -386,7 +391,7 @@ func carryCaches(res, out *Result, ss *shardScan, oldLens []int, oldN, newN, dro
 					vals = append(vals, 1)
 					continue
 				}
-				out.Source.RowInto(src, row)
+				avr.RowInto(src, row)
 				v, err := arg.Eval(row)
 				if err != nil {
 					ok = false // leave this ordinal to a lazy full build

@@ -26,8 +26,10 @@ type ArgView struct {
 
 // AggArgFloats returns the cached ArgView of the ord'th aggregate,
 // evaluating the argument expression once per source row on first call.
-// The returned view is shared and read-only.
-func (r *Result) AggArgFloats(ord int) (*ArgView, error) {
+// The returned view is shared and read-only. On out-of-core tables a
+// chunk-load failure surfaces as an error, never a panic.
+func (r *Result) AggArgFloats(ord int) (av *ArgView, err error) {
+	defer engine.CatchSegmentLoad(&err)
 	if ord < 0 || ord >= len(r.aggArgs) {
 		return nil, fmt.Errorf("exec: aggregate ordinal %d out of range (%d aggregates)", ord, len(r.aggArgs))
 	}
@@ -37,7 +39,7 @@ func (r *Result) AggArgFloats(ord int) (*ArgView, error) {
 		return av, nil
 	}
 	n := r.Source.NumRows()
-	av := &ArgView{Vals: make([]float64, n), Null: bitset.New(n)}
+	av = &ArgView{Vals: make([]float64, n), Null: bitset.New(n)}
 	arg := r.aggArgs[ord]
 	if arg == nil { // count(*): every row contributes 1
 		for i := range av.Vals {
@@ -45,8 +47,10 @@ func (r *Result) AggArgFloats(ord int) (*ArgView, error) {
 		}
 	} else {
 		row := make([]engine.Value, r.Source.NumCols())
+		rr := r.Source.NewRowReader()
+		defer rr.Close()
 		for src := 0; src < n; src++ {
-			r.Source.RowInto(src, row)
+			rr.RowInto(src, row)
 			v, err := arg.Eval(row)
 			if err != nil {
 				return nil, err

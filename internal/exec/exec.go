@@ -136,7 +136,10 @@ func RunOnWith(src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Res
 }
 
 // RunOnWithCtx is RunOnWith under a cancellable context (see RunCtx).
-func RunOnWithCtx(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (*Result, error) {
+// A chunk-load failure on an out-of-core table (corrupt or vanished
+// segment file) surfaces here as an error, never as a panic.
+func RunOnWithCtx(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt, opts Options) (res *Result, err error) {
+	defer engine.CatchSegmentLoad(&err)
 	if len(stmt.Items) == 0 {
 		return nil, fmt.Errorf("exec: empty select list")
 	}
@@ -216,6 +219,8 @@ func runScalarGrouped(ctx context.Context, src *engine.Table, stmt *sqlparse.Sel
 	row := make([]engine.Value, src.NumCols())
 	var keyBuf strings.Builder
 	keyVals := make([]engine.Value, len(stmt.GroupBy))
+	rr := src.NewRowReader()
+	defer rr.Close()
 
 	for r := 0; r < src.NumRows(); r++ {
 		if r%ctxCheckRows == 0 {
@@ -223,7 +228,7 @@ func runScalarGrouped(ctx context.Context, src *engine.Table, stmt *sqlparse.Sel
 				return nil, ctxErr(err)
 			}
 		}
-		src.RowInto(r, row)
+		rr.RowInto(r, row)
 		if stmt.Where != nil {
 			ok, err := expr.EvalBool(stmt.Where, row)
 			if err != nil {
@@ -343,6 +348,8 @@ func (r *Result) materialize() error {
 	// Evaluate all output rows first, then infer column types.
 	rows := make([][]engine.Value, len(r.Groups))
 	srcRow := make([]engine.Value, r.Source.NumCols())
+	rr := r.Source.NewRowReader()
+	defer rr.Close()
 	for gi, grp := range r.Groups {
 		out := make([]engine.Value, len(stmt.Items))
 		aggOrd := 0
@@ -355,7 +362,7 @@ func (r *Result) materialize() error {
 				continue
 			}
 			if !loaded {
-				r.Source.RowInto(grp.FirstRow, srcRow)
+				rr.RowInto(grp.FirstRow, srcRow)
 				loaded = true
 			}
 			v, err := item.Expr.Eval(srcRow)

@@ -364,13 +364,15 @@ func buildFilter(ctx context.Context, src *engine.Table, where expr.Expr, noLowe
 	n := src.NumRows()
 	pass = bitset.New(n)
 	row := make([]engine.Value, src.NumCols())
+	rr := src.NewRowReader()
+	defer rr.Close()
 	for r := from; r < n; r++ {
 		if (r-from)%ctxCheckRows == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, false, ctxErr(err)
 			}
 		}
-		src.RowInto(r, row)
+		rr.RowInto(r, row)
 		ok, err := expr.EvalBool(where, row)
 		if err != nil {
 			return nil, false, err

@@ -1,0 +1,255 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// End-to-end out-of-core query tests: the same on-disk table opened
+// fully resident is the oracle for the lazily-attached, buffer-pooled
+// reopen. A deliberately tiny pool forces constant eviction, so every
+// statement exercises fault → pin → release across shard boundaries,
+// and the parity requirement is the same bit-exact one the vectorized
+// pipeline already owes the boxed scan.
+
+func oocOpts(fs store.FS, cacheBytes int64) store.Options {
+	return store.Options{
+		SyncEvery:        1,
+		MaxResidentBytes: cacheBytes,
+		Logf:             func(string, ...any) {},
+		FS:               fs,
+	}
+}
+
+// oocBatch draws rows with the parityTable distribution (NULLs, NaNs,
+// signed zeros, exactly-representable floats) as boxed batches for
+// store.Append.
+func oocBatch(rng *rand.Rand, nrows int) [][]engine.Value {
+	strs := []string{"a", "b", "c", "", "xy"}
+	rows := make([][]engine.Value, nrows)
+	for r := range rows {
+		row := make([]engine.Value, 5)
+		row[0] = engine.NewInt(int64(rng.Intn(11) - 5))
+		if rng.Float64() < 0.15 {
+			row[0] = engine.Null
+		}
+		row[1] = engine.NewInt(int64(rng.Intn(4)))
+		switch {
+		case rng.Float64() < 0.12:
+			row[2] = engine.Null
+		case rng.Float64() < 0.1:
+			row[2] = engine.NewFloat(math.NaN())
+		case rng.Float64() < 0.08:
+			row[2] = engine.NewFloat(math.Copysign(0, -1))
+		default:
+			row[2] = engine.NewFloat(float64(rng.Intn(64)-32) * 0.25)
+		}
+		if rng.Float64() < 0.15 {
+			row[3] = engine.Null
+		} else {
+			row[3] = engine.NewString(strs[rng.Intn(len(strs))])
+		}
+		if rng.Float64() < 0.1 {
+			row[4] = engine.Null
+		} else {
+			row[4] = engine.NewTimeUnix(int64(rng.Intn(7200)))
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+// buildOOCTable writes nbatch random batches to table "p" on fs and
+// closes the store, leaving sealed v2 segment files.
+func buildOOCTable(t *testing.T, fs store.FS, rng *rand.Rand, nbatch int) {
+	t.Helper()
+	st, err := store.Open("d", oocOpts(fs, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := engine.Schema{
+		{Name: "i", Type: engine.TInt},
+		{Name: "j", Type: engine.TInt},
+		{Name: "f", Type: engine.TFloat},
+		{Name: "s", Type: engine.TString},
+		{Name: "t", Type: engine.TTime},
+	}
+	if err := st.CreateTable("p", schema, engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nbatch; i++ {
+		if _, err := st.Append("p", oocBatch(rng, 40+rng.Intn(60))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reopen opens the store over fs with the given pool size and returns
+// the recovered table. cacheBytes == 0 is the fully resident oracle.
+func reopen(t *testing.T, fs store.FS, cacheBytes int64) (*store.DB, *engine.Table) {
+	t.Helper()
+	st, err := store.Open("d", oocOpts(fs, cacheBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := st.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, tbl
+}
+
+func TestOutOfCoreQueryParity(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fs := store.NewMemFS()
+		buildOOCTable(t, fs, rng, 6+rng.Intn(6))
+
+		oracleSt, oracle := reopen(t, fs, 0)
+		if err := oracleSt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// 4 KiB: a fraction of one decoded segment column set, so every
+		// scan faults and evicts continuously.
+		lazySt, lazy := reopen(t, fs, 4096)
+
+		for iter := 0; iter < 40; iter++ {
+			stmt, _ := randStmt(rng)
+			sql := stmt.String()
+
+			ref, refErr := RunOnWith(oracle, stmt, Options{ForceScalar: true})
+			lz1, lz1Err := RunOnWith(lazy, stmt, Options{Shards: 1})
+			lz4, lz4Err := RunOnWith(lazy, stmt, Options{Shards: 4})
+			if (refErr != nil) != (lz1Err != nil) || (refErr != nil) != (lz4Err != nil) {
+				t.Fatalf("seed %d iter %d: error disagreement\nsql: %s\nref: %v\nlz1: %v\nlz4: %v",
+					seed, iter, sql, refErr, lz1Err, lz4Err)
+			}
+			if refErr != nil {
+				continue
+			}
+			for label, res := range map[string]*Result{"lazy shards=1": lz1, "lazy shards=4": lz4} {
+				tablesEqual(t, fmt.Sprintf("seed %d iter %d %s [%s]", seed, iter, label, sql), ref.Table, res.Table)
+				groupsEqual(t, fmt.Sprintf("seed %d iter %d %s [%s]", seed, iter, label, sql), ref, res)
+			}
+			if n := lazySt.PoolPinned(); n != 0 {
+				t.Fatalf("seed %d iter %d: %d chunks still pinned after query [%s]", seed, iter, n, sql)
+			}
+		}
+
+		stats := lazySt.Stats()
+		if stats.Pool == nil {
+			t.Fatal("out-of-core store reports no pool stats")
+		}
+		if stats.Pool.Misses == 0 {
+			t.Fatalf("tiny pool served every chunk without a fault: %+v", stats.Pool)
+		}
+		if err := lazySt.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOutOfCoreZoneSkip builds a table whose int column is constant per
+// segment-sized batch, so zone maps give disjoint [min, max] ranges per
+// sealed segment, then checks that a selective WHERE is answered with
+// most segments skipped — and still bit-identically to the resident
+// oracle.
+func TestOutOfCoreZoneSkip(t *testing.T) {
+	fs := store.NewMemFS()
+	st, err := store.Open("d", oocOpts(fs, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := engine.Schema{
+		{Name: "i", Type: engine.TInt},
+		{Name: "f", Type: engine.TFloat},
+		{Name: "s", Type: engine.TString},
+	}
+	if err := st.CreateTable("p", schema, engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	strs := []string{"a", "b", "c"}
+	const nseg = 12
+	segRows := 1 << engine.MinSegmentBits
+	for k := 0; k < nseg; k++ {
+		rows := make([][]engine.Value, segRows)
+		for r := range rows {
+			rows[r] = []engine.Value{
+				engine.NewInt(int64(k * 1000)),
+				engine.NewFloat(float64(rng.Intn(64)) * 0.25),
+				engine.NewString(strs[rng.Intn(len(strs))]),
+			}
+		}
+		if _, err := st.Append("p", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	oracleSt, oracle := reopen(t, fs, 0)
+	if err := oracleSt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lazySt, lazy := reopen(t, fs, 1<<20)
+	defer lazySt.Close()
+
+	// One segment's worth of matches: every other sealed segment's zone
+	// range excludes 5000, so pruning must skip them without faulting.
+	stmt := mustParse(t, "SELECT s, sum(f) AS total, count(*) AS n FROM p WHERE i = 5000 GROUP BY s")
+	ref, err := RunOnWith(oracle, stmt, Options{ForceScalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOnWith(lazy, stmt, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "zone skip", ref.Table, res.Table)
+	groupsEqual(t, "zone skip", ref, res)
+	if !res.Plan.Vectorized {
+		t.Fatalf("zone-skip statement fell back: %+v", res.Plan)
+	}
+	// 12 appended segments: the last may stay as an unsealed tail, all
+	// earlier ones are sealed, faultable, and (except segment 5) pruned.
+	if res.Plan.SegsSkipped < nseg-2 {
+		t.Fatalf("expected at least %d skipped segments, got %+v", nseg-2, res.Plan)
+	}
+	if res.Plan.ChunksFaulted == 0 {
+		t.Fatalf("matching segment was never faulted: %+v", res.Plan)
+	}
+	if got := float64(res.Plan.SegsSkipped) / float64(nseg); got <= 0.5 {
+		t.Fatalf("skip rate %.2f not > 0.5: %+v", got, res.Plan)
+	}
+	if n := lazySt.PoolPinned(); n != 0 {
+		t.Fatalf("%d chunks still pinned after query", n)
+	}
+
+	// A predicate no segment can satisfy: everything skips, nothing
+	// faults.
+	none := mustParse(t, "SELECT s, count(*) AS n FROM p WHERE i = 123 GROUP BY s")
+	resNone, err := RunOnWith(lazy, none, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resNone.Groups) != 0 {
+		t.Fatalf("impossible predicate matched %d groups", len(resNone.Groups))
+	}
+	if resNone.Plan.ChunksFaulted != 0 {
+		t.Fatalf("fully-pruned query still faulted chunks: %+v", resNone.Plan)
+	}
+	if resNone.Plan.SegsSkipped < nseg-1 {
+		t.Fatalf("expected at least %d skipped segments, got %+v", nseg-1, resNone.Plan)
+	}
+}

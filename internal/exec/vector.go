@@ -75,6 +75,16 @@ type PlanInfo struct {
 	// only appended rows into the previous result's group states instead
 	// of rescanning the table.
 	Incremental bool
+	// SegsSkipped counts out-of-core segments the vectorized scan never
+	// touched because zone-map pruning left their filter words all zero
+	// — no rows scanned, no chunks faulted.
+	SegsSkipped int
+	// ChunksFaulted counts segment-cursor pins that missed to disk
+	// during the vectorized scan (out-of-core tables only).
+	ChunksFaulted int
+	// ChunksResident counts segment-cursor pins served from memory —
+	// resident chunks or buffer-pool hits.
+	ChunksResident int
 }
 
 // errVectorAbort signals mid-scan discovery that the statement needs
@@ -256,6 +266,23 @@ type shardScan struct {
 	h1       map[uint64]int32 // single non-dict column
 	hN       map[vKey]int32   // 2..4 columns
 	err      error
+
+	// Segment readers: one per column view the scan reads, pinning one
+	// chunk at a time (engine.FloatReader/DictReader) so out-of-core
+	// reads fault per segment, not per row. Indexed in parallel with
+	// plan.keys / plan.args; nil where the source kind doesn't apply.
+	keyFC []*engine.FloatReader
+	keyDC []*engine.DictReader
+	argFC []*engine.FloatReader
+	// rr serves the shard's boxed per-row reads (computed key/arg
+	// evaluators, non-float aggregate arguments) with per-segment
+	// pins — per-row transient pins re-decode over-budget chunks
+	// every row on out-of-core tables.
+	rr *engine.RowReader
+
+	segsSkipped    int // fully-pruned out-of-core segments never pinned
+	chunksFaulted  int
+	chunksResident int
 }
 
 func newShardScan(p *vectorPlan, lo, hi int) *shardScan {
@@ -270,21 +297,74 @@ func newShardScan(p *vectorPlan, lo, hi int) *shardScan {
 	default:
 		ss.hN = make(map[vKey]int32)
 	}
+	ss.rr = p.src.NewRowReader()
 	ss.keyEvals = make([]expr.Evaluator, len(p.keys))
 	for i := range p.keys {
 		if p.keys[i].kind == kindComputed {
-			ev, _ := expr.Compile(p.keys[i].node, p.src)
+			ev, _ := expr.Compile(p.keys[i].node, ss.rr)
 			ss.keyEvals[i] = ev
 		}
 	}
 	ss.argEvals = make([]expr.Evaluator, len(p.args))
 	for ai := range p.args {
 		if p.args[ai].kind == argEval {
-			ev, _ := expr.Compile(p.args[ai].node, p.src)
+			ev, _ := expr.Compile(p.args[ai].node, ss.rr)
 			ss.argEvals[ai] = ev
 		}
 	}
+	ss.keyFC = make([]*engine.FloatReader, len(p.keys))
+	ss.keyDC = make([]*engine.DictReader, len(p.keys))
+	for i := range p.keys {
+		switch p.keys[i].kind {
+		case kindDict:
+			ss.keyDC[i] = p.keys[i].dict.NewReader()
+		case kindFloat:
+			ss.keyFC[i] = p.keys[i].fv.NewReader()
+		}
+	}
+	ss.argFC = make([]*engine.FloatReader, len(p.args))
+	for ai := range p.args {
+		if p.args[ai].kind == argFloat {
+			ss.argFC[ai] = p.args[ai].fv.NewReader()
+		}
+	}
 	return ss
+}
+
+// closeCursors releases every pinned chunk and folds the cursors' pin
+// counters into the shard totals. Deferred from run() so error and
+// cancellation exits release pins too.
+func (ss *shardScan) closeCursors() {
+	for _, c := range ss.keyFC {
+		if c != nil {
+			c.Close()
+			f, res := c.Counters()
+			ss.chunksFaulted += f
+			ss.chunksResident += res
+		}
+	}
+	for _, c := range ss.keyDC {
+		if c != nil {
+			c.Close()
+			f, res := c.Counters()
+			ss.chunksFaulted += f
+			ss.chunksResident += res
+		}
+	}
+	for _, c := range ss.argFC {
+		if c != nil {
+			c.Close()
+			f, res := c.Counters()
+			ss.chunksFaulted += f
+			ss.chunksResident += res
+		}
+	}
+	if ss.rr != nil {
+		ss.rr.Close()
+		f, res := ss.rr.Counters()
+		ss.chunksFaulted += f
+		ss.chunksResident += res
+	}
 }
 
 func (p *vectorPlan) newGroup(key vKey, r int) *vGroup {
@@ -335,12 +415,12 @@ func (ss *shardScan) scanRow(r int) error {
 		k := &p.keys[i]
 		switch k.kind {
 		case kindDict:
-			key[i] = uint64(k.dict.CodeAt(r) + 1) // NULL code -1 → slot 0
+			key[i] = uint64(ss.keyDC[i].CodeAt(r) + 1) // NULL code -1 → slot 0
 		case kindFloat:
-			if k.fv.IsNull(r) {
+			if f, isNull := ss.keyFC[i].At(r); isNull {
 				key[i] = nullSlot
 			} else {
-				key[i] = canonSlot(k.fv.V(r))
+				key[i] = canonSlot(f)
 			}
 		default: // kindComputed
 			v, err := ss.keyEvals[i](r)
@@ -372,16 +452,17 @@ func (ss *shardScan) scanRow(r int) error {
 				grp.Aggs[ai].Add(engine.NewInt(1))
 			}
 		case argFloat:
-			if a.fv.IsNull(r) {
+			f, isNull := ss.argFC[ai].At(r)
+			if isNull {
 				continue // Add ignores NULLs; so does skipping
 			}
 			if fa := vg.fas[ai]; fa != nil {
-				fa.AddFloat(a.fv.V(r))
+				fa.AddFloat(f)
 			} else {
-				grp.Aggs[ai].Add(p.src.Value(r, a.col))
+				grp.Aggs[ai].Add(ss.rr.Value(r, a.col))
 			}
 		case argBoxedCol:
-			grp.Aggs[ai].Add(p.src.Value(r, a.col))
+			grp.Aggs[ai].Add(ss.rr.Value(r, a.col))
 		default: // argEval
 			v, err := ss.argEvals[ai](r)
 			if err != nil {
@@ -403,6 +484,13 @@ func (ss *shardScan) run() {
 	if ss.hi <= ss.lo {
 		return
 	}
+	// A chunk fault can fail (corrupt or vanished segment file); the
+	// loader surfaces that as a SegmentLoadError panic. Recover it into
+	// ss.err here — each shard runs on its own goroutine, so the
+	// RunOnWithCtx-level catch can't see it — and release any pins the
+	// cursors still hold on every exit path, including that one.
+	defer engine.CatchSegmentLoad(&ss.err)
+	defer ss.closeCursors()
 	ctx := p.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -423,6 +511,7 @@ func (ss *shardScan) run() {
 		return
 	}
 	words := p.filter.Words()
+	ss.countSkips(words)
 	loWord, hiWord := ss.lo/64, (ss.hi-1)/64
 	for wi := loWord; wi <= hiWord; wi++ {
 		if wi%(ctxCheckRows/64) == 0 {
@@ -447,6 +536,31 @@ func (ss *shardScan) run() {
 				ss.err = err
 				return
 			}
+		}
+	}
+}
+
+// countSkips counts the out-of-core segments wholly inside this
+// shard's range whose filter words are all zero. The bitmap loop below
+// never calls scanRow for them, so they are served entirely without
+// disk — typically because zone-map pruning zeroed their mask chunks.
+// A segment straddling a shard boundary (sub-segment sharding on small
+// tables) is not counted by either shard.
+func (ss *shardScan) countSkips(words []uint64) {
+	segRows := ss.plan.src.SegRows()
+	for k := (ss.lo + segRows - 1) / segRows; (k+1)*segRows <= ss.hi; k++ {
+		if !ss.plan.src.SegmentFaultable(k) {
+			continue
+		}
+		skipped := true
+		for wi := k * segRows / 64; wi < (k+1)*segRows/64; wi++ {
+			if words[wi] != 0 {
+				skipped = false
+				break
+			}
+		}
+		if skipped {
+			ss.segsSkipped++
 		}
 	}
 }
@@ -620,8 +734,10 @@ func runVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt
 	groups := make([]*Group, len(merged))
 	if len(stmt.GroupBy) > 0 {
 		row := make([]engine.Value, src.NumCols())
+		rr := src.NewRowReader()
+		defer rr.Close()
 		for i, vg := range merged {
-			src.RowInto(vg.g.FirstRow, row)
+			rr.RowInto(vg.g.FirstRow, row)
 			vg.g.Key = make([]engine.Value, len(stmt.GroupBy))
 			for k, g := range stmt.GroupBy {
 				v, err := g.Eval(row)
@@ -638,10 +754,16 @@ func runVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt
 		}
 	}
 
+	plan := PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: nshards}
+	for _, ss := range states {
+		plan.SegsSkipped += ss.segsSkipped
+		plan.ChunksFaulted += ss.chunksFaulted
+		plan.ChunksResident += ss.chunksResident
+	}
 	res := &Result{
 		Stmt: stmt, Source: src, Groups: groups,
 		aggArgs: aggArgs, aggItems: aggItems,
-		Plan: PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: nshards},
+		Plan: plan,
 	}
 	if err := res.materialize(); err != nil {
 		return nil, "", err

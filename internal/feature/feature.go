@@ -121,19 +121,24 @@ func NewSpace(t *engine.Table, opt Options) *Space {
 	}
 
 	sp := &Space{Table: t}
+	// One reader serves every column profile below: on out-of-core
+	// tables Table.Value pins a chunk transiently per row, so profiling
+	// a faultable column through it would re-decode the chunk per row.
+	rr := t.NewRowReader()
+	defer rr.Close()
 	for c, col := range t.Schema() {
 		if excluded[strings.ToLower(col.Name)] {
 			continue
 		}
 		switch {
 		case col.Type.IsNumeric():
-			attr, ok := numericAttr(t, c, col.Name, rows, opt.NumThresholds)
+			attr, ok := numericAttr(t, rr, c, col.Name, rows, opt.NumThresholds)
 			if ok {
 				sp.numericIdx = append(sp.numericIdx, len(sp.Attrs))
 				sp.Attrs = append(sp.Attrs, attr)
 			}
 		case col.Type == engine.TString:
-			attr, ok := categoricalAttr(t, c, col.Name, rows, opt.MaxCategories)
+			attr, ok := categoricalAttr(t, rr, c, col.Name, rows, opt.MaxCategories)
 			if ok {
 				sp.Attrs = append(sp.Attrs, attr)
 			}
@@ -142,11 +147,11 @@ func NewSpace(t *engine.Table, opt Options) *Space {
 	return sp
 }
 
-func numericAttr(t *engine.Table, c int, name string, rows []int, nThresh int) (Attr, bool) {
+func numericAttr(t *engine.Table, rr *engine.RowReader, c int, name string, rows []int, nThresh int) (Attr, bool) {
 	vals := make([]float64, 0, len(rows))
 	var sum, sumsq float64
 	for _, r := range rows {
-		v := t.Value(r, c)
+		v := rr.Value(r, c)
 		if v.IsNull() {
 			continue
 		}
@@ -191,11 +196,11 @@ func numericAttr(t *engine.Table, c int, name string, rows []int, nThresh int) (
 	return attr, true
 }
 
-func categoricalAttr(t *engine.Table, c int, name string, rows []int, maxCats int) (Attr, bool) {
+func categoricalAttr(t *engine.Table, rr *engine.RowReader, c int, name string, rows []int, maxCats int) (Attr, bool) {
 	counts := make(map[string]int)
 	repr := make(map[string]engine.Value)
 	for _, r := range rows {
-		v := t.Value(r, c)
+		v := rr.Value(r, c)
 		if v.IsNull() {
 			continue
 		}

@@ -366,23 +366,46 @@ func (ix *Index) extendClause(e *maskEntry, c Clause, n int) {
 }
 
 // extendNonNull sets every missing non-NULL row of column ci up to n.
+// Out-of-core segments answer from their zone maps when the NULL count
+// is decisive, and otherwise scan under a pin.
 func (ix *Index) extendNonNull(e *maskEntry, ci, n int) {
 	if fv := ix.t.FloatView(ci); fv != nil {
 		ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
+			if z, ok := ix.segZone(k, ci, lo, hi); ok {
+				switch zoneNonNullVerdict(z) {
+				case zoneNone:
+					return
+				case zoneAll:
+					fillRange(ch.words, lo, hi)
+					return
+				}
+			}
 			// Word-level Fill+AndNot over the segment span: ~64x fewer
 			// operations than per-bit sets on a full-segment build.
-			orRangeAndNot(ch.words, lo, hi, fv.NullSeg(k))
+			_, null, release, _ := fv.PinSeg(k)
+			orRangeAndNot(ch.words, lo, hi, null)
+			release()
 		})
 		return
 	}
 	if dv := ix.t.DictView(ci); dv != nil {
 		ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
-			codes := dv.Seg(k)
+			if z, ok := ix.segZone(k, ci, lo, hi); ok {
+				switch zoneNonNullVerdict(z) {
+				case zoneNone:
+					return
+				case zoneAll:
+					fillRange(ch.words, lo, hi)
+					return
+				}
+			}
+			codes, release, _ := dv.PinSeg(k)
 			for i := lo; i < hi; i++ {
 				if codes[i] >= 0 {
 					ch.words[i>>6] |= 1 << (uint(i) & 63)
 				}
 			}
+			release()
 		})
 		return
 	}
@@ -439,13 +462,24 @@ func (ix *Index) extendNumeric(e *maskEntry, ci int, c Clause, n int) {
 		return
 	}
 	ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
-		vals := fv.Seg(k)
-		null := fv.NullSeg(k)
+		if z, ok := ix.segZone(k, ci, lo, hi); ok {
+			switch zoneNumericVerdict(z, c.Op, cv) {
+			case zoneNone:
+				return // provably no match: chunk stays zero, no fault
+			case zoneAll:
+				// Every row (incl. NaN, excl. none — NullCount is 0)
+				// matches: fill without faulting.
+				fillRange(ch.words, lo, hi)
+				return
+			}
+		}
+		vals, null, release, _ := fv.PinSeg(k)
 		for i := lo; i < hi; i++ {
 			if match(vals[i]) && null[i>>6]&(1<<(uint(i)&63)) == 0 {
 				ch.words[i>>6] |= 1 << (uint(i) & 63)
 			}
 		}
+		release()
 	})
 }
 
@@ -459,16 +493,26 @@ func (ix *Index) extendString(e *maskEntry, ci int, c Clause, n int) {
 		return
 	}
 	verdict := make([]bool, len(dv.Values()))
+	eqCode := -1 // the single matching code for OpEq (dict values are distinct)
 	for code, s := range dv.Values() {
 		verdict[code] = opMatchesCmp(c.Op, strings.Compare(s, c.Val.S))
+		if verdict[code] && c.Op == OpEq {
+			eqCode = code
+		}
 	}
 	ix.forEachSegSpan(e, n, func(k int, ch *maskChunk, lo, hi int) {
-		codes := dv.Seg(k)
+		if c.Op == OpEq {
+			if z, ok := ix.segZone(k, ci, lo, hi); ok && zoneEqStringVerdict(z, eqCode) == zoneNone {
+				return // code provably absent from the segment: no fault
+			}
+		}
+		codes, release, _ := dv.PinSeg(k)
 		for i := lo; i < hi; i++ {
 			if code := codes[i]; code >= 0 && verdict[code] {
 				ch.words[i>>6] |= 1 << (uint(i) & 63)
 			}
 		}
+		release()
 	})
 }
 

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// TestStatsOutOfCore pins the /api/stats operator view of out-of-core
+// serving: the store section reports buffer-pool occupancy and
+// hit/miss/eviction counters, and the scan section reports per-query
+// zone-map skip and chunk-fault totals.
+func TestStatsOutOfCore(t *testing.T) {
+	fs := store.NewMemFS()
+	quiet := func(string, ...any) {}
+	st, err := store.Open("/db", store.Options{SyncEvery: 1, FS: fs, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("p", engine.NewSchema("k", engine.TInt, "v", engine.TFloat, "s", engine.TString), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	strs := []string{"a", "b", "c"}
+	for seg := 0; seg < 8; seg++ {
+		rows := make([][]engine.Value, 64)
+		for r := range rows {
+			rows[r] = []engine.Value{
+				engine.NewInt(int64(seg * 100)),
+				engine.NewFloat(float64(r) * 0.5),
+				engine.NewString(strs[r%len(strs)]),
+			}
+		}
+		if _, err := st.Append("p", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen out-of-core with a pool far smaller than the table.
+	st, err = store.Open("/db", store.Options{SyncEvery: 1, FS: fs, Logf: quiet, MaxResidentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st.Eng())
+	srv.AttachStore(st)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A full scan (faults chunks) and a zone-prunable point query
+	// (skips segments).
+	for _, sql := range []string{
+		"SELECT s, sum(v) AS total FROM p GROUP BY s",
+		"SELECT s, count(*) AS n FROM p WHERE k = 300 GROUP BY s",
+	} {
+		resp := post(t, ts, "/api/query", map[string]any{"session": "ooc", "sql": sql}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %d", sql, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Scan struct {
+			Queries        int64 `json:"queries"`
+			SegsSkipped    int64 `json:"segs_skipped"`
+			ChunksFaulted  int64 `json:"chunks_faulted"`
+			ChunksResident int64 `json:"chunks_resident"`
+		} `json:"scan"`
+		Store struct {
+			Pool *store.PoolStats `json:"pool"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scan.Queries != 2 {
+		t.Fatalf("scan.queries = %d, want 2", stats.Scan.Queries)
+	}
+	if stats.Scan.ChunksFaulted == 0 {
+		t.Fatalf("full scan over out-of-core table faulted no chunks: %+v", stats.Scan)
+	}
+	if stats.Scan.SegsSkipped == 0 {
+		t.Fatalf("zone-prunable point query skipped no segments: %+v", stats.Scan)
+	}
+	if stats.Store.Pool == nil {
+		t.Fatal("store stats missing pool section")
+	}
+	if stats.Store.Pool.MaxBytes != 4096 || stats.Store.Pool.Misses == 0 {
+		t.Fatalf("pool stats %+v", *stats.Store.Pool)
+	}
+	if stats.Store.Pool.Pinned != 0 {
+		t.Fatalf("%d chunks still pinned at quiesce: %+v", stats.Store.Pool.Pinned, *stats.Store.Pool)
+	}
+	if err := func() error {
+		if n := st.PoolPinned(); n != 0 {
+			return fmt.Errorf("PoolPinned = %d", n)
+		}
+		return nil
+	}(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -48,8 +49,25 @@ type Server struct {
 	// shedding and per-endpoint counters (lifecycle.go).
 	lc *lifecycle
 
+	// Out-of-core scan accounting, accumulated from each executed
+	// query's Result.Plan and reported by /api/stats alongside the
+	// store's buffer-pool counters.
+	scanQueries    atomic.Int64
+	segsSkipped    atomic.Int64
+	chunksFaulted  atomic.Int64
+	chunksResident atomic.Int64
+
 	mu       sync.Mutex
 	sessions map[string]*session
+}
+
+// recordScan folds one executed query's plan counters into the
+// server-wide scan totals.
+func (s *Server) recordScan(p exec.PlanInfo) {
+	s.scanQueries.Add(1)
+	s.segsSkipped.Add(int64(p.SegsSkipped))
+	s.chunksFaulted.Add(int64(p.ChunksFaulted))
+	s.chunksResident.Add(int64(p.ChunksResident))
 }
 
 const (
@@ -373,6 +391,7 @@ func (s *Server) runWithCleaning(ctx context.Context, sess *session, sql string)
 			src.SameFamily(sess.res.Source) && src.NumRows() >= sess.res.Source.NumRows() {
 			res, err := exec.AdvanceCtx(ctx, sess.res, src)
 			if err == nil {
+				s.recordScan(res.Plan)
 				sess.sql = sql
 				sess.res = res
 				// lastDbg survives: its carried analysis advances with
@@ -401,6 +420,7 @@ func (s *Server) runWithCleaning(ctx context.Context, sess *session, sql string)
 	if err != nil {
 		return err
 	}
+	s.recordScan(res.Plan)
 	sess.sql = sql
 	sess.res = res
 	sess.resKey = key
@@ -957,6 +977,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		// Lifecycle accounting: per endpoint, total == completed + shed
 		// + deadline_exceeded + cancelled at any quiescent point.
 		"endpoints": s.lc.endpointStats(),
+		// Out-of-core scan accounting: how much of the query load the
+		// zone maps answered without disk (segments skipped) and how
+		// chunk pins split between faults and memory hits. Rates are
+		// per executed query.
+		"scan": s.scanPayload(),
 	}
 	if s.st != nil {
 		// Durability report: per-table on-disk segment counts plus any
@@ -965,6 +990,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		payload["store"] = s.st.Stats()
 	}
 	writeJSON(w, http.StatusOK, payload)
+}
+
+// scanPayload summarizes the accumulated per-query scan counters for
+// /api/stats.
+func (s *Server) scanPayload() map[string]any {
+	queries := s.scanQueries.Load()
+	skipped := s.segsSkipped.Load()
+	faulted := s.chunksFaulted.Load()
+	resident := s.chunksResident.Load()
+	out := map[string]any{
+		"queries":         queries,
+		"segs_skipped":    skipped,
+		"chunks_faulted":  faulted,
+		"chunks_resident": resident,
+	}
+	if queries > 0 {
+		out["segs_skipped_per_query"] = float64(skipped) / float64(queries)
+	}
+	if pins := faulted + resident; pins > 0 {
+		out["fault_rate"] = float64(faulted) / float64(pins)
+	}
+	return out
 }
 
 // jsonValue converts one decoded JSON cell to an engine value of the

@@ -58,6 +58,52 @@
 // rewriting the WAL to exactly the current tail — so a second Open of
 // the same directory performs no repair at all.
 //
+// # Out-of-core serving
+//
+// With Options.MaxResidentBytes > 0, Open stops decoding segment
+// files into memory. Recovery validates each file's header and zone
+// maps with a handful of small reads, attaches the segment to the
+// engine table as FAULTABLE, and serves chunk reads on demand through
+// a store-wide buffer pool bounded to (about) MaxResidentBytes of
+// decoded chunks. The contract, bottom to top:
+//
+//   - Pin/unpin. A reader obtains a chunk via the engine's
+//     FloatView.PinSeg / DictView.PinSeg (or per-row reads, which pin
+//     transiently). A pinned chunk cannot be evicted; the release
+//     func MUST be called exactly once, on every path — scans hold at
+//     most one pin per column cursor and release via defer, so errors
+//     and cancellation cannot leak pins. At quiesce the pool's pinned
+//     count is zero (asserted by the chaos soak and the cancellation
+//     matrix).
+//   - Faults verify. A chunk load re-reads the column section from
+//     the segment file and verifies its CRC then; a mismatch
+//     quarantines the file (same rename + log + Stats path as at
+//     Open) and surfaces as a query error — never as wrong data.
+//   - Zone maps prune. Seal time writes per-column min/max, NULL/NaN
+//     counts and a dictionary-code presence bitmap; scans consult
+//     them to skip provably empty segments without touching disk. A
+//     damaged zone block is ignored with a logged reason (the segment
+//     just scans) — zone maps are an optimization and may never
+//     change results.
+//   - Eviction is LRU over unpinned chunks; the pool is the ONLY
+//     chunk cache, so resident bytes stay bounded regardless of table
+//     size (the memcap CI job runs the suite under GOMEMLIMIT).
+//
+// Results are bit-identical to a fully resident open; the randomized
+// differential tests drive both through eviction thrash to pin that.
+//
+// # Format versions
+//
+// Segment files and manifests carry formatVersion 2: v2 appends a
+// checksummed zone-map block between the header and the column
+// sections. The compatibility rule: the file MAGIC names the kind and
+// never changes; the header's formatVersion names the LAYOUT and may
+// grow. Readers accept every version they know (1 and 2 — v1 files
+// from older directories open fine, with no zones); writers always
+// write the newest. A version bump is required whenever the byte
+// layout changes; reusing a version number for a different layout is
+// forbidden — checksums detect corruption, not format confusion.
+//
 // # Fault injection
 //
 // All I/O goes through the FS interface. fault.go provides MemFS (an

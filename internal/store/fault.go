@@ -164,6 +164,25 @@ func (m *MemFS) Truncate(name string, size int64) error {
 	return nil
 }
 
+// ReadAt reads from the live image at an offset (the buffer pool's
+// chunk-fault read path).
+func (m *MemFS) ReadAt(name string, off int64, p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[filepath.Clean(name)]
+	if !ok {
+		return 0, fmt.Errorf("memfs: readat %s: no such file", name)
+	}
+	if off < 0 || off > int64(len(f.data)) {
+		return 0, fmt.Errorf("memfs: readat %s: offset %d out of range %d", name, off, len(f.data))
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
 // SyncDir commits dir's pending namespace operations: after it
 // returns, the files currently named under dir survive a crash under
 // those names (with whatever content THEY have synced).
@@ -440,6 +459,20 @@ func (f *FaultFS) Open(name string) (File, error) {
 		return nil, ErrCrashed
 	}
 	return f.Inner.Open(name)
+}
+
+// ReadAt delegates to the inner filesystem. Reads are NOT counted as
+// mutating operations (the crash matrix enumerates write-side
+// failpoints), but a crashed filesystem refuses them like everything
+// else.
+func (f *FaultFS) ReadAt(name string, off int64, p []byte) (int, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return 0, ErrCrashed
+	}
+	return f.Inner.ReadAt(name, off, p)
 }
 
 func (f *FaultFS) OpenAppend(name string) (File, error) {

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/engine"
 )
@@ -27,11 +29,28 @@ import (
 //	  {u16 nameLen, name, u8 type, u32 dictHW} — the schema echo lets
 //	  recovery rebuild a lost manifest, and dictHW is the number of
 //	  dictionary entries (per column) the code section requires.
+//	[format >= 2] u32 zoneLen | zoneBody | u32 crc(zoneBody)
+//	  zoneBody: zoneRecBytes per column {u64 sectionOff (absolute file
+//	  offset of the column's u32 length prefix), u32 sectionLen,
+//	  u64 minBits, u64 maxBits (IEEE bits of the non-NULL non-NaN
+//	  range), u32 nullCount, u32 nanCount, u32 flags (bit0 = range
+//	  valid, bit1 = presence valid), 32 bytes presence bitmap (bit
+//	  code%256 set iff the dict code occurs)} — the zone maps that let
+//	  scans prune whole segments without reading the sections, with
+//	  their own CRC so a damaged zone block degrades to "no pruning"
+//	  instead of quarantining the (still checksummed) data sections.
 //	per column: u32 sectionLen | section | u32 crc(section)
 //	  section: NULL bitmap (segRows/64 u64 words, bit i = row i NULL),
 //	  then segRows fixed-width cells: int64 payload for bool/int/time,
 //	  IEEE bits for float, i32 dictionary code (-1 = NULL) for string.
 //	u32 crc(whole file so far) | magic "DWSEGEND"
+//
+// Version compatibility rule: the file magic identifies the KIND, the
+// header's formatVersion the LAYOUT. Readers accept every version they
+// know (currently 1 = no zone block, 2 = zone block present); writers
+// always write the newest. Old directories therefore keep opening
+// after an upgrade — their segments simply carry no zone maps until
+// retention ages them out.
 //
 // Dictionary file (dict.log), append-only, one record per newly
 // interned string, fsync'd before any segment file that references it:
@@ -43,7 +62,20 @@ import (
 // wrapped with a crc32c of its raw bytes, replaced atomically.
 
 const (
-	formatVersion = 1
+	// formatVersion is what new files are written as; formatVersionV1 is
+	// the oldest layout still accepted on read (see the compatibility
+	// rule above).
+	formatVersion   = 2
+	formatVersionV1 = 1
+
+	// zoneRecBytes is the fixed size of one column's zone record inside
+	// the v2 zone block: 8 (sectionOff) + 4 (sectionLen) + 8 + 8
+	// (min/max bits) + 4 + 4 (null/nan counts) + 4 (flags) + 32
+	// (presence bitmap).
+	zoneRecBytes = 72
+
+	zoneFlagRange    = 1 << 0
+	zoneFlagPresence = 1 << 1
 
 	segMagic    = "DWSEG01\n"
 	segEndMagic = "DWSEGEND"
@@ -131,10 +163,18 @@ func (r *byteReader) u64() uint64 {
 // storeDict is the persisted family dictionary: per string column, the
 // distinct strings in on-disk interning order. It is the store's OWN
 // mapping — engine dictionary codes are process-local and never touch
-// disk — and, like the engine's, it only ever grows: strings whose
-// rows were all dropped by retention keep their codes, so old segment
-// files never need rewriting.
+// disk (except in out-of-core mode, where the engine's dictionary is
+// PRELOADED from this one so the on-disk code sections can be served
+// directly) — and, like the engine's, it only ever grows: strings
+// whose rows were all dropped by retention keep their codes, so old
+// segment files never need rewriting.
+//
+// The mutex serializes growth (interning during a seal, under the
+// table lock) against the buffer pool's concurrent fault-time reads;
+// values already interned are immutable, so a snapshot is a bounded
+// slice header.
 type storeDict struct {
+	mu   sync.Mutex
 	cols map[int]*colDict
 }
 
@@ -156,6 +196,8 @@ func (d *storeDict) col(c int) *colDict {
 
 // intern returns s's code in column c, appending it if new.
 func (d *storeDict) intern(c int, s string) int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	cd := d.col(c)
 	if code, ok := cd.byStr[s]; ok {
 		return code
@@ -168,6 +210,8 @@ func (d *storeDict) intern(c int, s string) int32 {
 
 // count returns the number of interned strings of column c.
 func (d *storeDict) count(c int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if cd := d.cols[c]; cd != nil {
 		return len(cd.values)
 	}
@@ -176,11 +220,41 @@ func (d *storeDict) count(c int) int {
 
 // lookup returns the string for code in column c.
 func (d *storeDict) lookup(c int, code int32) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	cd := d.cols[c]
 	if cd == nil || code < 0 || int(code) >= len(cd.values) {
 		return "", false
 	}
 	return cd.values[code], true
+}
+
+// columns returns the sorted column indexes that have any entries.
+func (d *storeDict) columns() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cols := make([]int, 0, len(d.cols))
+	for c := range d.cols {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// snapshot returns the first hw interned strings of column c — an
+// immutable prefix (the values list is append-only), safe to read
+// after the lock drops.
+func (d *storeDict) snapshot(c, hw int) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cd := d.cols[c]
+	if cd == nil {
+		return nil
+	}
+	if hw > len(cd.values) {
+		hw = len(cd.values)
+	}
+	return cd.values[:hw:hw]
 }
 
 // encodeDictRecord frames one new dictionary entry.
@@ -239,12 +313,132 @@ func cellFromBits(t engine.Type, bits uint64) engine.Value {
 
 // ---- sealed segment files ----
 
+// cellWidth returns the fixed byte width of one cell of type t.
+func cellWidth(t engine.Type) int {
+	if t == engine.TString {
+		return 4
+	}
+	return 8
+}
+
+// sectionBytes returns the exact section length of one column — fully
+// determined by the schema and segment geometry, which is what lets
+// the lazy open path compute every section offset without reading any
+// section.
+func sectionBytes(t engine.Type, segBits uint) int {
+	segRows := 1 << segBits
+	return segRows/64*8 + segRows*cellWidth(t)
+}
+
+// segLayout returns the absolute offset of column 0's length prefix
+// for a given version and header length, and the total file size.
+func segLayout(version int, headerLen int, schema engine.Schema, segBits uint) (secBase, fileSize int) {
+	secBase = len(segMagic) + 4 + headerLen + 4
+	if version >= formatVersion {
+		secBase += 4 + zoneRecBytes*len(schema) + 4
+	}
+	fileSize = secBase
+	for _, col := range schema {
+		fileSize += 4 + sectionBytes(col.Type, segBits) + 4
+	}
+	return secBase, fileSize + 4 + len(segEndMagic)
+}
+
+// computeZone builds one column's zone map from its boxed values (and
+// interned codes for string columns).
+func computeZone(col engine.Column, vals []engine.Value, codes []int32) engine.ZoneInfo {
+	z := engine.ZoneInfo{Rows: len(vals)}
+	if col.Type == engine.TString {
+		z.HasPresence = true
+		for i, v := range vals {
+			if v.IsNull() {
+				z.NullCount++
+				continue
+			}
+			code := uint32(codes[i]) & 255
+			z.Presence[code>>6] |= 1 << (code & 63)
+		}
+		return z
+	}
+	for _, v := range vals {
+		if v.IsNull() {
+			z.NullCount++
+			continue
+		}
+		f := v.Float()
+		if math.IsNaN(f) {
+			z.NaNCount++
+			continue
+		}
+		if !z.HasRange {
+			z.Min, z.Max = f, f
+			z.HasRange = true
+		} else {
+			if f < z.Min {
+				z.Min = f
+			}
+			if f > z.Max {
+				z.Max = f
+			}
+		}
+	}
+	return z
+}
+
+// appendZoneRec serializes one zone record (zoneRecBytes bytes).
+func appendZoneRec(b []byte, secOff uint64, secLen uint32, z engine.ZoneInfo) []byte {
+	b = appendU64(b, secOff)
+	b = appendU32(b, secLen)
+	b = appendU64(b, math.Float64bits(z.Min))
+	b = appendU64(b, math.Float64bits(z.Max))
+	b = appendU32(b, uint32(z.NullCount))
+	b = appendU32(b, uint32(z.NaNCount))
+	var flags uint32
+	if z.HasRange {
+		flags |= zoneFlagRange
+	}
+	if z.HasPresence {
+		flags |= zoneFlagPresence
+	}
+	b = appendU32(b, flags)
+	for _, w := range z.Presence {
+		b = appendU64(b, w)
+	}
+	return b
+}
+
+// readZoneRec parses one zone record.
+func readZoneRec(r *byteReader, segRows int) (secOff uint64, secLen uint32, z engine.ZoneInfo) {
+	secOff = r.u64()
+	secLen = r.u32()
+	z.Min = math.Float64frombits(r.u64())
+	z.Max = math.Float64frombits(r.u64())
+	z.NullCount = int(r.u32())
+	z.NaNCount = int(r.u32())
+	flags := r.u32()
+	z.HasRange = flags&zoneFlagRange != 0
+	z.HasPresence = flags&zoneFlagPresence != 0
+	for i := range z.Presence {
+		z.Presence[i] = r.u64()
+	}
+	z.Rows = segRows
+	return secOff, secLen, z
+}
+
 // encodeSegment serializes one sealed segment (cols from
-// engine.Table.SegmentCols) into a whole-file byte image. String cells
-// are interned into dict; the caller persists dict's new entries
-// BEFORE writing the returned image, so a durable segment never
-// references a lost dictionary entry.
+// engine.Table.SegmentCols) into a whole-file byte image at the
+// current format version. String cells are interned into dict; the
+// caller persists dict's new entries BEFORE writing the returned
+// image, so a durable segment never references a lost dictionary
+// entry.
 func encodeSegment(schema engine.Schema, segBits uint, segIdx int, cols [][]engine.Value, dict *storeDict) []byte {
+	return encodeSegmentV(formatVersion, schema, segBits, segIdx, cols, dict)
+}
+
+// encodeSegmentV is encodeSegment at an explicit format version —
+// version 1 (no zone block) exists for the backward-compat fixtures
+// and the zone-map benchmark baseline.
+func encodeSegmentV(version int, schema engine.Schema, segBits uint, segIdx int, cols [][]engine.Value, dict *storeDict) []byte {
 	segRows := 1 << segBits
 	segWords := segRows / 64
 
@@ -265,7 +459,7 @@ func encodeSegment(schema engine.Schema, segBits uint, segIdx int, cols [][]engi
 		codes[c] = cc
 	}
 
-	header := appendU32(nil, formatVersion)
+	header := appendU32(nil, uint32(version))
 	header = appendU32(header, uint32(segBits))
 	header = appendU64(header, uint64(segIdx))
 	header = appendU32(header, uint32(segRows))
@@ -285,6 +479,24 @@ func encodeSegment(schema engine.Schema, segBits uint, segIdx int, cols [][]engi
 	out = appendU32(out, uint32(len(header)))
 	out = append(out, header...)
 	out = appendU32(out, crc(header))
+
+	if version >= formatVersion {
+		// Zone block: per-column zone maps plus the absolute section
+		// offsets (derivable from the schema, but echoed here so readers
+		// can cross-check the layout they computed).
+		secBase, _ := segLayout(version, len(header), schema, segBits)
+		zoneBody := make([]byte, 0, zoneRecBytes*len(schema))
+		off := secBase
+		for c, col := range schema {
+			secLen := sectionBytes(col.Type, segBits)
+			z := computeZone(col, cols[c], codes[c])
+			zoneBody = appendZoneRec(zoneBody, uint64(off), uint32(secLen), z)
+			off += 4 + secLen + 4
+		}
+		out = appendU32(out, uint32(len(zoneBody)))
+		out = append(out, zoneBody...)
+		out = appendU32(out, crc(zoneBody))
+	}
 
 	for c, col := range schema {
 		// NULL bitmap words (make zeroes them), then fixed-width cells.
@@ -347,8 +559,9 @@ func decodeSegment(data []byte, schema engine.Schema, segBits uint, wantIdx int,
 		return nil, fmt.Errorf("header checksum mismatch")
 	}
 	h := &byteReader{b: header}
-	if v := h.u32(); v != formatVersion {
-		return nil, fmt.Errorf("format version %d (want %d)", v, formatVersion)
+	version := h.u32()
+	if version != formatVersion && version != formatVersionV1 {
+		return nil, fmt.Errorf("format version %d (want %d..%d)", version, formatVersionV1, formatVersion)
 	}
 	if sb := h.u32(); sb != uint32(segBits) {
 		return nil, fmt.Errorf("segment bits %d (want %d)", sb, segBits)
@@ -374,6 +587,22 @@ func decodeSegment(data []byte, schema engine.Schema, segBits uint, wantIdx int,
 		}
 		if col.Type == engine.TString && int(dictHW[c]) > dict.count(c) {
 			return nil, fmt.Errorf("column %s needs %d dictionary entries, only %d survive", col.Name, dictHW[c], dict.count(c))
+		}
+	}
+
+	if version >= formatVersion {
+		// Zone block. The eager decode path doesn't use the zone maps,
+		// but it still verifies their framing and CRC — a flipped bit
+		// here also fails the whole-file CRC above, so this is mostly a
+		// structural check that the block is where the layout says.
+		zoneLen := r.u32()
+		zoneBody := r.take(int(zoneLen))
+		zoneCRC := r.u32()
+		if !r.ok() || crc(zoneBody) != zoneCRC {
+			return nil, fmt.Errorf("zone block checksum mismatch")
+		}
+		if int(zoneLen) != zoneRecBytes*len(schema) {
+			return nil, fmt.Errorf("zone block is %d bytes, want %d", zoneLen, zoneRecBytes*len(schema))
 		}
 	}
 
@@ -433,7 +662,7 @@ func readSegHeader(data []byte) (schema engine.Schema, segBits uint, err error) 
 		return nil, 0, fmt.Errorf("header checksum mismatch")
 	}
 	h := &byteReader{b: header}
-	if v := h.u32(); v != formatVersion {
+	if v := h.u32(); v != formatVersion && v != formatVersionV1 {
 		return nil, 0, fmt.Errorf("format version %d", v)
 	}
 	sb := h.u32()
@@ -523,8 +752,8 @@ func decodeManifest(data []byte) (manifest, error) {
 	if err := json.Unmarshal(env.Payload, &m); err != nil {
 		return manifest{}, fmt.Errorf("manifest payload: %w", err)
 	}
-	if m.Format != formatVersion {
-		return manifest{}, fmt.Errorf("manifest format %d (want %d)", m.Format, formatVersion)
+	if m.Format != formatVersion && m.Format != formatVersionV1 {
+		return manifest{}, fmt.Errorf("manifest format %d (want %d..%d)", m.Format, formatVersionV1, formatVersion)
 	}
 	if err := m.engineSchema().Validate(); err != nil {
 		return manifest{}, fmt.Errorf("manifest schema: %w", err)

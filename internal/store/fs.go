@@ -33,6 +33,12 @@ type FS interface {
 	Truncate(name string, size int64) error
 	// SyncDir fsyncs a directory, making its namespace ops durable.
 	SyncDir(dir string) error
+	// ReadAt reads len(p) bytes of name starting at off — the random-
+	// access read the out-of-core buffer pool faults segment-column
+	// chunks in with (everything else in the store reads sequentially).
+	// Like io.ReaderAt it returns a non-nil error when fewer than len(p)
+	// bytes are available.
+	ReadAt(name string, off int64, p []byte) (int, error)
 }
 
 // DirEnt is one directory entry.
@@ -84,6 +90,18 @@ func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, ne
 func (OSFS) Remove(name string) error { return os.Remove(name) }
 
 func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) ReadAt(name string, off int64, p []byte) (int, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.ReadAt(p, off)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
 
 func (OSFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)

@@ -40,6 +40,9 @@ func Open(dir string, opts Options) (*DB, error) {
 		tables:  make(map[string]*tableStore),
 		skipped: make(map[string]string),
 	}
+	if opts.MaxResidentBytes > 0 {
+		s.pool = newBufferPool(opts.MaxResidentBytes)
+	}
 	if err := s.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -126,8 +129,14 @@ func (s *DB) recoverTable(name string) (*tableStore, *engine.Table, error) {
 	// Dictionary.
 	dict, dictLen := s.recoverDict(name, dir, &quarantin)
 
-	// Validate segment files; quarantine failures.
+	// Validate segment files; quarantine failures. Resident mode decodes
+	// every file end to end; out-of-core mode validates only the
+	// envelope (header, zone block, footer) via openSegMeta and defers
+	// section reads to fault time — this is what makes Open O(segment
+	// count), not O(data).
+	outOfCore := s.opts.MaxResidentBytes > 0
 	segCols := map[int][][]engine.Value{}
+	metas := map[int]*segMeta{}
 	idxs := make([]int, 0, len(segFiles))
 	for idx := range segFiles {
 		idxs = append(idxs, idx)
@@ -135,10 +144,17 @@ func (s *DB) recoverTable(name string) (*tableStore, *engine.Table, error) {
 	sort.Ints(idxs)
 	for _, idx := range idxs {
 		fname := segFileName(idx)
-		data, err := readFileAll(s.fs, join(dir, fname))
 		var cols [][]engine.Value
-		if err == nil {
-			cols, err = decodeSegment(data, schema, segBits, idx, dict)
+		var meta *segMeta
+		var err error
+		if outOfCore {
+			meta, err = openSegMeta(s.fs, join(dir, fname), schema, segBits, idx, dict, s.opts.Logf)
+		} else {
+			var data []byte
+			data, err = readFileAll(s.fs, join(dir, fname))
+			if err == nil {
+				cols, err = decodeSegment(data, schema, segBits, idx, dict)
+			}
 		}
 		if err != nil {
 			s.opts.Logf("store: %s: quarantining segment %d: %v", name, idx, err)
@@ -147,7 +163,11 @@ func (s *DB) recoverTable(name string) (*tableStore, *engine.Table, error) {
 			quarantin = append(quarantin, fname)
 			continue
 		}
-		segCols[idx] = cols
+		if meta != nil {
+			metas[idx] = meta
+		} else {
+			segCols[idx] = cols
+		}
 	}
 
 	// WAL: valid record prefix, torn tail truncated.
@@ -165,10 +185,15 @@ func (s *DB) recoverTable(name string) (*tableStore, *engine.Table, error) {
 	// at or above it exists, in which case the WAL is a stale leftover
 	// (DisableWAL runs) and the files win.
 	covered := func(idx int) bool {
-		return segCols[idx] != nil || (ws <= idx<<segBits && (idx+1)<<segBits <= we)
+		return segCols[idx] != nil || metas[idx] != nil || (ws <= idx<<segBits && (idx+1)<<segBits <= we)
 	}
 	maxCov := -1
 	for idx := range segCols {
+		if idx > maxCov {
+			maxCov = idx
+		}
+	}
+	for idx := range metas {
 		if idx > maxCov {
 			maxCov = idx
 		}
@@ -211,9 +236,42 @@ func (s *DB) recoverTable(name string) (*tableStore, *engine.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	var loader *tableLoader
+	if outOfCore {
+		// Preload the engine dictionaries from the store dictionary so
+		// the on-disk code sections serve directly as engine codes (the
+		// two intern in the same first-appearance order from here on).
+		for c, col := range schema {
+			if col.Type != engine.TString {
+				continue
+			}
+			if err := t.PreloadDict(c, dict.snapshot(c, dict.count(c))); err != nil {
+				return nil, nil, fmt.Errorf("preloading dictionary: %w", err)
+			}
+		}
+		loader = &tableLoader{
+			pool:    s.pool,
+			fs:      s.fs,
+			name:    strings.ToLower(name),
+			schema:  schema,
+			segBits: segBits,
+			dict:    dict,
+			metas:   metas,
+			logf:    s.opts.Logf,
+		}
+	}
 	nextSeg := serveBase >> segBits
 	filePrefix := true
 	for idx := serveBase >> segBits; idx <= e; idx++ {
+		if meta := metas[idx]; meta != nil {
+			if t, err = t.AttachLoadedSegment(loader, meta.zones); err != nil {
+				return nil, nil, fmt.Errorf("attaching segment %d: %w", idx, err)
+			}
+			if filePrefix {
+				nextSeg = idx + 1
+			}
+			continue
+		}
 		var rows [][]engine.Value
 		if cols := segCols[idx]; cols != nil {
 			rows = transpose(cols, segRows)
@@ -245,6 +303,7 @@ func (s *DB) recoverTable(name string) (*tableStore, *engine.Table, error) {
 		base:          serveBase,
 		quarantined:   quarantin,
 		gapSegments:   gap,
+		loader:        loader,
 	}
 	if rebuilt {
 		// Persist the reconstruction so the next Open doesn't redo it.

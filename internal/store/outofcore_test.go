@@ -1,0 +1,392 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/testgen"
+)
+
+// outOfCoreOpts is quietOpts plus a (tiny, unless overridden) buffer
+// pool so tests exercise eviction thrash, not just the happy path.
+func outOfCoreOpts(fs FS, cacheBytes int64) Options {
+	o := quietOpts(fs, 1)
+	o.MaxResidentBytes = cacheBytes
+	return o
+}
+
+// buildStream appends nbatch random batches to table "p" on fs and
+// returns the oracle rows (coerced, in stream order).
+func buildStream(t *testing.T, fs FS, rng *rand.Rand, nbatch int) [][]engine.Value {
+	t.Helper()
+	st, err := Open("d", quietOpts(fs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateTable("P", testgen.Schema(), engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	var oracle [][]engine.Value
+	for i := 0; i < nbatch; i++ {
+		batch := testgen.Batch(rng, 40+rng.Intn(60))
+		nt, err := st.Append("p", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := len(oracle); r < nt.Base()+nt.NumRows(); r++ {
+			local := r - nt.Base()
+			row := make([]engine.Value, nt.NumCols())
+			for c := range row {
+				row[c] = nt.Value(local, c)
+			}
+			oracle = append(oracle, row)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return oracle
+}
+
+// TestOutOfCoreDifferential reopens the same directory resident and
+// out-of-core (with a pool far smaller than the data, forcing
+// eviction thrash) and requires bit-identical reads, matching dict
+// lockstep across post-open appends, and a quiesced pool.
+func TestOutOfCoreDifferential(t *testing.T) {
+	fs := NewMemFS()
+	rng := rand.New(rand.NewSource(42))
+	oracle := buildStream(t, fs, rng, 12)
+
+	lazy, err := Open("d", outOfCoreOpts(fs, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := lazy.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsealed, _ := tab.NumSegments()
+	if nsealed == 0 {
+		t.Fatal("fixture produced no sealed segments")
+	}
+	for k := 0; k < nsealed; k++ {
+		if !tab.SegmentFaultable(k) {
+			t.Fatalf("segment %d not faultable after out-of-core open", k)
+		}
+		if _, ok := tab.SegmentZone(k, 2); !ok {
+			t.Fatalf("segment %d missing zone map", k)
+		}
+	}
+	requireRowsMatch(t, tab, oracle)
+
+	// Column views fault through the pool; spot-check them too.
+	fv := tab.FloatView(2)
+	dv := tab.DictView(3)
+	for r := 0; r < tab.NumRows(); r++ {
+		want := oracle[tab.Base()+r]
+		got := engine.Value{T: engine.TFloat, F: fv.V(r)}
+		if fv.IsNull(r) {
+			got = engine.Null
+		}
+		if want[2].IsNull() != got.IsNull() || (!want[2].IsNull() && !valueEq(got, want[2])) {
+			t.Fatalf("float view row %d: got %v want %v", r, got, want[2])
+		}
+		code := dv.CodeAt(r)
+		if want[3].IsNull() {
+			if code >= 0 {
+				t.Fatalf("dict view row %d: got code %d, want NULL", r, code)
+			}
+		} else if dv.Values()[code] != want[3].S {
+			t.Fatalf("dict view row %d: got %q want %q", r, dv.Values()[code], want[3].S)
+		}
+	}
+
+	// Post-open appends must stay in dictionary lockstep with the store.
+	for i := 0; i < 6; i++ {
+		batch := testgen.Batch(rng, 50)
+		if _, err := lazy.Append("p", batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab2, err := lazy.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tab2.NumRows(); r++ {
+		_ = tab2.Value(r, 3) // faults old segments, reads new ones
+	}
+
+	ps := lazy.Stats().Pool
+	if ps == nil {
+		t.Fatal("no pool stats in out-of-core mode")
+	}
+	if ps.Misses == 0 {
+		t.Fatal("no pool misses recorded")
+	}
+	if ps.Evictions == 0 {
+		t.Fatalf("tiny pool recorded no evictions: %+v", ps)
+	}
+	if ps.UsedBytes > 4096 && ps.Pinned == 0 {
+		t.Fatalf("unpinned pool over budget: %+v", ps)
+	}
+	if got := lazy.PoolPinned(); got != 0 {
+		t.Fatalf("%d entries still pinned at quiesce", got)
+	}
+	if err := lazy.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The appends above spilled new v2 segments; a fresh resident open
+	// must accept them (seal path writes the current version).
+	res, err := Open("d", quietOpts(fs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := res.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltab := tab2
+	if rt.NumRows() != ltab.NumRows() || rt.Base() != ltab.Base() {
+		t.Fatalf("resident reopen window (%d,%d) != lazy window (%d,%d)",
+			rt.Base(), rt.NumRows(), ltab.Base(), ltab.NumRows())
+	}
+	for r := 0; r < rt.NumRows(); r++ {
+		for c := 0; c < rt.NumCols(); c++ {
+			if !valueEq(rt.Value(r, c), ltab.Value(r, c)) {
+				t.Fatalf("row %d col %d: resident %v != lazy %v", r, c, rt.Value(r, c), ltab.Value(r, c))
+			}
+		}
+	}
+	_ = res.Close()
+}
+
+// TestOutOfCoreRetention runs a durable retention pass in out-of-core
+// mode: the pool must drop the retained segments' chunks, reads on the
+// new window must still match, and a reopen agrees.
+func TestOutOfCoreRetention(t *testing.T) {
+	fs := NewMemFS()
+	rng := rand.New(rand.NewSource(7))
+	oracle := buildStream(t, fs, rng, 10)
+
+	lazy, err := Open("d", outOfCoreOpts(fs, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := lazy.Eng().Table("p")
+	requireRowsMatch(t, tab, oracle) // warm the pool over all segments
+	nt, stats, err := lazy.Retain("p", engine.RetentionPolicy{MaxRows: 3 * (1 << engine.MinSegmentBits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedSegments == 0 {
+		t.Fatal("retention dropped nothing")
+	}
+	requireRowsMatch(t, nt, oracle)
+	if got := lazy.PoolPinned(); got != 0 {
+		t.Fatalf("%d entries pinned after retention", got)
+	}
+	if err := lazy.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open("d", outOfCoreOpts(fs, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := re.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Base() != nt.Base() {
+		t.Fatalf("reopened base %d, want %d", rt.Base(), nt.Base())
+	}
+	requireRowsMatch(t, rt, oracle)
+	_ = re.Close()
+}
+
+// segHeaderLen reads the header length field of a segment file image.
+func segHeaderLen(t *testing.T, fs *MemFS, path string) int {
+	t.Helper()
+	buf := make([]byte, len(segMagic)+4)
+	if _, err := fs.ReadAt(path, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	return int(binary.LittleEndian.Uint32(buf[len(segMagic):]))
+}
+
+// firstSegPath returns the path of the lowest-indexed segment file.
+func firstSegPath(t *testing.T, fs *MemFS) string {
+	t.Helper()
+	for _, f := range fs.Files() {
+		if strings.HasSuffix(f, segFileName(0)) {
+			return f
+		}
+	}
+	t.Fatal("no segment 0 file")
+	return ""
+}
+
+// TestOutOfCoreZoneCorruptionDegrades flips a bit inside a zone block:
+// the out-of-core open must NOT quarantine the segment — it serves it
+// without zone maps, logging the reason — and reads stay bit-identical.
+func TestOutOfCoreZoneCorruptionDegrades(t *testing.T) {
+	fs := NewMemFS()
+	rng := rand.New(rand.NewSource(3))
+	oracle := buildStream(t, fs, rng, 8)
+
+	path := firstSegPath(t, fs)
+	headerLen := segHeaderLen(t, fs, path)
+	zoneOff := int64(len(segMagic) + 4 + headerLen + 4)
+	if err := fs.FlipBit(path, zoneOff+16, 3); err != nil { // inside zone body
+		t.Fatal(err)
+	}
+
+	var logged []string
+	o := outOfCoreOpts(fs, 1<<20)
+	o.Logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	lazy, err := Open("d", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := lazy.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.SegmentFaultable(0) {
+		if _, ok := tab.SegmentZone(0, 0); ok {
+			t.Fatal("damaged zone block still served")
+		}
+	} else {
+		t.Fatal("segment 0 not faultable")
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "zone block ignored") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no zone degradation log; got %q", logged)
+	}
+	for _, st := range lazy.Stats().Tables {
+		if len(st.Quarantined) != 0 {
+			t.Fatalf("zone damage quarantined a segment: %v", st.Quarantined)
+		}
+	}
+	requireRowsMatch(t, tab, oracle)
+	_ = lazy.Close()
+}
+
+// TestOutOfCoreSectionCorruptionFaults flips a bit inside a column
+// section: the open still succeeds (sections are not read at open),
+// and the first fault of that chunk quarantines the file and surfaces
+// a SegmentLoadError — never silent data.
+func TestOutOfCoreSectionCorruptionFaults(t *testing.T) {
+	fs := NewMemFS()
+	rng := rand.New(rand.NewSource(11))
+	buildStream(t, fs, rng, 8)
+
+	path := firstSegPath(t, fs)
+	size, err := fs.FileSize(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip in the middle of the sections region (past header+zones,
+	// before the footer).
+	if err := fs.FlipBit(path, size/2, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	lazy, err := Open("d", outOfCoreOpts(fs, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := lazy.Eng().Table("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll := func() (err error) {
+		defer engine.CatchSegmentLoad(&err)
+		for r := 0; r < tab.NumRows(); r++ {
+			for c := 0; c < tab.NumCols(); c++ {
+				_ = tab.Value(r, c)
+			}
+		}
+		return nil
+	}
+	if err := readAll(); err == nil {
+		t.Fatal("corrupted section served without error")
+	}
+	quarantined := false
+	for _, st := range lazy.Stats().Tables {
+		if len(st.Quarantined) > 0 {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatal("fault-time corruption not quarantined in stats")
+	}
+	if got := lazy.PoolPinned(); got != 0 {
+		t.Fatalf("%d entries pinned after failed fault", got)
+	}
+	_ = lazy.Close()
+}
+
+// TestOutOfCoreOpensV1Files rewrites every segment file at format
+// version 1 (no zone block) and reopens the directory both resident
+// and out-of-core: the compatibility rule says old layouts keep
+// serving, just without pruning.
+func TestOutOfCoreOpensV1Files(t *testing.T) {
+	fs := NewMemFS()
+	rng := rand.New(rand.NewSource(5))
+	oracle := buildStream(t, fs, rng, 8)
+
+	// Recover the table once to get its decoded segments + dict, then
+	// rewrite each file at v1.
+	res, err := Open("d", quietOpts(fs, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := res.Eng().Table("p")
+	var ts *tableStore
+	for _, cand := range res.tables {
+		ts = cand
+	}
+	nsealed, _ := tab.NumSegments()
+	for k := 0; k < nsealed; k++ {
+		idx := tab.Base()>>ts.segBits + k
+		image := encodeSegmentV(formatVersionV1, ts.schema, ts.segBits, idx, tab.SegmentCols(k), ts.dict)
+		if err := writeFileAtomic(fs, join(ts.dir, segFileName(idx)), image); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = res.Close()
+
+	for _, cache := range []int64{0, 1 << 20} {
+		st, err := Open("d", outOfCoreOpts(fs, cache))
+		if err != nil {
+			t.Fatalf("cache=%d: %v", cache, err)
+		}
+		tb, err := st.Eng().Table("p")
+		if err != nil {
+			t.Fatalf("cache=%d: %v", cache, err)
+		}
+		for _, tstat := range st.Stats().Tables {
+			if len(tstat.Quarantined) != 0 {
+				t.Fatalf("cache=%d: v1 files quarantined: %v", cache, tstat.Quarantined)
+			}
+		}
+		if cache > 0 {
+			if _, ok := tb.SegmentZone(0, 0); ok {
+				t.Fatalf("cache=%d: v1 file grew a zone map", cache)
+			}
+		}
+		requireRowsMatch(t, tb, oracle)
+		_ = st.Close()
+	}
+}

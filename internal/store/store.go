@@ -51,6 +51,14 @@ type Options struct {
 	// are durable, and a crash loses the in-memory tail. For bulk loads
 	// that re-drive from source on failure.
 	DisableWAL bool
+	// MaxResidentBytes, when > 0, switches Open to OUT-OF-CORE serving:
+	// instead of decoding every segment file into memory, recovery
+	// validates only headers and zone maps, attaches segments as
+	// faultable, and serves chunk reads through a store-wide buffer
+	// pool bounded to (about) this many bytes of decoded chunks.
+	// 0 (the default) keeps the fully resident behavior: all segments
+	// decoded at Open, no pool, no faulting.
+	MaxResidentBytes int64
 	// Logf receives recovery and quarantine notices; defaults to
 	// log.Printf.
 	Logf func(format string, args ...any)
@@ -81,6 +89,7 @@ type DB struct {
 	dir  string
 	opts Options
 	eng  *engine.DB
+	pool *bufferPool // non-nil iff MaxResidentBytes > 0 (out-of-core)
 
 	mu      sync.Mutex
 	tables  map[string]*tableStore
@@ -109,6 +118,11 @@ type tableStore struct {
 	failed      error
 	quarantined []string
 	gapSegments int // segments lost to quarantine at the last Open
+
+	// loader serves this table's chunk faults in out-of-core mode; nil
+	// for resident tables and tables created after Open. It is read
+	// WITHOUT ts.mu on the fault path (see tableLoader's doc).
+	loader *tableLoader
 }
 
 // Eng returns the underlying engine catalog, the handle query
@@ -284,6 +298,12 @@ func (s *DB) spillLocked(ts *tableStore, nt *engine.Table) error {
 	end := first + nsealed
 	spilled := false
 	for idx := ts.nextSeg; idx < end; idx++ {
+		if nt.SegmentFaultable(idx - first) {
+			// Out-of-core recovery attached this segment from its (valid,
+			// durable) file behind a WAL-covered gap; nothing to rewrite.
+			ts.nextSeg = idx + 1
+			continue
+		}
 		image := encodeSegment(ts.schema, ts.segBits, idx, nt.SegmentCols(idx-first), ts.dict)
 		// New dictionary entries must be durable BEFORE the segment
 		// file that references them exists under its final name.
@@ -308,15 +328,13 @@ func (s *DB) spillLocked(ts *tableStore, nt *engine.Table) error {
 // since the last persist.
 func (s *DB) persistDictLocked(ts *tableStore) error {
 	var buf []byte
-	cols := make([]int, 0, len(ts.dict.cols))
-	for c := range ts.dict.cols {
-		cols = append(cols, c)
-	}
-	sort.Ints(cols)
+	cols := ts.dict.columns()
+	counts := make(map[int]int, len(cols))
 	for _, c := range cols {
-		cd := ts.dict.cols[c]
-		for i := ts.dictPersisted[c]; i < len(cd.values); i++ {
-			buf = append(buf, encodeDictRecord(c, cd.values[i])...)
+		vals := ts.dict.snapshot(c, ts.dict.count(c))
+		counts[c] = len(vals)
+		for i := ts.dictPersisted[c]; i < len(vals); i++ {
+			buf = append(buf, encodeDictRecord(c, vals[i])...)
 		}
 	}
 	if len(buf) == 0 {
@@ -329,7 +347,7 @@ func (s *DB) persistDictLocked(ts *tableStore) error {
 		return err
 	}
 	for _, c := range cols {
-		ts.dictPersisted[c] = len(ts.dict.cols[c].values)
+		ts.dictPersisted[c] = counts[c]
 	}
 	return nil
 }
@@ -451,6 +469,12 @@ func (s *DB) RetainCtx(ctx context.Context, name string, pol engine.RetentionPol
 	if err := s.fs.SyncDir(ts.dir); err != nil {
 		return nil, stats, ts.fail(fmt.Errorf("retention dir fsync: %w", err))
 	}
+	if ts.loader != nil {
+		// Drop the retained segments' cached chunks. Pinned entries are
+		// doomed, not freed — scans running on a pre-retention version
+		// keep their slices until they release.
+		s.pool.invalidateBelow(ts.name, newFirst)
+	}
 	return nt, stats, nil
 }
 
@@ -512,6 +536,9 @@ type Stats struct {
 	Dir     string                `json:"dir"`
 	Tables  map[string]TableStats `json:"tables"`
 	Skipped map[string]string     `json:"skipped,omitempty"`
+	// Pool is the buffer pool snapshot; present only in out-of-core
+	// mode (Options.MaxResidentBytes > 0).
+	Pool *PoolStats `json:"pool,omitempty"`
 }
 
 // Stats snapshots the store's durability state.
@@ -537,8 +564,29 @@ func (s *DB) Stats() Stats {
 		if ts.failed != nil {
 			st.Failed = ts.failed.Error()
 		}
+		loader := ts.loader
 		ts.mu.Unlock()
+		if loader != nil {
+			// Fault-time quarantines live on the loader (it must not take
+			// ts.mu from the read path); merge them into the report.
+			st.Quarantined = append(st.Quarantined, loader.quarantineRecords()...)
+		}
 		out.Tables[n] = st
 	}
+	if s.pool != nil {
+		ps := s.pool.stats()
+		out.Pool = &ps
+	}
 	return out
+}
+
+// PoolPinned returns the number of currently pinned buffer-pool
+// entries (0 when the store is resident) — the chaos harness's quiesce
+// invariant: after every scan has finished, nothing may still be
+// pinned.
+func (s *DB) PoolPinned() int {
+	if s.pool == nil {
+		return 0
+	}
+	return s.pool.pinnedCount()
 }

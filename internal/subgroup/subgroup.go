@@ -325,7 +325,11 @@ func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, []*bitset.Bi
 	selectors := Selectors(sp)
 	matches := make([]*bitset.Bitset, len(selectors))
 
-	// Decode each referenced attribute once.
+	// Decode each referenced attribute once, through a segment-pinned
+	// reader: Table.Value's per-row transient pin would re-decode
+	// over-budget chunks per row on out-of-core tables.
+	rr := sp.Table.NewRowReader()
+	defer rr.Close()
 	numVals := map[int][]float64{} // attrIdx -> per-row float (NaN = NULL)
 	catKeys := map[int][]string{}  // attrIdx -> per-row value key ("" = NULL)
 	for si := range selectors {
@@ -338,7 +342,7 @@ func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, []*bitset.Bi
 			}
 			vals := make([]float64, len(rows))
 			for i, r := range rows {
-				v := sp.Table.Value(r, attr.Col)
+				v := rr.Value(r, attr.Col)
 				if v.IsNull() {
 					vals[i] = math.NaN()
 				} else {
@@ -352,7 +356,7 @@ func enumerateSelectors(sp *feature.Space, rows []int) ([]Selector, []*bitset.Bi
 			}
 			keys := make([]string, len(rows))
 			for i, r := range rows {
-				v := sp.Table.Value(r, attr.Col)
+				v := rr.Value(r, attr.Col)
 				if v.IsNull() {
 					keys[i] = "\x00null"
 				} else {
