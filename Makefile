@@ -97,7 +97,7 @@ bench:
 # ns/op + B/op + allocs/op per bench as JSON. Check the file in so each
 # PR's numbers diff against the last; override the output name with
 # BENCH_OUT=file.json when recording a new PR's numbers.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 bench-json:
 	@out=$$(mktemp); \
 	$(GO) test -run='^$$' -bench=. -benchmem -short . > $$out || { cat $$out; rm -f $$out; exit 1; }; \

@@ -16,7 +16,9 @@ package repro_test
 //	BenchmarkInfluenceLOO            — E5: leave-one-out pass alone
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -831,4 +833,169 @@ func BenchmarkZoneMapSkip(b *testing.B) {
 	b.ReportMetric(float64(skipped)/float64(b.N), "skipped/op")
 	b.ReportMetric(float64(faulted)/float64(b.N), "faulted/op")
 	b.ReportMetric(skipRate*100, "skip%")
+}
+
+// BenchmarkSelectiveFilter measures greedy clause ordering on the shape
+// it exists for: an AND chain whose most selective clause sits LAST in
+// source order (temperature > 1000 matches nothing; the four clauses
+// before it match nearly everything). Left-to-right evaluation
+// materializes and intersects every clause mask; the greedy planner
+// probes cached popcounts, evaluates the empty clause first, and
+// short-circuits the rest. The bench fails if the short-circuit ever
+// stops engaging — the optimization, not just the timing, is pinned.
+func BenchmarkSelectiveFilter(b *testing.B) {
+	tbl, _ := datasets.Intel(datasets.IntelConfig{Rows: 200_000, Seed: 7})
+	stmt, err := sqlparse.Parse(
+		"SELECT moteid, avg(temperature) AS t, count(*) AS n FROM readings " +
+			"WHERE humidity >= 0 AND light >= 0 AND voltage > 0 AND epoch >= 0 AND temperature > 1000 " +
+			"GROUP BY moteid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts exec.Options
+	}{
+		{"left-to-right", exec.Options{NoGreedyOrdering: true}},
+		{"greedy", exec.Options{}},
+	}
+	// Warm the shared clause-mask cache so both modes measure
+	// steady-state lowering, not the first decode.
+	for _, mode := range modes {
+		if _, err := exec.RunOnWith(tbl, stmt, mode.opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var skipped int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunOnWith(tbl, stmt, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				skipped += res.Plan.FilterShortCircuited
+			}
+			if mode.name == "greedy" {
+				if skipped == 0 {
+					b.Fatal("greedy ordering never short-circuited the chain")
+				}
+				b.ReportMetric(float64(skipped)/float64(b.N), "short-circuited/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAdvanceOrderBy measures the incremental ORDER BY merge on a
+// wide group space: 50k groups sorted by a changing aggregate, advanced
+// by 1k-row batches that touch ~2% of groups. The carry path merges the
+// carried order with a re-sort of only the changed groups; the re-sort
+// baseline pays O(groups log groups) comparisons every advance. The
+// carry bench fails if the merge ever stops engaging.
+func BenchmarkAdvanceOrderBy(b *testing.B) {
+	const ngroups = 50_000
+	const baseRows = 200_000
+	const batchSize = 1_000
+	const poolBatches = 100
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	schema := engine.NewSchema("g", engine.TInt, "v", engine.TFloat)
+	makeRows := func(k int) [][]engine.Value {
+		rows := make([][]engine.Value, k)
+		for r := range rows {
+			rows[r] = []engine.Value{
+				engine.NewInt(int64(1 + rng.Intn(ngroups))),
+				engine.NewFloat(rng.NormFloat64() * 100),
+			}
+		}
+		return rows
+	}
+	baseBatches := make([][][]engine.Value, 0, baseRows/8192+1)
+	for got := 0; got < baseRows; got += 8192 {
+		baseBatches = append(baseBatches, makeRows(8192))
+	}
+	pool := make([][][]engine.Value, poolBatches)
+	for bi := range pool {
+		pool[bi] = makeRows(batchSize)
+	}
+	stmt, err := sqlparse.Parse(
+		"SELECT g, sum(v) AS s, count(*) AS n FROM t GROUP BY g ORDER BY s DESC")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts exec.Options
+	}{
+		{"carry", exec.Options{}},
+		{"resort", exec.Options{NoSortCarry: true}},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			// Each restart builds a fresh table family: appending the pool
+			// to a shared base would hit the stale-snapshot guard on the
+			// second pass.
+			setup := func() (*engine.Table, *exec.Result) {
+				tbl := engine.MustNewTable("t", schema)
+				for _, rows := range baseBatches {
+					grown, err := tbl.AppendBatch(rows)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tbl = grown
+				}
+				res, err := exec.RunOn(tbl, stmt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return tbl, res
+			}
+			tbl, res := setup()
+			bi, carried := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bi == len(pool) {
+					// Pool exhausted: restart from the base table so the
+					// measured group space stays near ngroups.
+					b.StopTimer()
+					tbl, res = setup()
+					bi = 0
+					b.StartTimer()
+				}
+				grown, err := tbl.AppendBatch(pool[bi])
+				if err != nil {
+					b.Fatal(err)
+				}
+				bi++
+				res, err = AdvanceOrderByStep(ctx, res, grown, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Plan.SortCarried {
+					carried++
+				}
+				tbl = grown
+			}
+			if mode.name == "carry" && carried == 0 {
+				b.Fatal("incremental sort merge never engaged")
+			}
+			b.ReportMetric(float64(carried)/float64(b.N), "carried/op")
+		})
+	}
+}
+
+// AdvanceOrderByStep is the advance under bench: split out so both
+// modes go through the identical call path.
+func AdvanceOrderByStep(ctx context.Context, res *exec.Result, grown *engine.Table, opts exec.Options) (*exec.Result, error) {
+	out, err := exec.AdvanceWith(ctx, res, grown, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !out.Plan.Incremental {
+		return nil, fmt.Errorf("advance fell back: %+v", out.Plan)
+	}
+	return out, nil
 }

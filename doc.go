@@ -91,6 +91,68 @@
 // A randomized property test executes generated statements on both
 // paths and requires identical output, group order, and lineage.
 //
+// # Statistics-free query planning
+//
+// The planner never gathers statistics: every cardinality it uses is a
+// popcount of a bitmap the executor was going to build anyway (in the
+// spirit of janus-datalog's "greedy beats optimal, no statistics"
+// result). Three layers compound:
+//
+//   - Greedy clause ordering (exec/filter.go). A WHERE whose root is an
+//     AND chain is flattened and its conjuncts probed for estimated
+//     survivor counts — cached clause-mask popcounts from
+//     predicate.Index, O(1) after the mask exists — then evaluated most
+//     selective first. The running mask ANDs each conjunct with a fused
+//     AND+popcount kernel and SHORT-CIRCUITS the rest of the chain the
+//     moment it empties, so the remaining clause masks are neither
+//     fetched nor intersected. The ordering rule: a conjunct
+//     participates only if the probe can bound it exactly the way full
+//     lowering would evaluate it — greedy refuses a chain precisely
+//     when plain lowering would refuse it, falling back first to
+//     left-to-right lowering and then to the per-row scalar path, so
+//     reordering can never suppress an error (or a mask-geometry
+//     refusal) that the unordered path would have surfaced. Under 3VL
+//     this is sound because the root AND chain needs only the TRUE
+//     masks: T(chain) = ∩ T(conjunct), which is order-independent.
+//     Result.Plan records the decision — FilterConjuncts (chain
+//     length), FilterOrder (the permutation chosen), and
+//     FilterShortCircuited (conjuncts never materialized); a chain the
+//     planner refused shows FilterConjuncts == 0 with WhereLowered
+//     saying which fallback ran.
+//   - Selectivity-adaptive scan shards (exec/vector.go). After the
+//     filter mask and zone-map skipping are known, the shard split
+//     balances SURVIVING-ROW popcount rather than raw row ranges:
+//     segments the zone maps emptied contribute nothing, and a hot
+//     segment holding more than one shard's share of survivors is
+//     subdivided on bitset-word boundaries — so a point query whose
+//     survivors all sit in one segment no longer serializes onto one
+//     busy shard while the rest idle. Boundaries stay word-aligned
+//     (segment boundary ≡ word boundary), so per-shard chunk and mask
+//     state still composes by word slicing.
+//   - Batch mask kernels and incremental ORDER BY (internal/bitset,
+//     exec). AndCountWith/AndNotOf/AnyWords/CountWords fuse the
+//     intersect-and-count loops the filter and zone-skip paths run per
+//     query. Advance maintains sorted group output incrementally: the
+//     carried result's order is merged with a re-sort of only the
+//     changed/new groups (changed = lineage grew this advance) instead
+//     of re-sorting every group per batch. The merge engages only when
+//     the sort keys are totally ordered — any NaN key or incomparable
+//     pair in either the carried or current result forces the full
+//     re-sort, because sort.SliceStable's comparator is intransitive
+//     exactly there — and ties break by group scan position, matching
+//     the stable sort bit for bit. Plan.SortCarried says which path
+//     ran.
+//
+// /api/stats aggregates the planner counters across queries
+// (filters_ordered, conjuncts_skipped, sorts_carried);
+// BenchmarkSelectiveFilter and BenchmarkAdvanceOrderBy pin the
+// optimizations themselves, not just their timings — the selective
+// filter bench fails if the short-circuit stops engaging, the advance
+// bench if the merge does. The differential harnesses in
+// internal/exec/planner_test.go hold every ordering and carry decision
+// bit-identical to left-to-right evaluation and the boxed scalar
+// oracle.
+//
 // # Incremental maintenance and streaming ingest
 //
 // The paper's motivating scenario is continuous monitoring: readings

@@ -224,6 +224,55 @@ func (b *Bitset) IntersectOf(x, y *Bitset) {
 	}
 }
 
+// AndCountWith intersects b with other in place and returns the number
+// of bits that remain set — the fused AND+popcount kernel the greedy
+// filter planner uses to detect an emptied running mask in the same
+// pass that produced it (same length required).
+func (b *Bitset) AndCountWith(other *Bitset) int {
+	if b.n != other.n {
+		panic("bitset: AndCountWith length mismatch")
+	}
+	c := 0
+	for i, w := range other.words {
+		b.words[i] &= w
+		c += bits.OnesCount64(b.words[i])
+	}
+	return c
+}
+
+// AndNotOf sets b = x &^ y in a single pass (all same length) — the
+// fused difference kernel filter lowering uses to build FALSE masks
+// without a Clone+AndNot double pass.
+func (b *Bitset) AndNotOf(x, y *Bitset) {
+	if b.n != x.n || b.n != y.n {
+		panic("bitset: AndNotOf length mismatch")
+	}
+	for i := range b.words {
+		b.words[i] = x.words[i] &^ y.words[i]
+	}
+}
+
+// AnyWords reports whether any word in ws has a set bit — the kernel
+// behind segment-skip detection over a flat mask's word windows.
+func AnyWords(ws []uint64) bool {
+	for _, w := range ws {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountWords returns the total popcount of ws — the kernel behind
+// per-segment selectivity accounting in the adaptive shard splitter.
+func CountWords(ws []uint64) int {
+	c := 0
+	for _, w := range ws {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
 	c := 0

@@ -55,6 +55,15 @@ func Advance(res *Result, grown *engine.Table) (*Result, error) {
 // call). Retrying AdvanceCtx on the same res, or re-running the
 // statement from scratch, must yield bit-identical results.
 func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (out *Result, err error) {
+	return AdvanceWith(ctx, res, grown, Options{})
+}
+
+// AdvanceWith is AdvanceCtx with explicit execution options: the
+// planner knobs (NoGreedyOrdering, NoFilterLowering) apply to the
+// suffix filter, and NoSortCarry forces the full ORDER BY re-sort
+// instead of the incremental merge. Tests and benchmarks use it to pin
+// the fast paths against their reference counterparts.
+func AdvanceWith(ctx context.Context, res *Result, grown *engine.Table, opts Options) (out *Result, err error) {
 	defer engine.CatchSegmentLoad(&err)
 	if res == nil || res.Stmt == nil {
 		return nil, fmt.Errorf("exec: Advance of nil result")
@@ -128,7 +137,7 @@ func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (out *Res
 	// for non-lowerable trees evaluates just [oldN, newN) — otherwise a
 	// non-lowerable WHERE would silently reinstate the O(table)-per-batch
 	// rescan this path exists to avoid.
-	p, reason, err := planVector(ctx, grown, stmt, res.aggArgs, protos, Options{}, oldN)
+	p, reason, err := planVector(ctx, grown, stmt, res.aggArgs, protos, opts, oldN)
 	if err != nil {
 		return nil, err
 	}
@@ -234,9 +243,14 @@ func AdvanceCtx(ctx context.Context, res *Result, grown *engine.Table) (out *Res
 	out = &Result{
 		Stmt: stmt, Source: grown, Groups: groups,
 		aggArgs: res.aggArgs, aggItems: res.aggItems,
-		Plan: PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: 1, Incremental: true},
+		Plan: PlanInfo{
+			Vectorized: true, WhereLowered: p.lowered, Shards: 1, Incremental: true,
+			FilterConjuncts:      p.fstats.conjuncts,
+			FilterOrder:          p.fstats.order,
+			FilterShortCircuited: p.fstats.shortCircuited,
+		},
 	}
-	if err := out.materialize(); err != nil {
+	if err := out.materializeCarry(res, oldLens, opts.NoSortCarry); err != nil {
 		unclaim()
 		return nil, err
 	}

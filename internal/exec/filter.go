@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/engine"
@@ -64,6 +65,14 @@ func (lc lowerCtx) clauseBits(c predicate.Clause) (*bitset.Bitset, bool) {
 
 func (lc lowerCtx) nonNullBits(ci int) (*bitset.Bitset, bool) {
 	return lc.ix.NonNullBitsAtBase(ci, lc.base, lc.src.NumRows())
+}
+
+func (lc lowerCtx) clauseCount(c predicate.Clause) (int, bool) {
+	return lc.ix.ClauseCountAtBase(c, lc.base, lc.src.NumRows())
+}
+
+func (lc lowerCtx) nonNullCount(ci int) (int, bool) {
+	return lc.ix.NonNullCountAtBase(ci, lc.base, lc.src.NumRows())
 }
 
 // tfMask is a node's three-valued result: t holds the rows where it is
@@ -342,21 +351,331 @@ func literalComparable(colType engine.Type, lit engine.Value) bool {
 	return colType == engine.TString && lit.T == engine.TString
 }
 
+// ---------------------------------------------------------------------
+// Greedy clause ordering
+//
+// The WHERE pass mask of a root-level AND chain is the intersection of
+// the conjuncts' TRUE masks — order-independent, and the FALSE masks
+// are never consumed (a row passes iff the tree is TRUE). That makes
+// the chain a planning opportunity: evaluate the most selective
+// conjunct first, AND the rest in ascending estimated-TRUE order
+// through the fused AndCountWith kernel, and stop materializing
+// entirely once the running mask has no set bits — every remaining
+// conjunct can only be skipped, never change the result. Selectivity
+// estimates are the clause-mask popcounts predicate.Index caches per
+// (base, length) stamp: no table statistics, in the spirit of
+// janus-datalog's "greedy beats optimal" ordering result.
+//
+// The ordering is exact, not heuristic, about *lowerability*: every
+// conjunct is probed (or eagerly lowered, for nested OR/NOT subtrees)
+// before any short-circuit decision, so a tree the full Kleene lowering
+// would refuse — and whose per-row evaluation might error — is refused
+// here too, never silently truncated to its cheap prefix.
+
+// filterStats records the ordering decision for Result.Plan.
+type filterStats struct {
+	conjuncts      int   // root AND-chain conjuncts (0: not an ordered chain)
+	order          []int // evaluation order, as source-position indexes
+	shortCircuited int   // trailing conjuncts never materialized
+}
+
+// flattenAnd appends the non-AND leaves of e's root AND chain to out in
+// source (left-to-right) order.
+func flattenAnd(e expr.Expr, out []expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Bin); ok && b.Op == expr.OpAnd {
+		out = flattenAnd(b.L, out)
+		return flattenAnd(b.R, out)
+	}
+	return append(out, e)
+}
+
+// greedyConjunct is one AND-chain conjunct during planning: its source
+// position, estimated TRUE count, and — for subtrees the leaf prober
+// does not understand — an eagerly lowered TRUE mask.
+type greedyConjunct struct {
+	e   expr.Expr
+	pos int
+	est int
+	t   *bitset.Bitset // non-nil: already materialized
+}
+
+// probeLeafEst estimates the TRUE-mask popcount of a simple conjunct
+// without materializing anything beyond the index's own cached clause
+// masks. ok is false when e is not one of the simple leaf shapes (the
+// caller then lowers it eagerly) — the checks for the shapes it does
+// accept mirror lowerTF exactly, so a conjunct it approves always
+// lowers. aborted reports an index base mismatch: the whole lowering
+// must be abandoned for the per-row path.
+func probeLeafEst(e expr.Expr, lc lowerCtx) (est int, ok, aborted bool) {
+	n := lc.src.NumRows()
+	switch node := e.(type) {
+	case *expr.Lit:
+		if !node.Val.IsNull() && node.Val.Bool() {
+			return n, true, false
+		}
+		return 0, true, false
+
+	case *expr.Bin:
+		if !node.Op.IsComparison() {
+			return 0, false, false
+		}
+		col, lit, op, ok := comparisonShape(node)
+		if !ok {
+			return 0, false, false
+		}
+		ci := lc.src.Schema().ColIndex(col.Name)
+		if ci < 0 {
+			return 0, false, false
+		}
+		if lit.Val.IsNull() {
+			return 0, true, false
+		}
+		if !literalComparable(lc.src.Schema()[ci].Type, lit.Val) {
+			return 0, false, false
+		}
+		cnt, okC := lc.clauseCount(predicate.Clause{Col: col.Name, Op: op, Val: lit.Val})
+		if !okC {
+			return 0, false, true
+		}
+		return cnt, true, false
+
+	case *expr.IsNull:
+		col, ok := node.X.(*expr.Col)
+		if !ok {
+			return 0, false, false
+		}
+		ci := lc.src.Schema().ColIndex(col.Name)
+		if ci < 0 {
+			return 0, false, false
+		}
+		nn, okC := lc.nonNullCount(ci)
+		if !okC {
+			return 0, false, true
+		}
+		if node.Invert {
+			return nn, true, false
+		}
+		return n - nn, true, false
+
+	case *expr.Between:
+		col, ok := node.X.(*expr.Col)
+		if !ok {
+			return 0, false, false
+		}
+		lo, okLo := node.Lo.(*expr.Lit)
+		hi, okHi := node.Hi.(*expr.Lit)
+		if !okLo || !okHi {
+			return 0, false, false
+		}
+		ci := lc.src.Schema().ColIndex(col.Name)
+		if ci < 0 {
+			return 0, false, false
+		}
+		if lo.Val.IsNull() || hi.Val.IsNull() {
+			return 0, true, false // range test is NULL everywhere, T empty
+		}
+		colType := lc.src.Schema()[ci].Type
+		if !literalComparable(colType, lo.Val) || !literalComparable(colType, hi.Val) {
+			return 0, false, false
+		}
+		ge, okGe := lc.clauseCount(predicate.Clause{Col: col.Name, Op: predicate.OpGe, Val: lo.Val})
+		le, okLe := lc.clauseCount(predicate.Clause{Col: col.Name, Op: predicate.OpLe, Val: hi.Val})
+		nn, okNN := lc.nonNullCount(ci)
+		if !okGe || !okLe || !okNN {
+			return 0, false, true
+		}
+		est = ge
+		if le < est {
+			est = le
+		}
+		if node.Invert {
+			// NOT BETWEEN matches at most the non-NULL rows outside the
+			// narrower bound.
+			est = nn - est
+			if est < 0 {
+				est = 0
+			}
+		}
+		return est, true, false
+
+	case *expr.In:
+		col, ok := node.X.(*expr.Col)
+		if !ok {
+			return 0, false, false
+		}
+		ci := lc.src.Schema().ColIndex(col.Name)
+		if ci < 0 {
+			return 0, false, false
+		}
+		sum, sawNull := 0, false
+		for _, le := range node.List {
+			lit, ok := le.(*expr.Lit)
+			if !ok {
+				return 0, false, false
+			}
+			if lit.Val.IsNull() {
+				sawNull = true
+				continue
+			}
+			cnt, okC := lc.clauseCount(predicate.Clause{Col: col.Name, Op: predicate.OpEq, Val: lit.Val})
+			if !okC {
+				return 0, false, true
+			}
+			sum += cnt
+		}
+		if sum > n {
+			sum = n
+		}
+		if !node.Invert {
+			return sum, true, false
+		}
+		if sawNull {
+			return 0, true, false // NOT IN with a NULL literal is never TRUE
+		}
+		nn, okNN := lc.nonNullCount(ci)
+		if !okNN {
+			return 0, false, true
+		}
+		est = nn - sum
+		if est < 0 {
+			est = 0
+		}
+		return est, true, false
+
+	default:
+		return 0, false, false
+	}
+}
+
+// lowerLeafTrue materializes the TRUE mask of a conjunct probeLeafEst
+// approved — the T half of lowerTF's result for the same node, without
+// building the FALSE mask a root conjunct never needs. The returned
+// bitset may alias a shared cached mask (read-only).
+func lowerLeafTrue(e expr.Expr, lc lowerCtx) (*bitset.Bitset, bool) {
+	n := lc.src.NumRows()
+	switch node := e.(type) {
+	case *expr.Lit:
+		b := bitset.New(n)
+		if !node.Val.IsNull() && node.Val.Bool() {
+			b.Fill()
+		}
+		return b, true
+
+	case *expr.Bin:
+		m, ok := lowerComparison(node, lc)
+		if !ok {
+			return nil, false
+		}
+		return m.t, true
+
+	case *expr.IsNull:
+		ci := lc.src.Schema().ColIndex(node.X.(*expr.Col).Name)
+		nn, ok := lc.nonNullBits(ci)
+		if !ok {
+			return nil, false
+		}
+		if node.Invert {
+			return nn, true
+		}
+		isNull := bitset.New(n)
+		isNull.Fill()
+		isNull.AndNot(nn)
+		return isNull, true
+
+	case *expr.Between, *expr.In:
+		m, ok := lowerTF(e, lc)
+		if !ok {
+			return nil, false
+		}
+		return m.t, true
+	}
+	return nil, false
+}
+
+// lowerWhereGreedy lowers a root AND chain of 2+ conjuncts in greedy
+// selectivity order with short-circuit. ok is false when the tree is
+// not such a chain or contains a non-lowerable conjunct — exactly the
+// trees lowerWhere refuses — and the caller falls through.
+func lowerWhereGreedy(e expr.Expr, lc lowerCtx) (*bitset.Bitset, filterStats, bool) {
+	parts := flattenAnd(e, nil)
+	if len(parts) < 2 {
+		return nil, filterStats{}, false
+	}
+	conj := make([]greedyConjunct, len(parts))
+	for i, pe := range parts {
+		est, simple, aborted := probeLeafEst(pe, lc)
+		if aborted {
+			return nil, filterStats{}, false
+		}
+		if !simple {
+			// Nested OR/NOT/… subtree: lower it in full now. Its exact
+			// TRUE count doubles as the estimate, and a refusal here is a
+			// refusal of the whole tree (matching lowerWhere).
+			m, ok := lowerTF(pe, lc)
+			if !ok {
+				return nil, filterStats{}, false
+			}
+			conj[i] = greedyConjunct{e: pe, pos: i, est: m.t.Count(), t: m.t}
+			continue
+		}
+		conj[i] = greedyConjunct{e: pe, pos: i, est: est}
+	}
+	sort.SliceStable(conj, func(a, b int) bool { return conj[a].est < conj[b].est })
+
+	stats := filterStats{conjuncts: len(conj), order: make([]int, len(conj))}
+	for i, c := range conj {
+		stats.order[i] = c.pos
+	}
+	var running *bitset.Bitset
+	count := -1
+	for i, c := range conj {
+		if count == 0 {
+			// Running TRUE mask is empty: no remaining conjunct can set a
+			// bit, so none is materialized. Conjuncts were all validated
+			// as lowerable above, so skipping them cannot hide an error
+			// the per-row path would have surfaced.
+			stats.shortCircuited = len(conj) - i
+			break
+		}
+		t := c.t
+		if t == nil {
+			var ok bool
+			if t, ok = lowerLeafTrue(c.e, lc); !ok {
+				return nil, filterStats{}, false
+			}
+		}
+		if running == nil {
+			running = t.Clone()
+			count = running.Count()
+			continue
+		}
+		count = running.AndCountWith(t)
+	}
+	return running, stats, true
+}
+
 // buildFilter produces the WHERE pass mask for src: lowered onto clause
-// masks when possible, otherwise (or when lowering is disabled) by
+// masks when possible — root AND chains in greedy most-selective-first
+// order with short-circuit unless noGreedy, everything else through the
+// full Kleene lowering — otherwise (or when lowering is disabled) by
 // scanning rows through expr.EvalBool exactly like the boxed executor.
-// A nil where yields (nil, true, nil): no filtering. Bits below "from"
+// A nil where yields (nil, true): no filtering. Bits below "from"
 // may be left unset: callers that only consume a suffix (exec.Advance)
 // pass the first row they will read, which keeps the scalar fallback
 // O(suffix) instead of O(table); full scans pass 0.
-func buildFilter(ctx context.Context, src *engine.Table, where expr.Expr, noLowering bool, from int) (pass *bitset.Bitset, lowered bool, err error) {
+func buildFilter(ctx context.Context, src *engine.Table, where expr.Expr, noLowering, noGreedy bool, from int) (pass *bitset.Bitset, lowered bool, stats filterStats, err error) {
 	if where == nil {
-		return nil, true, nil
+		return nil, true, filterStats{}, nil
 	}
 	if !noLowering {
 		lc := lowerCtx{ix: tableIndex(src), src: src, base: src.Base()}
+		if !noGreedy {
+			if pass, stats, ok := lowerWhereGreedy(where, lc); ok {
+				return pass, true, stats, nil
+			}
+		}
 		if pass, ok := lowerWhere(where, lc); ok {
-			return pass, true, nil
+			return pass, true, filterStats{}, nil
 		}
 	}
 	// Scalar fallback: per-row three-valued evaluation, aborting on the
@@ -369,17 +688,17 @@ func buildFilter(ctx context.Context, src *engine.Table, where expr.Expr, noLowe
 	for r := from; r < n; r++ {
 		if (r-from)%ctxCheckRows == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, false, ctxErr(err)
+				return nil, false, filterStats{}, ctxErr(err)
 			}
 		}
 		rr.RowInto(r, row)
 		ok, err := expr.EvalBool(where, row)
 		if err != nil {
-			return nil, false, err
+			return nil, false, filterStats{}, err
 		}
 		if ok {
 			pass.Set(r)
 		}
 	}
-	return pass, false, nil
+	return pass, false, filterStats{}, nil
 }

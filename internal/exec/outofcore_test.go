@@ -253,3 +253,141 @@ func TestOutOfCoreZoneSkip(t *testing.T) {
 		t.Fatalf("expected at least %d skipped segments, got %+v", nseg-1, resNone.Plan)
 	}
 }
+
+// TestOutOfCoreZoneEdgeValues pins zone-map pruning on the float edge
+// cases the verdict logic must treat exactly like engine.Compare:
+// signed zeros (one value — a segment holding only -0.0 must never be
+// skipped by f >= 0), NaN (compares equal to everything, so it matches
+// every cmp==0 op and no strict op), all-NaN segments (no finite
+// range), and NULLs. Each segment-sized batch holds one edge
+// population; a battery of comparison predicates must come back
+// bit-identical to the resident boxed oracle, with pruning still
+// engaging where it provably can.
+func TestOutOfCoreZoneEdgeValues(t *testing.T) {
+	fs := store.NewMemFS()
+	st, err := store.Open("d", oocOpts(fs, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := engine.Schema{
+		{Name: "g", Type: engine.TInt},
+		{Name: "f", Type: engine.TFloat},
+	}
+	if err := st.CreateTable("p", schema, engine.MinSegmentBits); err != nil {
+		t.Fatal(err)
+	}
+	segRows := 1 << engine.MinSegmentBits
+	segVal := func(k, r int) engine.Value {
+		switch k {
+		case 0:
+			return engine.NewFloat(math.Copysign(0, -1)) // only -0.0
+		case 1:
+			return engine.NewFloat(0) // only +0.0
+		case 2:
+			return engine.NewFloat(math.NaN()) // all NaN, no finite range
+		case 3:
+			return engine.NewFloat(100 + float64(r)*0.25) // far from zero
+		default: // mixed NULL / NaN / -0.0 / 1.0
+			switch r % 4 {
+			case 0:
+				return engine.Null
+			case 1:
+				return engine.NewFloat(math.NaN())
+			case 2:
+				return engine.NewFloat(math.Copysign(0, -1))
+			default:
+				return engine.NewFloat(1)
+			}
+		}
+	}
+	for k := 0; k < 5; k++ {
+		rows := make([][]engine.Value, segRows)
+		for r := range rows {
+			rows[r] = []engine.Value{engine.NewInt(int64(k)), segVal(k, r)}
+		}
+		if _, err := st.Append("p", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unsealed tail so all five edge segments above are sealed+faultable.
+	tail := make([][]engine.Value, 10)
+	for r := range tail {
+		tail[r] = []engine.Value{engine.NewInt(9), engine.NewFloat(0.5)}
+	}
+	if _, err := st.Append("p", tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	oracleSt, oracle := reopen(t, fs, 0)
+	if err := oracleSt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lazySt, lazy := reopen(t, fs, 4096)
+	defer lazySt.Close()
+
+	queries := []string{
+		"SELECT g, count(*) AS n FROM p WHERE f >= 0 GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f = 0 GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f <= 0 GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f < 0 GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f > 0 GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f = 100 GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f != 0 GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f IS NULL GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f IS NOT NULL GROUP BY g",
+		"SELECT g, count(*) AS n FROM p WHERE f BETWEEN -1 AND 1 GROUP BY g",
+	}
+	for _, sql := range queries {
+		stmt := mustParse(t, sql)
+		ref, err := RunOnWith(oracle, stmt, Options{ForceScalar: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 4} {
+			res, err := RunOnWith(lazy, stmt, Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("shards=%d [%s]", shards, sql)
+			tablesEqual(t, label, ref.Table, res.Table)
+			groupsEqual(t, label, ref, res)
+		}
+		if n := lazySt.PoolPinned(); n != 0 {
+			t.Fatalf("%d chunks still pinned after [%s]", n, sql)
+		}
+	}
+
+	// f >= 0 matches the -0.0 segment (64), the +0.0 segment (64), the
+	// all-NaN segment (NaN compares equal to everything: 64), the far
+	// segment (64), the mixed segment's NaN/-0.0/1.0 rows (48), and the
+	// tail (10). The -0.0-only segment contributing all 64 is the
+	// regression this test exists for.
+	res, err := RunOnWith(lazy, mustParse(t, "SELECT count(*) AS n FROM p WHERE f >= 0"), Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Table.Row(0)[0].Float(); got != 4*64+48+10 {
+		t.Fatalf("f >= 0 matched %v rows, want %d", got, 4*64+48+10)
+	}
+
+	// f < 0 is provably empty in every segment: the zero segments' range
+	// is [0,0] (seal canonicalizes -0.0), NaN never satisfies a strict
+	// op, and the mixed segment's finite range starts at 0 — all five
+	// sealed segments skip without faulting.
+	resLt, err := RunOnWith(lazy, mustParse(t, "SELECT count(*) AS n FROM p WHERE f < 0 GROUP BY g"), Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resLt.Groups) != 0 {
+		t.Fatalf("f < 0 matched %d groups", len(resLt.Groups))
+	}
+	if resLt.Plan.SegsSkipped < 5 {
+		t.Fatalf("f < 0 should zone-skip all 5 sealed segments: %+v", resLt.Plan)
+	}
+	if resLt.Plan.ChunksFaulted != 0 {
+		t.Fatalf("fully-pruned f < 0 still faulted: %+v", resLt.Plan)
+	}
+}

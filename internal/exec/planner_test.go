@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/store"
+)
+
+// Differential harnesses for the statistics-free planner: greedy clause
+// ordering must be invisible in every output bit (tables, group order,
+// lineage, errors) next to left-to-right evaluation and the boxed
+// scalar oracle, and the incremental ORDER BY merge must be invisible
+// next to the full re-sort. Both run under adversarial configurations —
+// a 4 KiB thrash pool with 4 shards for the filter, append/retention
+// chains for the sort — because those are the paths the optimizations
+// actually reorder work on.
+
+// randAndChain builds a WHERE that is a root AND chain of 2..5
+// conjuncts — the shape the greedy planner orders. Conjuncts are
+// randWhere subtrees at depth 1, so the chain mixes simple probeable
+// leaves, nested OR/NOT subtrees (eagerly lowered), further ANDs
+// (flattened into the chain), and non-lowerable nodes (LIKE,
+// arithmetic) that must refuse the whole lowering.
+func randAndChain(rng *rand.Rand) expr.Expr {
+	e := randWhere(rng, 1)
+	for k := 1 + rng.Intn(4); k > 0; k-- {
+		e = expr.NewBin(expr.OpAnd, e, randWhere(rng, 1))
+	}
+	return e
+}
+
+// TestGreedyFilterParityOutOfCore pins greedy-ordered filter evaluation
+// bit-identical to left-to-right evaluation and to the boxed scalar
+// oracle, over an out-of-core table served through a 4 KiB thrash pool
+// with 4 scan shards — the config where the ordering, short-circuit,
+// and adaptive shard split all engage at once.
+func TestGreedyFilterParityOutOfCore(t *testing.T) {
+	sawOrdered, sawShortCircuit := false, false
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		fs := store.NewMemFS()
+		buildOOCTable(t, fs, rng, 6+rng.Intn(4))
+
+		oracleSt, oracle := reopen(t, fs, 0)
+		if err := oracleSt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		lazySt, lazy := reopen(t, fs, 4096)
+
+		for iter := 0; iter < 30; iter++ {
+			stmt, _ := randStmt(rng)
+			stmt.Where = randAndChain(rng)
+			sql := stmt.String()
+
+			ref, refErr := RunOnWith(oracle, stmt, Options{ForceScalar: true})
+			greedy, gErr := RunOnWith(lazy, stmt, Options{Shards: 4})
+			ltr, lErr := RunOnWith(lazy, stmt, Options{Shards: 4, NoGreedyOrdering: true})
+			if (refErr != nil) != (gErr != nil) || (refErr != nil) != (lErr != nil) {
+				t.Fatalf("seed %d iter %d: error disagreement\nsql: %s\nref: %v\ngreedy: %v\nltr: %v",
+					seed, iter, sql, refErr, gErr, lErr)
+			}
+			if refErr != nil {
+				continue
+			}
+			for label, res := range map[string]*Result{"greedy": greedy, "left-to-right": ltr} {
+				tablesEqual(t, fmt.Sprintf("seed %d iter %d %s [%s]", seed, iter, label, sql), ref.Table, res.Table)
+				groupsEqual(t, fmt.Sprintf("seed %d iter %d %s [%s]", seed, iter, label, sql), ref, res)
+			}
+			if ltr.Plan.FilterConjuncts != 0 {
+				t.Fatalf("seed %d iter %d: NoGreedyOrdering still recorded an ordered chain: %+v", seed, iter, ltr.Plan)
+			}
+			if greedy.Plan.Vectorized && greedy.Plan.WhereLowered {
+				// A lowered root AND chain must record its ordering: the
+				// order is a permutation of the source positions.
+				if greedy.Plan.FilterConjuncts < 2 {
+					t.Fatalf("seed %d iter %d: lowered AND chain not ordered: %+v\nsql: %s", seed, iter, greedy.Plan, sql)
+				}
+				seen := make(map[int]bool)
+				for _, p := range greedy.Plan.FilterOrder {
+					if p < 0 || p >= greedy.Plan.FilterConjuncts || seen[p] {
+						t.Fatalf("seed %d iter %d: FilterOrder %v is not a permutation of %d conjuncts",
+							seed, iter, greedy.Plan.FilterOrder, greedy.Plan.FilterConjuncts)
+					}
+					seen[p] = true
+				}
+				sawOrdered = true
+				if greedy.Plan.FilterShortCircuited > 0 {
+					sawShortCircuit = true
+				}
+			}
+			if n := lazySt.PoolPinned(); n != 0 {
+				t.Fatalf("seed %d iter %d: %d chunks still pinned [%s]", seed, iter, n, sql)
+			}
+		}
+		if err := lazySt.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawOrdered || !sawShortCircuit {
+		t.Fatalf("harness coverage: sawOrdered=%v sawShortCircuit=%v", sawOrdered, sawShortCircuit)
+	}
+}
+
+// TestAdvanceSortCarryParity pins the incremental ORDER BY merge
+// bit-identical to the full re-sort and to a from-scratch scalar run,
+// across 3-step append/retention chains. Two advance chains run side by
+// side from the same statement — one carrying the sort, one forced to
+// re-sort — so any divergence names the culprit directly.
+func TestAdvanceSortCarryParity(t *testing.T) {
+	ctx := context.Background()
+	carried := 0
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed * 77))
+		tbl := tinySegTable(rng, 100+rng.Intn(200))
+		for iter := 0; iter < 12; iter++ {
+			stmt, _ := randStmt(rng)
+			// The carry is the subject: every statement sorts (an aggregate
+			// output whose value changes as batches land, so carried groups
+			// and re-sorted newcomers interleave), and half also HAVING-
+			// filter so verdict flips are in play too.
+			stmt.OrderBy = []sqlparse.OrderItem{{Expr: expr.NewCol("a0"), Desc: rng.Intn(2) == 0}}
+			if rng.Intn(2) == 0 {
+				stmt.Having = expr.NewBin(expr.OpGt, expr.NewCol("a0"), expr.Int(0))
+			}
+			sql := stmt.String()
+			cur := tbl
+			resCarry, err := RunOn(cur, stmt)
+			if err != nil {
+				continue
+			}
+			resFull, err := RunOn(cur, stmt)
+			if err != nil {
+				t.Fatalf("seed %d iter %d: second fresh run errored: %v\nsql: %s", seed, iter, err, sql)
+			}
+			for step := 0; step < 3; step++ {
+				grown, err := cur.AppendBatch(batchRows(rng, boundaryBatchSize(rng, cur)))
+				if err != nil {
+					t.Fatalf("seed %d iter %d step %d: AppendBatch: %v", seed, iter, step, err)
+				}
+				cur = grown
+				if rng.Intn(3) == 0 {
+					keep := cur.SegRows() * (1 + rng.Intn(4))
+					nt, _, err := cur.RetainTail(engine.RetentionPolicy{MaxRows: keep})
+					if err != nil {
+						t.Fatal(err)
+					}
+					cur = nt
+				}
+				advCarry, err := AdvanceWith(ctx, resCarry, cur, Options{})
+				if err != nil {
+					t.Fatalf("seed %d iter %d step %d: AdvanceWith: %v\nsql: %s", seed, iter, step, err, sql)
+				}
+				advFull, err := AdvanceWith(ctx, resFull, cur, Options{NoSortCarry: true})
+				if err != nil {
+					t.Fatalf("seed %d iter %d step %d: AdvanceWith(NoSortCarry): %v\nsql: %s", seed, iter, step, err, sql)
+				}
+				if advFull.Plan.SortCarried {
+					t.Fatalf("seed %d iter %d step %d: NoSortCarry advance still carried the sort", seed, iter, step)
+				}
+				ref, err := RunOnWith(cur, stmt, Options{ForceScalar: true})
+				if err != nil {
+					t.Fatalf("seed %d iter %d step %d: reference run: %v\nsql: %s", seed, iter, step, err, sql)
+				}
+				label := fmt.Sprintf("seed %d iter %d step %d [%s]", seed, iter, step, sql)
+				tablesEqual(t, label+" carry", ref.Table, advCarry.Table)
+				groupsEqual(t, label+" carry", ref, advCarry)
+				tablesEqual(t, label+" full", ref.Table, advFull.Table)
+				groupsEqual(t, label+" full", ref, advFull)
+				if advCarry.Plan.SortCarried {
+					carried++
+				}
+				resCarry, resFull = advCarry, advFull
+			}
+			tbl = cur
+		}
+	}
+	if carried == 0 {
+		t.Fatal("incremental sort merge never engaged across the whole harness")
+	}
+}

@@ -52,6 +52,14 @@ type Options struct {
 	// NoFilterLowering disables WHERE clause-mask lowering; the filter
 	// is built by per-row evaluation instead. For tests.
 	NoFilterLowering bool
+	// NoGreedyOrdering disables greedy selectivity ordering of lowered
+	// AND chains; conjuncts evaluate left-to-right through the full
+	// Kleene lowering instead. For tests and benchmarks.
+	NoGreedyOrdering bool
+	// NoSortCarry disables the incremental ORDER BY merge in Advance;
+	// every advance re-sorts the full group output. For tests and
+	// benchmarks.
+	NoSortCarry bool
 }
 
 // PlanInfo records which strategy an execution actually took; tests and
@@ -85,6 +93,22 @@ type PlanInfo struct {
 	// ChunksResident counts segment-cursor pins served from memory —
 	// resident chunks or buffer-pool hits.
 	ChunksResident int
+	// FilterConjuncts is the number of root AND-chain conjuncts the
+	// greedy filter planner ordered (0 when the WHERE was not an
+	// ordered chain — absent, single-conjunct, or not lowered).
+	FilterConjuncts int
+	// FilterOrder is the greedy evaluation order as source-position
+	// indexes into the AND chain (nil when FilterConjuncts is 0). An
+	// entry of 2 first means the third conjunct in source order was
+	// estimated most selective and evaluated first.
+	FilterOrder []int
+	// FilterShortCircuited counts trailing conjuncts never materialized
+	// because the running TRUE mask emptied first.
+	FilterShortCircuited int
+	// SortCarried is true when an incremental Advance merged changed and
+	// new groups into the carried ORDER BY order instead of re-sorting
+	// the full output.
+	SortCarried bool
 }
 
 // errVectorAbort signals mid-scan discovery that the statement needs
@@ -170,6 +194,7 @@ type vectorPlan struct {
 	args      []argSrc
 	filter    *bitset.Bitset // nil: no WHERE
 	lowered   bool
+	fstats    filterStats
 	denseSize int // >0: single string group column, dense slot table
 	mergeable bool
 }
@@ -239,11 +264,11 @@ func planVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStm
 		}
 	}
 
-	filter, lowered, err := buildFilter(ctx, src, stmt.Where, opts.NoFilterLowering, filterFrom)
+	filter, lowered, fstats, err := buildFilter(ctx, src, stmt.Where, opts.NoFilterLowering, opts.NoGreedyOrdering, filterFrom)
 	if err != nil {
 		return nil, "", err
 	}
-	p.filter, p.lowered = filter, lowered
+	p.filter, p.lowered, p.fstats = filter, lowered, fstats
 	return p, "", nil
 }
 
@@ -552,14 +577,7 @@ func (ss *shardScan) countSkips(words []uint64) {
 		if !ss.plan.src.SegmentFaultable(k) {
 			continue
 		}
-		skipped := true
-		for wi := k * segRows / 64; wi < (k+1)*segRows/64; wi++ {
-			if words[wi] != 0 {
-				skipped = false
-				break
-			}
-		}
-		if skipped {
+		if !bitset.AnyWords(words[k*segRows/64 : (k+1)*segRows/64]) {
 			ss.segsSkipped++
 		}
 	}
@@ -675,6 +693,71 @@ func shardRanges(n, segRows, nshards int) [][2]int {
 	return out
 }
 
+// adaptiveShardRanges splits [0, n) into at most nshards contiguous,
+// 64-row-aligned ranges balanced by *surviving* filter popcount rather
+// than raw row count. shardRanges' fixed whole-segment split serializes
+// a scan whenever zone-map pruning zeroes all but one segment: every
+// surviving row lands in one shard while the rest count zeros. Here
+// skipped segments contribute nothing to the range math — they ride
+// along inside whichever range surrounds them (always whole, so
+// countSkips still sees them wholly inside one shard) — and a hot
+// segment carrying more than one shard's share of survivors is
+// subdivided on bitset-word boundaries, the finest granularity at which
+// shard ranges never straddle a mask word.
+//
+// Every emitted cut closes a range holding at least
+// target = ceil(totalPop/nshards) surviving rows, so at most nshards
+// ranges come back, non-overlapping and exhaustive over [0, n).
+func adaptiveShardRanges(n, segRows, nshards int, filter *bitset.Bitset) [][2]int {
+	words := filter.Words()
+	nwords := (n + 63) / 64
+	words = words[:nwords]
+	total := bitset.CountWords(words)
+	if total == 0 || nshards <= 1 {
+		// Nothing survives the filter (or one shard): a single range —
+		// the scan only counts skips and touches no rows.
+		return [][2]int{{0, n}}
+	}
+	target := (total + nshards - 1) / nshards
+	segWords := segRows / 64 // segment boundaries are word boundaries
+	out := make([][2]int, 0, nshards)
+	lo, acc := 0, 0 // current range start (words) and its popcount
+	cut := func(hiWord int) {
+		hiRow := hiWord * 64
+		if hiRow > n {
+			hiRow = n
+		}
+		out = append(out, [2]int{lo * 64, hiRow})
+		lo, acc = hiWord, 0
+	}
+	for segLo := 0; segLo < nwords; segLo += segWords {
+		segHi := segLo + segWords
+		if segHi > nwords {
+			segHi = nwords
+		}
+		segPop := bitset.CountWords(words[segLo:segHi])
+		if segPop > target && len(out) < nshards-1 {
+			// Hot segment: more survivors than one shard's share.
+			// Subdivide on word boundaries, continuing the running range.
+			for wi := segLo; wi < segHi; wi++ {
+				acc += bits.OnesCount64(words[wi])
+				if acc >= target && len(out) < nshards-1 {
+					cut(wi + 1)
+				}
+			}
+			continue
+		}
+		acc += segPop
+		if acc >= target && len(out) < nshards-1 {
+			cut(segHi)
+		}
+	}
+	if lo*64 < n {
+		cut(nwords)
+	}
+	return out
+}
+
 // runVector executes a grouped statement through the vectorized
 // pipeline. A non-empty reason (with nil Result and error) means the
 // caller should run the boxed reference scan instead.
@@ -696,7 +779,11 @@ func runVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt
 		ss.run()
 		states = append(states, ss)
 	} else {
-		for _, r := range shardRanges(n, segRows, nshards) {
+		ranges := shardRanges(n, segRows, nshards)
+		if p.filter != nil {
+			ranges = adaptiveShardRanges(n, segRows, nshards, p.filter)
+		}
+		for _, r := range ranges {
 			states = append(states, newShardScan(p, r[0], r[1]))
 		}
 		nshards = len(states)
@@ -754,7 +841,12 @@ func runVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt
 		}
 	}
 
-	plan := PlanInfo{Vectorized: true, WhereLowered: p.lowered, Shards: nshards}
+	plan := PlanInfo{
+		Vectorized: true, WhereLowered: p.lowered, Shards: nshards,
+		FilterConjuncts:      p.fstats.conjuncts,
+		FilterOrder:          p.fstats.order,
+		FilterShortCircuited: p.fstats.shortCircuited,
+	}
 	for _, ss := range states {
 		plan.SegsSkipped += ss.segsSkipped
 		plan.ChunksFaulted += ss.chunksFaulted

@@ -54,6 +54,26 @@ type Index struct {
 type maskEntry struct {
 	chunks []*maskChunk
 	snap   *bitset.Bitset
+	// snapCount caches snap's popcount (valid iff snapCounted). It is
+	// the selectivity estimate the executor's greedy clause ordering
+	// reads, cached per (base, length) stamp: any extension or rebase
+	// clears snap, and re-stamping a snap resets the count with it.
+	snapCount   int
+	snapCounted bool
+}
+
+// countSnap returns the cached popcount of b when b is the entry's
+// current snap, computing and caching it on first request. Caller
+// holds ix.mu (write).
+func (e *maskEntry) countSnap(b *bitset.Bitset) int {
+	if e.snap != b {
+		return b.Count()
+	}
+	if !e.snapCounted {
+		e.snapCount = b.Count()
+		e.snapCounted = true
+	}
+	return e.snapCount
 }
 
 // maskChunk is one segment's worth of mask words.
@@ -212,6 +232,43 @@ func (ix *Index) ClauseBitsAtBase(c Clause, base, n int) (*bitset.Bitset, bool) 
 	return e.snapshot(n, ix.t), true
 }
 
+// ClauseCountAtBase returns the popcount of clause c's match mask over
+// the first n rows at base — the statistics-free selectivity estimate
+// the executor's greedy clause ordering sorts by. The count is cached
+// alongside the mask's (base, length) snapshot stamp, so steady-state
+// calls cost a map probe; any mask extension or retention rebase
+// invalidates it with the stamp. ok is false under the same
+// base-superseded condition as ClauseBitsAtBase.
+func (ix *Index) ClauseCountAtBase(c Clause, base, n int) (int, bool) {
+	b, ok := ix.ClauseBitsAtBase(c, base, n)
+	if !ok {
+		return 0, false
+	}
+	if c.Val.T == engine.TFloat && math.IsNaN(c.Val.F) {
+		return b.Count(), true // NaN clauses are built uncached; count likewise
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if e, ok := ix.clauses[c]; ok {
+		return e.countSnap(b), true
+	}
+	return b.Count(), true
+}
+
+// NonNullCountAtBase is ClauseCountAtBase for a column's non-NULL mask.
+func (ix *Index) NonNullCountAtBase(ci, base, n int) (int, bool) {
+	b, ok := ix.NonNullBitsAtBase(ci, base, n)
+	if !ok {
+		return 0, false
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if e, ok := ix.nonNull[ci]; ok {
+		return e.countSnap(b), true
+	}
+	return b.Count(), true
+}
+
 // NonNullBits returns the mask of rows where column ci is not NULL at
 // the newest synced length (empty for out-of-range columns). The
 // returned bitset is shared and read-only.
@@ -270,6 +327,7 @@ func (e *maskEntry) snapshot(n int, t *engine.Table) *bitset.Bitset {
 	b := e.stamp(n, t)
 	if n == e.built(t.SegRows()) {
 		e.snap = b
+		e.snapCounted = false
 	}
 	return b
 }

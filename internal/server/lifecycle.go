@@ -242,10 +242,14 @@ func (lc *lifecycle) timeoutFor(class requestClass, r *http.Request) time.Durati
 	return d
 }
 
-// retryAfterSeconds is the Retry-After header value (whole seconds,
-// minimum 1 — the header has no sub-second form).
+// retryAfterSeconds is the Retry-After header value: the configured
+// hint rounded UP to whole seconds, minimum 1. The header has no
+// sub-second form, and rounding down would understate the hint — a
+// 400ms hint emitted as "0" (or 1.4s as "1") invites clients back
+// before the backoff the operator asked for has elapsed, turning every
+// shed into an immediate-retry stampede.
 func (lc *lifecycle) retryAfterSeconds() string {
-	secs := int(lc.limits.RetryAfter.Round(time.Second) / time.Second)
+	secs := int((lc.limits.RetryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

@@ -216,3 +216,32 @@ func TestSessionLockBounded(t *testing.T) {
 		t.Fatalf("query after lock released: status %d", resp.StatusCode)
 	}
 }
+
+// TestRetryAfterSeconds pins the Retry-After rendering: the configured
+// hint rounds UP to whole seconds with a floor of 1 — the header has no
+// sub-second form, and a hint rendered as "0" (or truncated down) would
+// invite clients back before the configured backoff elapsed.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		hint time.Duration
+		want string
+	}{
+		{0, "1"},                               // unset: defaulted to 1s
+		{-5 * time.Second, "1"},                // nonsense: defaulted
+		{time.Millisecond, "1"},                // sub-second clamps up, never "0"
+		{400 * time.Millisecond, "1"},          // would round to "0" under Round()
+		{999 * time.Millisecond, "1"},          //
+		{time.Second, "1"},                     // exact seconds stay exact
+		{1400 * time.Millisecond, "2"},         // Round() would understate as "1"
+		{1500 * time.Millisecond, "2"},         //
+		{2 * time.Second, "2"},                 //
+		{2*time.Second + time.Nanosecond, "3"}, // any excess rounds up
+		{30 * time.Second, "30"},               //
+	}
+	for _, tc := range cases {
+		lc := &lifecycle{limits: Limits{RetryAfter: tc.hint}.withDefaults()}
+		if got := lc.retryAfterSeconds(); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.hint, got, tc.want)
+		}
+	}
+}

@@ -56,6 +56,14 @@ type Server struct {
 	segsSkipped    atomic.Int64
 	chunksFaulted  atomic.Int64
 	chunksResident atomic.Int64
+	// Planner accounting: queries whose WHERE was a greedily reordered
+	// AND chain, and conjuncts never materialized because the running
+	// mask emptied first (filter.go greedy ordering), plus advances
+	// that merged into the carried ORDER BY order instead of
+	// re-sorting.
+	filtersOrdered   atomic.Int64
+	conjunctsSkipped atomic.Int64
+	sortsCarried     atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -68,6 +76,13 @@ func (s *Server) recordScan(p exec.PlanInfo) {
 	s.segsSkipped.Add(int64(p.SegsSkipped))
 	s.chunksFaulted.Add(int64(p.ChunksFaulted))
 	s.chunksResident.Add(int64(p.ChunksResident))
+	if p.FilterConjuncts > 0 {
+		s.filtersOrdered.Add(1)
+		s.conjunctsSkipped.Add(int64(p.FilterShortCircuited))
+	}
+	if p.SortCarried {
+		s.sortsCarried.Add(1)
+	}
 }
 
 const (
@@ -1004,6 +1019,12 @@ func (s *Server) scanPayload() map[string]any {
 		"segs_skipped":    skipped,
 		"chunks_faulted":  faulted,
 		"chunks_resident": resident,
+		// Planner counters: how often greedy clause ordering ran, how
+		// many conjuncts its short-circuit never materialized, and how
+		// many advances kept their sorted output by incremental merge.
+		"filters_ordered":   s.filtersOrdered.Load(),
+		"conjuncts_skipped": s.conjunctsSkipped.Load(),
+		"sorts_carried":     s.sortsCarried.Load(),
 	}
 	if queries > 0 {
 		out["segs_skipped_per_query"] = float64(skipped) / float64(queries)

@@ -370,6 +370,16 @@ func computeZone(col engine.Column, vals []engine.Value, codes []int32) engine.Z
 			z.NaNCount++
 			continue
 		}
+		if f == 0 {
+			// Canonicalize -0.0 to +0.0, mirroring Value.Key(): the bounds
+			// round-trip through Float64bits, and engine semantics treat
+			// the two zeros as one value — without this, segments holding
+			// identical data would serialize different Min/Max bit
+			// patterns depending on which zero was seen first, and any
+			// future bit-level bound comparison would misjudge a segment
+			// whose only match for x >= 0 is a -0.0 stored as Min.
+			f = 0
+		}
 		if !z.HasRange {
 			z.Min, z.Max = f, f
 			z.HasRange = true
