@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseRoundTrip -fuzztime=$(FUZZTIME) ./internal/sqlparse
 	$(GO) test -run='^$$' -fuzz=FuzzParseExprRoundTrip -fuzztime=$(FUZZTIME) ./internal/sqlparse
 	$(GO) test -run='^$$' -fuzz=FuzzCompileParity -fuzztime=$(FUZZTIME) ./internal/expr
+	$(GO) test -run='^$$' -fuzz=FuzzResidualFilterParity -fuzztime=$(FUZZTIME) ./internal/exec
 
 # Coverage with a ratchet on the incremental-Debug core: the scoring
 # and ranking layers carry state across batches, so untested carry
@@ -97,12 +98,20 @@ bench:
 # ns/op + B/op + allocs/op per bench as JSON. Check the file in so each
 # PR's numbers diff against the last; override the output name with
 # BENCH_OUT=file.json when recording a new PR's numbers.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 bench-json:
 	@out=$$(mktemp); \
 	$(GO) test -run='^$$' -bench=. -benchmem -short . > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	$(GO) run ./cmd/benchjson < $$out > $(BENCH_OUT); rm -f $$out
 	@echo "wrote $(BENCH_OUT)"
+
+# The hardware-bound scan kernels: unrolled bitset word loops, the
+# masked float-fold crossover, and the end-to-end residual/masked
+# filter benchmarks that ride on them.
+bench-kernels:
+	$(GO) test -run='^$$' -bench='BenchmarkIter|BenchmarkAndCountWith|BenchmarkOrCountWith' -benchmem ./internal/bitset
+	$(GO) test -run='^$$' -bench='BenchmarkFoldMasked' -benchmem ./internal/agg
+	$(GO) test -run='^$$' -bench='BenchmarkResidualFilter|BenchmarkOrChainShortCircuit|BenchmarkMaskedAggregation' -benchmem .
 
 # Just the scoring hot path: the paper's interactivity claim lives here.
 bench-hot:

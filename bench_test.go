@@ -18,9 +18,11 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -998,4 +1000,264 @@ func AdvanceOrderByStep(ctx context.Context, res *exec.Result, grown *engine.Tab
 		return nil, fmt.Errorf("advance fell back: %+v", out.Plan)
 	}
 	return out, nil
+}
+
+// BenchmarkResidualFilter measures partial WHERE lowering on the shape
+// it exists for: an AND chain mixing a selective lowerable comparison
+// with a LIKE that cannot lower. Before residual masks the whole chain
+// fell back to per-row EvalBool over every row (the left-to-right mode
+// here); with them the comparison lowers to a cached clause mask and
+// the LIKE runs only on its survivors. The bench fails if the residual
+// path stops engaging or stops being at least 3x faster than the
+// boxed-WHERE fallback.
+func BenchmarkResidualFilter(b *testing.B) {
+	tbl, _ := datasets.FEC(datasets.FECConfig{Rows: 200_000, Seed: 7})
+	stmt, err := sqlparse.Parse(
+		"SELECT state, sum(amount) AS s, count(*) AS n FROM donations " +
+			"WHERE amount > 1000 AND city LIKE 'S%' GROUP BY state")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts exec.Options
+	}{
+		{"boxed-where", exec.Options{NoGreedyOrdering: true}},
+		{"residual", exec.Options{}},
+	}
+	// Warm the shared clause-mask cache so both modes measure
+	// steady-state lowering, not the first decode.
+	for _, mode := range modes {
+		if _, err := exec.RunOnWith(tbl, stmt, mode.opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	measure := func(opts exec.Options) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for k := 0; k < 3; k++ {
+			t0 := time.Now()
+			if _, err := exec.RunOnWith(tbl, stmt, opts); err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	if slow, fast := measure(modes[0].opts), measure(modes[1].opts); fast*3 > slow {
+		b.Fatalf("residual filter only %.2fx faster than boxed WHERE (%v vs %v)",
+			float64(slow)/float64(fast), fast, slow)
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var residualRows int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunOnWith(tbl, stmt, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				switch mode.name {
+				case "residual":
+					if res.Plan.ResidualConjuncts == 0 || res.Plan.FilterFallback != "" {
+						b.Fatalf("residual path not engaged: %+v", res.Plan)
+					}
+					residualRows += res.Plan.ResidualRows
+				case "boxed-where":
+					if res.Plan.FilterFallback == "" {
+						b.Fatalf("left-to-right mode unexpectedly lowered the chain: %+v", res.Plan)
+					}
+				}
+			}
+			if mode.name == "residual" {
+				b.ReportMetric(float64(residualRows)/float64(b.N), "residualrows/op")
+			}
+		})
+	}
+}
+
+// BenchmarkOrChainShortCircuit measures largest-first OR ordering: the
+// first disjunct below matches every row, so the ordered union fills
+// immediately and the remaining disjunct masks are never materialized.
+// Left-to-right lowering pays for all three. The bench fails if the
+// fill short-circuit stops engaging.
+func BenchmarkOrChainShortCircuit(b *testing.B) {
+	tbl, _ := datasets.Intel(datasets.IntelConfig{Rows: 200_000, Seed: 7})
+	stmt, err := sqlparse.Parse(
+		"SELECT moteid, count(*) AS n FROM readings " +
+			"WHERE humidity > -1000 OR temperature > 50 OR light > 500 GROUP BY moteid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts exec.Options
+	}{
+		{"left-to-right", exec.Options{NoGreedyOrdering: true}},
+		{"ordered", exec.Options{}},
+	}
+	for _, mode := range modes {
+		if _, err := exec.RunOnWith(tbl, stmt, mode.opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var skipped int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunOnWith(tbl, stmt, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				skipped += res.Plan.FilterShortCircuited
+			}
+			if mode.name == "ordered" {
+				if skipped == 0 {
+					b.Fatal("filled OR union never short-circuited")
+				}
+				b.ReportMetric(float64(skipped)/float64(b.N), "skipped/op")
+			}
+		})
+	}
+}
+
+// BenchmarkMaskedAggregation measures the mask-guarded global
+// aggregation kernels: a GROUP BY-free statement whose aggregates all
+// fold as floats runs FoldMasked over whole segment chunks instead of
+// per-row scanRow calls. The scalar reference is the baseline. The
+// bench fails if the masked path stops engaging.
+func BenchmarkMaskedAggregation(b *testing.B) {
+	tbl, _ := datasets.Intel(datasets.IntelConfig{Rows: 200_000, Seed: 7})
+	stmt, err := sqlparse.Parse(
+		"SELECT count(*) AS n, sum(temperature) AS s, min(temperature) AS mn, max(temperature) AS mx " +
+			"FROM readings WHERE humidity >= 35")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts exec.Options
+	}{
+		{"scalar", exec.Options{ForceScalar: true}},
+		{"masked", exec.Options{}},
+	}
+	for _, mode := range modes {
+		if _, err := exec.RunOnWith(tbl, stmt, mode.opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(200_000 * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunOnWith(tbl, stmt, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.name == "masked" && !res.Plan.MaskedAgg {
+					b.Fatalf("masked aggregation not engaged: %+v", res.Plan)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRetentionOrderBy measures ORDER BY carry across retention:
+// a windowed ordered statement advanced over append+retain steps keeps
+// both its group states (rebase) and its sort order (incremental
+// merge); the resort baseline re-sorts every step. The carry bench
+// fails if either the rebase or the sort merge stops engaging.
+func BenchmarkRetentionOrderBy(b *testing.B) {
+	const base = 16_384 // retained row budget (256 min-size segments)
+	const ngroups = 2_000
+	const batchSize = 128 // two segments appended (and dropped) per step
+	ctx := context.Background()
+	schema := engine.NewSchema("g", engine.TInt, "x", engine.TFloat)
+	stmt, err := sqlparse.Parse(fmt.Sprintf(
+		"SELECT g, sum(x) AS s, count(*) AS n FROM t WHERE x >= %d GROUP BY g ORDER BY s DESC", base/2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	makeRows := func(x0, k int) [][]engine.Value {
+		rows := make([][]engine.Value, k)
+		for r := range rows {
+			rows[r] = []engine.Value{
+				engine.NewInt(int64(1 + rng.Intn(ngroups))),
+				engine.NewFloat(float64(x0 + r)),
+			}
+		}
+		return rows
+	}
+	modes := []struct {
+		name string
+		opts exec.Options
+	}{
+		{"carry", exec.Options{}},
+		{"resort", exec.Options{NoSortCarry: true}},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			// Each restart rebuilds the family: the fixed cutoff stays
+			// ahead of the retention horizon for (base/2)/batchSize steps,
+			// after which dropped rows would enter the carried window.
+			setup := func() (*engine.Table, *exec.Result, int) {
+				tbl, err := engine.NewTableSeg("t", schema, engine.MinSegmentBits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for x := 0; x < base; x += 4096 {
+					if tbl, err = tbl.AppendBatch(makeRows(x, 4096)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				res, err := exec.RunOn(tbl, stmt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return tbl, res, base
+			}
+			tbl, res, next := setup()
+			steps, carried := 0, 0
+			maxSteps := (base / 2) / batchSize / 2 // halfway to the cutoff: comfortably rebasable
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if steps == maxSteps {
+					b.StopTimer()
+					tbl, res, next = setup()
+					steps = 0
+					b.StartTimer()
+				}
+				grown, err := tbl.AppendBatch(makeRows(next, batchSize))
+				if err != nil {
+					b.Fatal(err)
+				}
+				next += batchSize
+				retained, _, err := grown.RetainTail(engine.RetentionPolicy{MaxRows: base})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = AdvanceOrderByStep(ctx, res, retained, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Plan.SortCarried {
+					carried++
+				}
+				tbl = retained
+				steps++
+			}
+			if mode.name == "carry" && carried == 0 {
+				b.Fatal("ordered retention advance never carried the sort")
+			}
+			b.ReportMetric(float64(carried)/float64(b.N), "carried/op")
+		})
+	}
 }

@@ -153,6 +153,46 @@
 // bit-identical to left-to-right evaluation and the boxed scalar
 // oracle.
 //
+// # Residual predicates and mixed-connective ordering
+//
+// Partial lowering extends the greedy AND chain to predicates that are
+// only PARTLY index-shaped (exec/filter.go). A chain mixing lowerable
+// comparisons with non-lowerable conjuncts (LIKE, computed arithmetic)
+// no longer abandons the whole WHERE to per-row evaluation: the
+// lowerable conjuncts fold into a running TRUE mask as before, and each
+// residual conjunct is evaluated per row ONLY on the bits of its
+// eligibility mask — the rows with no source-earlier known-FALSE
+// conjunct, walked with bitset.Iter over the unrolled word kernels.
+// That eligibility set is exactly the set of rows the scalar
+// evaluator's AND short-circuit would reach (FALSE short-circuits,
+// NULL does not), so error presence is preserved, not just values; the
+// chain still short-circuits, but on the eligibility mask emptying
+// rather than the pass mask, for the same reason. Reordering happens
+// only within maximal runs of lowered conjuncts between residuals,
+// keeping every guard relation intact. OR chains order too: disjuncts
+// lower to TRUE masks, union largest-first with a fused OR+popcount,
+// and stop the moment the union fills. Plan.ResidualConjuncts and
+// Plan.ResidualRows record the per-row work actually paid, and
+// Plan.FilterFallback carries a canonical reason vocabulary ("filter:
+// non-lowerable predicate shape" / "predicate index geometry mismatch"
+// / "lowering disabled") shared by the greedy and left-to-right paths.
+//
+// Below the planner, the hot word loops are hardware-shaped
+// (internal/bitset, internal/agg): And/AndNot/Or and the fused count
+// kernels run 4-wide unrolled, and a GROUP BY-free aggregation whose
+// arguments all fold as floats skips scanRow entirely — agg.FoldMasked
+// folds each segment chunk under the per-word effective mask (filter
+// &^ null), switching between set-bit iteration and a dense 64-lane
+// scan at a measured popcount crossover, in ascending row order so
+// float accumulation stays bit-identical to the scalar fold
+// (Plan.MaskedAgg). FuzzResidualFilterParity drives arbitrary parsed
+// predicates through buildFilter against the per-row EvalBool oracle;
+// /api/stats adds filters_residual and residual_rows; and
+// BenchmarkResidualFilter, BenchmarkOrChainShortCircuit,
+// BenchmarkMaskedAggregation and BenchmarkRetentionOrderBy pin the
+// optimizations — the residual bench fails if the path stops engaging
+// or drops under 3x the boxed-WHERE fallback.
+//
 // # Incremental maintenance and streaming ingest
 //
 // The paper's motivating scenario is continuous monitoring: readings

@@ -160,6 +160,24 @@ func (b *Bitset) Fill() {
 	b.trimTail()
 }
 
+// FillFrom sets every bit in [lo, Len()), leaving bits below lo
+// untouched — the window constructor for suffix-scoped filter masks.
+func (b *Bitset) FillFrom(lo int) {
+	if lo <= 0 {
+		b.Fill()
+		return
+	}
+	if lo >= b.n {
+		return
+	}
+	wi := lo / wordBits
+	b.words[wi] |= ^uint64(0) << (uint(lo) % wordBits)
+	for i := wi + 1; i < len(b.words); i++ {
+		b.words[i] = ^uint64(0)
+	}
+	b.trimTail()
+}
+
 // trimTail clears the unused high bits of the last word so Count and
 // iteration never see ghost bits.
 func (b *Bitset) trimTail() {
@@ -184,13 +202,28 @@ func (b *Bitset) CopyFrom(other *Bitset) {
 	copy(b.words, other.words)
 }
 
+// The word-level set-algebra kernels below unroll their loops 4 words
+// at a time. The Go compiler does not auto-vectorize, so the unroll is
+// what amortizes loop overhead (bounds check, counter, branch) across
+// 256 bits per iteration; the trailing scalar loop mops up the last
+// 0–3 words.
+
 // And intersects b with other in place (same length required).
 func (b *Bitset) And(other *Bitset) {
 	if b.n != other.n {
 		panic("bitset: And length mismatch")
 	}
-	for i, w := range other.words {
-		b.words[i] &= w
+	x := b.words
+	y := other.words[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] &= y[i]
+		x[i+1] &= y[i+1]
+		x[i+2] &= y[i+2]
+		x[i+3] &= y[i+3]
+	}
+	for ; i < len(x); i++ {
+		x[i] &= y[i]
 	}
 }
 
@@ -199,8 +232,17 @@ func (b *Bitset) AndNot(other *Bitset) {
 	if b.n != other.n {
 		panic("bitset: AndNot length mismatch")
 	}
-	for i, w := range other.words {
-		b.words[i] &^= w
+	x := b.words
+	y := other.words[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] &^= y[i]
+		x[i+1] &^= y[i+1]
+		x[i+2] &^= y[i+2]
+		x[i+3] &^= y[i+3]
+	}
+	for ; i < len(x); i++ {
+		x[i] &^= y[i]
 	}
 }
 
@@ -209,8 +251,17 @@ func (b *Bitset) Or(other *Bitset) {
 	if b.n != other.n {
 		panic("bitset: Or length mismatch")
 	}
-	for i, w := range other.words {
-		b.words[i] |= w
+	x := b.words
+	y := other.words[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] |= y[i]
+		x[i+1] |= y[i+1]
+		x[i+2] |= y[i+2]
+		x[i+3] |= y[i+3]
+	}
+	for ; i < len(x); i++ {
+		x[i] |= y[i]
 	}
 }
 
@@ -219,8 +270,18 @@ func (b *Bitset) IntersectOf(x, y *Bitset) {
 	if b.n != x.n || b.n != y.n {
 		panic("bitset: IntersectOf length mismatch")
 	}
-	for i := range b.words {
-		b.words[i] = x.words[i] & y.words[i]
+	d := b.words
+	xs := x.words[:len(d)]
+	ys := y.words[:len(d)]
+	i := 0
+	for ; i+4 <= len(d); i += 4 {
+		d[i] = xs[i] & ys[i]
+		d[i+1] = xs[i+1] & ys[i+1]
+		d[i+2] = xs[i+2] & ys[i+2]
+		d[i+3] = xs[i+3] & ys[i+3]
+	}
+	for ; i < len(d); i++ {
+		d[i] = xs[i] & ys[i]
 	}
 }
 
@@ -232,10 +293,79 @@ func (b *Bitset) AndCountWith(other *Bitset) int {
 	if b.n != other.n {
 		panic("bitset: AndCountWith length mismatch")
 	}
+	x := b.words
+	y := other.words[:len(x)]
 	c := 0
-	for i, w := range other.words {
-		b.words[i] &= w
-		c += bits.OnesCount64(b.words[i])
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		w0 := x[i] & y[i]
+		w1 := x[i+1] & y[i+1]
+		w2 := x[i+2] & y[i+2]
+		w3 := x[i+3] & y[i+3]
+		x[i], x[i+1], x[i+2], x[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(x); i++ {
+		x[i] &= y[i]
+		c += bits.OnesCount64(x[i])
+	}
+	return c
+}
+
+// OrCountWith unions other into b in place and returns the number of
+// bits set afterwards — the fused OR+popcount dual of AndCountWith that
+// the ordered OR-chain folder uses to detect a filled running mask in
+// the same pass that produced it (same length required).
+func (b *Bitset) OrCountWith(other *Bitset) int {
+	if b.n != other.n {
+		panic("bitset: OrCountWith length mismatch")
+	}
+	x := b.words
+	y := other.words[:len(x)]
+	c := 0
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		w0 := x[i] | y[i]
+		w1 := x[i+1] | y[i+1]
+		w2 := x[i+2] | y[i+2]
+		w3 := x[i+3] | y[i+3]
+		x[i], x[i+1], x[i+2], x[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(x); i++ {
+		x[i] |= y[i]
+		c += bits.OnesCount64(x[i])
+	}
+	return c
+}
+
+// AndNotCountWith removes other's bits from b in place and returns the
+// number of bits that remain set — the fused difference+popcount kernel
+// the residual filter path uses to kill known-FALSE rows from the
+// eligibility mask and detect exhaustion in one pass (same length
+// required).
+func (b *Bitset) AndNotCountWith(other *Bitset) int {
+	if b.n != other.n {
+		panic("bitset: AndNotCountWith length mismatch")
+	}
+	x := b.words
+	y := other.words[:len(x)]
+	c := 0
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		w0 := x[i] &^ y[i]
+		w1 := x[i+1] &^ y[i+1]
+		w2 := x[i+2] &^ y[i+2]
+		w3 := x[i+3] &^ y[i+3]
+		x[i], x[i+1], x[i+2], x[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(x); i++ {
+		x[i] &^= y[i]
+		c += bits.OnesCount64(x[i])
 	}
 	return c
 }
@@ -247,8 +377,18 @@ func (b *Bitset) AndNotOf(x, y *Bitset) {
 	if b.n != x.n || b.n != y.n {
 		panic("bitset: AndNotOf length mismatch")
 	}
-	for i := range b.words {
-		b.words[i] = x.words[i] &^ y.words[i]
+	d := b.words
+	xs := x.words[:len(d)]
+	ys := y.words[:len(d)]
+	i := 0
+	for ; i+4 <= len(d); i += 4 {
+		d[i] = xs[i] &^ ys[i]
+		d[i+1] = xs[i+1] &^ ys[i+1]
+		d[i+2] = xs[i+2] &^ ys[i+2]
+		d[i+3] = xs[i+3] &^ ys[i+3]
+	}
+	for ; i < len(d); i++ {
+		d[i] = xs[i] &^ ys[i]
 	}
 }
 
@@ -267,19 +407,20 @@ func AnyWords(ws []uint64) bool {
 // per-segment selectivity accounting in the adaptive shard splitter.
 func CountWords(ws []uint64) int {
 	c := 0
-	for _, w := range ws {
-		c += bits.OnesCount64(w)
+	i := 0
+	for ; i+4 <= len(ws); i += 4 {
+		c += bits.OnesCount64(ws[i]) + bits.OnesCount64(ws[i+1]) +
+			bits.OnesCount64(ws[i+2]) + bits.OnesCount64(ws[i+3])
+	}
+	for ; i < len(ws); i++ {
+		c += bits.OnesCount64(ws[i])
 	}
 	return c
 }
 
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
-	c := 0
-	for _, w := range b.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return CountWords(b.words)
 }
 
 // Any reports whether any bit is set.
@@ -297,11 +438,81 @@ func AndCount(x, y *Bitset) int {
 	if x.n != y.n {
 		panic("bitset: AndCount length mismatch")
 	}
+	xs := x.words
+	ys := y.words[:len(xs)]
 	c := 0
-	for i, w := range x.words {
-		c += bits.OnesCount64(w & y.words[i])
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		c += bits.OnesCount64(xs[i]&ys[i]) + bits.OnesCount64(xs[i+1]&ys[i+1]) +
+			bits.OnesCount64(xs[i+2]&ys[i+2]) + bits.OnesCount64(xs[i+3]&ys[i+3])
+	}
+	for ; i < len(xs); i++ {
+		c += bits.OnesCount64(xs[i] & ys[i])
 	}
 	return c
+}
+
+// NextSetBit returns the position of the first set bit at or after i,
+// or -1 when no such bit exists. Negative i starts from bit 0.
+func (b *Bitset) NextSetBit(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := b.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if w := b.words[wi]; w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Iter is a resumable set-bit cursor. Unlike ForEach it needs no
+// callback (so the surrounding loop can return errors and poll a
+// context), and it stays valid when the *current or an earlier* bit is
+// cleared mid-iteration: the word under the cursor is copied when the
+// cursor enters it, so only mutations at not-yet-visited words are
+// observed. That is exactly the discipline the residual filter path
+// needs — it unsets bits it has already visited while walking.
+type Iter struct {
+	words []uint64
+	wi    int    // index of the word after the one buffered in w
+	w     uint64 // remaining bits of the current word, shifted in place
+}
+
+// Iter returns a cursor positioned at the first set bit >= start.
+func (b *Bitset) Iter(start int) Iter {
+	if start < 0 {
+		start = 0
+	}
+	if start >= b.n {
+		return Iter{}
+	}
+	wi := start / wordBits
+	w := b.words[wi] &^ ((1 << (uint(start) % wordBits)) - 1)
+	return Iter{words: b.words, wi: wi + 1, w: w}
+}
+
+// Next returns the next set bit position in ascending order; ok is
+// false when the iteration is exhausted.
+func (it *Iter) Next() (int, bool) {
+	for it.w == 0 {
+		if it.wi >= len(it.words) {
+			return -1, false
+		}
+		it.w = it.words[it.wi]
+		it.wi++
+	}
+	i := (it.wi-1)*wordBits + bits.TrailingZeros64(it.w)
+	it.w &= it.w - 1
+	return i, true
 }
 
 // ForEach calls fn for every set bit in ascending order.

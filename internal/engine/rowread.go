@@ -149,6 +149,22 @@ func (r *FloatReader) V(i int) float64 {
 	return r.vals[i&r.mask]
 }
 
+// Chunk pins segment k and returns its value slice and NULL bitmap
+// (word j covers rows [k<<bits + 64j, …)) — the batch counterpart of
+// At for kernels that fold a whole segment under a filter mask. The
+// slices stay valid until the reader pins a different segment or
+// closes; callers must not mutate them. The last segment's slices may
+// be shorter than a full segment.
+func (r *FloatReader) Chunk(k int) (vals []float64, null []uint64) {
+	if k != r.seg {
+		r.load(k)
+	}
+	return r.vals, r.null
+}
+
+// SegRows returns the rows-per-segment stride of the underlying view.
+func (r *FloatReader) SegRows() int { return r.mask + 1 }
+
 // Counters reports chunk pins that missed to disk vs were resident.
 func (r *FloatReader) Counters() (faulted, resident int) {
 	return r.faulted, r.residentHit

@@ -248,6 +248,10 @@ func AdvanceWith(ctx context.Context, res *Result, grown *engine.Table, opts Opt
 			FilterConjuncts:      p.fstats.conjuncts,
 			FilterOrder:          p.fstats.order,
 			FilterShortCircuited: p.fstats.shortCircuited,
+			ResidualConjuncts:    p.fstats.residualConjuncts,
+			ResidualRows:         p.fstats.residualRows,
+			FilterFallback:       p.fstats.fallback,
+			MaskedAgg:            p.maskedAgg,
 		},
 	}
 	if err := out.materializeCarry(res, oldLens, opts.NoSortCarry); err != nil {
@@ -262,6 +266,15 @@ func AdvanceWith(ctx context.Context, res *Result, grown *engine.Table, opts Opt
 // retention horizon of drop rows ("" when it can): a group still
 // references dropped rows, or the horizon is not bitset-word-aligned
 // (impossible for whole-segment drops, kept as a guard).
+//
+// When rebase succeeds, everything downstream carries too — including
+// an ORDER BY's incremental merge (materializeCarry), so a windowed
+// ordered statement advances across retention without a full re-sort
+// (TestAdvanceRetentionSortCarry pins this). That is the full extent of
+// ORDER BY carry across retention by design: a statement whose groups
+// reference dropped rows has aggregate states that are simply wrong for
+// the retained table, so the carried sort keys are wrong too, and the
+// only correct answer is the full fallback run this function triggers.
 func rebaseBlocker(res *Result, drop int) string {
 	if drop%64 != 0 {
 		return "retention: horizon not word-aligned"

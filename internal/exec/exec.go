@@ -336,6 +336,9 @@ func runProjection(ctx context.Context, src *engine.Table, stmt *sqlparse.Select
 		FilterConjuncts:      fstats.conjuncts,
 		FilterOrder:          fstats.order,
 		FilterShortCircuited: fstats.shortCircuited,
+		ResidualConjuncts:    fstats.residualConjuncts,
+		ResidualRows:         fstats.residualRows,
+		FilterFallback:       fstats.fallback,
 	}}
 	if filter == nil {
 		for r := 0; r < src.NumRows(); r++ {

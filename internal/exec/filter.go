@@ -86,16 +86,20 @@ type tfMask struct {
 // lowerWhere lowers a resolved WHERE tree to the mask of passing rows
 // (TRUE rows; NULL counts as not passing, matching expr.EvalBool). The
 // returned bitset may alias a shared clause mask and must be treated as
-// read-only. ok is false when the tree contains a non-lowerable node.
-func lowerWhere(e expr.Expr, lc lowerCtx) (*bitset.Bitset, bool) {
-	m, ok := lowerTF(e, lc)
+// read-only. ok is false when the tree contains a non-lowerable node;
+// aborted further distinguishes an index geometry mismatch (the masks
+// exist conceptually but not at this table version's base/length stamp)
+// from a predicate shape lowering does not express — the two reasons
+// the canonical fallback vocabulary keeps apart.
+func lowerWhere(e expr.Expr, lc lowerCtx) (*bitset.Bitset, bool, bool) {
+	m, ok, aborted := lowerTF(e, lc)
 	if !ok {
-		return nil, false
+		return nil, false, aborted
 	}
-	return m.t, true
+	return m.t, true, false
 }
 
-func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
+func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool, bool) {
 	n := lc.src.NumRows()
 	switch node := e.(type) {
 	case *expr.Lit:
@@ -109,24 +113,24 @@ func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
 				m.f.Fill()
 			}
 		}
-		return m, true
+		return m, true, false
 
 	case *expr.Not:
-		m, ok := lowerTF(node.X, lc)
+		m, ok, aborted := lowerTF(node.X, lc)
 		if !ok {
-			return tfMask{}, false
+			return tfMask{}, false, aborted
 		}
-		return tfMask{t: m.f, f: m.t}, true
+		return tfMask{t: m.f, f: m.t}, true, false
 
 	case *expr.Bin:
 		if node.Op.IsLogic() {
-			l, ok := lowerTF(node.L, lc)
+			l, ok, aborted := lowerTF(node.L, lc)
 			if !ok {
-				return tfMask{}, false
+				return tfMask{}, false, aborted
 			}
-			r, ok := lowerTF(node.R, lc)
+			r, ok, aborted := lowerTF(node.R, lc)
 			if !ok {
-				return tfMask{}, false
+				return tfMask{}, false, aborted
 			}
 			out := tfMask{t: bitset.New(n), f: bitset.New(n)}
 			if node.Op == expr.OpAnd {
@@ -138,86 +142,86 @@ func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
 				out.t.Or(r.t)
 				out.f.IntersectOf(l.f, r.f)
 			}
-			return out, true
+			return out, true, false
 		}
 		if node.Op.IsComparison() {
 			return lowerComparison(node, lc)
 		}
-		return tfMask{}, false // arithmetic has no boolean lowering
+		return tfMask{}, false, false // arithmetic has no boolean lowering
 
 	case *expr.IsNull:
 		col, ok := node.X.(*expr.Col)
 		if !ok {
-			return tfMask{}, false
+			return tfMask{}, false, false
 		}
 		ci := lc.src.Schema().ColIndex(col.Name)
 		if ci < 0 {
-			return tfMask{}, false
+			return tfMask{}, false, false
 		}
 		nonNull, ok := lc.nonNullBits(ci)
 		if !ok {
-			return tfMask{}, false
+			return tfMask{}, false, true
 		}
 		isNull := bitset.New(n)
 		isNull.Fill()
 		isNull.AndNot(nonNull)
 		if node.Invert { // IS NOT NULL
-			return tfMask{t: nonNull, f: isNull}, true
+			return tfMask{t: nonNull, f: isNull}, true, false
 		}
-		return tfMask{t: isNull, f: nonNull}, true
+		return tfMask{t: isNull, f: nonNull}, true, false
 
 	case *expr.Between:
 		col, ok := node.X.(*expr.Col)
 		if !ok {
-			return tfMask{}, false
+			return tfMask{}, false, false
 		}
 		lo, okLo := node.Lo.(*expr.Lit)
 		hi, okHi := node.Hi.(*expr.Lit)
 		if !okLo || !okHi {
-			return tfMask{}, false
+			return tfMask{}, false, false
 		}
 		ci := lc.src.Schema().ColIndex(col.Name)
 		if ci < 0 {
-			return tfMask{}, false
+			return tfMask{}, false, false
 		}
 		if lo.Val.IsNull() || hi.Val.IsNull() {
 			// NULL bound: the range test is NULL for every row.
-			return tfMask{t: bitset.New(n), f: bitset.New(n)}, true
+			return tfMask{t: bitset.New(n), f: bitset.New(n)}, true, false
 		}
 		colType := lc.src.Schema()[ci].Type
 		if !literalComparable(colType, lo.Val) || !literalComparable(colType, hi.Val) {
-			return tfMask{}, false // scalar path would error; keep it
+			return tfMask{}, false, false // scalar path would error; keep it
 		}
 		geBits, okGe := lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpGe, Val: lo.Val})
 		leBits, okLe := lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpLe, Val: hi.Val})
 		nn, okNN := lc.nonNullBits(ci)
 		if !okGe || !okLe || !okNN {
-			return tfMask{}, false
+			return tfMask{}, false, true
 		}
 		t := bitset.New(n)
 		t.IntersectOf(geBits, leBits)
 		f := nn.Clone()
 		f.AndNot(t)
 		if node.Invert {
-			return tfMask{t: f, f: t}, true
+			return tfMask{t: f, f: t}, true, false
 		}
-		return tfMask{t: t, f: f}, true
+		return tfMask{t: t, f: f}, true, false
 
 	case *expr.In:
 		col, ok := node.X.(*expr.Col)
 		if !ok {
-			return tfMask{}, false
+			return tfMask{}, false, false
 		}
 		ci := lc.src.Schema().ColIndex(col.Name)
 		if ci < 0 {
-			return tfMask{}, false
+			return tfMask{}, false, false
 		}
 		t := bitset.New(n)
 		sawNull := false
 		for _, e := range node.List {
 			lit, ok := e.(*expr.Lit)
 			if !ok {
-				return tfMask{}, false
+				return tfMask{}, false, false
 			}
 			if lit.Val.IsNull() {
 				sawNull = true
@@ -229,7 +233,7 @@ func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
 			// lowers.
 			eq, ok := lc.clauseBits(predicate.Clause{Col: col.Name, Op: predicate.OpEq, Val: lit.Val})
 			if !ok {
-				return tfMask{}, false
+				return tfMask{}, false, true
 			}
 			t.Or(eq)
 		}
@@ -239,51 +243,51 @@ func lowerTF(e expr.Expr, lc lowerCtx) (tfMask, bool) {
 			// might equal the NULL), so F stays empty.
 			nn, ok := lc.nonNullBits(ci)
 			if !ok {
-				return tfMask{}, false
+				return tfMask{}, false, true
 			}
 			f.CopyFrom(nn)
 			f.AndNot(t)
 		}
 		if node.Invert {
-			return tfMask{t: f, f: t}, true
+			return tfMask{t: f, f: t}, true, false
 		}
-		return tfMask{t: t, f: f}, true
+		return tfMask{t: t, f: f}, true, false
 
 	default:
 		// Bare columns, function calls, LIKE, …: not lowerable.
-		return tfMask{}, false
+		return tfMask{}, false, false
 	}
 }
 
 // lowerComparison lowers "column op constant" (either operand order)
 // onto one clause mask.
-func lowerComparison(node *expr.Bin, lc lowerCtx) (tfMask, bool) {
+func lowerComparison(node *expr.Bin, lc lowerCtx) (tfMask, bool, bool) {
 	n := lc.src.NumRows()
 	col, lit, op, ok := comparisonShape(node)
 	if !ok {
-		return tfMask{}, false
+		return tfMask{}, false, false
 	}
 	ci := lc.src.Schema().ColIndex(col.Name)
 	if ci < 0 {
-		return tfMask{}, false
+		return tfMask{}, false, false
 	}
 	if lit.Val.IsNull() {
 		// Comparison with a NULL constant is NULL for every row.
-		return tfMask{t: bitset.New(n), f: bitset.New(n)}, true
+		return tfMask{t: bitset.New(n), f: bitset.New(n)}, true, false
 	}
 	if !literalComparable(lc.src.Schema()[ci].Type, lit.Val) {
 		// The scalar evaluator errors on incomparable comparison
 		// operands; don't lower, so the error surfaces identically.
-		return tfMask{}, false
+		return tfMask{}, false, false
 	}
 	t, okT := lc.clauseBits(predicate.Clause{Col: col.Name, Op: op, Val: lit.Val})
 	nn, okNN := lc.nonNullBits(ci)
 	if !okT || !okNN {
-		return tfMask{}, false
+		return tfMask{}, false, true
 	}
 	f := nn.Clone()
 	f.AndNot(t)
-	return tfMask{t: t, f: f}, true
+	return tfMask{t: t, f: f}, true, false
 }
 
 // comparisonShape extracts the (column, constant, clause op) of a
@@ -352,7 +356,7 @@ func literalComparable(colType engine.Type, lit engine.Value) bool {
 }
 
 // ---------------------------------------------------------------------
-// Greedy clause ordering
+// Mixed-connective ordering and residual masks
 //
 // The WHERE pass mask of a root-level AND chain is the intersection of
 // the conjuncts' TRUE masks — order-independent, and the FALSE masks
@@ -366,17 +370,57 @@ func literalComparable(colType engine.Type, lit engine.Value) bool {
 // (base, length) stamp: no table statistics, in the spirit of
 // janus-datalog's "greedy beats optimal" ordering result.
 //
+// Root OR chains get the dual treatment: the pass mask is the union of
+// the disjuncts' TRUE masks, folded largest-estimate-first through the
+// fused OrCountWith kernel and short-circuited when the running mask
+// *fills* — a full union cannot grow, and a filled TRUE mask implies an
+// empty FALSE mask, so nothing downstream is lost. One level of nesting
+// folds the same way: an OR-chain conjunct inside an AND folds its
+// disjuncts with the fill cut (AND-of-OR), an AND-chain disjunct inside
+// an OR folds its conjuncts with the empty cut (OR-of-AND).
+//
+// An AND chain that mixes lowerable and non-lowerable conjuncts (LIKE,
+// computed expressions) no longer forfeits the whole chain to the boxed
+// per-row scan. The lowerable conjuncts fold into a running mask pair —
+// pass (rows still TRUE under every conjunct so far) and elig (rows not
+// yet known FALSE under any source-earlier conjunct) — and each
+// *residual* conjunct is then evaluated per row only on elig's set
+// bits, via bitset.Iter. Eligibility must reflect exactly the conjuncts
+// that precede a residual in source order, because that is the set of
+// rows the scalar evaluator would reach it on (Kleene AND short-
+// circuits only on known FALSE, so NULL rows stay eligible): lowered
+// conjuncts may be reordered greedily *within* a run between residuals,
+// but never across one, and a guarded conjunct contributes its FALSE
+// mask to elig where a trailing one only narrows pass. The residual
+// loop can be skipped only when elig is empty — an empty pass alone is
+// not enough, since a residual might still error on an eligible row and
+// the scalar path would surface that error.
+//
 // The ordering is exact, not heuristic, about *lowerability*: every
-// conjunct is probed (or eagerly lowered, for nested OR/NOT subtrees)
-// before any short-circuit decision, so a tree the full Kleene lowering
-// would refuse — and whose per-row evaluation might error — is refused
-// here too, never silently truncated to its cheap prefix.
+// conjunct and disjunct is probed (or eagerly lowered) before any
+// short-circuit decision, so a tree the full Kleene lowering would
+// refuse — and whose per-row evaluation might error — is refused here
+// too (unless it rides as a residual), never silently truncated to its
+// cheap prefix.
+
+// Canonical Plan.FilterFallback vocabulary: every path that abandons
+// lowering for the per-row scan records exactly one of these reasons,
+// so the greedy and left-to-right paths can never drift apart in how
+// they describe the same refusal.
+const (
+	fallbackFilterShape    = "filter: non-lowerable predicate shape"
+	fallbackFilterGeometry = "filter: predicate index geometry mismatch"
+	fallbackFilterDisabled = "filter: lowering disabled"
+)
 
 // filterStats records the ordering decision for Result.Plan.
 type filterStats struct {
-	conjuncts      int   // root AND-chain conjuncts (0: not an ordered chain)
-	order          []int // evaluation order, as source-position indexes
-	shortCircuited int   // trailing conjuncts never materialized
+	conjuncts         int    // root chain conjuncts/disjuncts (0: not an ordered chain)
+	order             []int  // evaluation order, as source-position indexes
+	shortCircuited    int    // trailing conjuncts never materialized
+	residualConjuncts int    // conjuncts evaluated per-row on surviving bits
+	residualRows      int    // total residual per-row evaluations
+	fallback          string // canonical reason when the per-row scan ran
 }
 
 // flattenAnd appends the non-AND leaves of e's root AND chain to out in
@@ -385,6 +429,16 @@ func flattenAnd(e expr.Expr, out []expr.Expr) []expr.Expr {
 	if b, ok := e.(*expr.Bin); ok && b.Op == expr.OpAnd {
 		out = flattenAnd(b.L, out)
 		return flattenAnd(b.R, out)
+	}
+	return append(out, e)
+}
+
+// flattenOr appends the non-OR leaves of e's root OR chain to out in
+// source (left-to-right) order.
+func flattenOr(e expr.Expr, out []expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Bin); ok && b.Op == expr.OpOr {
+		out = flattenOr(b.L, out)
+		return flattenOr(b.R, out)
 	}
 	return append(out, e)
 }
@@ -551,7 +605,7 @@ func probeLeafEst(e expr.Expr, lc lowerCtx) (est int, ok, aborted bool) {
 // approved — the T half of lowerTF's result for the same node, without
 // building the FALSE mask a root conjunct never needs. The returned
 // bitset may alias a shared cached mask (read-only).
-func lowerLeafTrue(e expr.Expr, lc lowerCtx) (*bitset.Bitset, bool) {
+func lowerLeafTrue(e expr.Expr, lc lowerCtx) (*bitset.Bitset, bool, bool) {
 	n := lc.src.NumRows()
 	switch node := e.(type) {
 	case *expr.Lit:
@@ -559,61 +613,82 @@ func lowerLeafTrue(e expr.Expr, lc lowerCtx) (*bitset.Bitset, bool) {
 		if !node.Val.IsNull() && node.Val.Bool() {
 			b.Fill()
 		}
-		return b, true
+		return b, true, false
 
 	case *expr.Bin:
-		m, ok := lowerComparison(node, lc)
+		m, ok, aborted := lowerComparison(node, lc)
 		if !ok {
-			return nil, false
+			return nil, false, aborted
 		}
-		return m.t, true
+		return m.t, true, false
 
 	case *expr.IsNull:
 		ci := lc.src.Schema().ColIndex(node.X.(*expr.Col).Name)
 		nn, ok := lc.nonNullBits(ci)
 		if !ok {
-			return nil, false
+			return nil, false, true
 		}
 		if node.Invert {
-			return nn, true
+			return nn, true, false
 		}
 		isNull := bitset.New(n)
 		isNull.Fill()
 		isNull.AndNot(nn)
-		return isNull, true
+		return isNull, true, false
 
 	case *expr.Between, *expr.In:
-		m, ok := lowerTF(e, lc)
+		m, ok, aborted := lowerTF(e, lc)
 		if !ok {
-			return nil, false
+			return nil, false, aborted
 		}
-		return m.t, true
+		return m.t, true, false
 	}
-	return nil, false
+	return nil, false, false
 }
 
-// lowerWhereGreedy lowers a root AND chain of 2+ conjuncts in greedy
-// selectivity order with short-circuit. ok is false when the tree is
-// not such a chain or contains a non-lowerable conjunct — exactly the
-// trees lowerWhere refuses — and the caller falls through.
-func lowerWhereGreedy(e expr.Expr, lc lowerCtx) (*bitset.Bitset, filterStats, bool) {
-	parts := flattenAnd(e, nil)
-	if len(parts) < 2 {
-		return nil, filterStats{}, false
+// probeLowerable reports whether lowerTF would accept e, without
+// materializing any mask: leaves go through probeLeafEst (whose shape
+// checks mirror lowerTF exactly) and NOT/AND/OR recurse. aborted
+// signals an index geometry mismatch, which abandons the whole
+// lowering. This is the classifier the residual path uses to split an
+// AND chain into lowerable and residual conjuncts before deciding how
+// to materialize each.
+func probeLowerable(e expr.Expr, lc lowerCtx) (ok, aborted bool) {
+	if _, ok, ab := probeLeafEst(e, lc); ok || ab {
+		return ok, ab
 	}
+	switch node := e.(type) {
+	case *expr.Not:
+		return probeLowerable(node.X, lc)
+	case *expr.Bin:
+		if node.Op.IsLogic() {
+			ok, ab := probeLowerable(node.L, lc)
+			if !ok {
+				return false, ab
+			}
+			return probeLowerable(node.R, lc)
+		}
+		return false, false
+	default:
+		return false, false
+	}
+}
+
+// lowerAndTrue folds a pre-flattened all-lowerable AND chain to its
+// TRUE mask in ascending estimated-TRUE order with the empty-mask cut —
+// the nested (OR-of-AND) form of the greedy fold, T side only. Every
+// conjunct is validated before any short-circuit decision.
+func lowerAndTrue(parts []expr.Expr, lc lowerCtx) (*bitset.Bitset, bool, bool) {
 	conj := make([]greedyConjunct, len(parts))
 	for i, pe := range parts {
 		est, simple, aborted := probeLeafEst(pe, lc)
 		if aborted {
-			return nil, filterStats{}, false
+			return nil, false, true
 		}
 		if !simple {
-			// Nested OR/NOT/… subtree: lower it in full now. Its exact
-			// TRUE count doubles as the estimate, and a refusal here is a
-			// refusal of the whole tree (matching lowerWhere).
-			m, ok := lowerTF(pe, lc)
+			m, ok, aborted := lowerTF(pe, lc)
 			if !ok {
-				return nil, filterStats{}, false
+				return nil, false, aborted
 			}
 			conj[i] = greedyConjunct{e: pe, pos: i, est: m.t.Count(), t: m.t}
 			continue
@@ -621,27 +696,17 @@ func lowerWhereGreedy(e expr.Expr, lc lowerCtx) (*bitset.Bitset, filterStats, bo
 		conj[i] = greedyConjunct{e: pe, pos: i, est: est}
 	}
 	sort.SliceStable(conj, func(a, b int) bool { return conj[a].est < conj[b].est })
-
-	stats := filterStats{conjuncts: len(conj), order: make([]int, len(conj))}
-	for i, c := range conj {
-		stats.order[i] = c.pos
-	}
 	var running *bitset.Bitset
 	count := -1
-	for i, c := range conj {
+	for _, c := range conj {
 		if count == 0 {
-			// Running TRUE mask is empty: no remaining conjunct can set a
-			// bit, so none is materialized. Conjuncts were all validated
-			// as lowerable above, so skipping them cannot hide an error
-			// the per-row path would have surfaced.
-			stats.shortCircuited = len(conj) - i
 			break
 		}
 		t := c.t
 		if t == nil {
-			var ok bool
-			if t, ok = lowerLeafTrue(c.e, lc); !ok {
-				return nil, filterStats{}, false
+			var ok, aborted bool
+			if t, ok, aborted = lowerLeafTrue(c.e, lc); !ok {
+				return nil, false, aborted
 			}
 		}
 		if running == nil {
@@ -651,31 +716,348 @@ func lowerWhereGreedy(e expr.Expr, lc lowerCtx) (*bitset.Bitset, filterStats, bo
 		}
 		count = running.AndCountWith(t)
 	}
-	return running, stats, true
+	return running, true, false
+}
+
+// lowerOrTrue folds an OR chain of 2+ disjuncts to its TRUE mask in
+// descending estimated-TRUE order, short-circuiting when the running
+// union fills — the dual of the AND chain's empty cut. A filled TRUE
+// mask implies an empty FALSE mask (every row is TRUE somewhere), so
+// skipping the remaining disjuncts loses nothing even where the FALSE
+// side matters. Disjuncts that are themselves AND chains fold through
+// lowerAndTrue (OR-of-AND); every disjunct is validated lowerable
+// before any short-circuit decision. Returns the mask, the evaluation
+// order as source positions, and the number of disjuncts skipped.
+func lowerOrTrue(e expr.Expr, lc lowerCtx) (*bitset.Bitset, []int, int, bool, bool) {
+	disj := flattenOr(e, nil)
+	if len(disj) < 2 {
+		return nil, nil, 0, false, false
+	}
+	n := lc.src.NumRows()
+	ds := make([]greedyConjunct, len(disj))
+	for i, de := range disj {
+		est, simple, aborted := probeLeafEst(de, lc)
+		if aborted {
+			return nil, nil, 0, false, true
+		}
+		if simple {
+			ds[i] = greedyConjunct{e: de, pos: i, est: est}
+			continue
+		}
+		if parts := flattenAnd(de, nil); len(parts) >= 2 {
+			m, ok, aborted := lowerAndTrue(parts, lc)
+			if !ok {
+				return nil, nil, 0, false, aborted
+			}
+			ds[i] = greedyConjunct{e: de, pos: i, est: m.Count(), t: m}
+			continue
+		}
+		m, ok, aborted := lowerTF(de, lc)
+		if !ok {
+			return nil, nil, 0, false, aborted
+		}
+		ds[i] = greedyConjunct{e: de, pos: i, est: m.t.Count(), t: m.t}
+	}
+	sort.SliceStable(ds, func(a, b int) bool { return ds[a].est > ds[b].est })
+	order := make([]int, len(ds))
+	for i, d := range ds {
+		order[i] = d.pos
+	}
+	var running *bitset.Bitset
+	count, skipped := -1, 0
+	for i, d := range ds {
+		if count == n {
+			// The union already covers every row: no disjunct can add a
+			// bit, and all were validated lowerable, so none can hide an
+			// error the per-row path would have surfaced.
+			skipped = len(ds) - i
+			break
+		}
+		t := d.t
+		if t == nil {
+			var ok, aborted bool
+			if t, ok, aborted = lowerLeafTrue(d.e, lc); !ok {
+				return nil, nil, 0, false, aborted
+			}
+		}
+		if running == nil {
+			running = t.Clone()
+			count = running.Count()
+			continue
+		}
+		count = running.OrCountWith(t)
+	}
+	return running, order, skipped, true, false
+}
+
+// orderedConjunct is one root AND-chain conjunct in the unified ordered
+// plan: lowerable conjuncts carry masks (full T/F when guarded, T only
+// when trailing), residual conjuncts are evaluated per row on eligible
+// bits at their source position.
+type orderedConjunct struct {
+	e        expr.Expr
+	pos      int
+	est      int
+	residual bool
+	guarded  bool           // a residual conjunct follows in source order
+	m        tfMask         // guarded lowered conjunct: full mask pair
+	t        *bitset.Bitset // trailing lowered conjunct: TRUE mask (nil: lazy simple leaf)
+}
+
+// lowerWhereOrdered is the unified ordered lowering for root AND chains
+// (with or without residual conjuncts) and root OR chains. ok is false
+// when the tree is neither, or refuses lowering; aborted distinguishes
+// an index geometry mismatch. err carries residual evaluation errors —
+// genuine expression errors the scalar path would also have surfaced —
+// and context cancellation. Bits below from are left unset.
+func lowerWhereOrdered(ctx context.Context, e expr.Expr, lc lowerCtx, from int) (mask *bitset.Bitset, stats filterStats, ok, aborted bool, err error) {
+	parts := flattenAnd(e, nil)
+	if len(parts) < 2 {
+		// Not an AND chain: a root OR chain still gets the greedy union.
+		m, order, skipped, okOr, ab := lowerOrTrue(e, lc)
+		if !okOr {
+			return nil, filterStats{}, false, ab, nil
+		}
+		return m, filterStats{conjuncts: len(order), order: order, shortCircuited: skipped}, true, false, nil
+	}
+
+	// Classify: which conjuncts lower, which ride as residuals.
+	conj := make([]orderedConjunct, len(parts))
+	nResidual := 0
+	for i, pe := range parts {
+		okL, ab := probeLowerable(pe, lc)
+		if ab {
+			return nil, filterStats{}, false, true, nil
+		}
+		conj[i] = orderedConjunct{e: pe, pos: i, residual: !okL}
+		if !okL {
+			nResidual++
+		}
+	}
+	if nResidual == len(parts) {
+		// Nothing lowers: the per-row scan over the whole tree is the
+		// residual path with no mask to narrow it — refuse.
+		return nil, filterStats{}, false, false, nil
+	}
+	lastResidual := -1
+	for i := range conj {
+		if conj[i].residual {
+			lastResidual = i
+		}
+	}
+
+	// Materialize estimates and masks. Guarded lowered conjuncts (source-
+	// before the last residual) need the full T/F pair — their FALSE mask
+	// feeds eligibility — and can never be skipped, so they lower eagerly.
+	// Trailing lowered conjuncts need only T: simple leaves stay lazy
+	// behind the empty cut, OR chains fold with the fill cut.
+	for i := range conj {
+		c := &conj[i]
+		if c.residual {
+			continue
+		}
+		c.guarded = c.pos < lastResidual
+		if c.guarded {
+			m, okL, ab := lowerTF(c.e, lc)
+			if !okL {
+				return nil, filterStats{}, false, ab, nil
+			}
+			c.m = m
+			c.est = m.t.Count()
+			continue
+		}
+		est, simple, ab := probeLeafEst(c.e, lc)
+		if ab {
+			return nil, filterStats{}, false, true, nil
+		}
+		if simple {
+			c.est = est
+			continue
+		}
+		if t, _, _, okOr, ab := lowerOrTrue(c.e, lc); okOr {
+			c.t = t
+			c.est = t.Count()
+			continue
+		} else if ab {
+			return nil, filterStats{}, false, true, nil
+		}
+		m, okL, ab := lowerTF(c.e, lc)
+		if !okL {
+			return nil, filterStats{}, false, ab, nil
+		}
+		c.t = m.t
+		c.est = m.t.Count()
+	}
+
+	// Plan the evaluation order: residuals stay at their source
+	// positions (eligibility is defined by source order), lowered
+	// conjuncts sort ascending-estimate within each run between
+	// residuals.
+	planned := make([]*orderedConjunct, 0, len(conj))
+	runStart := len(planned)
+	flushRun := func() {
+		seg := planned[runStart:]
+		sort.SliceStable(seg, func(a, b int) bool { return seg[a].est < seg[b].est })
+	}
+	for i := range conj {
+		if conj[i].residual {
+			flushRun()
+			planned = append(planned, &conj[i])
+			runStart = len(planned)
+			continue
+		}
+		planned = append(planned, &conj[i])
+	}
+	flushRun()
+
+	stats = filterStats{
+		conjuncts:         len(conj),
+		order:             make([]int, len(conj)),
+		residualConjuncts: nResidual,
+	}
+	for i, c := range planned {
+		stats.order[i] = c.pos
+	}
+
+	// Execute. pass = rows TRUE under every conjunct so far; elig = rows
+	// not known FALSE under any source-earlier conjunct (pass ⊆ elig).
+	n := lc.src.NumRows()
+	pass := passWindow(n, from)
+	passCount := n - from
+	var elig *bitset.Bitset
+	eligCount := n - from
+	if nResidual > 0 {
+		elig = pass.Clone()
+	}
+	residualLeft := nResidual
+	var rr *engine.RowReader
+	defer func() {
+		if rr != nil {
+			rr.Close()
+		}
+	}()
+	ctxTick := 0
+	for k, c := range planned {
+		if residualLeft > 0 {
+			if eligCount == 0 {
+				// Every row already has a known-FALSE conjunct: the whole
+				// AND is FALSE everywhere (pass is necessarily empty too)
+				// and no residual can be reached by the scalar evaluator on
+				// any row, so skipping the rest cannot hide an error.
+				stats.shortCircuited = len(planned) - k
+				break
+			}
+		} else if passCount == 0 {
+			// No residuals remain and the running TRUE mask is empty:
+			// remaining conjuncts were all validated lowerable, skip them.
+			stats.shortCircuited = len(planned) - k
+			break
+		}
+		switch {
+		case c.residual:
+			if rr == nil {
+				rr = lc.src.NewRowReader()
+			}
+			ev, compiled := expr.Compile(c.e, rr)
+			var row []engine.Value
+			if !compiled {
+				row = make([]engine.Value, lc.src.NumCols())
+			}
+			it := elig.Iter(from)
+			for {
+				r, more := it.Next()
+				if !more {
+					break
+				}
+				if ctxTick%ctxCheckRows == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						return nil, filterStats{}, false, false, ctxErr(cerr)
+					}
+				}
+				ctxTick++
+				var v engine.Value
+				var everr error
+				if compiled {
+					v, everr = ev(r)
+				} else {
+					rr.RowInto(r, row)
+					v, everr = c.e.Eval(row)
+				}
+				if everr != nil {
+					return nil, filterStats{}, false, false, everr
+				}
+				stats.residualRows++
+				if v.IsNull() {
+					// NULL: the row can no longer pass, but Kleene AND does
+					// not short-circuit on NULL — later conjuncts still see
+					// it (and may error on it), so it stays eligible.
+					pass.Unset(r)
+				} else if !v.Bool() {
+					pass.Unset(r)
+					elig.Unset(r)
+					eligCount--
+				}
+			}
+			passCount = pass.Count()
+			residualLeft--
+		case c.guarded:
+			passCount = pass.AndCountWith(c.m.t)
+			eligCount = elig.AndNotCountWith(c.m.f)
+		default:
+			t := c.t
+			if t == nil {
+				var okL, ab bool
+				if t, okL, ab = lowerLeafTrue(c.e, lc); !okL {
+					return nil, filterStats{}, false, ab, nil
+				}
+			}
+			passCount = pass.AndCountWith(t)
+		}
+	}
+	return pass, stats, true, false, nil
+}
+
+// passWindow returns a length-n bitset with exactly [from, n) set.
+func passWindow(n, from int) *bitset.Bitset {
+	b := bitset.New(n)
+	b.FillFrom(from)
+	return b
 }
 
 // buildFilter produces the WHERE pass mask for src: lowered onto clause
 // masks when possible — root AND chains in greedy most-selective-first
-// order with short-circuit unless noGreedy, everything else through the
-// full Kleene lowering — otherwise (or when lowering is disabled) by
-// scanning rows through expr.EvalBool exactly like the boxed executor.
-// A nil where yields (nil, true): no filtering. Bits below "from"
-// may be left unset: callers that only consume a suffix (exec.Advance)
-// pass the first row they will read, which keeps the scalar fallback
-// O(suffix) instead of O(table); full scans pass 0.
+// order with short-circuit, residual per-row evaluation for mixed
+// chains, and root OR chains in greedy largest-first order with the
+// fill cut, unless noGreedy; everything else through the full Kleene
+// lowering — otherwise (or when lowering is disabled) by scanning rows
+// through expr.EvalBool exactly like the boxed executor, recording the
+// canonical fallback reason in stats. A nil where yields (nil, true):
+// no filtering. Bits below "from" may be left unset: callers that only
+// consume a suffix (exec.Advance) pass the first row they will read,
+// which keeps the residual and scalar paths O(suffix) instead of
+// O(table); full scans pass 0.
 func buildFilter(ctx context.Context, src *engine.Table, where expr.Expr, noLowering, noGreedy bool, from int) (pass *bitset.Bitset, lowered bool, stats filterStats, err error) {
 	if where == nil {
 		return nil, true, filterStats{}, nil
 	}
+	reason := fallbackFilterDisabled
 	if !noLowering {
 		lc := lowerCtx{ix: tableIndex(src), src: src, base: src.Base()}
 		if !noGreedy {
-			if pass, stats, ok := lowerWhereGreedy(where, lc); ok {
+			pass, stats, ok, _, err := lowerWhereOrdered(ctx, where, lc, from)
+			if err != nil {
+				return nil, false, filterStats{}, err
+			}
+			if ok {
 				return pass, true, stats, nil
 			}
 		}
-		if pass, ok := lowerWhere(where, lc); ok {
+		if pass, ok, aborted := lowerWhere(where, lc); ok {
 			return pass, true, filterStats{}, nil
+		} else if aborted {
+			reason = fallbackFilterGeometry
+		} else {
+			reason = fallbackFilterShape
 		}
 	}
 	// Scalar fallback: per-row three-valued evaluation, aborting on the
@@ -700,5 +1082,5 @@ func buildFilter(ctx context.Context, src *engine.Table, where expr.Expr, noLowe
 			pass.Set(r)
 		}
 	}
-	return pass, false, filterStats{}, nil
+	return pass, false, filterStats{fallback: reason}, nil
 }

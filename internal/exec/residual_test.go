@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// This file pins the residual-mask filter path: AND chains mixing
+// lowerable and non-lowerable conjuncts stay on the vectorized scan,
+// evaluating the non-lowerable conjuncts per row only on bits that
+// survive the lowered prefix — and the ordered OR-chain union with its
+// fill short-circuit. Both against the ForceScalar reference, plus the
+// canonical fallback-reason vocabulary.
+
+func TestResidualFilterEngages(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl := parityTable(rng, 4000)
+	sql := "SELECT j, sum(f) AS sf, count(*) AS n FROM p WHERE i >= 4 AND s LIKE 'a%' GROUP BY j"
+	stmt := mustParse(t, sql)
+	res, err := RunOnWith(tbl, stmt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.Vectorized || !res.Plan.WhereLowered {
+		t.Fatalf("residual chain left the vectorized path: %+v", res.Plan)
+	}
+	if res.Plan.ResidualConjuncts != 1 {
+		t.Fatalf("ResidualConjuncts = %d, want 1", res.Plan.ResidualConjuncts)
+	}
+	if res.Plan.Fallback != "" || res.Plan.FilterFallback != "" {
+		t.Fatalf("unexpected fallback: %q / %q", res.Plan.Fallback, res.Plan.FilterFallback)
+	}
+	if res.Plan.FilterConjuncts != 2 {
+		t.Fatalf("FilterConjuncts = %d, want 2", res.Plan.FilterConjuncts)
+	}
+	// i >= 4 keeps roughly 2/11 of rows (i uniform in [-5, 5] with 15%
+	// NULLs); the LIKE must only have been evaluated on the survivors.
+	if res.Plan.ResidualRows == 0 || res.Plan.ResidualRows >= tbl.NumRows()/2 {
+		t.Fatalf("ResidualRows = %d, want in (0, %d)", res.Plan.ResidualRows, tbl.NumRows()/2)
+	}
+	ref, err := RunOnWith(tbl, mustParse(t, sql), Options{ForceScalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, sql, ref.Table, res.Table)
+	groupsEqual(t, sql, ref, res)
+}
+
+// randResidualAnd builds an AND chain of 2..5 conjuncts with at least
+// one guaranteed non-lowerable conjunct at a random position, so every
+// statement exercises the residual path (or its refusal when nothing
+// else lowers).
+func randResidualAnd(rng *rand.Rand) expr.Expr {
+	n := 2 + rng.Intn(4)
+	parts := make([]expr.Expr, n)
+	for i := range parts {
+		parts[i] = randWhere(rng, 1)
+	}
+	// Overwrite 1..n-1 random positions with guaranteed residual shapes.
+	k := 1 + rng.Intn(n-1)
+	for _, p := range rng.Perm(n)[:k] {
+		if rng.Intn(2) == 0 {
+			parts[p] = &expr.Like{X: expr.NewCol("s"), Pattern: []string{"a%", "%y", "_"}[rng.Intn(3)], Invert: rng.Intn(2) == 0}
+		} else {
+			lhs := expr.NewBin(expr.OpAdd, expr.NewCol("f"), expr.Float(0.25))
+			parts[p] = expr.NewBin(cmpOps[rng.Intn(len(cmpOps))], lhs, randLit(rng, "f"))
+		}
+	}
+	// Occasionally prepend an empty clause so the eligibility mask
+	// drains and the short-circuit engages with residuals pending.
+	if rng.Float64() < 0.2 {
+		parts = append([]expr.Expr{expr.NewBin(expr.OpGt, expr.NewCol("i"), expr.Int(100))}, parts...)
+	}
+	out := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		out = expr.NewBin(expr.OpAnd, parts[i], out)
+	}
+	return out
+}
+
+func TestResidualFilterParityRandomized(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	sawResidual, sawShortCircuit := false, false
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := parityTable(rng, 1200)
+		for iter := 0; iter < 60; iter++ {
+			stmt, _ := randStmt(rng)
+			stmt.Where = randResidualAnd(rng)
+			ref, refErr := RunOnWith(tbl, stmt, Options{ForceScalar: true})
+			got, gotErr := RunOnWith(tbl, stmt, Options{Shards: 3})
+			if (refErr != nil) != (gotErr != nil) {
+				t.Fatalf("seed %d iter %d: error disagreement\nref: %v\ngot: %v\nwhere: %s",
+					seed, iter, refErr, gotErr, stmt.Where)
+			}
+			if refErr != nil {
+				continue
+			}
+			label := fmt.Sprintf("seed %d iter %d [%s]", seed, iter, stmt.Where)
+			tablesEqual(t, label, ref.Table, got.Table)
+			groupsEqual(t, label, ref, got)
+			if got.Plan.ResidualConjuncts > 0 {
+				sawResidual = true
+				if got.Plan.FilterShortCircuited > 0 {
+					sawShortCircuit = true
+				}
+			}
+		}
+	}
+	if !sawResidual {
+		t.Fatal("no statement took the residual filter path")
+	}
+	if !sawShortCircuit {
+		t.Fatal("the eligibility short-circuit never engaged on a residual chain")
+	}
+}
+
+func TestOrChainOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tbl := parityTable(rng, 3000)
+	t.Run("ordered", func(t *testing.T) {
+		sql := "SELECT j, count(*) AS n FROM p WHERE s = 'a' OR i > 3 OR f < -7 GROUP BY j"
+		res, err := RunOnWith(tbl, mustParse(t, sql), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Plan.WhereLowered || res.Plan.FilterConjuncts != 3 {
+			t.Fatalf("OR chain not ordered: %+v", res.Plan)
+		}
+		ref, err := RunOnWith(tbl, mustParse(t, sql), Options{ForceScalar: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesEqual(t, sql, ref.Table, res.Table)
+		groupsEqual(t, sql, ref, res)
+	})
+	t.Run("fill-short-circuit", func(t *testing.T) {
+		// j >= 0 is TRUE for every row (j has no NULLs), so the union
+		// fills immediately and the remaining disjuncts are skipped.
+		sql := "SELECT i, count(*) AS n FROM p WHERE j >= 0 OR s = 'b' OR f > 2 GROUP BY i"
+		res, err := RunOnWith(tbl, mustParse(t, sql), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Plan.WhereLowered || res.Plan.FilterShortCircuited == 0 {
+			t.Fatalf("filled OR union did not short-circuit: %+v", res.Plan)
+		}
+		ref, err := RunOnWith(tbl, mustParse(t, sql), Options{ForceScalar: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesEqual(t, sql, ref.Table, res.Table)
+		groupsEqual(t, sql, ref, res)
+	})
+	t.Run("randomized", func(t *testing.T) {
+		sawOrdered := false
+		for iter := 0; iter < 60; iter++ {
+			stmt, _ := randStmt(rng)
+			// Root OR chain of simple randWhere leaves (some lowerable,
+			// some not — non-lowerable disjuncts must refuse cleanly).
+			n := 2 + rng.Intn(3)
+			w := randWhere(rng, 0)
+			for k := 1; k < n; k++ {
+				w = expr.NewBin(expr.OpOr, w, randWhere(rng, 0))
+			}
+			stmt.Where = w
+			ref, refErr := RunOnWith(tbl, stmt, Options{ForceScalar: true})
+			got, gotErr := RunOnWith(tbl, stmt, Options{Shards: 3})
+			if (refErr != nil) != (gotErr != nil) {
+				t.Fatalf("iter %d: error disagreement ref=%v got=%v where=%s", iter, refErr, gotErr, stmt.Where)
+			}
+			if refErr != nil {
+				continue
+			}
+			label := fmt.Sprintf("or iter %d [%s]", iter, stmt.Where)
+			tablesEqual(t, label, ref.Table, got.Table)
+			groupsEqual(t, label, ref, got)
+			if got.Plan.WhereLowered && got.Plan.FilterConjuncts >= 2 {
+				sawOrdered = true
+			}
+		}
+		if !sawOrdered {
+			t.Fatal("no OR chain took the ordered path")
+		}
+	})
+}
+
+// TestFilterFallbackVocabulary pins the canonical Plan.FilterFallback
+// reason strings: the greedy and left-to-right paths must describe the
+// same refusal with the same words.
+func TestFilterFallbackVocabulary(t *testing.T) {
+	tbl := vectorTestTable(t)
+	cases := []struct {
+		name string
+		sql  string
+		opts Options
+		want string
+	}{
+		{"lowered", "SELECT city, count(*) AS n FROM v WHERE pop > 10 GROUP BY city", Options{}, ""},
+		{"shape-greedy", "SELECT city, count(*) AS n FROM v WHERE length(city) > 2 GROUP BY city", Options{}, fallbackFilterShape},
+		{"shape-ltr", "SELECT city, count(*) AS n FROM v WHERE length(city) > 2 GROUP BY city", Options{NoGreedyOrdering: true}, fallbackFilterShape},
+		{"shape-all-residual-chain", "SELECT city, count(*) AS n FROM v WHERE length(city) > 2 AND city LIKE 'a%' GROUP BY city", Options{}, fallbackFilterShape},
+		{"disabled", "SELECT city, count(*) AS n FROM v WHERE pop > 10 GROUP BY city", Options{NoFilterLowering: true}, fallbackFilterDisabled},
+		{"no-where", "SELECT city, count(*) AS n FROM v GROUP BY city", Options{}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunOnWith(tbl, mustParse(t, tc.sql), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Plan.FilterFallback != tc.want {
+				t.Fatalf("FilterFallback = %q, want %q (plan %+v)", res.Plan.FilterFallback, tc.want, res.Plan)
+			}
+		})
+	}
+}
+
+// The residual loop must poll the context: a pre-canceled context
+// aborts inside buildFilter rather than scanning every eligible row.
+func TestResidualFilterCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tbl := parityTable(rng, 500)
+	where := mustParse(t, "SELECT j, count(*) AS n FROM p WHERE i >= -100 AND s LIKE 'a%' GROUP BY j").Where
+	if err := where.Resolve(tbl.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := buildFilter(ctx, tbl, where, false, false, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context did not abort the residual filter: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -340,4 +341,79 @@ func TestSubSegmentSharding(t *testing.T) {
 			t.Fatalf("shard start %d not word-aligned", r[0])
 		}
 	}
+}
+
+// TestAdvanceRetentionSortCarry pins ORDER BY carry across a retention
+// pass: a windowed statement that rebases (its WHERE provably excludes
+// every dropped row) must also carry its ORDER BY — merging changed and
+// suffix-born groups into the carried order instead of re-sorting — and
+// stay identical to a fresh ordered run over the retained table.
+// Extending the carry to full-window statements is ruled out by
+// TestAdvanceRetentionRebase: those must NOT rebase in the first place.
+func TestAdvanceRetentionSortCarry(t *testing.T) {
+	tbl := retentionRebaseFixture(t, 5*64+10)
+	stmt, err := sqlparse.Parse(
+		"SELECT j, sum(x) AS s, count(*) AS c FROM m WHERE x >= 256 GROUP BY j ORDER BY s DESC, j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOn(tbl, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("fixture expected 3 ordered groups, got %d", len(res.Groups))
+	}
+
+	// Append rows skewed toward j=0 so the carried order must move a
+	// changed group, not just keep the old permutation.
+	base := tbl.NumRows()
+	batch := make([][]engine.Value, 40)
+	for i := range batch {
+		j := int64(0)
+		if i%4 == 0 {
+			j = int64(i % 3)
+		}
+		batch[i] = []engine.Value{engine.NewFloat(float64(base + i)), engine.NewInt(j)}
+	}
+	grown, err := tbl.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, stats, err := grown.RetainTail(engine.RetentionPolicy{MaxRows: 2 * 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DroppedRows == 0 {
+		t.Fatal("fixture dropped nothing: retention not exercised")
+	}
+
+	adv, err := Advance(res, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Plan.Incremental || !adv.Plan.SortCarried || adv.Plan.Fallback != "" {
+		t.Fatalf("retention advance lost the ordered carry: %+v", adv.Plan)
+	}
+	ref, err := RunOnWith(cur, stmt, Options{ForceScalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "retention-order-carry", ref.Table, adv.Table)
+	groupsEqual(t, "retention-order-carry", ref, adv)
+
+	// Control: the carry is a pure optimization — a NoSortCarry advance
+	// over the same chain re-sorts and must produce the same rows.
+	res2, err := RunOn(tbl, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv2, err := AdvanceWith(context.Background(), res2, cur, Options{NoSortCarry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv2.Plan.SortCarried {
+		t.Fatalf("NoSortCarry control still carried: %+v", adv2.Plan)
+	}
+	tablesEqual(t, "retention-order-resort", adv2.Table, adv.Table)
 }

@@ -103,8 +103,25 @@ type PlanInfo struct {
 	// estimated most selective and evaluated first.
 	FilterOrder []int
 	// FilterShortCircuited counts trailing conjuncts never materialized
-	// because the running TRUE mask emptied first.
+	// because the running TRUE mask emptied first (AND chains) or
+	// disjuncts skipped because the running union filled (OR chains).
 	FilterShortCircuited int
+	// ResidualConjuncts counts WHERE conjuncts that did not lower but
+	// rode the vectorized path anyway: evaluated per row only on the
+	// bits surviving the lowered conjuncts' running mask.
+	ResidualConjuncts int
+	// ResidualRows is the total number of per-row residual evaluations
+	// — the EvalBool calls the lowered prefix did NOT save.
+	ResidualRows int
+	// FilterFallback is the canonical reason the WHERE was evaluated by
+	// the per-row scan ("" when it lowered or there was no WHERE): one
+	// of "filter: non-lowerable predicate shape", "filter: predicate
+	// index geometry mismatch", "filter: lowering disabled".
+	FilterFallback string
+	// MaskedAgg is true when a global (no GROUP BY) aggregation over
+	// float-fed arguments folded whole segment chunks under the filter
+	// mask (agg.FoldMasked) instead of visiting rows through scanRow.
+	MaskedAgg bool
 	// SortCarried is true when an incremental Advance merged changed and
 	// new groups into the carried ORDER BY order instead of re-sorting
 	// the full output.
@@ -197,6 +214,11 @@ type vectorPlan struct {
 	fstats    filterStats
 	denseSize int // >0: single string group column, dense slot table
 	mergeable bool
+	// maskedAgg: global aggregate whose arguments all fold as floats
+	// (count(*) or numeric columns into FloatAdder states) under a
+	// lowered filter — the scan runs the batch mask kernels per segment
+	// chunk instead of per row.
+	maskedAgg bool
 }
 
 // planVector analyzes the statement for the vectorized pipeline. A
@@ -269,6 +291,20 @@ func planVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStm
 		return nil, "", err
 	}
 	p.filter, p.lowered, p.fstats = filter, lowered, fstats
+
+	// Global aggregation with every argument float-fed (count(*) or a
+	// numeric column feeding a FloatAdder) never needs per-row key or
+	// boxed reads: under a lowered filter the scan can fold whole
+	// segment chunks through the batch mask kernels.
+	if len(p.keys) == 0 && p.filter != nil && len(p.args) > 0 {
+		p.maskedAgg = true
+		for _, a := range p.args {
+			if (a.kind != argConst1 && a.kind != argFloat) || !a.floatFed {
+				p.maskedAgg = false
+				break
+			}
+		}
+	}
 	return p, "", nil
 }
 
@@ -537,6 +573,10 @@ func (ss *shardScan) run() {
 	}
 	words := p.filter.Words()
 	ss.countSkips(words)
+	if p.maskedAgg {
+		ss.runMaskedGlobal(ctx, words)
+		return
+	}
 	loWord, hiWord := ss.lo/64, (ss.hi-1)/64
 	for wi := loWord; wi <= hiWord; wi++ {
 		if wi%(ctxCheckRows/64) == 0 {
@@ -561,6 +601,94 @@ func (ss *shardScan) run() {
 				ss.err = err
 				return
 			}
+		}
+	}
+}
+
+// runMaskedGlobal is the global-aggregate scan: instead of calling
+// scanRow per surviving bit, it folds each segment chunk through the
+// batch mask kernels (agg.FoldMasked), paying per word rather than per
+// row for the value reads. Lineage and FirstRow still come from set-bit
+// iteration, so the output is bit-identical to scanRow's: every
+// FloatAdder receives the same values in the same ascending row order.
+// Segments whose mask words are all zero are skipped without pinning
+// anything, preserving zone-map pruning on out-of-core tables.
+func (ss *shardScan) runMaskedGlobal(ctx context.Context, words []uint64) {
+	p := ss.plan
+	segRows := p.src.SegRows()
+	n := p.src.NumRows()
+	var vg *vGroup
+	if len(ss.groups) > 0 {
+		vg = ss.groups[0] // Advance-seeded carried group
+	}
+	var scratch []uint64
+	wtick := 0
+	for segBase := ss.lo - ss.lo%segRows; segBase < ss.hi; segBase += segRows {
+		lo, hi := segBase, segBase+segRows
+		if lo < ss.lo {
+			lo = ss.lo
+		}
+		if hi > ss.hi {
+			hi = ss.hi
+		}
+		mask := words[segBase/64 : (hi+63)/64]
+		// Clip shard-partial edge words: zero rows before lo, and drop
+		// bits at or past hi that belong to the neighbouring shard (at
+		// hi == n the bitset's trimmed ghost bits are already zero).
+		// Segment starts are word-aligned, so mask word j covers chunk
+		// rows [64j, 64j+64) — exactly FoldMasked's contract.
+		if lo != segBase || (hi%64 != 0 && hi != n) {
+			scratch = append(scratch[:0], mask...)
+			off := lo - segBase
+			for j := 0; j < off/64; j++ {
+				scratch[j] = 0
+			}
+			if r := off % 64; r != 0 {
+				scratch[off/64] &= ^uint64(0) << uint(r)
+			}
+			if r := hi % 64; r != 0 && hi != n {
+				scratch[len(scratch)-1] &= (1 << uint(r)) - 1
+			}
+			mask = scratch
+		}
+		if !bitset.AnyWords(mask) {
+			wtick += len(mask)
+			continue
+		}
+		segPass := 0
+		for j, w := range mask {
+			if (wtick+j)%(ctxCheckRows/64) == 0 {
+				if err := ctx.Err(); err != nil {
+					ss.err = ctxErr(err)
+					return
+				}
+			}
+			base := segBase + j*64
+			for w != 0 {
+				r := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if vg == nil {
+					vg = ss.lookup(vKey{}, r)
+				}
+				vg.g.Lineage = append(vg.g.Lineage, r)
+				segPass++
+			}
+		}
+		wtick += len(mask)
+		k := segBase / segRows
+		for ai := range p.args {
+			fa := vg.fas[ai]
+			if p.args[ai].kind == argConst1 {
+				// count(*): one AddFloat(1) per surviving row, exactly
+				// what scanRow feeds it — NULLs count, like the scalar
+				// reference.
+				for i := 0; i < segPass; i++ {
+					fa.AddFloat(1)
+				}
+				continue
+			}
+			vals, null := ss.argFC[ai].Chunk(k)
+			agg.FoldMasked(fa, vals, null, mask)
 		}
 	}
 }
@@ -846,6 +974,10 @@ func runVector(ctx context.Context, src *engine.Table, stmt *sqlparse.SelectStmt
 		FilterConjuncts:      p.fstats.conjuncts,
 		FilterOrder:          p.fstats.order,
 		FilterShortCircuited: p.fstats.shortCircuited,
+		ResidualConjuncts:    p.fstats.residualConjuncts,
+		ResidualRows:         p.fstats.residualRows,
+		FilterFallback:       p.fstats.fallback,
+		MaskedAgg:            p.maskedAgg,
 	}
 	for _, ss := range states {
 		plan.SegsSkipped += ss.segsSkipped

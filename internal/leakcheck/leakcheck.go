@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -32,6 +33,15 @@ const settleTimeout = 10 * time.Second
 // replaces os.Exit(m.Run()) in TestMain.
 func Main(m *testing.M) {
 	before := runtime.NumGoroutine()
+	// Active fuzzing (go test -fuzz) installs a process-wide signal
+	// handler during m.Run whose goroutine lives until exit — the fuzz
+	// coordinator's, not the suite's. Allow exactly that one.
+	for _, a := range os.Args {
+		if strings.HasPrefix(a, "-test.fuzz=") || strings.HasPrefix(a, "--test.fuzz=") {
+			before++
+			break
+		}
+	}
 	code := m.Run()
 	if code == 0 {
 		// Idle keep-alive connections of the default client park a

@@ -64,6 +64,12 @@ type Server struct {
 	filtersOrdered   atomic.Int64
 	conjunctsSkipped atomic.Int64
 	sortsCarried     atomic.Int64
+	// Residual accounting: queries whose WHERE kept non-lowerable
+	// conjuncts on the vectorized path (evaluated per row only on the
+	// lowered mask's survivors), and how many per-row evaluations those
+	// survivors amounted to.
+	filtersResidual atomic.Int64
+	residualRows    atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -79,6 +85,10 @@ func (s *Server) recordScan(p exec.PlanInfo) {
 	if p.FilterConjuncts > 0 {
 		s.filtersOrdered.Add(1)
 		s.conjunctsSkipped.Add(int64(p.FilterShortCircuited))
+	}
+	if p.ResidualConjuncts > 0 {
+		s.filtersResidual.Add(1)
+		s.residualRows.Add(int64(p.ResidualRows))
 	}
 	if p.SortCarried {
 		s.sortsCarried.Add(1)
@@ -1025,6 +1035,11 @@ func (s *Server) scanPayload() map[string]any {
 		"filters_ordered":   s.filtersOrdered.Load(),
 		"conjuncts_skipped": s.conjunctsSkipped.Load(),
 		"sorts_carried":     s.sortsCarried.Load(),
+		// Residual counters: queries that rode the vectorized scan with
+		// non-lowerable conjuncts, and the per-row evaluations paid on
+		// the lowered mask's survivors.
+		"filters_residual": s.filtersResidual.Load(),
+		"residual_rows":    s.residualRows.Load(),
 	}
 	if queries > 0 {
 		out["segs_skipped_per_query"] = float64(skipped) / float64(queries)

@@ -352,3 +352,45 @@ func TestConcurrentQueries(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsResidualCounters pins the /api/stats planner view of the
+// residual filter path: a WHERE mixing a lowerable comparison with a
+// LIKE must count one residual-filtered query and a positive number of
+// per-row residual evaluations, and a global float aggregation must
+// ride the masked kernels without inflating either counter.
+func TestStatsResidualCounters(t *testing.T) {
+	ts := testServer(t)
+	for _, sql := range []string{
+		"SELECT state, sum(amount) AS s FROM donations WHERE amount > 100 AND city LIKE 'a%' GROUP BY state",
+		"SELECT sum(amount) AS s, count(*) AS n FROM donations WHERE amount > 100",
+	} {
+		resp := post(t, ts, "/api/query", map[string]any{"session": "resid", "sql": sql}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %q: status %d", sql, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Scan struct {
+			Queries         int64 `json:"queries"`
+			FiltersResidual int64 `json:"filters_residual"`
+			ResidualRows    int64 `json:"residual_rows"`
+		} `json:"scan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scan.Queries != 2 {
+		t.Fatalf("scan.queries = %d, want 2", stats.Scan.Queries)
+	}
+	if stats.Scan.FiltersResidual != 1 {
+		t.Fatalf("filters_residual = %d, want 1 (stats %+v)", stats.Scan.FiltersResidual, stats.Scan)
+	}
+	if stats.Scan.ResidualRows <= 0 {
+		t.Fatalf("residual_rows = %d, want > 0", stats.Scan.ResidualRows)
+	}
+}
